@@ -1,0 +1,244 @@
+// Ablation A5 (Section 6): leases vs the prior consistency designs.
+//
+//   zero-term leases   = Sprite / RFS / the Andrew prototype: a consistency
+//                        check on every open -- guaranteed consistent but
+//                        heavy server load;
+//   short-term leases  = this paper (10 s);
+//   infinite + waiting = infinite-term leases with the full approval
+//                        protocol (what Andrew would be with waiting);
+//   callbacks          = the revised Andrew: break-on-write, but updates
+//                        proceed when a client is unreachable -> stale
+//                        windows bounded only by a 10-minute poll;
+//   TTL hints          = NFS/DNS-style fixed time-to-live with no
+//                        invalidation at all.
+//
+// Workload: 12 clients in sharing groups of 4, V rates scaled up (R=2/s,
+// W=0.1/s); halfway through, each client suffers a 20 s partition episode.
+// Metrics: server consistency load, mean read delay, mean write delay,
+// stale reads observed by the oracle, and total staleness depth.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/baseline_cluster.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+namespace {
+
+constexpr size_t kClients = 12;
+constexpr size_t kSharing = 4;
+constexpr double kReadRate = 2.0;
+constexpr double kWriteRate = 0.1;
+
+struct ProtocolResult {
+  double consistency_msgs_s = 0;
+  double mean_read_ms = 0;
+  double mean_write_ms = 0;
+  uint64_t stale_reads = 0;
+  uint64_t staleness_depth = 0;
+  uint64_t failures = 0;
+};
+
+// Drives the identical open-loop workload + partition schedule over either
+// cluster type via std::function handles.
+struct Harness {
+  Simulator* sim;
+  Oracle* oracle;
+  std::function<void(size_t, FileId, ReadCallback)> read;
+  std::function<void(size_t, FileId, std::vector<uint8_t>, WriteCallback)>
+      write;
+  std::function<void(size_t, bool)> partition;
+  std::function<uint64_t()> server_consistency;
+};
+
+ProtocolResult DriveWorkload(Harness harness,
+                             const std::vector<FileId>& files,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rng> rngs;
+  for (size_t c = 0; c < kClients; ++c) {
+    rngs.push_back(rng.Fork());
+  }
+  ProtocolResult result;
+  Histogram read_delay;
+  Histogram write_delay;
+  bool measuring = false;
+  uint64_t wseq = 0;
+
+  std::function<void(size_t)> reads = [&](size_t c) {
+    harness.sim->ScheduleAfter(rngs[c].NextExponentialDuration(kReadRate),
+                               [&, c]() {
+      TimePoint start = harness.sim->Now();
+      harness.read(c, files[c / kSharing], [&, start](Result<ReadResult> r) {
+        if (!measuring) {
+          return;
+        }
+        if (!r.ok()) {
+          ++result.failures;
+          return;
+        }
+        read_delay.RecordDuration(harness.sim->Now() - start);
+      });
+      reads(c);
+    });
+  };
+  std::function<void(size_t)> writes = [&](size_t c) {
+    harness.sim->ScheduleAfter(rngs[c].NextExponentialDuration(kWriteRate),
+                               [&, c]() {
+      TimePoint start = harness.sim->Now();
+      harness.write(c, files[c / kSharing],
+                    Bytes("w" + std::to_string(++wseq)),
+                    [&, start](Result<WriteResult> r) {
+                      if (!measuring) {
+                        return;
+                      }
+                      if (!r.ok()) {
+                        ++result.failures;
+                        return;
+                      }
+                      write_delay.RecordDuration(harness.sim->Now() - start);
+                    });
+      writes(c);
+    });
+  };
+  for (size_t c = 0; c < kClients; ++c) {
+    reads(c);
+    writes(c);
+  }
+  // Partition episodes: client c partitioned for 20 s starting at
+  // 300 + 25*c seconds.
+  for (size_t c = 0; c < kClients; ++c) {
+    harness.sim->ScheduleAfter(Duration::Seconds(300.0 + 25.0 * c),
+                               [&, c]() { harness.partition(c, true); });
+    harness.sim->ScheduleAfter(Duration::Seconds(320.0 + 25.0 * c),
+                               [&, c]() { harness.partition(c, false); });
+  }
+
+  harness.sim->RunUntil(TimePoint::Epoch() + Duration::Seconds(50));
+  uint64_t consistency_before = harness.server_consistency();
+  harness.oracle->Reset();
+  measuring = true;
+  Duration measure = Duration::Seconds(900);
+  harness.sim->RunUntil(TimePoint::Epoch() + Duration::Seconds(50) + measure);
+  measuring = false;
+
+  result.consistency_msgs_s =
+      static_cast<double>(harness.server_consistency() - consistency_before) /
+      measure.ToSeconds();
+  result.mean_read_ms = read_delay.Mean() * 1e3;
+  result.mean_write_ms = write_delay.Mean() * 1e3;
+  result.stale_reads = harness.oracle->stale_reads();
+  result.staleness_depth = harness.oracle->staleness_total();
+  return result;
+}
+
+ProtocolResult RunLeases(Duration term, uint64_t seed) {
+  ClusterOptions options = MakeVClusterOptions(term, kClients, seed);
+  options.client.request_timeout = Duration::Millis(500);
+  SimCluster cluster(options);
+  std::vector<FileId> files;
+  for (size_t g = 0; g < kClients / kSharing; ++g) {
+    files.push_back(*cluster.store().CreatePath(
+        "/shared/g" + std::to_string(g), FileClass::kNormal, Bytes("v0")));
+  }
+  Harness harness{
+      &cluster.sim(), &cluster.oracle(),
+      [&cluster](size_t c, FileId f, ReadCallback cb) {
+        cluster.client(c).Read(f, std::move(cb));
+      },
+      [&cluster](size_t c, FileId f, std::vector<uint8_t> d,
+                 WriteCallback cb) {
+        cluster.client(c).Write(f, std::move(d), std::move(cb));
+      },
+      [&cluster](size_t c, bool on) { cluster.PartitionClient(c, on); },
+      [&cluster]() {
+        return cluster.network()
+            .stats(cluster.server_id())
+            .HandledByClass(MessageClass::kConsistency);
+      }};
+  return DriveWorkload(harness, files, seed);
+}
+
+ProtocolResult RunBaseline(BaselineMode mode, Duration knob, uint64_t seed) {
+  BaselineOptions options;
+  options.num_clients = kClients;
+  options.mode = mode;
+  options.poll_period = knob;
+  options.ttl = knob;
+  BaselineCluster cluster(options);
+  std::vector<FileId> files;
+  for (size_t g = 0; g < kClients / kSharing; ++g) {
+    files.push_back(*cluster.store().CreatePath(
+        "/shared/g" + std::to_string(g), FileClass::kNormal, Bytes("v0")));
+  }
+  Harness harness{
+      &cluster.sim(), &cluster.oracle(),
+      [&cluster](size_t c, FileId f, ReadCallback cb) {
+        cluster.client(c).Read(f, std::move(cb));
+      },
+      [&cluster](size_t c, FileId f, std::vector<uint8_t> d,
+                 WriteCallback cb) {
+        cluster.client(c).Write(f, std::move(d), std::move(cb));
+      },
+      [&cluster](size_t c, bool on) { cluster.PartitionClient(c, on); },
+      [&cluster]() {
+        return cluster.network()
+            .stats(cluster.server_id())
+            .HandledByClass(MessageClass::kConsistency);
+      }};
+  return DriveWorkload(harness, files, seed);
+}
+
+void Run() {
+  PrintHeader("Ablation A5: leases vs zero-term, callbacks and TTL hints");
+  std::printf("%zu clients, sharing %zu, R=%.1f/s W=%.2f/s per client; one\n"
+              "20 s partition episode per client during the run.\n\n",
+              kClients, kSharing, kReadRate, kWriteRate);
+
+  struct Row {
+    const char* name;
+    ProtocolResult r;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"leases term=0 (Sprite/RFS)", RunLeases(Duration::Zero(),
+                                                          11)});
+  rows.push_back({"leases term=10s (paper)",
+                  RunLeases(Duration::Seconds(10), 12)});
+  rows.push_back({"leases term=inf (+waiting)",
+                  RunLeases(Duration::Infinite(), 13)});
+  rows.push_back({"callbacks, 600s poll (Andrew)",
+                  RunBaseline(BaselineMode::kCallbacks,
+                              Duration::Seconds(600), 14)});
+  rows.push_back({"TTL hints 10s (NFS-style)",
+                  RunBaseline(BaselineMode::kStateless,
+                              Duration::Seconds(10), 15)});
+
+  std::printf("%-30s %12s %9s %10s %7s %7s %9s\n", "protocol",
+              "cons_msgs/s", "read_ms", "write_ms", "stale", "depth",
+              "failures");
+  for (const Row& row : rows) {
+    std::printf("%-30s %12.2f %9.3f %10.2f %7llu %7llu %9llu\n", row.name,
+                row.r.consistency_msgs_s, row.r.mean_read_ms,
+                row.r.mean_write_ms,
+                static_cast<unsigned long long>(row.r.stale_reads),
+                static_cast<unsigned long long>(row.r.staleness_depth),
+                static_cast<unsigned long long>(row.r.failures));
+  }
+  std::printf(
+      "\nexpected shape: every lease variant has ZERO stale reads; term 0\n"
+      "pays ~10x the consistency load of term 10 s; infinite terms win on\n"
+      "steady-state load but writes stall behind partitioned holders;\n"
+      "callbacks and TTL are cheap but serve stale data during the\n"
+      "partition (callbacks) or within the TTL window (hints).\n");
+}
+
+}  // namespace
+}  // namespace leases
+
+int main() {
+  leases::Run();
+  return 0;
+}

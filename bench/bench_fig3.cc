@@ -1,0 +1,65 @@
+// Figure 3 of the paper: "Added delay with 100 ms round-trip time" -- the
+// same delay analysis on a wide-area network (Section 3.3).
+//
+// The paper's quoted anchors: with a 100 ms round trip, "a 10 second term
+// degrades response by 10.1% over using an infinite term and a 30 second
+// term degrades it by 3.6%", so 10-30 s terms remain adequate even over a
+// WAN. Both the added-delay curve and the response-degradation column are
+// regenerated, from the model and from simulation.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+
+namespace leases {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 3: added delay with 100 ms round-trip (WAN)");
+  std::printf(
+      "model: formula (2) with m_prop = 48 ms (2*m_prop + 4*m_proc = 100 "
+      "ms);\ndegradation = response-time increase vs infinite term, with "
+      "base per-op\nresponse %.1f ms (calibrated, DESIGN.md sec. 3).\n\n",
+      SystemParams::Wan(1).base_response.ToMillis());
+
+  Duration base_rtt = Duration::Millis(100);
+  SeriesTable table({"term_s", "added_ms_model", "added_ms_sim",
+                     "degrade_vs_inf_%"});
+  std::vector<int> terms = {0, 1, 2, 5, 10, 15, 20, 30, 45, 60};
+  for (int term_s : terms) {
+    Duration term = Duration::Seconds(term_s);
+    LeaseModel model(SystemParams::Wan(1));
+    WorkloadReport report = RunVPoisson(term, 1, 500 + term_s,
+                                        Duration::Seconds(3000),
+                                        /*clients=*/20, /*wan=*/true);
+    double reads = static_cast<double>(report.reads);
+    double writes = static_cast<double>(report.writes);
+    double write_added =
+        report.write_delay.sum() - writes * base_rtt.ToSeconds();
+    if (write_added < 0) {
+      write_added = 0;
+    }
+    double sim_ms =
+        1e3 * (report.read_delay.sum() + write_added) / (reads + writes);
+    table.AddRow({static_cast<double>(term_s),
+                  model.AddedDelay(term).ToMillis(), sim_ms,
+                  100 * model.ResponseDegradationVsInfinite(term)});
+  }
+  table.Print(stdout, 3);
+
+  LeaseModel model(SystemParams::Wan(1));
+  std::printf(
+      "\nanchors: 10 s term degrades response %.1f%% (paper: 10.1%%); "
+      "30 s term %.1f%% (paper: 3.6%%)\n",
+      100 * model.ResponseDegradationVsInfinite(Duration::Seconds(10)),
+      100 * model.ResponseDegradationVsInfinite(Duration::Seconds(30)));
+}
+
+}  // namespace
+}  // namespace leases
+
+int main() {
+  leases::Run();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Ablation A1 (Section 4): the installed-files optimization.
+//
+// Installed files -- commands, headers, libraries -- are widely shared,
+// heavily read and rarely written. The optimization covers a whole directory
+// of them with ONE lease key, renews it by periodic server multicast
+// (clients never request extensions), keeps NO per-client holder state, and
+// handles a write by dropping the key from the multicast and waiting out the
+// advertised window (no callbacks, no reply implosion).
+//
+// This bench runs 40 clients reading installed files and compares the
+// optimization against plain per-file leases on: server consistency load,
+// client extension traffic, server lease-table size, and the delay of an
+// installed-file update.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+namespace {
+
+constexpr size_t kClients = 40;
+constexpr int kInstalledFiles = 30;
+
+struct InstalledResult {
+  double consistency_per_sec = 0;
+  uint64_t client_extensions = 0;
+  size_t lease_records = 0;
+  double write_delay_s = 0;
+  uint64_t approval_rounds = 0;
+  uint64_t violations = 0;
+};
+
+InstalledResult RunScenario(bool optimized) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10),
+                                               kClients, optimized ? 7 : 8);
+  options.server.installed_optimization = optimized;
+  options.server.installed_multicast_period = Duration::Seconds(2);
+  options.server.installed_term = Duration::Seconds(10);
+  SimCluster cluster(options);
+
+  std::vector<FileId> files;
+  for (int i = 0; i < kInstalledFiles; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/usr/bin/tool" + std::to_string(i), FileClass::kInstalled,
+        Bytes("binary")));
+  }
+  FileId dir = *cluster.store().Resolve("/usr/bin");
+  if (optimized) {
+    Status installed = cluster.server().InstallDirectory(dir);
+    LEASES_CHECK(installed.ok());
+  }
+
+  // Every client reads random installed files, 2 reads/s each.
+  Rng rng(1234);
+  std::vector<Rng> rngs;
+  for (size_t c = 0; c < kClients; ++c) {
+    rngs.push_back(rng.Fork());
+  }
+  std::function<void(size_t)> schedule = [&](size_t c) {
+    cluster.sim().ScheduleAfter(rngs[c].NextExponentialDuration(2.0),
+                                [&, c]() {
+      FileId f = files[rngs[c].NextBounded(files.size())];
+      cluster.client(c).Read(f, [](Result<ReadResult>) {});
+      schedule(c);
+    });
+  };
+  for (size_t c = 0; c < kClients; ++c) {
+    schedule(c);
+  }
+
+  cluster.RunFor(Duration::Seconds(60));  // warm
+  cluster.network().ResetStats();
+  Duration measure = Duration::Seconds(600);
+  cluster.RunFor(measure);
+
+  InstalledResult result;
+  result.consistency_per_sec =
+      static_cast<double>(cluster.network()
+                              .stats(cluster.server_id())
+                              .HandledByClass(MessageClass::kConsistency)) /
+      measure.ToSeconds();
+  for (size_t c = 0; c < kClients; ++c) {
+    result.client_extensions += cluster.client(c).stats().extend_requests;
+  }
+  result.lease_records = cluster.server().lease_table().RecordCount();
+
+  // Install a new version of one tool ("when a new version of latex is
+  // installed...").
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> update =
+      cluster.SyncWrite(0, files[0], Bytes("new-binary"),
+                        Duration::Seconds(60));
+  LEASES_CHECK(update.ok());
+  result.write_delay_s = (cluster.sim().Now() - start).ToSeconds();
+  result.approval_rounds = cluster.server().stats().approval_rounds;
+
+  // The update must be visible everywhere afterwards.
+  cluster.RunFor(Duration::Seconds(15));
+  for (size_t c = 0; c < kClients; ++c) {
+    Result<ReadResult> r = cluster.SyncRead(c, files[0]);
+    LEASES_CHECK(r.ok());
+    LEASES_CHECK(Text(r->data) == "new-binary");
+  }
+  result.violations = cluster.oracle().violations();
+  return result;
+}
+
+void Run() {
+  PrintHeader("Ablation A1: installed-files optimization (Section 4)");
+  std::printf("%zu clients reading %d installed files at 2 reads/s each; "
+              "term 10 s;\nmulticast extension period 2 s.\n\n",
+              kClients, kInstalledFiles);
+
+  InstalledResult plain = RunScenario(false);
+  InstalledResult optimized = RunScenario(true);
+
+  std::printf("%-44s %14s %14s\n", "metric", "per-file", "installed-opt");
+  std::printf("%-44s %14.2f %14.2f\n",
+              "server consistency msgs/s (steady state)",
+              plain.consistency_per_sec, optimized.consistency_per_sec);
+  std::printf("%-44s %14llu %14llu\n", "client extension requests (total)",
+              static_cast<unsigned long long>(plain.client_extensions),
+              static_cast<unsigned long long>(optimized.client_extensions));
+  std::printf("%-44s %14zu %14zu\n",
+              "server lease records (per-client state)",
+              plain.lease_records, optimized.lease_records);
+  std::printf("%-44s %14.2f %14.2f\n", "installed-update write delay (s)",
+              plain.write_delay_s, optimized.write_delay_s);
+  std::printf("%-44s %14llu %14llu\n",
+              "approval rounds for the update (implosion)",
+              static_cast<unsigned long long>(plain.approval_rounds),
+              static_cast<unsigned long long>(optimized.approval_rounds));
+  std::printf("%-44s %14llu %14llu\n", "consistency violations",
+              static_cast<unsigned long long>(plain.violations),
+              static_cast<unsigned long long>(optimized.violations));
+  std::printf(
+      "\npaper: the optimization trades a bounded write delay (the lease\n"
+      "term) for zero per-client state, no extension requests and no\n"
+      "callback implosion on updates.\n");
+}
+
+}  // namespace
+}  // namespace leases
+
+int main() {
+  leases::Run();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Ablation A4 (Section 4): client-side lease-management options.
+//
+//   * batched extension ("a cache should extend together all leases over
+//     all files that it still holds") vs per-file extension;
+//   * anticipatory extension (renew before expiry: no read ever stalls on
+//     an extension, but an idle client keeps loading the server);
+//   * voluntary relinquish of idle leases (less false sharing).
+//
+// Workload: each of 10 clients works over its own set of 8 files in
+// alternating active (reads at 4/s) and idle phases.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+namespace {
+
+constexpr size_t kClients = 10;
+constexpr int kFilesPerClient = 8;
+
+struct OptionsResult {
+  double server_msgs_s = 0;
+  double mean_read_ms = 0;
+  double p99_read_ms = 0;
+  double local_ratio = 0;
+  uint64_t extend_requests = 0;
+  uint64_t extend_items = 0;
+};
+
+OptionsResult RunScenario(bool batch, bool anticipatory, bool relinquish) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), kClients,
+                                               batch * 2 + anticipatory);
+  options.client.batch_extensions = batch;
+  options.client.anticipatory_extension = anticipatory;
+  options.client.anticipation_lead = Duration::Seconds(2);
+  SimCluster cluster(options);
+
+  std::vector<std::vector<FileId>> files(kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    for (int f = 0; f < kFilesPerClient; ++f) {
+      files[c].push_back(*cluster.store().CreatePath(
+          "/home/u" + std::to_string(c) + "/f" + std::to_string(f),
+          FileClass::kNormal, Bytes("data")));
+    }
+  }
+
+  // Alternating phases: 30 s active, 30 s idle, repeated.
+  Rng rng(42);
+  std::vector<Rng> rngs;
+  for (size_t c = 0; c < kClients; ++c) {
+    rngs.push_back(rng.Fork());
+  }
+  Histogram read_delay;
+  uint64_t reads = 0;
+  uint64_t local = 0;
+  bool measuring = false;
+
+  std::function<void(size_t)> schedule = [&](size_t c) {
+    // Active during even 30 s windows.
+    double now_s = cluster.sim().Now().ToSeconds();
+    bool active = (static_cast<int>(now_s / 30.0) % 2) == 0;
+    Duration gap = active ? rngs[c].NextExponentialDuration(4.0)
+                          : Duration::Seconds(30.0 - std::fmod(now_s, 30.0) +
+                                              0.001);
+    cluster.sim().ScheduleAfter(gap, [&, c]() {
+      FileId f = files[c][rngs[c].NextBounded(kFilesPerClient)];
+      TimePoint start = cluster.sim().Now();
+      cluster.client(c).Read(f, [&, start](Result<ReadResult> r) {
+        if (measuring && r.ok()) {
+          ++reads;
+          if (r->from_cache) {
+            ++local;
+          }
+          read_delay.RecordDuration(cluster.sim().Now() - start);
+        }
+      });
+      if (relinquish) {
+        cluster.client(c).RelinquishIdle(Duration::Seconds(20));
+      }
+      schedule(c);
+    });
+  };
+  for (size_t c = 0; c < kClients; ++c) {
+    schedule(c);
+  }
+
+  cluster.RunFor(Duration::Seconds(60));
+  cluster.network().ResetStats();
+  measuring = true;
+  Duration measure = Duration::Seconds(1200);
+  cluster.RunFor(measure);
+
+  OptionsResult result;
+  result.server_msgs_s =
+      static_cast<double>(
+          cluster.network().stats(cluster.server_id()).Handled()) /
+      measure.ToSeconds();
+  result.mean_read_ms = read_delay.Mean() * 1e3;
+  result.p99_read_ms = read_delay.Quantile(0.99) * 1e3;
+  result.local_ratio =
+      reads == 0 ? 0 : static_cast<double>(local) / static_cast<double>(reads);
+  for (size_t c = 0; c < kClients; ++c) {
+    result.extend_requests += cluster.client(c).stats().extend_requests;
+    result.extend_items += cluster.client(c).stats().extend_items;
+  }
+  return result;
+}
+
+void Run() {
+  PrintHeader("Ablation A4: extension options (Section 4)");
+  std::printf("%zu clients x %d files, bursty active/idle phases, term 10 "
+              "s.\n\n", kClients, kFilesPerClient);
+
+  struct Scenario {
+    const char* name;
+    bool batch;
+    bool anticipatory;
+    bool relinquish;
+  };
+  std::vector<Scenario> scenarios = {
+      {"per-file, on-demand", false, false, false},
+      {"batched, on-demand", true, false, false},
+      {"batched + anticipatory", true, true, false},
+      {"batched + relinquish-idle", true, false, true},
+  };
+  std::printf("%-28s %12s %10s %10s %8s %9s %9s\n", "scenario", "srv_msgs/s",
+              "read_ms", "p99_ms", "local%", "ext_reqs", "ext_items");
+  for (const Scenario& s : scenarios) {
+    OptionsResult r = RunScenario(s.batch, s.anticipatory, s.relinquish);
+    std::printf("%-28s %12.2f %10.4f %10.4f %8.1f %9llu %9llu\n", s.name,
+                r.server_msgs_s, r.mean_read_ms, r.p99_read_ms,
+                100 * r.local_ratio,
+                static_cast<unsigned long long>(r.extend_requests),
+                static_cast<unsigned long long>(r.extend_items));
+  }
+  std::printf(
+      "\npaper: batching amortizes one request over many leases;\n"
+      "anticipatory renewal removes read stalls (p99 -> local-hit cost) at\n"
+      "the price of extension traffic even while idle; relinquishing idle\n"
+      "leases sheds server state at the cost of re-extension on return.\n");
+}
+
+}  // namespace
+}  // namespace leases
+
+int main() {
+  leases::Run();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation A6 (Section 3.3): "Applicability to Future Distributed Systems".
+//
+// Three claims, each swept:
+//   1. faster client processors => higher per-client access rates => the
+//      knee of the load curve moves to shorter terms (leases matter more);
+//   2. larger propagation delay => consistency-induced delay matters more,
+//      slightly longer terms appropriate, 10-30 s still adequate;
+//   3. more clients => server consistency load scales linearly at term 0
+//      but stays nearly flat with a 10 s term ("leases ... increase the
+//      ratio of clients to servers").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/metrics/table.h"
+
+namespace leases {
+namespace {
+
+void ProcessorSpeedSweep() {
+  std::printf("1) processor speed: access rate multiplier k scales R and W\n");
+  SeriesTable table({"k", "R_per_s", "knee_term_s_10pct",
+                     "load_at_10s_rel"});
+  for (double k : {1.0, 2.0, 5.0, 10.0, 25.0}) {
+    SystemParams params = SystemParams::VSystem(1);
+    params.reads_per_sec *= k;
+    params.writes_per_sec *= k;
+    LeaseModel model(params);
+    // Term at which extension traffic falls to 10% of zero-term load:
+    // 1/(1+R t) = 0.1 => t = 9/R.
+    double knee = 9.0 / params.reads_per_sec;
+    table.AddRow({k, params.reads_per_sec, knee,
+                  model.RelativeConsistencyLoad(Duration::Seconds(10))});
+  }
+  table.Print(stdout, 4);
+  std::printf("   faster clients push the knee to shorter terms: a fixed\n"
+              "   10 s term captures ever more of the benefit.\n");
+}
+
+void PropagationDelaySweep() {
+  std::printf("\n2) network propagation delay (m_proc fixed at 1 ms)\n");
+  SeriesTable table({"rtt_ms", "delay_at_10s_ms", "degrade_10s_%",
+                     "degrade_30s_%"});
+  for (double rtt_ms : {5.0, 20.0, 50.0, 100.0, 250.0}) {
+    SystemParams params = SystemParams::VSystem(1);
+    params.m_prop = Duration::Micros(
+        static_cast<int64_t>((rtt_ms - 4.0) / 2.0 * 1000.0));
+    // Scale the non-consistency response with the network, as in Fig. 3.
+    params.base_response = Duration::Micros(
+        static_cast<int64_t>(rtt_ms / 100.0 * 98600.0));
+    LeaseModel model(params);
+    table.AddRow({rtt_ms, model.AddedDelay(Duration::Seconds(10)).ToMillis(),
+                  100 * model.ResponseDegradationVsInfinite(
+                            Duration::Seconds(10)),
+                  100 * model.ResponseDegradationVsInfinite(
+                            Duration::Seconds(30))});
+  }
+  table.Print(stdout, 3);
+  std::printf("   degradation vs infinite term is delay-independent in\n"
+              "   relative terms; 10-30 s terms remain adequate at every "
+              "RTT.\n");
+}
+
+void ClientCountSweep() {
+  std::printf("\n3) scale: measured server consistency load vs client "
+              "count\n");
+  SeriesTable table({"N", "term0_msgs_s", "term10_msgs_s", "ratio"});
+  for (size_t n : {5, 10, 20, 40, 80}) {
+    WorkloadReport zero =
+        RunVPoisson(Duration::Zero(), 1, 600 + n,
+                    Duration::Seconds(1000), n);
+    WorkloadReport ten =
+        RunVPoisson(Duration::Seconds(10), 1, 700 + n,
+                    Duration::Seconds(1000), n);
+    table.AddRow({static_cast<double>(n), zero.ConsistencyMsgsPerSec(),
+                  ten.ConsistencyMsgsPerSec(),
+                  zero.ConsistencyMsgsPerSec() /
+                      std::max(ten.ConsistencyMsgsPerSec(), 1e-9)});
+  }
+  table.Print(stdout, 4);
+  std::printf("   both scale linearly in N, but the 10 s term keeps a\n"
+              "   constant ~9.6x headroom -- one server carries ~10x the\n"
+              "   clients (\"reducing the cost ... of large-scale "
+              "systems\").\n");
+}
+
+void Run() {
+  PrintHeader("Ablation A6: scaling trends (Section 3.3)");
+  ProcessorSpeedSweep();
+  PropagationDelaySweep();
+  ClientCountSweep();
+}
+
+}  // namespace
+}  // namespace leases
+
+int main() {
+  leases::Run();
+  return 0;
+}

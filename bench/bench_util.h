@@ -1,0 +1,40 @@
+// Shared helpers for the figure/table benches.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+
+#include "src/analytic/model.h"
+#include "src/core/sim_cluster.h"
+#include "src/workload/poisson_driver.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+
+// Runs the Section 3.1 Poisson workload on a V-configured cluster at the
+// given term and sharing degree; returns the measured report.
+inline WorkloadReport RunVPoisson(Duration term, size_t sharing,
+                                  uint64_t seed = 99,
+                                  Duration measure = Duration::Seconds(3000),
+                                  size_t clients = 20,
+                                  bool wan = false) {
+  ClusterOptions options = wan ? MakeWanClusterOptions(term, clients, seed)
+                               : MakeVClusterOptions(term, clients, seed);
+  SimCluster cluster(options);
+  PoissonOptions poisson;
+  poisson.sharing = sharing;
+  poisson.seed = seed;
+  poisson.measure = measure;
+  PoissonDriver driver(&cluster, poisson);
+  driver.Setup();
+  return driver.Run();
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace leases
+
+#endif  // BENCH_BENCH_UTIL_H_

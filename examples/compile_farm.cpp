@@ -1,0 +1,51 @@
+// Trace-driven demo: the V compilation workload (Section 3.2) replayed
+// through a client cache at three lease terms, showing the trade the paper
+// quantifies -- consistency traffic vs term.
+//
+// Build & run:  ./build/examples/compile_farm
+#include <cstdio>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/compile_trace.h"
+#include "src/workload/v_config.h"
+
+using namespace leases;
+
+int main() {
+  CompileTraceOptions options;
+  options.length = Duration::Seconds(1800);
+  CompileTraceGenerator generator(options);
+  std::vector<TraceOp> trace = generator.Generate();
+  TraceStats stats = generator.Analyze(trace);
+  std::printf("trace: %zu ops over %.0f s; R=%.3f/s W=%.3f/s, %.0f%% of "
+              "reads to installed files\n\n",
+              trace.size(), stats.length.ToSeconds(), stats.ReadRate(),
+              stats.WriteRate(), 100 * stats.InstalledShare());
+
+  std::printf("%8s %22s %14s %12s\n", "term", "consistency msgs", "msgs/s",
+              "local hits");
+  for (int term_s : {0, 2, 10, 30}) {
+    ClusterOptions cluster_options =
+        MakeVClusterOptions(Duration::Seconds(term_s), /*num_clients=*/1);
+    SimCluster cluster(cluster_options);
+    generator.PopulateStore(cluster.store());
+    TraceRunner runner(&cluster, 0);
+    TraceRunReport report = runner.Run(trace);
+    const ClientStats& client = cluster.client(0).stats();
+    double hit_ratio =
+        client.reads == 0
+            ? 0
+            : 100.0 * static_cast<double>(client.local_reads) /
+                  static_cast<double>(client.reads);
+    std::printf("%7ds %22llu %14.2f %11.1f%%\n", term_s,
+                static_cast<unsigned long long>(report.server_consistency_msgs),
+                static_cast<double>(report.server_consistency_msgs) /
+                    report.elapsed.ToSeconds(),
+                hit_ratio);
+  }
+  std::printf(
+      "\nthe knee is sharp: a term of a few seconds removes nearly all\n"
+      "consistency traffic for this bursty workload (Figure 1's Trace "
+      "curve).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: the lease protocol in a simulated cluster in ~60 lines.
+//
+// Creates a server with two client caches, writes a file from one client,
+// reads it (twice) from the other, and shows where the messages went: the
+// second read is served entirely from the cache under its lease.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/sim_cluster.h"
+
+using namespace leases;
+
+int main() {
+  // A cluster: 1 server + 2 clients on a simulated LAN (0.5 ms propagation,
+  // 1 ms per-message processing), leases of 10 seconds.
+  ClusterOptions options;
+  options.num_clients = 2;
+  options.term = Duration::Seconds(10);
+  SimCluster cluster(options);
+
+  // Server-side setup: create a file in the store.
+  FileId file = *cluster.store().CreatePath("/demo/hello.txt",
+                                            FileClass::kNormal,
+                                            Bytes("hello"));
+
+  // Client 0 writes through the cache; the ack means it is durable.
+  Result<WriteResult> write = cluster.SyncWrite(0, file, Bytes("hello, leases"));
+  std::printf("write:  ok=%d version=%llu\n", write.ok(),
+              static_cast<unsigned long long>(write->version));
+
+  // Client 1 opens by path (directory data is cached under leases too) and
+  // reads -- the first read fetches data + a lease from the server.
+  Result<OpenResult> open = cluster.SyncOpen(1, "/demo/hello.txt");
+  Result<ReadResult> first = cluster.SyncRead(1, open->file);
+  std::printf("read 1: \"%s\" from_cache=%d\n", Text(first->data).c_str(),
+              first->from_cache);
+
+  // Five simulated seconds later the lease is still valid: the second read
+  // costs zero messages.
+  cluster.RunFor(Duration::Seconds(5));
+  Result<ReadResult> second = cluster.SyncRead(1, open->file);
+  std::printf("read 2: \"%s\" from_cache=%d\n", Text(second->data).c_str(),
+              second->from_cache);
+
+  // When client 0 writes again, the server must get client 1's approval
+  // before committing -- that is the lease contract.
+  Result<WriteResult> again = cluster.SyncWrite(0, file, Bytes("updated"));
+  std::printf("write:  ok=%d version=%llu (approvals asked: %llu)\n",
+              again.ok(), static_cast<unsigned long long>(again->version),
+              static_cast<unsigned long long>(
+                  cluster.server().stats().approval_rounds));
+
+  // Client 1's copy was invalidated by its approval; the next read refetches.
+  Result<ReadResult> third = cluster.SyncRead(1, open->file);
+  std::printf("read 3: \"%s\" from_cache=%d\n", Text(third->data).c_str(),
+              third->from_cache);
+
+  const ServerStats& stats = cluster.server().stats();
+  std::printf(
+      "\nserver: %llu reads, %llu leases granted, %llu extensions, "
+      "%llu writes committed\n",
+      static_cast<unsigned long long>(stats.reads_served),
+      static_cast<unsigned long long>(stats.leases_granted),
+      static_cast<unsigned long long>(stats.extension_requests),
+      static_cast<unsigned long long>(stats.writes_committed));
+  std::printf("consistency violations observed by the oracle: %llu\n",
+              static_cast<unsigned long long>(cluster.oracle().violations()));
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Section 3.3 + Section 4: wide-area caching with the adaptive term policy.
+//
+// On a 100 ms round-trip network the server picks lease terms per file from
+// the analytic model, using the read/write rates and sharing it observes:
+// read-mostly files converge to ~10 s terms, while a heavily write-shared
+// file is driven to a zero term ("a heavily write-shared file might be
+// given a lease term of zero").
+//
+// Build & run:  ./build/examples/wan_cache
+#include <cstdio>
+#include <functional>
+
+#include "src/core/sim_cluster.h"
+#include "src/core/term_policy.h"
+#include "src/sim/rng.h"
+#include "src/workload/v_config.h"
+
+using namespace leases;
+
+int main() {
+  ClusterOptions options = MakeWanClusterOptions(Duration::Seconds(10), 6);
+  AdaptiveTermPolicy* policy = nullptr;
+  options.make_policy = [&policy]() {
+    auto p = std::make_unique<AdaptiveTermPolicy>();
+    policy = p.get();
+    return p;
+  };
+  SimCluster cluster(options);
+
+  FileId doc = *cluster.store().CreatePath("/wiki/architecture.md",
+                                           FileClass::kNormal,
+                                           Bytes("design doc"));
+  FileId counter = *cluster.store().CreatePath("/metrics/hit_counter",
+                                               FileClass::kNormal,
+                                               Bytes("0"));
+
+  // Everyone reads the doc ~1/s; everyone hammers the shared counter with
+  // writes (the classic cache-hostile datum).
+  Rng rng(7);
+  std::vector<Rng> rngs;
+  for (size_t c = 0; c < 6; ++c) {
+    rngs.push_back(rng.Fork());
+  }
+  uint64_t tick = 0;
+  std::function<void(size_t)> doc_reads = [&](size_t c) {
+    cluster.sim().ScheduleAfter(rngs[c].NextExponentialDuration(1.0), [&, c]() {
+      cluster.client(c).Read(doc, [](Result<ReadResult>) {});
+      doc_reads(c);
+    });
+  };
+  std::function<void(size_t)> counter_traffic = [&](size_t c) {
+    cluster.sim().ScheduleAfter(rngs[c].NextExponentialDuration(1.0), [&, c]() {
+      if (rngs[c].NextBernoulli(0.5)) {
+        cluster.client(c).Write(counter, Bytes(std::to_string(++tick)),
+                                [](Result<WriteResult>) {});
+      } else {
+        cluster.client(c).Read(counter, [](Result<ReadResult>) {});
+      }
+      counter_traffic(c);
+    });
+  };
+  for (size_t c = 0; c < 6; ++c) {
+    doc_reads(c);
+    counter_traffic(c);
+  }
+
+  cluster.RunFor(Duration::Seconds(600));
+
+  std::printf("after 600 s of WAN traffic (100 ms round-trip):\n\n");
+  std::printf("%-26s %12s %12s %10s %10s %12s\n", "file", "est_R/s", "est_W/s",
+              "est_S", "alpha", "chosen_term");
+  for (auto [name, file] : {std::pair<const char*, FileId>{"architecture.md",
+                                                           doc},
+                            {"hit_counter", counter}}) {
+    Duration term = policy->TermFor(file, FileClass::kNormal, NodeId(2));
+    std::printf("%-26s %12.3f %12.3f %10.2f %10.2f %12s\n", name,
+                policy->EstimatedReadRate(file),
+                policy->EstimatedWriteRate(file),
+                policy->EstimatedSharing(file), policy->Alpha(file),
+                term.ToString().c_str());
+  }
+  std::printf(
+      "\nthe adaptive policy (Section 4) gives the read-mostly doc a long\n"
+      "term and refuses leases on the write-shared counter (alpha <= 1).\n"
+      "oracle violations: %llu\n",
+      static_cast<unsigned long long>(cluster.oracle().violations()));
+  return 0;
+}

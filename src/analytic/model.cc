@@ -1,0 +1,150 @@
+#include "src/analytic/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+SystemParams SystemParams::VSystem(double sharing_degree) {
+  SystemParams p;
+  p.sharing = sharing_degree;
+  return p;
+}
+
+SystemParams SystemParams::Wan(double sharing_degree) {
+  SystemParams p;
+  p.sharing = sharing_degree;
+  // Round-trip 2*m_prop + 4*m_proc = 100 ms with m_proc unchanged at 1 ms.
+  p.m_prop = Duration::Micros(48000);
+  p.m_proc = Duration::Millis(1);
+  return p;
+}
+
+Duration LeaseModel::EffectiveTerm(Duration ts) const {
+  if (ts.IsInfinite()) {
+    return ts;
+  }
+  Duration shortened = ts - (p_.m_prop + p_.m_proc * 2) - p_.epsilon;
+  return std::max(shortened, Duration::Zero());
+}
+
+Duration LeaseModel::ExtensionDelay() const {
+  return p_.m_prop * 2 + p_.m_proc * 4;
+}
+
+Duration LeaseModel::ApprovalTime() const {
+  if (p_.sharing <= 1) {
+    return Duration::Zero();
+  }
+  if (p_.multicast_approvals) {
+    // 2*m_prop + (n+3)*m_proc with n = S-1 replies.
+    return p_.m_prop * 2 + p_.m_proc * (p_.sharing + 2.0);
+  }
+  // Unicast: S-1 serial request-responses is pessimistic; the paper's
+  // footnote counts messages, not time. Model the S-1 sends pipelining on
+  // the server CPU, replies arriving serially: m_proc*(S-1) to send all,
+  // then the last reply 2*m_prop + 2*m_proc later, plus (S-2) reply
+  // receive slots.
+  return p_.m_prop * 2 + p_.m_proc * (2.0 * p_.sharing - 1.0);
+}
+
+double LeaseModel::ExtensionLoad(Duration ts) const {
+  double tc = EffectiveTerm(ts).ToSeconds();
+  if (EffectiveTerm(ts).IsInfinite()) {
+    return 0;
+  }
+  return 2.0 * p_.clients * p_.reads_per_sec /
+         (1.0 + p_.reads_per_sec * tc);
+}
+
+double LeaseModel::ApprovalLoad(Duration ts) const {
+  // At t_s = 0 nobody holds a lease, so writes consult no one; with S = 1
+  // the writer's approval rides the write request itself (footnote 5).
+  if (ts <= Duration::Zero() || p_.sharing <= 1) {
+    return 0;
+  }
+  double messages_per_write =
+      p_.multicast_approvals ? p_.sharing : 2.0 * (p_.sharing - 1.0);
+  return p_.clients * messages_per_write * p_.writes_per_sec;
+}
+
+double LeaseModel::ConsistencyLoad(Duration ts) const {
+  return ExtensionLoad(ts) + ApprovalLoad(ts);
+}
+
+double LeaseModel::RelativeConsistencyLoad(Duration ts) const {
+  double zero = 2.0 * p_.clients * p_.reads_per_sec;
+  LEASES_CHECK(zero > 0);
+  return ConsistencyLoad(ts) / zero;
+}
+
+Duration LeaseModel::AddedDelay(Duration ts) const {
+  double r = p_.reads_per_sec;
+  double w = p_.writes_per_sec;
+  double tc = EffectiveTerm(ts).ToSeconds();
+  double read_term = EffectiveTerm(ts).IsInfinite()
+                         ? 0.0
+                         : r * ExtensionDelay().ToSeconds() / (1.0 + r * tc);
+  double write_term = 0.0;
+  if (ts > Duration::Zero() && p_.sharing > 1) {
+    write_term = w * ApprovalTime().ToSeconds();
+  }
+  return Duration::Seconds((read_term + write_term) / (r + w));
+}
+
+double LeaseModel::Alpha() const {
+  double w = p_.writes_per_sec;
+  if (w <= 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (p_.multicast_approvals) {
+    return 2.0 * p_.reads_per_sec / (std::max(p_.sharing, 1.0) * w);
+  }
+  // Footnote 7: with unicast approvals alpha = R / ((S-1) W).
+  double s_minus_1 = std::max(p_.sharing - 1.0, 1e-9);
+  return p_.reads_per_sec / (s_minus_1 * w);
+}
+
+std::optional<Duration> LeaseModel::BreakEvenEffectiveTerm() const {
+  double alpha = Alpha();
+  if (alpha <= 1.0) {
+    return std::nullopt;
+  }
+  if (std::isinf(alpha)) {
+    return Duration::Zero();
+  }
+  return Duration::Seconds(1.0 / (p_.reads_per_sec * (alpha - 1.0)));
+}
+
+std::optional<Duration> LeaseModel::BreakEvenTerm() const {
+  std::optional<Duration> tc = BreakEvenEffectiveTerm();
+  if (!tc.has_value()) {
+    return std::nullopt;
+  }
+  return *tc + (p_.m_prop + p_.m_proc * 2) + p_.epsilon;
+}
+
+double LeaseModel::RelativeTotalLoad(Duration ts) const {
+  double c0 = p_.consistency_share_at_zero;
+  LEASES_CHECK(c0 > 0 && c0 < 1);
+  // Total at zero = other/(1-c0) scaled so it equals 1; consistency varies.
+  return (1.0 - c0) + c0 * RelativeConsistencyLoad(ts);
+}
+
+double LeaseModel::TotalLoadOverInfinite(Duration ts) const {
+  double at_ts = RelativeTotalLoad(ts);
+  double at_inf = RelativeTotalLoad(Duration::Infinite());
+  return at_ts / at_inf - 1.0;
+}
+
+double LeaseModel::ResponseDegradationVsInfinite(Duration ts) const {
+  double base = p_.base_response.ToSeconds();
+  double at_ts = base + AddedDelay(ts).ToSeconds();
+  double at_inf = base + AddedDelay(Duration::Infinite()).ToSeconds();
+  return at_ts / at_inf - 1.0;
+}
+
+}  // namespace leases

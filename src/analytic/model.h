@@ -1,0 +1,108 @@
+// The analytic performance model of Section 3.1 of the paper.
+//
+// A single server with one file and N client caches; each client reads at
+// Poisson rate R and writes at rate W; the file is shared by S caches at
+// each write. Message propagation takes m_prop one way and m_proc of
+// processing per send or receive, so a unicast request-response costs
+// 2*m_prop + 4*m_proc and a multicast with n replies costs
+// 2*m_prop + (n+3)*m_proc.
+//
+// Quantities implemented here (paper equation numbers in brackets):
+//
+//   t_c           effective term at the cache:
+//                 max(0, t_s - (m_prop + 2*m_proc) - epsilon)
+//   load          server consistency-message rate [formula 1]:
+//                 2NR/(1 + R*t_c) + N*S*W    (approval term only when S > 1
+//                 and t_s > 0; the writer's approval is implicit)
+//   delay         mean consistency delay added per operation [formula 2]
+//   t_w           time to gain approval: 2*m_prop + (S+2)*m_proc  (S > 1)
+//   alpha         lease benefit factor 2R/(S*W) (multicast approvals) or
+//                 R/((S-1)W) (unicast, footnote 7)
+//   break-even    minimum t_c for a load win: 1/(R*(alpha-1))
+//
+// Section 3.2 conversions: with consistency accounting for a fraction c0 of
+// total server traffic at t_s = 0, relative *total* load and response-time
+// degradation versus an infinite term are derived from the same formulas.
+#ifndef SRC_ANALYTIC_MODEL_H_
+#define SRC_ANALYTIC_MODEL_H_
+
+#include <optional>
+
+#include "src/common/time.h"
+
+namespace leases {
+
+struct SystemParams {
+  double clients = 20;          // N
+  double reads_per_sec = 0.864;  // R, per client (Table 2, V system)
+  double writes_per_sec = 0.04;  // W, per client (recovered; see DESIGN.md)
+  double sharing = 1;            // S
+  Duration m_prop = Duration::Micros(500);
+  Duration m_proc = Duration::Millis(1);
+  Duration epsilon = Duration::Millis(100);
+  bool multicast_approvals = true;
+
+  // Consistency share of total server traffic at t_s = 0 (30% in the V
+  // trace) -- converts consistency load into total load.
+  double consistency_share_at_zero = 0.30;
+  // Per-operation response time excluding consistency delay; calibrated so
+  // Figure 3's quoted degradations (10.1% @ 10s, 3.6% @ 30s) reproduce.
+  Duration base_response = Duration::Micros(98600);
+
+  // The V LAN configuration used for Figures 1 and 2.
+  static SystemParams VSystem(double sharing_degree = 1);
+  // Figure 3: 100 ms round-trip (2*m_prop + 4*m_proc = 100 ms).
+  static SystemParams Wan(double sharing_degree = 1);
+};
+
+class LeaseModel {
+ public:
+  explicit LeaseModel(SystemParams params) : p_(params) {}
+
+  const SystemParams& params() const { return p_; }
+
+  // Effective term at the cache (t_c).
+  Duration EffectiveTerm(Duration ts) const;
+
+  // Unicast request-response latency 2*m_prop + 4*m_proc.
+  Duration ExtensionDelay() const;
+  // Approval latency t_w (zero when S <= 1: implicit writer approval).
+  Duration ApprovalTime() const;
+
+  // Consistency messages/second handled by the server: extensions.
+  double ExtensionLoad(Duration ts) const;
+  // Consistency messages/second handled by the server: write approvals.
+  double ApprovalLoad(Duration ts) const;
+  // Formula (1): total consistency load.
+  double ConsistencyLoad(Duration ts) const;
+  // ConsistencyLoad normalized so t_s = 0 gives 1.0 (Figure 1's y-axis).
+  double RelativeConsistencyLoad(Duration ts) const;
+
+  // Formula (2): average consistency-induced delay per read-or-write.
+  Duration AddedDelay(Duration ts) const;
+
+  // Lease benefit factor alpha.
+  double Alpha() const;
+  // Minimum t_c for which a non-zero term beats a zero term, or nullopt if
+  // alpha <= 1 (no term can win).
+  std::optional<Duration> BreakEvenEffectiveTerm() const;
+  // The same bound expressed as a server-granted term t_s.
+  std::optional<Duration> BreakEvenTerm() const;
+
+  // --- Section 3.2 conversions ---
+  // Total server traffic relative to t_s = 0 (1.0 at zero term).
+  double RelativeTotalLoad(Duration ts) const;
+  // Total server traffic at `ts` over total at infinite term, minus one
+  // ("4.5% above that for infinite term").
+  double TotalLoadOverInfinite(Duration ts) const;
+  // Response time at `ts` over response at infinite term, minus one
+  // (Figure 3's "degrades response by 10.1%").
+  double ResponseDegradationVsInfinite(Duration ts) const;
+
+ private:
+  SystemParams p_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_ANALYTIC_MODEL_H_

@@ -1,0 +1,82 @@
+#include "src/baseline/baseline_cluster.h"
+
+#include <optional>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+BaselineCluster::BaselineCluster(BaselineOptions options)
+    : options_(options), oracle_(&sim_) {
+  network_ = std::make_unique<SimNetwork>(&sim_, options_.net);
+  server_node_ = MakeRig(server_id());
+  server_ = std::make_unique<BaselineServer>(server_id(), options_.mode,
+                                             &store_, server_node_.transport,
+                                             &oracle_);
+  network_->ReplaceHandler(server_id(), server_.get());
+  for (size_t i = 0; i < options_.num_clients; ++i) {
+    client_nodes_.push_back(MakeRig(client_id(i)));
+    NodeRig& rig = client_nodes_.back();
+    std::unique_ptr<BaselineClient> client;
+    if (options_.mode == BaselineMode::kCallbacks) {
+      client = std::make_unique<CallbackClient>(
+          client_id(i), server_id(), rig.transport, rig.clock.get(),
+          rig.timers.get(), &oracle_, options_.poll_period);
+    } else {
+      client = std::make_unique<TtlClient>(
+          client_id(i), server_id(), rig.transport, rig.clock.get(),
+          rig.timers.get(), &oracle_, options_.ttl);
+    }
+    clients_.push_back(std::move(client));
+    network_->ReplaceHandler(client_id(i), clients_.back().get());
+  }
+}
+
+BaselineCluster::~BaselineCluster() {
+  clients_.clear();
+  server_.reset();
+}
+
+BaselineCluster::NodeRig BaselineCluster::MakeRig(NodeId id) {
+  NodeRig rig;
+  rig.clock = std::make_unique<SimClock>(&sim_, ClockModel::Perfect());
+  rig.timers = std::make_unique<SimTimerHost>(&sim_, rig.clock.get());
+  rig.transport = network_->AttachNode(id, nullptr);
+  return rig;
+}
+
+namespace {
+
+template <typename T>
+Result<T> Await(Simulator& sim, std::optional<Result<T>>& done,
+                TimePoint deadline) {
+  while (!done.has_value() && sim.Now() < deadline) {
+    if (!sim.Step()) {
+      break;
+    }
+  }
+  if (!done.has_value()) {
+    return Error{ErrorCode::kTimeout, "operation did not complete in time"};
+  }
+  return std::move(*done);
+}
+
+}  // namespace
+
+Result<ReadResult> BaselineCluster::SyncRead(size_t i, FileId file,
+                                             Duration timeout) {
+  std::optional<Result<ReadResult>> done;
+  client(i).Read(file, [&done](Result<ReadResult> r) { done = std::move(r); });
+  return Await(sim_, done, sim_.Now() + timeout);
+}
+
+Result<WriteResult> BaselineCluster::SyncWrite(size_t i, FileId file,
+                                               std::vector<uint8_t> data,
+                                               Duration timeout) {
+  std::optional<Result<WriteResult>> done;
+  client(i).Write(file, std::move(data),
+                  [&done](Result<WriteResult> r) { done = std::move(r); });
+  return Await(sim_, done, sim_.Now() + timeout);
+}
+
+}  // namespace leases

@@ -1,0 +1,81 @@
+// Simulation harness for the baseline protocols, mirroring SimCluster.
+#ifndef SRC_BASELINE_BASELINE_CLUSTER_H_
+#define SRC_BASELINE_BASELINE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/callback.h"
+#include "src/clock/sim_clock.h"
+#include "src/clock/sim_timer_host.h"
+#include "src/core/oracle.h"
+#include "src/fs/file_store.h"
+#include "src/net/sim_network.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+struct BaselineOptions {
+  size_t num_clients = 4;
+  NetworkParams net;
+  BaselineMode mode = BaselineMode::kCallbacks;
+  // CallbackClient poll period (Andrew used 10 minutes).
+  Duration poll_period = Duration::Seconds(600);
+  // TtlClient time-to-live.
+  Duration ttl = Duration::Seconds(10);
+};
+
+class BaselineCluster {
+ public:
+  explicit BaselineCluster(BaselineOptions options);
+  ~BaselineCluster();
+
+  BaselineCluster(const BaselineCluster&) = delete;
+  BaselineCluster& operator=(const BaselineCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  SimNetwork& network() { return *network_; }
+  FileStore& store() { return store_; }
+  Oracle& oracle() { return oracle_; }
+  BaselineServer& server() { return *server_; }
+  BaselineClient& client(size_t i) { return *clients_[i]; }
+  size_t num_clients() const { return clients_.size(); }
+  NodeId server_id() const { return NodeId(1); }
+  NodeId client_id(size_t i) const {
+    return NodeId(static_cast<uint32_t>(2 + i));
+  }
+
+  void PartitionClient(size_t i, bool partitioned) {
+    network_->SetPartitioned(client_id(i), server_id(), partitioned);
+  }
+
+  Result<ReadResult> SyncRead(size_t i, FileId file,
+                              Duration timeout = Duration::Seconds(120));
+  Result<WriteResult> SyncWrite(size_t i, FileId file,
+                                std::vector<uint8_t> data,
+                                Duration timeout = Duration::Seconds(120));
+  void RunFor(Duration d) { sim_.RunFor(d); }
+
+ private:
+  struct NodeRig {
+    std::unique_ptr<SimClock> clock;
+    std::unique_ptr<SimTimerHost> timers;
+    SimTransport* transport = nullptr;
+  };
+
+  NodeRig MakeRig(NodeId id);
+
+  BaselineOptions options_;
+  Simulator sim_;
+  std::unique_ptr<SimNetwork> network_;
+  FileStore store_;
+  Oracle oracle_;
+  NodeRig server_node_;
+  std::unique_ptr<BaselineServer> server_;
+  std::vector<NodeRig> client_nodes_;
+  std::vector<std::unique_ptr<BaselineClient>> clients_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_BASELINE_BASELINE_CLUSTER_H_

@@ -1,0 +1,26 @@
+// Clock interface.
+//
+// All protocol code reads time through this interface. In simulation each
+// host gets its own SimClock, which may be skewed and may drift relative to
+// true simulated time -- exactly the failure model of Section 5 of the paper.
+// The real-time runtime supplies a monotonic SystemClock.
+#ifndef SRC_CLOCK_CLOCK_H_
+#define SRC_CLOCK_CLOCK_H_
+
+#include "src/common/time.h"
+
+namespace leases {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // The host's current local time. TimePoints from different hosts' clocks
+  // are not comparable; the protocol only ever compares TimePoints from the
+  // same clock and ships durations on the wire.
+  virtual TimePoint Now() const = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_CLOCK_H_

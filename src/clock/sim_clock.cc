@@ -1,0 +1,15 @@
+#include "src/clock/sim_clock.h"
+
+namespace leases {
+
+void SimClock::SetModel(ClockModel model) {
+  LEASES_CHECK(model.rate > 0);
+  TimePoint true_now = sim_->Now();
+  // Record accumulated local elapsed time under the old model so the local
+  // timeline has no discontinuity (other than the offset change, if any).
+  rebase_local_ = LocalElapsed(true_now);
+  rebased_at_ = true_now;
+  model_ = model;
+}
+
+}  // namespace leases

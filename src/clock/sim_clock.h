@@ -1,0 +1,67 @@
+// Simulated per-host clocks with skew and drift.
+//
+// A SimClock maps true simulated time t to the host's local reading
+//
+//     local(t) = offset + rate * t
+//
+// where `offset` models skew (the paper's epsilon allowance) and `rate`
+// models drift (rate 1.0 is a perfect clock; 1.001 runs fast by 0.1%).
+// Section 5 of the paper: a *fast server* clock or *slow client* clock can
+// violate consistency; the opposite errors only generate extra traffic. The
+// clock fault-injection tests drive exactly these four cases.
+#ifndef SRC_CLOCK_SIM_CLOCK_H_
+#define SRC_CLOCK_SIM_CLOCK_H_
+
+#include "src/clock/clock.h"
+#include "src/common/check.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+struct ClockModel {
+  Duration offset;    // local reading at true time 0
+  double rate = 1.0;  // local seconds per true second
+
+  static ClockModel Perfect() { return ClockModel{Duration::Zero(), 1.0}; }
+  static ClockModel Skewed(Duration offset) { return ClockModel{offset, 1.0}; }
+  static ClockModel Drifting(double rate) {
+    return ClockModel{Duration::Zero(), rate};
+  }
+};
+
+class SimClock : public Clock {
+ public:
+  SimClock(const Simulator* sim, ClockModel model)
+      : sim_(sim), model_(model) {
+    LEASES_CHECK(model.rate > 0);
+  }
+
+  TimePoint Now() const override {
+    return TimePoint::Epoch() + LocalElapsed(sim_->Now()) + model_.offset;
+  }
+
+  // Converts a delay on this host's clock to the true-time delay until the
+  // corresponding local instant; used by SimTimerHost.
+  Duration LocalToTrueDelay(Duration local_delay) const {
+    return local_delay * (1.0 / model_.rate);
+  }
+
+  const ClockModel& model() const { return model_; }
+  // Changes the clock model mid-run (e.g. to inject drift after a while).
+  // Rebases so the local reading is continuous at the switch point.
+  void SetModel(ClockModel model);
+
+ private:
+  Duration LocalElapsed(TimePoint true_now) const {
+    return (true_now - rebased_at_) * model_.rate + rebase_local_;
+  }
+
+  const Simulator* sim_;
+  ClockModel model_;
+  TimePoint rebased_at_ = TimePoint::Epoch();
+  Duration rebase_local_ = Duration::Zero();
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_SIM_CLOCK_H_

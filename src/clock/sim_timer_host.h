@@ -1,0 +1,54 @@
+// TimerHost running on the simulator, honouring the host's clock drift.
+//
+// A delay of d local seconds on a host whose clock runs at `rate` local
+// seconds per true second elapses after d / rate true seconds; that is the
+// delay scheduled on the simulator. This is what makes a drifting clock
+// actually perturb protocol timing in simulation.
+#ifndef SRC_CLOCK_SIM_TIMER_HOST_H_
+#define SRC_CLOCK_SIM_TIMER_HOST_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/clock/sim_clock.h"
+#include "src/clock/timer_host.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+class SimTimerHost : public TimerHost {
+ public:
+  SimTimerHost(Simulator* sim, const SimClock* clock)
+      : sim_(sim), clock_(clock) {}
+
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override {
+    TimerId id = ids_.Next();
+    EventId ev = sim_->ScheduleAfter(
+        clock_->LocalToTrueDelay(delay), [this, id, fn = std::move(fn)]() {
+          pending_.erase(id);
+          fn();
+        });
+    pending_.emplace(id, ev);
+    return id;
+  }
+
+  bool CancelTimer(TimerId id) override {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return false;
+    }
+    bool cancelled = sim_->Cancel(it->second);
+    pending_.erase(it);
+    return cancelled;
+  }
+
+ private:
+  Simulator* sim_;
+  const SimClock* clock_;
+  IdGenerator<TimerId> ids_;
+  std::unordered_map<TimerId, EventId> pending_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_SIM_TIMER_HOST_H_

@@ -1,0 +1,32 @@
+// Monotonic wall-clock for the real-time runtime.
+#ifndef SRC_CLOCK_SYSTEM_CLOCK_H_
+#define SRC_CLOCK_SYSTEM_CLOCK_H_
+
+#include <chrono>
+
+#include "src/clock/clock.h"
+
+namespace leases {
+
+// Reads std::chrono::steady_clock, rebased so time 0 is process start. A
+// steady (monotonic) clock is the right source for lease timing: leases need
+// bounded *drift*, not synchronized absolute time, and steady_clock is immune
+// to NTP step adjustments.
+class SystemClock : public Clock {
+ public:
+  SystemClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  TimePoint Now() const override {
+    auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return TimePoint::FromMicros(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_SYSTEM_CLOCK_H_

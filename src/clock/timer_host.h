@@ -1,0 +1,33 @@
+// TimerHost interface.
+//
+// Protocol components (lease expiry sweeps, anticipatory extension, periodic
+// installed-file multicasts, request retransmission) schedule callbacks
+// through this interface. Delays are expressed in the *local clock* of the
+// owning host: a host with a fast clock sees its timers fire early relative
+// to true time, which is how clock failure modes propagate into protocol
+// behaviour in simulation.
+#ifndef SRC_CLOCK_TIMER_HOST_H_
+#define SRC_CLOCK_TIMER_HOST_H_
+
+#include <functional>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+class TimerHost {
+ public:
+  virtual ~TimerHost() = default;
+
+  // Schedules `fn` to run after `delay` as measured on the host's own clock.
+  virtual TimerId ScheduleAfter(Duration delay, std::function<void()> fn) = 0;
+
+  // Cancels a pending timer; returns false if it already fired or was
+  // already cancelled.
+  virtual bool CancelTimer(TimerId id) = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_TIMER_HOST_H_

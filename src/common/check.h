@@ -1,0 +1,38 @@
+// Invariant-checking macros.
+//
+// CHECK(cond) aborts the process with a source location when an invariant is
+// violated; it is always on. DCHECK compiles away in NDEBUG builds. These are
+// for programmer errors only -- recoverable conditions use Result<T> instead.
+#ifndef SRC_COMMON_CHECK_H_
+#define SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace leases {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace leases
+
+#define LEASES_CHECK(cond)                                \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::leases::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                     \
+  } while (0)
+
+#define LEASES_CHECK_OP(op, a, b) LEASES_CHECK((a)op(b))
+
+#ifdef NDEBUG
+#define LEASES_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define LEASES_DCHECK(cond) LEASES_CHECK(cond)
+#endif
+
+#endif  // SRC_COMMON_CHECK_H_

@@ -1,0 +1,90 @@
+// Strongly-typed identifiers.
+//
+// Every entity in the system (host, file, multicast group, request, timer) has
+// its own id type so that, e.g., a FileId can never be passed where a NodeId is
+// expected. The ids are thin wrappers around integers and are free to copy.
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace leases {
+
+// Tag-discriminated integer id. Value 0 is reserved as "invalid" for every id
+// type; valid ids start at 1.
+template <typename Tag, typename Rep = uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() : value_(0) {}
+  explicit constexpr StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr bool valid() const { return value_ != 0; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  std::string ToString() const { return std::to_string(value_); }
+
+ private:
+  Rep value_;
+};
+
+struct NodeIdTag {};
+struct FileIdTag {};
+struct GroupIdTag {};
+struct RequestIdTag {};
+struct TimerIdTag {};
+struct LeaseKeyTag {};
+
+// A host (client cache or server) participating in the protocol.
+using NodeId = StrongId<NodeIdTag, uint32_t>;
+// A datum managed by the file store: file contents, a directory's
+// name-to-file binding table, or a file's permission record. Leases cover
+// FileIds, which is why renaming a file is a "write" (Section 2).
+using FileId = StrongId<FileIdTag, uint64_t>;
+// A multicast group (e.g. "all leaseholders of file f", "all clients").
+using GroupId = StrongId<GroupIdTag, uint32_t>;
+// Correlates a request packet with its reply.
+using RequestId = StrongId<RequestIdTag, uint64_t>;
+// Handle to a scheduled timer, for cancellation.
+using TimerId = StrongId<TimerIdTag, uint64_t>;
+// Identifies a lease "cover": either a single file or a whole directory of
+// installed files covered by one lease (Section 4's coarse-granularity
+// optimization).
+using LeaseKey = StrongId<LeaseKeyTag, uint64_t>;
+
+// Generates ids sequentially starting from 1.
+template <typename Id>
+class IdGenerator {
+ public:
+  IdGenerator() = default;
+  // Starts the sequence above `base`; used to make request ids unique across
+  // process incarnations (a restarted client must never reuse an id an
+  // earlier incarnation used, or server-side dedup replays stale replies).
+  explicit IdGenerator(typename Id::rep_type base) : last_(base) {}
+
+  Id Next() { return Id(++last_); }
+
+ private:
+  typename Id::rep_type last_ = 0;
+};
+
+}  // namespace leases
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<leases::StrongId<Tag, Rep>> {
+  size_t operator()(const leases::StrongId<Tag, Rep>& id) const {
+    return std::hash<Rep>()(id.value());
+  }
+};
+
+}  // namespace std
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,58 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace leases {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::Logf(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  Vlogf(level, fmt, args);
+  va_end(args);
+}
+
+void Logger::Vlogf(LogLevel level, const char* fmt, va_list args) {
+  if (!Enabled(level)) {
+    return;
+  }
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  if (n < 0) {
+    return;
+  }
+  std::string line(static_cast<size_t>(n), '\0');
+  std::vsnprintf(line.data(), line.size() + 1, fmt, args);
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), line.c_str());
+  }
+}
+
+}  // namespace leases

@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// The simulator and runtime both route through this logger; tests can install
+// a capture sink. Logging defaults to kWarn so that benches and tests stay
+// quiet; examples raise it to kInfo.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+
+namespace leases {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+
+  // Installs a sink replacing stderr output; pass nullptr to restore stderr.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void Logf(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+  void Vlogf(LogLevel level, const char* fmt, va_list args);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+}  // namespace leases
+
+#define LEASES_LOG(level, ...)                                 \
+  do {                                                         \
+    if (::leases::Logger::Get().Enabled(level)) {              \
+      ::leases::Logger::Get().Logf(level, __VA_ARGS__);        \
+    }                                                          \
+  } while (0)
+
+#define LEASES_TRACE(...) LEASES_LOG(::leases::LogLevel::kTrace, __VA_ARGS__)
+#define LEASES_DEBUG(...) LEASES_LOG(::leases::LogLevel::kDebug, __VA_ARGS__)
+#define LEASES_INFO(...) LEASES_LOG(::leases::LogLevel::kInfo, __VA_ARGS__)
+#define LEASES_WARN(...) LEASES_LOG(::leases::LogLevel::kWarn, __VA_ARGS__)
+#define LEASES_ERROR(...) LEASES_LOG(::leases::LogLevel::kError, __VA_ARGS__)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,36 @@
+// Absolute-path splitting shared by the file store and the client cache.
+#ifndef SRC_COMMON_PATH_H_
+#define SRC_COMMON_PATH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace leases {
+
+// Splits "/a/b/c" into {"a","b","c"}. Returns nullopt unless the path is
+// absolute with non-empty components; "/" yields an empty vector.
+inline std::optional<std::vector<std::string>> SplitAbsPath(
+    const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return std::nullopt;
+  }
+  std::vector<std::string> parts;
+  size_t start = 1;
+  while (start < path.size()) {
+    size_t end = path.find('/', start);
+    if (end == std::string::npos) {
+      end = path.size();
+    }
+    if (end == start) {
+      return std::nullopt;
+    }
+    parts.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace leases
+
+#endif  // SRC_COMMON_PATH_H_

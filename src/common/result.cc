@@ -1,0 +1,38 @@
+#include "src/common/result.h"
+
+namespace leases {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kTimeout:
+      return "TIMEOUT";
+    case ErrorCode::kConflict:
+      return "CONFLICT";
+    case ErrorCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kAborted:
+      return "ABORTED";
+    case ErrorCode::kCorrupt:
+      return "CORRUPT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Error::ToString() const {
+  std::string s = ErrorCodeName(code);
+  if (!message.empty()) {
+    s += ": ";
+    s += message;
+  }
+  return s;
+}
+
+}  // namespace leases

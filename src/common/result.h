@@ -1,0 +1,109 @@
+// Result<T>: value-or-error return type for recoverable failures.
+//
+// The library does not use exceptions. Operations that can fail for reasons a
+// caller should handle (file not found, timeout, node down, write conflict)
+// return Result<T>; invariant violations use LEASES_CHECK.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+enum class ErrorCode {
+  kOk = 0,
+  kNotFound,          // no such file / lease / node
+  kTimeout,           // request timed out (lost message or dead peer)
+  kConflict,          // write conflict (stale version)
+  kPermissionDenied,  // permission metadata forbids the operation
+  kUnavailable,       // server recovering or write pending (lease refused)
+  kInvalidArgument,
+  kAborted,           // operation cancelled (e.g. node shut down)
+  kCorrupt,           // malformed packet
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+struct Error {
+  ErrorCode code = ErrorCode::kOk;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Error error) : data_(std::move(error)) {
+    LEASES_CHECK(std::get<Error>(data_).code != ErrorCode::kOk);
+  }
+  Result(ErrorCode code, std::string message = "")
+      : data_(Error{code, std::move(message)}) {
+    LEASES_CHECK(code != ErrorCode::kOk);
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    LEASES_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    LEASES_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    LEASES_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    LEASES_CHECK(!ok());
+    return std::get<Error>(data_);
+  }
+  ErrorCode code() const {
+    return ok() ? ErrorCode::kOk : std::get<Error>(data_).code;
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+// Result<void> analog.
+class Status {
+ public:
+  Status() : error_{ErrorCode::kOk, ""} {}
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(runtime/explicit)
+  Status(ErrorCode code, std::string message = "")
+      : error_{code, std::move(message)} {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  ErrorCode code() const { return error_.code; }
+  const Error& error() const { return error_; }
+  std::string ToString() const { return error_.ToString(); }
+
+ private:
+  Error error_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,28 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace leases {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (IsInfinite()) {
+    return "inf";
+  }
+  if (us_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us_ / 1000000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", ToSeconds());
+  return buf;
+}
+
+}  // namespace leases

@@ -1,0 +1,113 @@
+// Time types used throughout the leases library.
+//
+// All protocol and simulation code measures time in integer microseconds. Two
+// distinct types keep absolute instants and spans from being mixed up:
+//
+//  * Duration  -- a signed span of time (microseconds).
+//  * TimePoint -- an absolute instant on some clock's timeline (microseconds
+//                 since that clock's epoch).
+//
+// Note that a TimePoint is only meaningful relative to the clock that produced
+// it. The lease protocol never ships TimePoints across the network: per the
+// paper (Section 5), lease terms are communicated as *durations* so that only
+// bounded clock drift -- not mutual synchronization -- is required for
+// correctness.
+#ifndef SRC_COMMON_TIME_H_
+#define SRC_COMMON_TIME_H_
+
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace leases {
+
+class Duration {
+ public:
+  constexpr Duration() : us_(0) {}
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  // Effectively-infinite span; used for infinite-term leases.
+  static constexpr Duration Infinite() {
+    return Duration(std::numeric_limits<int64_t>::max() / 4);
+  }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToMillis() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double ToSeconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr bool IsInfinite() const { return us_ >= Infinite().us_; }
+
+  constexpr Duration operator+(Duration o) const { return Duration(us_ + o.us_); }
+  constexpr Duration operator-(Duration o) const { return Duration(us_ - o.us_); }
+  template <typename T>
+    requires std::integral<T>
+  constexpr Duration operator*(T k) const {
+    return Duration(us_ * static_cast<int64_t>(k));
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * k));
+  }
+  constexpr Duration operator/(int64_t k) const { return Duration(us_ / k); }
+  constexpr Duration operator-() const { return Duration(-us_); }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+class TimePoint {
+ public:
+  constexpr TimePoint() : us_(0) {}
+
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint Epoch() { return TimePoint(0); }
+  static constexpr TimePoint Max() {
+    return TimePoint(std::numeric_limits<int64_t>::max() / 2);
+  }
+
+  constexpr int64_t ToMicros() const { return us_; }
+  constexpr double ToSeconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(us_ + d.ToMicros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(us_ - d.ToMicros());
+  }
+  constexpr Duration operator-(TimePoint o) const {
+    return Duration::Micros(us_ - o.us_);
+  }
+  TimePoint& operator+=(Duration d) {
+    us_ += d.ToMicros();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_COMMON_TIME_H_

@@ -1,0 +1,764 @@
+#include "src/core/lease_server.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace leases {
+namespace {
+
+constexpr const char* kMaxTermKey = "max_term_us";
+constexpr const char* kLeaseRecordPrefix = "lease/";
+
+std::string LeaseRecordKey(LeaseKey key, NodeId node) {
+  return std::string(kLeaseRecordPrefix) + std::to_string(key.value()) + "/" +
+         std::to_string(node.value());
+}
+// Slack past a holder's expiry before an expiry-commit: the comparison is
+// strict (a lease is valid *through* its expiry instant).
+constexpr Duration kExpirySlack = Duration::Micros(1);
+
+}  // namespace
+
+LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
+                         Transport* transport, Clock* clock, TimerHost* timers,
+                         TermPolicy* policy, ServerParams params,
+                         Oracle* oracle)
+    : id_(id),
+      store_(store),
+      meta_(meta),
+      transport_(transport),
+      clock_(clock),
+      timers_(timers),
+      policy_(policy),
+      params_(params),
+      oracle_(oracle) {
+  // Recovery (Section 2): if a previous incarnation granted leases, honour
+  // them by delaying all writes for the maximum granted term. The lease
+  // table itself was volatile and is gone; only this one durable number is
+  // needed for safety.
+  if (params_.persist_lease_records) {
+    // Detailed persistent lease records: rebuild the table and skip the
+    // recovery window entirely -- writes consult the recovered holders.
+    for (const auto& [record, expiry_us] :
+         meta_->LoadPrefix(kLeaseRecordPrefix)) {
+      size_t slash = record.find('/', std::strlen(kLeaseRecordPrefix));
+      if (slash == std::string::npos) {
+        continue;
+      }
+      uint64_t key_value = std::strtoull(
+          record.c_str() + std::strlen(kLeaseRecordPrefix), nullptr, 10);
+      uint32_t node_value = static_cast<uint32_t>(
+          std::strtoul(record.c_str() + slash + 1, nullptr, 10));
+      TimePoint expiry = TimePoint::FromMicros(expiry_us);
+      if (expiry > clock_->Now()) {
+        table_.Grant(LeaseKey(key_value), NodeId(node_value), expiry);
+        RememberClient(NodeId(node_value));
+        ++stats_.recovered_lease_records;
+      } else {
+        meta_->Erase(record);
+      }
+    }
+    if (std::optional<int64_t> us = meta_->Load(kMaxTermKey)) {
+      max_term_granted_ = Duration::Micros(*us);
+    }
+  } else if (std::optional<int64_t> us = meta_->Load(kMaxTermKey)) {
+    Duration window = Duration::Micros(*us);
+    max_term_granted_ = window;
+    recovering_ = true;
+    recovery_until_ = clock_->Now() + window;
+    stats_.recovery_window = window;
+    if (!window.IsInfinite()) {
+      recovery_timer_ = timers_->ScheduleAfter(
+          window + kExpirySlack, [this]() { DrainRecoveryQueue(); });
+    }
+  }
+  if (params_.installed_optimization) {
+    installed_timer_ = timers_->ScheduleAfter(
+        params_.installed_multicast_period,
+        [this]() { InstalledMulticastTick(); });
+  }
+}
+
+LeaseServer::~LeaseServer() {
+  // The server object may be destroyed mid-run (crash injection); every
+  // timer holding `this` must be cancelled.
+  for (auto& [seq, pending] : pending_) {
+    if (pending.deadline_timer.valid()) {
+      timers_->CancelTimer(pending.deadline_timer);
+    }
+    if (pending.retry_timer.valid()) {
+      timers_->CancelTimer(pending.retry_timer);
+    }
+  }
+  if (installed_timer_.valid()) {
+    timers_->CancelTimer(installed_timer_);
+  }
+  if (recovery_timer_.valid()) {
+    timers_->CancelTimer(recovery_timer_);
+  }
+}
+
+void LeaseServer::HandlePacket(NodeId from, MessageClass /*cls*/,
+                               std::span<const uint8_t> bytes) {
+  std::optional<Packet> packet = DecodePacket(bytes);
+  if (!packet.has_value()) {
+    LEASES_WARN("server %u: malformed packet from %u", id_.value(),
+                from.value());
+    return;
+  }
+  RememberClient(from);
+  if (const auto* read = std::get_if<ReadRequest>(&*packet)) {
+    OnReadRequest(from, *read);
+    return;
+  }
+  if (const auto* extend = std::get_if<ExtendRequest>(&*packet)) {
+    OnExtendRequest(from, *extend);
+    return;
+  }
+  if (const auto* write = std::get_if<WriteRequest>(&*packet)) {
+    OnWriteRequest(from, *write);
+    return;
+  }
+  if (const auto* approve = std::get_if<ApproveReply>(&*packet)) {
+    OnApproveReply(from, *approve);
+    return;
+  }
+  if (const auto* relinquish = std::get_if<Relinquish>(&*packet)) {
+    OnRelinquish(from, *relinquish);
+    return;
+  }
+  if (const auto* ping = std::get_if<Ping>(&*packet)) {
+    SendTo(from, MessageClass::kControl, Pong{ping->req});
+    return;
+  }
+  LEASES_WARN("server %u: unexpected %s from %u", id_.value(),
+              PacketName(*packet).c_str(), from.value());
+}
+
+// --- Reads and extensions ---
+
+void LeaseServer::OnReadRequest(NodeId from, const ReadRequest& m) {
+  ReadReply reply;
+  reply.req = m.req;
+  reply.file = m.file;
+
+  const FileRecord* rec = store_->Find(m.file);
+  if (rec == nullptr) {
+    reply.status = ErrorCode::kNotFound;
+    SendTo(from, MessageClass::kData, reply);
+    return;
+  }
+  Result<uint64_t> perm = store_->Read(m.file, from);
+  if (!perm.ok()) {
+    reply.status = perm.code();
+    SendTo(from, MessageClass::kData, reply);
+    return;
+  }
+
+  policy_->OnRead(m.file, clock_->Now());
+  reply.version = rec->version;
+  reply.file_class = rec->file_class;
+  reply.lease = GrantFor(from, *rec);
+  if (m.have_version != 0 && m.have_version == rec->version) {
+    reply.not_modified = true;
+    ++stats_.not_modified_replies;
+  } else {
+    reply.data = rec->data;
+  }
+  ++stats_.reads_served;
+  SendTo(from, MessageClass::kData, reply);
+}
+
+void LeaseServer::OnExtendRequest(NodeId from, const ExtendRequest& m) {
+  ++stats_.extension_requests;
+  ExtendReply reply;
+  reply.req = m.req;
+  reply.items.reserve(m.items.size());
+  TimePoint now = clock_->Now();
+  for (const ExtendItem& item : m.items) {
+    ++stats_.extension_items;
+    ExtendReplyItem out;
+    out.file = item.file;
+    const FileRecord* rec = store_->Find(item.file);
+    if (rec == nullptr) {
+      out.status = ErrorCode::kNotFound;
+      reply.items.push_back(std::move(out));
+      continue;
+    }
+    Result<uint64_t> perm = store_->Read(item.file, from);
+    if (!perm.ok()) {
+      out.status = perm.code();
+      reply.items.push_back(std::move(out));
+      continue;
+    }
+    policy_->OnRead(item.file, now);
+    out.version = rec->version;
+    out.file_class = rec->file_class;
+    out.lease = GrantFor(from, *rec);
+    if (rec->version != item.version) {
+      // The cache's copy went stale while its lease was expired; refresh it
+      // in the same reply ("updating the cache if the datum has been
+      // modified since the lease expired", Section 2).
+      out.refreshed = true;
+      out.data = rec->data;
+    }
+    reply.items.push_back(std::move(out));
+  }
+  SendTo(from, MessageClass::kConsistency, reply);
+}
+
+// --- Leases ---
+
+LeaseGrant LeaseServer::GrantFor(NodeId from, const FileRecord& rec) {
+  LeaseKey key = rec.cover;
+  TimePoint now = clock_->Now();
+  if (KeyBlocked(key)) {
+    // A write is waiting: granting would starve it (footnote 1). The read
+    // itself is still served -- the requester just gets no caching rights.
+    ++stats_.zero_term_grants;
+    return LeaseGrant{key, Duration::Zero()};
+  }
+  if (IsInstalledKey(key)) {
+    // No per-client record is kept for installed files; the grant is only
+    // as long as the currently advertised multicast window, which is the
+    // exact window a future write will wait out.
+    const InstalledKeyState& st = installed_keys_.at(key);
+    Duration remaining =
+        st.advertised ? (st.last_advert + params_.installed_term) - now
+                      : Duration::Zero();
+    if (remaining <= Duration::Zero()) {
+      ++stats_.zero_term_grants;
+      return LeaseGrant{key, Duration::Zero()};
+    }
+    ++stats_.leases_granted;
+    return LeaseGrant{key, remaining};
+  }
+  Duration term = policy_->TermFor(rec.id, rec.file_class, from);
+  if (term <= Duration::Zero()) {
+    ++stats_.zero_term_grants;
+    return LeaseGrant{key, Duration::Zero()};
+  }
+  table_.Grant(key, from, now + term);
+  if (params_.persist_lease_records) {
+    // One durable write per grant -- the I/O cost the paper weighs against
+    // the simple recovery window.
+    meta_->Save(LeaseRecordKey(key, from), (now + term).ToMicros());
+    meta_->CountWrite();
+  }
+  LEASES_DEBUG("server: grant key=%llu to=%u term=%s",
+               (unsigned long long)key.value(), from.value(),
+               term.ToString().c_str());
+  RecordMaxTerm(term);
+  ++stats_.leases_granted;
+  return LeaseGrant{key, term};
+}
+
+void LeaseServer::RecordMaxTerm(Duration term) {
+  if (term <= max_term_granted_) {
+    return;
+  }
+  max_term_granted_ = term;
+  // One durable write, and only when the maximum grows -- the paper's
+  // alternative of logging every lease would cost I/O per grant.
+  meta_->Save(kMaxTermKey, term.ToMicros());
+  meta_->CountWrite();
+}
+
+bool LeaseServer::KeyBlocked(LeaseKey key) const {
+  auto it = blocked_keys_.find(key);
+  return it != blocked_keys_.end() && it->second > 0;
+}
+
+void LeaseServer::BlockKey(LeaseKey key) { blocked_keys_[key]++; }
+
+void LeaseServer::UnblockKey(LeaseKey key) {
+  auto it = blocked_keys_.find(key);
+  LEASES_CHECK(it != blocked_keys_.end() && it->second > 0);
+  if (--it->second == 0) {
+    blocked_keys_.erase(it);
+  }
+}
+
+// --- Writes ---
+
+void LeaseServer::OnWriteRequest(NodeId from, const WriteRequest& m) {
+  ++stats_.writes_received;
+  if (const WriteReply* replay = FindWriteReply(from, m.req)) {
+    // Retransmitted request for a write that already committed: replay the
+    // reply; re-applying would double-commit.
+    ++stats_.dedup_replays;
+    SendTo(from, MessageClass::kData, *replay);
+    return;
+  }
+  WriteDedupKey dk{from.value(), m.req.value()};
+  if (writes_in_flight_.count(dk) > 0) {
+    return;  // duplicate of a write still being processed
+  }
+  writes_in_flight_.insert(dk);
+  AdmitWrite(QueuedWrite{from, m, clock_->Now(), LeaseKey()});
+}
+
+void LeaseServer::AdmitWrite(QueuedWrite write) {
+  if (InRecovery()) {
+    // Honouring pre-crash leases: all writes wait out the recovery window
+    // ("it delays writes to all files for that period", Section 2).
+    ++stats_.recovery_held_writes;
+    recovery_queue_.push_back(std::move(write));
+    return;
+  }
+  const WriteRequest& m = write.request;
+  Status check = store_->CheckWrite(m.file, write.from);
+  if (!check.ok()) {
+    RejectWrite(write.from, m, check.code());
+    return;
+  }
+  const FileRecord* rec = store_->Find(m.file);
+  if (m.base_version != 0 && m.base_version != rec->version &&
+      active_write_.find(m.file) == active_write_.end()) {
+    // Fast-fail an already-stale optimistic write. (If writes are queued,
+    // the check happens at commit against the then-current version.)
+    RejectWrite(write.from, m, ErrorCode::kConflict);
+    return;
+  }
+  auto active = active_write_.find(m.file);
+  if (m.flush && active != active_write_.end()) {
+    auto pending = pending_.find(active->second);
+    if (pending != pending_.end() &&
+        std::find(pending->second.waiting.begin(),
+                  pending->second.waiting.end(),
+                  write.from) != pending->second.waiting.end()) {
+      // A write-back flush from a holder whose approval the active write is
+      // waiting on. Its staged data causally precedes the pending write, so
+      // commit it ahead (token-revocation ordering); the holder's formal
+      // approval follows once its flush is acknowledged. Only genuine
+      // flushes take this path -- an ordinary competing write must queue
+      // and run the full approval protocol.
+      CommitFlushAhead(pending->second, std::move(write));
+      return;
+    }
+  }
+  write.key = rec->cover;
+  BlockKey(write.key);
+  if (active != active_write_.end() || !write_queue_[m.file].empty()) {
+    write_queue_[m.file].push_back(std::move(write));
+    return;
+  }
+  ActivateWrite(std::move(write));
+}
+
+void LeaseServer::CommitFlushAhead(PendingWrite& blocked, QueuedWrite write) {
+  const WriteRequest& m = write.request;
+  WriteReply reply;
+  reply.req = m.req;
+  reply.file = m.file;
+  writes_in_flight_.erase({write.from.value(), m.req.value()});
+  Result<uint64_t> applied = store_->Apply(m.file, m.data, write.from);
+  if (!applied.ok()) {
+    reply.status = applied.code();
+    ++stats_.writes_rejected;
+    SendTo(write.from, MessageClass::kData, reply);
+    return;
+  }
+  if (oracle_ != nullptr) {
+    oracle_->OnCommit(m.file, *applied);
+  }
+  reply.status = ErrorCode::kOk;
+  reply.version = *applied;
+  ++stats_.writes_committed;
+  ++stats_.writes_immediate;
+  RememberWriteReply(write.from, reply);
+  // The flush is applied, but its acknowledgement (which makes the staged
+  // data an observable-completed write) is deferred until every OTHER
+  // holder of the blocked write has invalidated -- otherwise one of them
+  // could serve its pre-flush copy after the flusher saw the ack.
+  blocked.flushers.insert(write.from);
+  blocked.deferred_flush_acks.emplace_back(write.from, reply);
+  MaybeReleaseFlushAcks(blocked);
+}
+
+void LeaseServer::MaybeReleaseFlushAcks(PendingWrite& pending) {
+  if (pending.deferred_flush_acks.empty()) {
+    return;
+  }
+  for (NodeId node : pending.waiting) {
+    if (pending.flushers.count(node) == 0) {
+      return;  // a non-flushing holder has not yet approved or expired
+    }
+  }
+  for (auto& [node, reply] : pending.deferred_flush_acks) {
+    SendTo(node, MessageClass::kData, reply);
+  }
+  pending.deferred_flush_acks.clear();
+}
+
+void LeaseServer::ActivateWrite(QueuedWrite write) {
+  const WriteRequest& m = write.request;
+  const FileRecord* rec = store_->Find(m.file);
+  if (rec == nullptr) {
+    // Removed while queued behind another write.
+    UnblockKey(write.key);
+    RejectWrite(write.from, m, ErrorCode::kNotFound);
+    FinishWrite(m.file);
+    return;
+  }
+  TimePoint now = clock_->Now();
+  uint64_t seq = ++next_write_seq_;
+  PendingWrite pending;
+  pending.seq = seq;
+  pending.writer = write.from;
+  pending.req = m.req;
+  pending.file = m.file;
+  pending.key = write.key;
+  pending.data = m.data;
+  pending.base_version = m.base_version;
+  pending.arrival = write.arrival;
+
+  if (IsInstalledKey(pending.key)) {
+    // Installed path (Section 4): stop advertising the key and wait for the
+    // advertised window to drain. No callbacks, no reply implosion, and no
+    // need to have tracked any leaseholder.
+    InstalledKeyState& st = installed_keys_[pending.key];
+    st.advertised = false;
+    pending.installed = true;
+    pending.deadline =
+        st.last_advert + params_.installed_term + kExpirySlack;
+    pending.holders_at_start = clients_.size();
+    active_write_[pending.file] = seq;
+    Duration delay = pending.deadline - now;
+    if (delay <= Duration::Zero()) {
+      pending_.emplace(seq, std::move(pending));
+      ++stats_.writes_immediate;
+      CommitWrite(seq, false);
+      return;
+    }
+    ++stats_.writes_deferred;
+    auto [it, inserted] = pending_.emplace(seq, std::move(pending));
+    it->second.deadline_timer =
+        timers_->ScheduleAfter(delay, [this, seq]() { OnWriteDeadline(seq); });
+    return;
+  }
+
+  std::vector<LeaseHolder> holders = table_.ActiveHolders(pending.key, now);
+  LEASES_DEBUG("server: activate write file=%llu writer=%u holders=%zu",
+               (unsigned long long)pending.file.value(), pending.writer.value(),
+               holders.size());
+  pending.holders_at_start = holders.size();
+  bool writer_holds = false;
+  for (const LeaseHolder& h : holders) {
+    if (h.node == pending.writer) {
+      writer_holds = true;
+    } else {
+      pending.waiting.push_back(h.node);
+    }
+  }
+  if (!writer_holds) {
+    // S counts the writer's cache too once the write lands.
+    pending.holders_at_start += 1;
+  }
+
+  active_write_[pending.file] = seq;
+  if (pending.waiting.empty()) {
+    // The writer's own approval is implicit in the request (footnote 5), so
+    // an unshared file commits with the single request-response.
+    pending_.emplace(seq, std::move(pending));
+    ++stats_.writes_immediate;
+    CommitWrite(seq, false);
+    return;
+  }
+
+  ++stats_.writes_deferred;
+  pending.deadline = table_.MaxExpiry(pending.key, now) + kExpirySlack;
+  Duration delay = pending.deadline - now;
+  auto [it, inserted] = pending_.emplace(seq, std::move(pending));
+  PendingWrite& p = it->second;
+  p.deadline_timer =
+      timers_->ScheduleAfter(delay, [this, seq]() { OnWriteDeadline(seq); });
+  if (params_.consult_holders) {
+    SendApprovalRound(p, /*retry=*/false);
+  }
+  // else: Section 4's wait-for-expiry option -- no callbacks; the deadline
+  // timer alone commits the write.
+}
+
+void LeaseServer::SendApprovalRound(PendingWrite& pending, bool retry) {
+  if (retry) {
+    ++stats_.approval_retries;
+  } else {
+    ++stats_.approval_rounds;
+  }
+  ApproveRequest request{pending.seq, pending.file, pending.key};
+  std::vector<uint8_t> bytes = EncodePacket(Packet(request));
+  if (params_.multicast_approvals) {
+    transport_->Multicast(pending.waiting, MessageClass::kConsistency, bytes);
+  } else {
+    // Ablation A2: serial unicast costs 2(S-1) messages (footnote 6).
+    for (NodeId node : pending.waiting) {
+      transport_->Send(node, MessageClass::kConsistency, bytes);
+    }
+  }
+  uint64_t seq = pending.seq;
+  pending.retry_timer = timers_->ScheduleAfter(
+      params_.approval_retry_interval, [this, seq]() {
+        auto it = pending_.find(seq);
+        if (it == pending_.end()) {
+          return;
+        }
+        // Lost callback or reply: ask again. Never waits past the lease
+        // expiry deadline, which is still armed.
+        SendApprovalRound(it->second, /*retry=*/true);
+      });
+}
+
+void LeaseServer::OnApproveReply(NodeId from, const ApproveReply& m) {
+  auto it = pending_.find(m.write_seq);
+  if (it == pending_.end()) {
+    return;  // late or duplicate reply for a finished write
+  }
+  PendingWrite& pending = it->second;
+  auto waiting =
+      std::find(pending.waiting.begin(), pending.waiting.end(), from);
+  if (waiting == pending.waiting.end()) {
+    return;
+  }
+  ++stats_.approvals_received;
+  LEASES_DEBUG("server: approval from %u file=%llu relinquish=%d left=%zu",
+               from.value(), (unsigned long long)m.file.value(),
+               m.relinquish_key, pending.waiting.size() - 1);
+  pending.waiting.erase(waiting);
+  pending.flushers.erase(from);
+  if (m.relinquish_key) {
+    // The holder caches nothing else under this key; forgetting it spares
+    // future writes a callback to this client.
+    table_.Remove(pending.key, from);
+    ForgetLeaseRecord(pending.key, from);
+  }
+  if (pending.waiting.empty()) {
+    CommitWrite(m.write_seq, /*via_expiry=*/false);
+  } else {
+    MaybeReleaseFlushAcks(pending);
+  }
+}
+
+void LeaseServer::OnWriteDeadline(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.deadline_timer = TimerId();
+  // Every outstanding lease has expired on our clock; unreachable holders
+  // delay a write by at most the term (Section 5).
+  CommitWrite(seq, /*via_expiry=*/true);
+}
+
+void LeaseServer::CommitWrite(uint64_t seq, bool via_expiry) {
+  auto it = pending_.find(seq);
+  LEASES_CHECK(it != pending_.end());
+  PendingWrite pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.deadline_timer.valid()) {
+    timers_->CancelTimer(pending.deadline_timer);
+  }
+  if (pending.retry_timer.valid()) {
+    timers_->CancelTimer(pending.retry_timer);
+  }
+  // Remaining holders have expired (expiry-commit path); any flush acks
+  // still deferred are released now, before the blocked write commits.
+  pending.waiting.clear();
+  MaybeReleaseFlushAcks(pending);
+  writes_in_flight_.erase({pending.writer.value(), pending.req.value()});
+  UnblockKey(pending.key);
+  active_write_.erase(pending.file);
+
+  TimePoint now = clock_->Now();
+  WriteReply reply;
+  reply.req = pending.req;
+  reply.file = pending.file;
+
+  const FileRecord* rec = store_->Find(pending.file);
+  if (pending.base_version != 0 && rec != nullptr &&
+      rec->version != pending.base_version) {
+    reply.status = ErrorCode::kConflict;
+    ++stats_.writes_rejected;
+    SendTo(pending.writer, MessageClass::kData, reply);
+  } else {
+    Result<uint64_t> applied =
+        store_->Apply(pending.file, std::move(pending.data), pending.writer);
+    if (!applied.ok()) {
+      reply.status = applied.code();
+      ++stats_.writes_rejected;
+      SendTo(pending.writer, MessageClass::kData, reply);
+    } else {
+      if (oracle_ != nullptr) {
+        oracle_->OnCommit(pending.file, *applied);
+      }
+      policy_->OnWrite(pending.file,
+                       std::max<size_t>(pending.holders_at_start, 1), now);
+      reply.status = ErrorCode::kOk;
+      reply.version = *applied;
+      ++stats_.writes_committed;
+      if (via_expiry) {
+        ++stats_.writes_expired_commit;
+      }
+      LEASES_DEBUG("server: commit file=%llu v=%llu writer=%u expiry=%d",
+                   (unsigned long long)pending.file.value(),
+                   (unsigned long long)*applied, pending.writer.value(),
+                   via_expiry);
+      Duration waited = now - pending.arrival;
+      stats_.write_wait_total += waited;
+      stats_.max_write_wait = std::max(stats_.max_write_wait, waited);
+      RememberWriteReply(pending.writer, reply);
+      SendTo(pending.writer, MessageClass::kData, reply);
+    }
+  }
+
+  if (pending.installed && !KeyBlocked(pending.key)) {
+    // Resume advertising once no write is waiting on the key; the next
+    // multicast tick re-extends it for everyone.
+    auto ik = installed_keys_.find(pending.key);
+    if (ik != installed_keys_.end()) {
+      ik->second.advertised = true;
+    }
+  }
+  FinishWrite(pending.file);
+}
+
+void LeaseServer::FinishWrite(FileId file) {
+  auto queue = write_queue_.find(file);
+  if (queue == write_queue_.end() || queue->second.empty()) {
+    write_queue_.erase(file);
+    return;
+  }
+  QueuedWrite next = std::move(queue->second.front());
+  queue->second.pop_front();
+  if (queue->second.empty()) {
+    write_queue_.erase(queue);
+  }
+  // This write already holds a BlockKey reference from AdmitWrite.
+  ActivateWrite(std::move(next));
+}
+
+void LeaseServer::RejectWrite(NodeId from, const WriteRequest& m,
+                              ErrorCode code) {
+  ++stats_.writes_rejected;
+  writes_in_flight_.erase({from.value(), m.req.value()});
+  WriteReply reply;
+  reply.req = m.req;
+  reply.file = m.file;
+  reply.status = code;
+  SendTo(from, MessageClass::kData, reply);
+}
+
+void LeaseServer::DrainRecoveryQueue() {
+  recovery_timer_ = TimerId();
+  recovering_ = false;
+  std::deque<QueuedWrite> held = std::move(recovery_queue_);
+  recovery_queue_.clear();
+  for (QueuedWrite& write : held) {
+    AdmitWrite(std::move(write));
+  }
+}
+
+// --- Relinquish ---
+
+void LeaseServer::OnRelinquish(NodeId from, const Relinquish& m) {
+  for (LeaseKey key : m.keys) {
+    table_.Remove(key, from);
+    ForgetLeaseRecord(key, from);
+    ++stats_.relinquishes;
+  }
+}
+
+void LeaseServer::ForgetLeaseRecord(LeaseKey key, NodeId node) {
+  if (params_.persist_lease_records) {
+    meta_->Erase(LeaseRecordKey(key, node));
+    meta_->CountWrite();
+  }
+}
+
+// --- Installed files ---
+
+Status LeaseServer::InstallDirectory(FileId dir) {
+  if (!params_.installed_optimization) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "installed_optimization is disabled");
+  }
+  Status covered = store_->CoverDirectory(dir);
+  if (!covered.ok()) {
+    return covered;
+  }
+  LeaseKey key = store_->CoverOf(dir);
+  installed_keys_[key] = InstalledKeyState{true, clock_->Now()};
+  return Status::Ok();
+}
+
+bool LeaseServer::IsInstalledKey(LeaseKey key) const {
+  return installed_keys_.find(key) != installed_keys_.end();
+}
+
+void LeaseServer::InstalledMulticastTick() {
+  TimePoint now = clock_->Now();
+  std::vector<LeaseKey> advertised;
+  for (auto& [key, st] : installed_keys_) {
+    if (st.advertised) {
+      st.last_advert = now;
+      advertised.push_back(key);
+    }
+  }
+  if (!advertised.empty() && !clients_.empty()) {
+    InstalledExtend msg;
+    msg.term = params_.installed_term;
+    msg.keys = std::move(advertised);
+    std::vector<NodeId> targets(clients_.begin(), clients_.end());
+    transport_->Multicast(targets, MessageClass::kConsistency,
+                          EncodePacket(Packet(std::move(msg))));
+    ++stats_.installed_multicasts;
+  }
+  installed_timer_ = timers_->ScheduleAfter(
+      params_.installed_multicast_period,
+      [this]() { InstalledMulticastTick(); });
+}
+
+// --- Plumbing ---
+
+void LeaseServer::RegisterClient(NodeId client) { RememberClient(client); }
+
+void LeaseServer::RememberClient(NodeId from) {
+  if (from.valid() && from != id_) {
+    clients_.insert(from);
+  }
+}
+
+void LeaseServer::SendTo(NodeId to, MessageClass cls, const Packet& packet) {
+  transport_->Send(to, cls, EncodePacket(packet));
+}
+
+void LeaseServer::RememberWriteReply(NodeId to, const WriteReply& reply) {
+  WriteDedupKey key{to.value(), reply.req.value()};
+  if (write_dedup_.emplace(key, reply).second) {
+    write_dedup_order_.push_back(key);
+    while (write_dedup_order_.size() > params_.write_dedup_capacity) {
+      write_dedup_.erase(write_dedup_order_.front());
+      write_dedup_order_.pop_front();
+    }
+  }
+}
+
+const WriteReply* LeaseServer::FindWriteReply(NodeId from,
+                                              RequestId req) const {
+  auto it = write_dedup_.find({from.value(), req.value()});
+  return it == write_dedup_.end() ? nullptr : &it->second;
+}
+
+size_t LeaseServer::ActiveLeaseCount(LeaseKey key) const {
+  return table_.ActiveHolderCount(key, clock_->Now());
+}
+
+bool LeaseServer::HasPendingWrite(FileId file) const {
+  return active_write_.find(file) != active_write_.end();
+}
+
+}  // namespace leases

@@ -1,0 +1,231 @@
+// LeaseServer: the primary storage site and lease grantor.
+//
+// Implements the server half of the protocol of Sections 2, 4 and 5:
+//
+//   * grants a lease with every read/extension; the term comes from a
+//     pluggable TermPolicy (zero / fixed / infinite / adaptive);
+//   * defers every write until each leaseholder has approved or its lease
+//     has expired, with the writer's own approval implicit in the request;
+//   * refuses new leases (grants term zero) on a cover key while a write is
+//     waiting, so writes cannot be starved (footnote 1);
+//   * commits writes through the durable FileStore -- the single commit
+//     point -- and only then acknowledges the writer (write-through);
+//   * persists the maximum term it has ever granted; on restart it honours
+//     possibly-outstanding leases by holding writes for that period
+//     (Section 2's recovery rule);
+//   * optionally manages *installed files* with no per-client state: one
+//     cover key per directory, renewed by periodic multicast; a write to an
+//     installed file simply drops the key from the multicast and commits
+//     once the advertised window has drained (Section 4);
+//   * re-multicasts unanswered approval requests, so approval is robust to
+//     message loss while never waiting past lease expiry.
+//
+// All correctness-critical time comparisons use the server's own clock; no
+// remote clock value is ever trusted (Section 5).
+#ifndef SRC_CORE_LEASE_SERVER_H_
+#define SRC_CORE_LEASE_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/clock/clock.h"
+#include "src/clock/timer_host.h"
+#include "src/common/ids.h"
+#include "src/core/lease_table.h"
+#include "src/core/oracle.h"
+#include "src/core/params.h"
+#include "src/core/term_policy.h"
+#include "src/fs/file_store.h"
+#include "src/net/transport.h"
+#include "src/proto/messages.h"
+
+namespace leases {
+
+struct ServerStats {
+  uint64_t reads_served = 0;
+  uint64_t not_modified_replies = 0;
+  uint64_t extension_requests = 0;
+  uint64_t extension_items = 0;
+  uint64_t leases_granted = 0;
+  uint64_t zero_term_grants = 0;
+
+  uint64_t writes_received = 0;
+  uint64_t writes_committed = 0;
+  uint64_t writes_immediate = 0;   // no unexpired holder to consult
+  uint64_t writes_deferred = 0;    // had to wait for approval or expiry
+  uint64_t writes_expired_commit = 0;  // committed only via lease expiry
+  uint64_t writes_rejected = 0;
+  Duration write_wait_total;
+  Duration max_write_wait;
+
+  uint64_t approval_rounds = 0;     // multicast (or unicast batch) rounds
+  uint64_t approval_retries = 0;
+  uint64_t approvals_received = 0;
+  uint64_t relinquishes = 0;
+
+  uint64_t installed_multicasts = 0;
+  uint64_t recovery_held_writes = 0;
+  Duration recovery_window;
+  uint64_t recovered_lease_records = 0;
+
+  uint64_t dedup_replays = 0;
+};
+
+class LeaseServer : public PacketHandler {
+ public:
+  // `store` and `meta` are the durable state and must outlive the server
+  // (and survive its crash/restart in tests). `oracle` may be null.
+  LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
+              Transport* transport, Clock* clock, TimerHost* timers,
+              TermPolicy* policy, ServerParams params, Oracle* oracle);
+  ~LeaseServer() override;
+
+  LeaseServer(const LeaseServer&) = delete;
+  LeaseServer& operator=(const LeaseServer&) = delete;
+
+  void HandlePacket(NodeId from, MessageClass cls,
+                    std::span<const uint8_t> bytes) override;
+
+  // Enables the installed-file optimization for directory `dir`: re-covers
+  // its installed files under the directory's key and adds the key to the
+  // periodic multicast. Requires params.installed_optimization.
+  Status InstallDirectory(FileId dir);
+
+  // Pre-registers a client for installed-file multicasts (clients are also
+  // learned from their first request).
+  void RegisterClient(NodeId client);
+
+  const ServerStats& stats() const { return stats_; }
+  NodeId id() const { return id_; }
+
+  // --- Introspection for tests ---
+  size_t ActiveLeaseCount(LeaseKey key) const;
+  bool HasPendingWrite(FileId file) const;
+  TimePoint recovery_until() const { return recovery_until_; }
+  bool InRecovery() const { return recovering_; }
+  const LeaseTable& lease_table() const { return table_; }
+  size_t known_clients() const { return clients_.size(); }
+
+ private:
+  struct PendingWrite {
+    uint64_t seq = 0;
+    NodeId writer;
+    RequestId req;
+    FileId file;
+    LeaseKey key;
+    std::vector<uint8_t> data;
+    uint64_t base_version = 0;
+    std::vector<NodeId> waiting;  // holders yet to approve
+    size_t holders_at_start = 0;  // S at the write (for the policy / stats)
+    TimePoint deadline;           // server clock; commit no later than this
+    TimerId deadline_timer;
+    TimerId retry_timer;
+    TimePoint arrival;
+    bool installed = false;
+    // Write-back flushes committed ahead of this write whose acks are held
+    // until every non-flushing holder has invalidated (see
+    // CommitFlushAhead / MaybeReleaseFlushAcks).
+    std::set<NodeId> flushers;
+    std::vector<std::pair<NodeId, WriteReply>> deferred_flush_acks;
+  };
+
+  struct QueuedWrite {
+    NodeId from;
+    WriteRequest request;
+    TimePoint arrival;
+    // Cover key blocked on admission; released when the write finishes.
+    LeaseKey key;
+  };
+
+  struct InstalledKeyState {
+    bool advertised = true;
+    // Server-clock time the key last appeared in a multicast (or was
+    // enabled). Direct grants never extend past last_advert + term, which is
+    // the window a pending write waits out.
+    TimePoint last_advert;
+  };
+
+  using WriteDedupKey = std::pair<uint32_t, uint64_t>;  // (node, request)
+
+  // --- Packet handlers ---
+  void OnReadRequest(NodeId from, const ReadRequest& m);
+  void OnExtendRequest(NodeId from, const ExtendRequest& m);
+  void OnWriteRequest(NodeId from, const WriteRequest& m);
+  void OnApproveReply(NodeId from, const ApproveReply& m);
+  void OnRelinquish(NodeId from, const Relinquish& m);
+
+  // --- Write machinery ---
+  void AdmitWrite(QueuedWrite write);
+  void ActivateWrite(QueuedWrite write);
+  // Commits a consulted holder's write-back flush ahead of the pending write
+  // that is waiting on its approval (see CacheClient::OnApproveRequest).
+  void CommitFlushAhead(PendingWrite& blocked, QueuedWrite write);
+  // Sends deferred flush acks once only flushers remain unapproved.
+  void MaybeReleaseFlushAcks(PendingWrite& pending);
+  void SendApprovalRound(PendingWrite& pending, bool retry);
+  void OnWriteDeadline(uint64_t seq);
+  void CommitWrite(uint64_t seq, bool via_expiry);
+  void FinishWrite(FileId file);
+  void RejectWrite(NodeId from, const WriteRequest& m, ErrorCode code);
+  void DrainRecoveryQueue();
+
+  // --- Leases ---
+  LeaseGrant GrantFor(NodeId from, const FileRecord& rec);
+  void RecordMaxTerm(Duration term);
+  void ForgetLeaseRecord(LeaseKey key, NodeId node);
+  bool KeyBlocked(LeaseKey key) const;
+  void BlockKey(LeaseKey key);
+  void UnblockKey(LeaseKey key);
+
+  // --- Installed files ---
+  void InstalledMulticastTick();
+  bool IsInstalledKey(LeaseKey key) const;
+
+  void SendTo(NodeId to, MessageClass cls, const Packet& packet);
+  void RememberClient(NodeId from);
+  void RememberWriteReply(NodeId to, const WriteReply& reply);
+  const WriteReply* FindWriteReply(NodeId from, RequestId req) const;
+
+  NodeId id_;
+  FileStore* store_;
+  DurableMeta* meta_;
+  Transport* transport_;
+  Clock* clock_;
+  TimerHost* timers_;
+  TermPolicy* policy_;
+  ServerParams params_;
+  Oracle* oracle_;
+
+  LeaseTable table_;
+  std::set<NodeId> clients_;
+  std::unordered_map<LeaseKey, InstalledKeyState> installed_keys_;
+  TimerId installed_timer_;
+
+  uint64_t next_write_seq_ = 0;
+  std::map<uint64_t, PendingWrite> pending_;
+  // file -> active pending seq (0 none) and FIFO of queued writes behind it.
+  std::unordered_map<FileId, uint64_t> active_write_;
+  std::unordered_map<FileId, std::deque<QueuedWrite>> write_queue_;
+  std::unordered_map<LeaseKey, int> blocked_keys_;
+
+  // Committed-write replay cache keyed by (client, request id).
+  std::map<WriteDedupKey, WriteReply> write_dedup_;
+  std::deque<WriteDedupKey> write_dedup_order_;
+  std::set<WriteDedupKey> writes_in_flight_;
+
+  bool recovering_ = false;
+  TimePoint recovery_until_;
+  std::deque<QueuedWrite> recovery_queue_;
+  TimerId recovery_timer_;
+  Duration max_term_granted_;
+
+  ServerStats stats_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_LEASE_SERVER_H_

@@ -1,0 +1,128 @@
+// MountRouter: path-prefix routing across multiple lease servers.
+//
+// The paper's systems have many servers ("larger numbers of hosts, both
+// clients and servers, are being tied together within a single system");
+// its analysis is per-server. A workstation mounts each server's tree under
+// a prefix -- /home on one server, /usr on another -- and this router
+// dispatches Open/Read/Write to the per-server CacheClient, V-style. Each
+// mounted CacheClient keeps its own leases with its own server; consistency
+// composes because every datum has exactly one primary site.
+#ifndef SRC_CORE_MOUNT_ROUTER_H_
+#define SRC_CORE_MOUNT_ROUTER_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/cache_client.h"
+
+namespace leases {
+
+// A file handle qualified by the mount it lives on.
+struct MountFile {
+  CacheClient* client = nullptr;
+  FileId file;
+
+  bool valid() const { return client != nullptr && file.valid(); }
+};
+
+class MountRouter {
+ public:
+  // Mounts `client` (bound to some server) at `prefix` ("/" allowed as the
+  // root mount; otherwise no trailing slash, e.g. "/usr"). Longest prefix
+  // wins at resolution. The client must outlive the router.
+  void Mount(const std::string& prefix, CacheClient* client) {
+    mounts_.push_back(MountPoint{NormalizePrefix(prefix), client});
+    std::sort(mounts_.begin(), mounts_.end(),
+              [](const MountPoint& a, const MountPoint& b) {
+                return a.prefix.size() > b.prefix.size();
+              });
+  }
+
+  size_t mount_count() const { return mounts_.size(); }
+
+  // Resolves which mount serves `path` and the path relative to it.
+  struct Resolution {
+    CacheClient* client = nullptr;
+    std::string relative_path;
+  };
+  Result<Resolution> Route(const std::string& path) const {
+    if (path.empty() || path[0] != '/') {
+      return Error{ErrorCode::kInvalidArgument, "bad path: " + path};
+    }
+    for (const MountPoint& mount : mounts_) {
+      if (Covers(mount.prefix, path)) {
+        std::string relative = path.substr(mount.prefix.size());
+        if (relative.empty()) {
+          relative.push_back('/');  // (avoids a gcc-12 -Wrestrict false positive)
+        }
+        return Resolution{mount.client, relative};
+      }
+    }
+    return Error{ErrorCode::kNotFound, "no mount covers " + path};
+  }
+
+  // Open through the owning mount; the callback receives a MountFile usable
+  // with Read/Write below.
+  using MountOpenCallback =
+      std::function<void(Result<std::pair<MountFile, OpenResult>>)>;
+  void Open(const std::string& path, MountOpenCallback cb) const {
+    Result<Resolution> route = Route(path);
+    if (!route.ok()) {
+      cb(route.error());
+      return;
+    }
+    CacheClient* client = route->client;
+    client->Open(route->relative_path,
+                 [client, cb = std::move(cb)](Result<OpenResult> r) {
+                   if (!r.ok()) {
+                     cb(r.error());
+                     return;
+                   }
+                   cb(std::make_pair(MountFile{client, r->file}, *r));
+                 });
+  }
+
+  static void Read(const MountFile& file, ReadCallback cb) {
+    file.client->Read(file.file, std::move(cb));
+  }
+  static void Write(const MountFile& file, std::vector<uint8_t> data,
+                    WriteCallback cb) {
+    file.client->Write(file.file, std::move(data), std::move(cb));
+  }
+
+ private:
+  struct MountPoint {
+    std::string prefix;  // "" for the root mount
+    CacheClient* client;
+  };
+
+  static std::string NormalizePrefix(const std::string& prefix) {
+    if (prefix == "/") {
+      return "";
+    }
+    std::string p = prefix;
+    while (!p.empty() && p.back() == '/') {
+      p.pop_back();
+    }
+    return p;
+  }
+
+  static bool Covers(const std::string& prefix, const std::string& path) {
+    if (prefix.empty()) {
+      return true;  // root mount
+    }
+    if (path.rfind(prefix, 0) != 0) {
+      return false;
+    }
+    // "/usr" covers "/usr" and "/usr/bin" but not "/usrx".
+    return path.size() == prefix.size() || path[prefix.size()] == '/';
+  }
+
+  std::vector<MountPoint> mounts_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_MOUNT_ROUTER_H_

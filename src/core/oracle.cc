@@ -1,0 +1,90 @@
+#include "src/core/oracle.h"
+
+#include <cstdio>
+
+namespace leases {
+namespace {
+
+uint64_t SessionKey(NodeId reader, FileId file) {
+  return (static_cast<uint64_t>(reader.value()) << 48) ^ file.value();
+}
+
+}  // namespace
+
+void Oracle::OnCommit(FileId file, uint64_t version) {
+  ++commits_;
+  uint64_t& latest = applied_[file];
+  if (version > latest) {
+    latest = version;
+  }
+}
+
+void Oracle::OnAcked(FileId file, uint64_t version) {
+  uint64_t& floor = acked_[file];
+  if (version > floor) {
+    floor = version;
+  }
+}
+
+Oracle::ReadToken Oracle::BeginRead(FileId file, NodeId reader) const {
+  ReadToken token;
+  token.file = file;
+  token.reader = reader;
+  auto it = acked_.find(file);
+  token.floor_version = it == acked_.end() ? 0 : it->second;
+  token.start = sim_->Now();
+  return token;
+}
+
+void Oracle::EndRead(const ReadToken& token, uint64_t version) {
+  ++reads_checked_;
+  if (version < token.floor_version) {
+    ++stale_reads_;
+    staleness_total_ += token.floor_version - version;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "stale read: client %u file %llu returned v%llu < "
+                  "committed v%llu (read started %s)",
+                  token.reader.value(),
+                  static_cast<unsigned long long>(token.file.value()),
+                  static_cast<unsigned long long>(version),
+                  static_cast<unsigned long long>(token.floor_version),
+                  token.start.ToString().c_str());
+    RecordViolation(buf);
+  }
+  uint64_t& seen = observed_[SessionKey(token.reader, token.file)];
+  if (version < seen) {
+    ++regression_reads_;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "version regression: client %u file %llu saw v%llu after "
+                  "v%llu",
+                  token.reader.value(),
+                  static_cast<unsigned long long>(token.file.value()),
+                  static_cast<unsigned long long>(version),
+                  static_cast<unsigned long long>(seen));
+    RecordViolation(buf);
+  } else {
+    seen = version;
+  }
+}
+
+void Oracle::RecordViolation(const std::string& what) {
+  if (log_.size() < 64) {
+    log_.push_back(what);
+  }
+}
+
+void Oracle::Reset() {
+  acked_.clear();
+  applied_.clear();
+  observed_.clear();
+  stale_reads_ = 0;
+  regression_reads_ = 0;
+  reads_checked_ = 0;
+  commits_ = 0;
+  staleness_total_ = 0;
+  log_.clear();
+}
+
+}  // namespace leases

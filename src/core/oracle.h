@@ -1,0 +1,91 @@
+// Consistency oracle.
+//
+// The paper's definition: caching is *consistent* when behaviour is
+// equivalent to there being a single uncached copy of the data. With
+// write-through caches this reduces to a checkable per-read rule:
+//
+//   a read must return a version at least as new as the last write whose
+//   acknowledgement completed before the read was issued,
+//
+// plus the session rule that a client never observes versions going
+// backwards on a file. The oracle timestamps commits with TRUE simulated
+// time (not any host's drifting clock) and scores every read. Violations are
+// counted, not fatal: the lease property tests assert the count is zero
+// under message loss/partitions/crashes, the clock-failure tests assert it
+// becomes non-zero exactly when the bounded-drift assumption is broken, and
+// the baseline benches report it as the staleness metric.
+#ifndef SRC_CORE_ORACLE_H_
+#define SRC_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+class Oracle {
+ public:
+  explicit Oracle(const Simulator* sim) : sim_(sim) {}
+
+  // Called by the server at the single commit point (FileStore::Apply).
+  // Tracks applied state for diagnostics; does NOT raise the read floor --
+  // a write only becomes *observable-required* once acknowledged.
+  void OnCommit(FileId file, uint64_t version);
+
+  // Called by the writing client when the WriteReply arrives: from this
+  // instant, every subsequently-issued read anywhere must return at least
+  // `version` (single-copy equivalence for completed writes).
+  void OnAcked(FileId file, uint64_t version);
+
+  // Read tracking. BeginRead captures the floor the returned version must
+  // meet; EndRead scores the completed read.
+  struct ReadToken {
+    FileId file;
+    NodeId reader;
+    uint64_t floor_version = 0;
+    TimePoint start;
+  };
+  ReadToken BeginRead(FileId file, NodeId reader) const;
+  // `version` is what the read returned. Records a violation if it is below
+  // the floor or below what this reader previously saw for the file.
+  void EndRead(const ReadToken& token, uint64_t version);
+
+  // How far behind the committed state a returned version was, in commits;
+  // zero for consistent reads. Baselines (Andrew callbacks during a
+  // partition, NFS-style TTL hints) produce non-zero values.
+  uint64_t stale_reads() const { return stale_reads_; }
+  uint64_t regression_reads() const { return regression_reads_; }
+  uint64_t violations() const { return stale_reads_ + regression_reads_; }
+  uint64_t reads_checked() const { return reads_checked_; }
+  uint64_t commits() const { return commits_; }
+  // Sum over stale reads of (floor - returned version): staleness depth.
+  uint64_t staleness_total() const { return staleness_total_; }
+
+  std::vector<std::string> violation_log() const { return log_; }
+
+  void Reset();
+
+ private:
+  void RecordViolation(const std::string& what);
+
+  const Simulator* sim_;
+  std::unordered_map<FileId, uint64_t> acked_;    // read floor
+  std::unordered_map<FileId, uint64_t> applied_;  // server-side state
+  // (reader, file) -> last version observed, for the session rule.
+  std::unordered_map<uint64_t, uint64_t> observed_;
+  uint64_t stale_reads_ = 0;
+  uint64_t regression_reads_ = 0;
+  uint64_t reads_checked_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t staleness_total_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_ORACLE_H_

@@ -1,0 +1,173 @@
+#include "src/core/sim_cluster.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+std::string Text(const std::vector<uint8_t>& b) {
+  return std::string(b.begin(), b.end());
+}
+
+SimCluster::SimCluster(ClusterOptions options)
+    : options_(std::move(options)), oracle_(&sim_) {
+  network_ = std::make_unique<SimNetwork>(&sim_, options_.net);
+  if (options_.make_policy) {
+    policy_ = options_.make_policy();
+  } else {
+    policy_ = std::make_unique<FixedTermPolicy>(options_.term);
+  }
+
+  server_id_ = NodeId(1);
+  server_node_ = MakeRig(server_id_, options_.server_clock, nullptr);
+  server_ = std::make_unique<LeaseServer>(
+      server_id_, &store_, &meta_, server_node_.transport,
+      server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
+      options_.server, &oracle_);
+  network_->ReplaceHandler(server_id_, server_.get());
+
+  client_nodes_.reserve(options_.num_clients);
+  clients_.reserve(options_.num_clients);
+  for (size_t i = 0; i < options_.num_clients; ++i) {
+    ClockModel model = i < options_.client_clocks.size()
+                           ? options_.client_clocks[i]
+                           : ClockModel::Perfect();
+    client_nodes_.push_back(MakeRig(client_id(i), model, nullptr));
+    clients_.push_back(MakeClient(i));
+    network_->ReplaceHandler(client_id(i), clients_.back().get());
+    server_->RegisterClient(client_id(i));
+  }
+}
+
+SimCluster::~SimCluster() {
+  // Protocol objects hold timers into the simulator; destroy them before the
+  // rigs so cancellation sees live TimerHosts.
+  clients_.clear();
+  server_.reset();
+}
+
+SimCluster::NodeRig SimCluster::MakeRig(NodeId id, ClockModel model,
+                                        PacketHandler* handler) {
+  NodeRig rig;
+  rig.clock = std::make_unique<SimClock>(&sim_, model);
+  rig.timers = std::make_unique<SimTimerHost>(&sim_, rig.clock.get());
+  rig.transport = network_->AttachNode(id, handler);
+  return rig;
+}
+
+std::unique_ptr<CacheClient> SimCluster::MakeClient(size_t i) {
+  NodeRig& rig = client_nodes_[i];
+  if (client_incarnations_.size() <= i) {
+    client_incarnations_.resize(i + 1, 0);
+  }
+  uint64_t incarnation =
+      (static_cast<uint64_t>(client_id(i).value()) << 16) |
+      client_incarnations_[i]++;
+  return std::make_unique<CacheClient>(
+      client_id(i), server_id_, store_.root(), rig.transport, rig.clock.get(),
+      rig.timers.get(), options_.client, &oracle_, incarnation);
+}
+
+CacheClient& SimCluster::client(size_t i) {
+  LEASES_CHECK(i < clients_.size() && clients_[i] != nullptr);
+  return *clients_[i];
+}
+
+NodeId SimCluster::client_id(size_t i) const {
+  return NodeId(static_cast<uint32_t>(2 + i));
+}
+
+SimClock& SimCluster::client_clock(size_t i) {
+  LEASES_CHECK(i < client_nodes_.size());
+  return *client_nodes_[i].clock;
+}
+
+void SimCluster::CrashServer() {
+  LEASES_CHECK(server_ != nullptr);
+  server_.reset();  // volatile lease state dies with the process
+  network_->ReplaceHandler(server_id_, nullptr);
+  network_->SetNodeUp(server_id_, false);
+}
+
+void SimCluster::RestartServer() {
+  LEASES_CHECK(server_ == nullptr);
+  network_->SetNodeUp(server_id_, true);
+  // Same durable store and meta: committed writes and the persisted maximum
+  // term survive; the new incarnation honours pre-crash leases by holding
+  // writes for that term.
+  server_ = std::make_unique<LeaseServer>(
+      server_id_, &store_, &meta_, server_node_.transport,
+      server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
+      options_.server, &oracle_);
+  network_->ReplaceHandler(server_id_, server_.get());
+}
+
+void SimCluster::CrashClient(size_t i) {
+  LEASES_CHECK(i < clients_.size() && clients_[i] != nullptr);
+  clients_[i].reset();  // the cache and its leases are gone
+  network_->ReplaceHandler(client_id(i), nullptr);
+  network_->SetNodeUp(client_id(i), false);
+}
+
+void SimCluster::RestartClient(size_t i) {
+  LEASES_CHECK(i < clients_.size() && clients_[i] == nullptr);
+  network_->SetNodeUp(client_id(i), true);
+  clients_[i] = MakeClient(i);
+  network_->ReplaceHandler(client_id(i), clients_[i].get());
+}
+
+void SimCluster::PartitionClient(size_t i, bool partitioned) {
+  network_->SetPartitioned(client_id(i), server_id_, partitioned);
+}
+
+namespace {
+
+// Runs the simulator until `done` has a value or `deadline` passes.
+template <typename T>
+Result<T> Await(Simulator& sim, std::optional<Result<T>>& done,
+                TimePoint deadline) {
+  while (!done.has_value() && sim.Now() < deadline) {
+    if (!sim.Step()) {
+      break;  // queue drained without completing: stuck
+    }
+  }
+  if (!done.has_value()) {
+    return Error{ErrorCode::kTimeout, "operation did not complete in time"};
+  }
+  return std::move(*done);
+}
+
+}  // namespace
+
+Result<ReadResult> SimCluster::SyncRead(size_t i, FileId file,
+                                        Duration timeout) {
+  std::optional<Result<ReadResult>> done;
+  client(i).Read(file,
+                 [&done](Result<ReadResult> r) { done = std::move(r); });
+  return Await(sim_, done, sim_.Now() + timeout);
+}
+
+Result<WriteResult> SimCluster::SyncWrite(size_t i, FileId file,
+                                          std::vector<uint8_t> data,
+                                          Duration timeout) {
+  std::optional<Result<WriteResult>> done;
+  client(i).Write(file, std::move(data),
+                  [&done](Result<WriteResult> r) { done = std::move(r); });
+  return Await(sim_, done, sim_.Now() + timeout);
+}
+
+Result<OpenResult> SimCluster::SyncOpen(size_t i, const std::string& path,
+                                        Duration timeout) {
+  std::optional<Result<OpenResult>> done;
+  client(i).Open(path,
+                 [&done](Result<OpenResult> r) { done = std::move(r); });
+  return Await(sim_, done, sim_.Now() + timeout);
+}
+
+}  // namespace leases

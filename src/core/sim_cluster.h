@@ -1,0 +1,125 @@
+// SimCluster: one lease server plus N client caches wired onto the
+// simulated network, with per-host clocks, fault injection and synchronous
+// convenience wrappers.
+//
+// This is the standard harness used by the tests, the benches that
+// regenerate the paper's figures, and the simulation examples. All protocol
+// objects run on the single Simulator; determinism is total for a given
+// seed.
+#ifndef SRC_CORE_SIM_CLUSTER_H_
+#define SRC_CORE_SIM_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/clock/sim_clock.h"
+#include "src/clock/sim_timer_host.h"
+#include "src/core/cache_client.h"
+#include "src/core/lease_server.h"
+#include "src/core/oracle.h"
+#include "src/core/params.h"
+#include "src/core/term_policy.h"
+#include "src/fs/file_store.h"
+#include "src/net/sim_network.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+struct ClusterOptions {
+  size_t num_clients = 4;
+  NetworkParams net;
+  ServerParams server;
+  ClientParams client;
+  // Default lease term when no policy factory is given.
+  Duration term = Duration::Seconds(10);
+  // Optional custom policy (e.g. AdaptiveTermPolicy); overrides `term`.
+  std::function<std::unique_ptr<TermPolicy>()> make_policy;
+  ClockModel server_clock = ClockModel::Perfect();
+  // Per-client clock model; clients beyond the vector get perfect clocks.
+  std::vector<ClockModel> client_clocks;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterOptions options);
+  ~SimCluster();
+
+  SimCluster(const SimCluster&) = delete;
+  SimCluster& operator=(const SimCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  SimNetwork& network() { return *network_; }
+  FileStore& store() { return store_; }
+  Oracle& oracle() { return oracle_; }
+  TermPolicy& policy() { return *policy_; }
+
+  LeaseServer& server() { return *server_; }
+  CacheClient& client(size_t i);
+  size_t num_clients() const { return clients_.size(); }
+
+  NodeId server_id() const { return server_id_; }
+  NodeId client_id(size_t i) const;
+  SimClock& server_clock() { return *server_node_.clock; }
+  SimClock& client_clock(size_t i);
+
+  // --- Fault injection ---
+  void CrashServer();
+  void RestartServer();
+  bool ServerUp() const { return server_ != nullptr; }
+  void CrashClient(size_t i);
+  void RestartClient(size_t i);
+  bool ClientUp(size_t i) const {
+    return i < clients_.size() && clients_[i] != nullptr;
+  }
+  // Partitions client i from the server (true) or heals it (false).
+  void PartitionClient(size_t i, bool partitioned);
+
+  // --- Synchronous wrappers: run the simulation until the operation
+  // completes (or `timeout` of simulated time passes). Only for tests and
+  // examples; benches drive the async API directly. ---
+  Result<ReadResult> SyncRead(size_t i, FileId file,
+                              Duration timeout = Duration::Seconds(120));
+  Result<WriteResult> SyncWrite(size_t i, FileId file,
+                                std::vector<uint8_t> data,
+                                Duration timeout = Duration::Seconds(120));
+  Result<OpenResult> SyncOpen(size_t i, const std::string& path,
+                              Duration timeout = Duration::Seconds(120));
+
+  // Convenience: run the simulation forward.
+  void RunFor(Duration d) { sim_.RunFor(d); }
+
+ private:
+  struct NodeRig {
+    std::unique_ptr<SimClock> clock;
+    std::unique_ptr<SimTimerHost> timers;
+    SimTransport* transport = nullptr;  // owned by the network
+  };
+
+  NodeRig MakeRig(NodeId id, ClockModel model, PacketHandler* handler);
+  std::unique_ptr<CacheClient> MakeClient(size_t i);
+
+  ClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<SimNetwork> network_;
+  FileStore store_;
+  DurableMeta meta_;
+  Oracle oracle_;
+  std::unique_ptr<TermPolicy> policy_;
+
+  NodeId server_id_;
+  NodeRig server_node_;
+  std::unique_ptr<LeaseServer> server_;
+
+  std::vector<NodeRig> client_nodes_;
+  std::vector<std::unique_ptr<CacheClient>> clients_;
+  std::vector<uint64_t> client_incarnations_;
+};
+
+// Converts between std::string payloads and the byte vectors the API uses.
+std::vector<uint8_t> Bytes(const std::string& s);
+std::string Text(const std::vector<uint8_t>& b);
+
+}  // namespace leases
+
+#endif  // SRC_CORE_SIM_CLUSTER_H_

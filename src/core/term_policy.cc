@@ -1,0 +1,103 @@
+#include "src/core/term_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leases {
+
+void TermPolicy::OnRead(FileId, TimePoint) {}
+void TermPolicy::OnWrite(FileId, size_t, TimePoint) {}
+
+AdaptiveTermPolicy::FileStats& AdaptiveTermPolicy::StatsFor(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    FileStats init;
+    init.read_rate = options_.initial_reads_per_sec;
+    init.write_rate = options_.initial_writes_per_sec;
+    it = files_.emplace(file, init).first;
+  }
+  return it->second;
+}
+
+const AdaptiveTermPolicy::FileStats* AdaptiveTermPolicy::FindStats(
+    FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+double AdaptiveTermPolicy::UpdateRate(double rate, Duration gap) const {
+  double gap_s = std::max(gap.ToSeconds(), 1e-6);
+  // Blend the instantaneous rate 1/gap into the estimate with a weight that
+  // decays with the configured half-life: older observations matter less.
+  double weight =
+      1.0 - std::exp(-M_LN2 * gap_s / options_.half_life.ToSeconds());
+  return (1.0 - weight) * rate + weight * (1.0 / gap_s);
+}
+
+void AdaptiveTermPolicy::OnRead(FileId file, TimePoint now) {
+  FileStats& s = StatsFor(file);
+  if (s.read_seen) {
+    s.read_rate = UpdateRate(s.read_rate, now - s.last_read);
+  }
+  s.read_seen = true;
+  s.last_read = now;
+}
+
+void AdaptiveTermPolicy::OnWrite(FileId file, size_t holders_at_write,
+                                 TimePoint now) {
+  FileStats& s = StatsFor(file);
+  if (s.write_seen) {
+    s.write_rate = UpdateRate(s.write_rate, now - s.last_write);
+  }
+  s.write_seen = true;
+  s.last_write = now;
+  // Sharing degree: holders at the instant of the write, writer included
+  // (the paper's S counts "the number of caches in which the file is shared
+  // at each point it is written").
+  double observed = static_cast<double>(std::max<size_t>(holders_at_write, 1));
+  s.sharing = 0.8 * s.sharing + 0.2 * observed;
+}
+
+Duration AdaptiveTermPolicy::TermFor(FileId file, FileClass cls, NodeId) {
+  const FileStats& s = StatsFor(file);
+  // Installed files are read-mostly by definition; give them the max term
+  // even before observations accumulate.
+  if (cls == FileClass::kInstalled) {
+    return options_.max_term + options_.grant_allowance;
+  }
+  double alpha = Alpha(file);
+  if (alpha <= 1.0) {
+    // A longer lease can never reduce load; avoid penalizing writers.
+    return Duration::Zero();
+  }
+  double tc_s = (1.0 / options_.load_margin - 1.0) / std::max(s.read_rate, 1e-9);
+  Duration tc = Duration::Seconds(tc_s);
+  tc = std::clamp(tc, options_.min_term, options_.max_term);
+  return tc + options_.grant_allowance;
+}
+
+double AdaptiveTermPolicy::EstimatedReadRate(FileId file) const {
+  const FileStats* s = FindStats(file);
+  return s == nullptr ? options_.initial_reads_per_sec : s->read_rate;
+}
+
+double AdaptiveTermPolicy::EstimatedWriteRate(FileId file) const {
+  const FileStats* s = FindStats(file);
+  return s == nullptr ? options_.initial_writes_per_sec : s->write_rate;
+}
+
+double AdaptiveTermPolicy::EstimatedSharing(FileId file) const {
+  const FileStats* s = FindStats(file);
+  return s == nullptr ? 1.0 : s->sharing;
+}
+
+double AdaptiveTermPolicy::Alpha(FileId file) const {
+  const FileStats* s = FindStats(file);
+  if (s == nullptr) {
+    return 2.0 * options_.initial_reads_per_sec /
+           std::max(options_.initial_writes_per_sec, 1e-9);
+  }
+  return 2.0 * s->read_rate / std::max(s->sharing * s->write_rate, 1e-9);
+}
+
+}  // namespace leases

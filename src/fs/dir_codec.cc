@@ -1,0 +1,52 @@
+#include "src/fs/dir_codec.h"
+
+#include "src/common/codec.h"
+
+namespace leases {
+
+std::vector<uint8_t> EncodeDirectory(const std::vector<DirEntry>& entries) {
+  Writer w;
+  w.WriteU32(static_cast<uint32_t>(entries.size()));
+  for (const DirEntry& e : entries) {
+    w.WriteString(e.name);
+    w.WriteId(e.file);
+    w.WriteU32(e.mode);
+    w.WriteU8(static_cast<uint8_t>(e.file_class));
+  }
+  return w.Take();
+}
+
+std::optional<std::vector<DirEntry>> DecodeDirectory(
+    std::span<const uint8_t> bytes) {
+  Reader r(bytes);
+  uint32_t n = r.ReadU32();
+  if (!r.ok() || n > r.Remaining()) {
+    return std::nullopt;
+  }
+  std::vector<DirEntry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    DirEntry e;
+    e.name = r.ReadString();
+    e.file = r.ReadId<FileId>();
+    e.mode = r.ReadU32();
+    e.file_class = static_cast<FileClass>(r.ReadU8());
+    if (!r.ok()) {
+      return std::nullopt;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+const DirEntry* FindEntry(const std::vector<DirEntry>& entries,
+                          const std::string& name) {
+  for (const DirEntry& e : entries) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace leases

@@ -1,0 +1,49 @@
+// Directory contents codec.
+//
+// A directory is itself a datum: its contents are the serialized
+// name-to-file binding table, including per-entry permission bits and file
+// class. Caching a directory datum under a lease is what lets a client
+// perform a repeated open() without contacting the server (Section 2: "the
+// cache must also hold the name-to-file binding and permission information,
+// and it needs a lease over this information"). Renaming or creating a file
+// is a *write* to the directory datum and goes through the normal lease
+// write-approval path.
+#ifndef SRC_FS_DIR_CODEC_H_
+#define SRC_FS_DIR_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/proto/messages.h"
+
+namespace leases {
+
+// Unix-style permission bits, applied to "everyone"; the owner always has
+// full rights.
+inline constexpr uint32_t kModeRead = 0x4;
+inline constexpr uint32_t kModeWrite = 0x2;
+
+struct DirEntry {
+  std::string name;
+  FileId file;
+  uint32_t mode = kModeRead | kModeWrite;
+  FileClass file_class = FileClass::kNormal;
+
+  bool operator==(const DirEntry&) const = default;
+};
+
+std::vector<uint8_t> EncodeDirectory(const std::vector<DirEntry>& entries);
+std::optional<std::vector<DirEntry>> DecodeDirectory(
+    std::span<const uint8_t> bytes);
+
+// Convenience lookup inside decoded contents.
+const DirEntry* FindEntry(const std::vector<DirEntry>& entries,
+                          const std::string& name);
+
+}  // namespace leases
+
+#endif  // SRC_FS_DIR_CODEC_H_

@@ -1,0 +1,337 @@
+#include "src/fs/file_store.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/path.h"
+
+namespace leases {
+namespace {
+
+using ::leases::SplitAbsPath;
+
+}  // namespace
+
+FileStore::FileStore() {
+  root_ = ids_.Next();
+  FileRecord rec;
+  rec.id = root_;
+  rec.file_class = FileClass::kDirectory;
+  rec.data = EncodeDirectory({});
+  rec.cover = PrivateKey(root_);
+  rec.name.push_back('/');  // (avoids a gcc-12 -Wrestrict false positive)
+  files_[root_] = std::move(rec);
+  covers_[files_[root_].cover].push_back(root_);
+}
+
+FileRecord& FileStore::MutableRecord(FileId file) {
+  auto it = files_.find(file);
+  LEASES_CHECK(it != files_.end());
+  return it->second;
+}
+
+const FileRecord* FileStore::Find(FileId file) const {
+  auto it = files_.find(file);
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<DirEntry> FileStore::DirEntries(const FileRecord& dir) const {
+  auto entries = DecodeDirectory(dir.data);
+  LEASES_CHECK(entries.has_value());  // the store never persists bad bytes
+  return *entries;
+}
+
+void FileStore::StoreDirEntries(FileRecord& dir,
+                                const std::vector<DirEntry>& entries) {
+  dir.data = EncodeDirectory(entries);
+  dir.version++;
+}
+
+bool FileStore::CanWrite(const FileRecord& rec, NodeId who) const {
+  return !who.valid() || who == rec.owner || (rec.mode & kModeWrite) != 0;
+}
+
+bool FileStore::CanRead(const FileRecord& rec, NodeId who) const {
+  return !who.valid() || who == rec.owner || (rec.mode & kModeRead) != 0;
+}
+
+Result<FileId> FileStore::Create(FileId dir, const std::string& name,
+                                 FileClass cls, std::vector<uint8_t> data,
+                                 uint32_t mode, NodeId who) {
+  auto it = files_.find(dir);
+  if (it == files_.end() || it->second.file_class != FileClass::kDirectory) {
+    return Error{ErrorCode::kNotFound, "no such directory"};
+  }
+  FileRecord& parent = it->second;
+  if (!CanWrite(parent, who)) {
+    return Error{ErrorCode::kPermissionDenied, "directory not writable"};
+  }
+  std::vector<DirEntry> entries = DirEntries(parent);
+  if (FindEntry(entries, name) != nullptr) {
+    return Error{ErrorCode::kConflict, "name exists: " + name};
+  }
+
+  FileId id = ids_.Next();
+  FileRecord rec;
+  rec.id = id;
+  rec.file_class = cls;
+  rec.data = cls == FileClass::kDirectory ? EncodeDirectory({}) : std::move(data);
+  rec.mode = mode;
+  rec.owner = who;
+  rec.parent = dir;
+  rec.cover = PrivateKey(id);
+  rec.name = name;
+  files_[id] = std::move(rec);
+  covers_[PrivateKey(id)].push_back(id);
+
+  entries.push_back(DirEntry{name, id, mode, cls});
+  StoreDirEntries(parent, entries);
+  return id;
+}
+
+Result<FileId> FileStore::Mkdir(FileId dir, const std::string& name,
+                                NodeId who) {
+  return Create(dir, name, FileClass::kDirectory, {}, kModeRead | kModeWrite,
+                who);
+}
+
+Result<FileId> FileStore::CreatePath(const std::string& path, FileClass cls,
+                                     std::vector<uint8_t> data, uint32_t mode,
+                                     NodeId who) {
+  auto parts = SplitAbsPath(path);
+  if (!parts.has_value() || parts->empty()) {
+    return Error{ErrorCode::kInvalidArgument, "bad path: " + path};
+  }
+  FileId dir = root_;
+  for (size_t i = 0; i + 1 < parts->size(); ++i) {
+    Result<FileId> next = Lookup(dir, (*parts)[i]);
+    if (next.ok()) {
+      dir = *next;
+      const FileRecord* rec = Find(dir);
+      if (rec == nullptr || rec->file_class != FileClass::kDirectory) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "path component is not a directory: " + (*parts)[i]};
+      }
+    } else {
+      Result<FileId> made = Mkdir(dir, (*parts)[i], who);
+      if (!made.ok()) {
+        return made;
+      }
+      dir = *made;
+    }
+  }
+  return Create(dir, parts->back(), cls, std::move(data), mode, who);
+}
+
+Status FileStore::Rename(FileId dir, const std::string& from,
+                         const std::string& to, NodeId who) {
+  auto it = files_.find(dir);
+  if (it == files_.end() || it->second.file_class != FileClass::kDirectory) {
+    return Status(ErrorCode::kNotFound, "no such directory");
+  }
+  FileRecord& parent = it->second;
+  if (!CanWrite(parent, who)) {
+    return Status(ErrorCode::kPermissionDenied, "directory not writable");
+  }
+  std::vector<DirEntry> entries = DirEntries(parent);
+  if (FindEntry(entries, to) != nullptr) {
+    return Status(ErrorCode::kConflict, "target name exists: " + to);
+  }
+  for (DirEntry& e : entries) {
+    if (e.name == from) {
+      e.name = to;
+      MutableRecord(e.file).name = to;
+      StoreDirEntries(parent, entries);
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such name: " + from);
+}
+
+Status FileStore::Remove(FileId dir, const std::string& name, NodeId who) {
+  auto it = files_.find(dir);
+  if (it == files_.end() || it->second.file_class != FileClass::kDirectory) {
+    return Status(ErrorCode::kNotFound, "no such directory");
+  }
+  FileRecord& parent = it->second;
+  if (!CanWrite(parent, who)) {
+    return Status(ErrorCode::kPermissionDenied, "directory not writable");
+  }
+  std::vector<DirEntry> entries = DirEntries(parent);
+  for (auto e = entries.begin(); e != entries.end(); ++e) {
+    if (e->name == name) {
+      FileId victim = e->file;
+      const FileRecord* rec = Find(victim);
+      if (rec != nullptr && rec->file_class == FileClass::kDirectory &&
+          !DirEntries(*rec).empty()) {
+        return Status(ErrorCode::kConflict, "directory not empty");
+      }
+      // Unlink the cover membership.
+      auto& members = covers_[rec->cover];
+      members.erase(std::remove(members.begin(), members.end(), victim),
+                    members.end());
+      files_.erase(victim);
+      entries.erase(e);
+      StoreDirEntries(parent, entries);
+      return Status::Ok();
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no such name: " + name);
+}
+
+Result<FileId> FileStore::Lookup(FileId dir, const std::string& name) const {
+  const FileRecord* rec = Find(dir);
+  if (rec == nullptr || rec->file_class != FileClass::kDirectory) {
+    return Error{ErrorCode::kNotFound, "no such directory"};
+  }
+  std::vector<DirEntry> entries = DirEntries(*rec);
+  const DirEntry* e = FindEntry(entries, name);
+  if (e == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such name: " + name};
+  }
+  return e->file;
+}
+
+Result<FileId> FileStore::Resolve(const std::string& path) const {
+  auto parts = SplitAbsPath(path);
+  if (!parts.has_value()) {
+    return Error{ErrorCode::kInvalidArgument, "bad path: " + path};
+  }
+  FileId cur = root_;
+  for (const std::string& part : *parts) {
+    Result<FileId> next = Lookup(cur, part);
+    if (!next.ok()) {
+      return next;
+    }
+    cur = *next;
+  }
+  return cur;
+}
+
+Result<uint64_t> FileStore::Read(FileId file, NodeId who) const {
+  const FileRecord* rec = Find(file);
+  if (rec == nullptr) {
+    return Error{ErrorCode::kNotFound, "no such file"};
+  }
+  if (!CanRead(*rec, who)) {
+    return Error{ErrorCode::kPermissionDenied, "file not readable"};
+  }
+  return rec->version;
+}
+
+Status FileStore::CheckWrite(FileId file, NodeId who) const {
+  const FileRecord* rec = Find(file);
+  if (rec == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such file");
+  }
+  if (!CanWrite(*rec, who)) {
+    return Status(ErrorCode::kPermissionDenied, "file not writable");
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> FileStore::Apply(FileId file, std::vector<uint8_t> data,
+                                  NodeId who) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Error{ErrorCode::kNotFound, "no such file"};
+  }
+  FileRecord& rec = it->second;
+  if (!CanWrite(rec, who)) {
+    return Error{ErrorCode::kPermissionDenied, "file not writable"};
+  }
+  if (rec.file_class == FileClass::kDirectory) {
+    // Directory datum writes must stay well-formed; validate before commit.
+    if (!DecodeDirectory(data).has_value()) {
+      return Error{ErrorCode::kInvalidArgument, "malformed directory datum"};
+    }
+  }
+  rec.data = std::move(data);
+  rec.version++;
+  return rec.version;
+}
+
+Status FileStore::Chmod(FileId file, uint32_t mode, NodeId who) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status(ErrorCode::kNotFound, "no such file");
+  }
+  FileRecord& rec = it->second;
+  if (who.valid() && who != rec.owner) {
+    return Status(ErrorCode::kPermissionDenied, "only the owner may chmod");
+  }
+  rec.mode = mode;
+  rec.version++;
+  // The permission record is part of the parent directory datum too.
+  if (rec.parent.valid()) {
+    FileRecord& parent = MutableRecord(rec.parent);
+    std::vector<DirEntry> entries = DirEntries(parent);
+    for (DirEntry& e : entries) {
+      if (e.file == file) {
+        e.mode = mode;
+      }
+    }
+    StoreDirEntries(parent, entries);
+  }
+  return Status::Ok();
+}
+
+LeaseKey FileStore::CoverOf(FileId file) const {
+  const FileRecord* rec = Find(file);
+  LEASES_CHECK(rec != nullptr);
+  return rec->cover;
+}
+
+Status FileStore::CoverDirectory(FileId dir) {
+  auto it = files_.find(dir);
+  if (it == files_.end() || it->second.file_class != FileClass::kDirectory) {
+    return Status(ErrorCode::kNotFound, "no such directory");
+  }
+  LeaseKey key = PrivateKey(dir);
+  std::vector<DirEntry> entries = DirEntries(it->second);
+  for (const DirEntry& e : entries) {
+    FileRecord& rec = MutableRecord(e.file);
+    if (rec.file_class != FileClass::kInstalled) {
+      continue;
+    }
+    if (rec.cover == key) {
+      continue;
+    }
+    auto& old_members = covers_[rec.cover];
+    old_members.erase(
+        std::remove(old_members.begin(), old_members.end(), e.file),
+        old_members.end());
+    rec.cover = key;
+    covers_[key].push_back(e.file);
+  }
+  return Status::Ok();
+}
+
+std::vector<FileId> FileStore::FilesCovered(LeaseKey key) const {
+  auto it = covers_.find(key);
+  if (it == covers_.end()) {
+    return {};
+  }
+  std::vector<FileId> files = it->second;
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<FileId> FileStore::AllFiles() const {
+  std::vector<FileId> out;
+  out.reserve(files_.size());
+  for (const auto& [id, rec] : files_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+size_t FileStore::ApproxBytes() const {
+  size_t total = 0;
+  for (const auto& [id, rec] : files_) {
+    total += sizeof(FileRecord) + rec.data.size() + rec.name.size();
+  }
+  return total;
+}
+
+}  // namespace leases

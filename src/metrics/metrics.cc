@@ -1,0 +1,74 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace leases {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(double value) const {
+  if (value < kMinValue) {
+    return 0;
+  }
+  double exponent = std::log10(value / kMinValue);
+  int bucket = 1 + static_cast<int>(exponent * kBucketsPerDecade);
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+double Histogram::BucketUpperBound(int bucket) const {
+  if (bucket <= 0) {
+    return kMinValue;
+  }
+  return kMinValue *
+         std::pow(10.0, static_cast<double>(bucket) / kBucketsPerDecade);
+}
+
+void Histogram::Record(double value) {
+  value = std::max(value, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  buckets_[BucketFor(value)]++;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      return std::min(BucketUpperBound(b), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.6gs p50=%.6gs p99=%.6gs max=%.6gs",
+                static_cast<unsigned long long>(count_), Mean(),
+                Quantile(0.5), Quantile(0.99), Max());
+  return buf;
+}
+
+}  // namespace leases

@@ -1,0 +1,75 @@
+// Lightweight metrics: streaming histogram and helpers used by the workload
+// driver and the benches.
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace leases {
+
+// Streaming histogram over non-negative values with logarithmic buckets
+// (exact count/sum/min/max, approximate quantiles).
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void RecordDuration(Duration d) { Record(d.ToSeconds()); }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  double Min() const { return count_ == 0 ? 0 : min_; }
+  double Max() const { return count_ == 0 ? 0 : max_; }
+  // Approximate quantile (q in [0,1]) from the log buckets; exact for min
+  // and max.
+  double Quantile(double q) const;
+
+  void Reset();
+
+  std::string Summary() const;  // "n=... mean=... p50=... p99=... max=..."
+
+ private:
+  static constexpr int kBucketsPerDecade = 10;
+  static constexpr double kMinValue = 1e-7;  // 0.1 us
+  static constexpr int kDecades = 10;        // up to ~1000 s
+  static constexpr int kNumBuckets = kBucketsPerDecade * kDecades + 2;
+
+  int BucketFor(double value) const;
+  double BucketUpperBound(int bucket) const;
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<uint64_t> buckets_;
+};
+
+// Welford mean/variance accumulator for steady-rate estimates.
+class MeanVar {
+ public:
+  void Record(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ < 2 ? 0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_METRICS_METRICS_H_

@@ -1,0 +1,61 @@
+#include "src/metrics/table.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace leases {
+namespace {
+
+std::string FormatValue(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+void SeriesTable::Print(FILE* out, int precision) const {
+  std::vector<size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      std::string cell =
+          c < row.size() ? FormatValue(row[c], precision) : "";
+      widths[c] = std::max(widths[c], cell.size());
+      line.push_back(std::move(cell));
+    }
+    cells.push_back(std::move(line));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    std::fprintf(out, "%*s%s", static_cast<int>(widths[c]),
+                 columns_[c].c_str(), c + 1 == columns_.size() ? "\n" : "  ");
+  }
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      std::fprintf(out, "%*s%s", static_cast<int>(widths[c]), line[c].c_str(),
+                   c + 1 == line.size() ? "\n" : "  ");
+    }
+  }
+}
+
+std::string SeriesTable::ToCsv() const {
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out += columns_[c];
+    out += c + 1 == columns_.size() ? "\n" : ",";
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += FormatValue(row[c], 10);
+      out += c + 1 == row.size() ? "\n" : ",";
+    }
+  }
+  return out;
+}
+
+}  // namespace leases

@@ -1,0 +1,34 @@
+// Column-aligned table printer used by the bench binaries to emit the
+// paper's figures as text series (and optionally CSV for plotting).
+#ifndef SRC_METRICS_TABLE_H_
+#define SRC_METRICS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace leases {
+
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<double> values) { rows_.push_back(std::move(values)); }
+
+  // Pretty-prints with aligned columns; `precision` digits after the point.
+  void Print(FILE* out, int precision = 4) const;
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<double>& row(size_t i) const { return rows_[i]; }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_METRICS_TABLE_H_

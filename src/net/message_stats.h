@@ -1,0 +1,41 @@
+// Per-node and network-wide message accounting.
+//
+// The paper's server-load metric (Figure 1) is "the number of messages
+// handled (sent or received) by the server", split into consistency-related
+// and other traffic. These counters are maintained by the simulated network
+// (and by the UDP transport) for every node.
+#ifndef SRC_NET_MESSAGE_STATS_H_
+#define SRC_NET_MESSAGE_STATS_H_
+
+#include <cstdint>
+
+#include "src/net/transport.h"
+
+namespace leases {
+
+struct NodeMessageStats {
+  uint64_t sent[kNumMessageClasses] = {0, 0, 0};
+  uint64_t received[kNumMessageClasses] = {0, 0, 0};
+  uint64_t dropped_loss = 0;       // lost on the wire
+  uint64_t dropped_partition = 0;  // blocked by a partition
+  uint64_t dropped_down = 0;       // destination host was down
+
+  uint64_t TotalSent() const {
+    return sent[0] + sent[1] + sent[2];
+  }
+  uint64_t TotalReceived() const {
+    return received[0] + received[1] + received[2];
+  }
+  // "Messages handled" in the paper's sense.
+  uint64_t Handled() const { return TotalSent() + TotalReceived(); }
+  uint64_t HandledByClass(MessageClass cls) const {
+    auto i = static_cast<int>(cls);
+    return sent[i] + received[i];
+  }
+
+  void Reset() { *this = NodeMessageStats{}; }
+};
+
+}  // namespace leases
+
+#endif  // SRC_NET_MESSAGE_STATS_H_

@@ -1,0 +1,189 @@
+#include "src/net/sim_network.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace leases {
+
+void SimTransport::Send(NodeId dst, MessageClass cls,
+                        std::vector<uint8_t> bytes) {
+  NodeId dsts[1] = {dst};
+  net_->SendInternal(node_, dsts, cls, std::move(bytes));
+}
+
+void SimTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
+                             std::vector<uint8_t> bytes) {
+  net_->SendInternal(node_, dst, cls, std::move(bytes));
+}
+
+SimTransport* SimNetwork::AttachNode(NodeId node, PacketHandler* handler) {
+  LEASES_CHECK(node.valid());
+  LEASES_CHECK(nodes_.find(node) == nodes_.end());
+  Node& n = nodes_[node];
+  n.handler = handler;
+  n.transport = std::make_unique<SimTransport>(this, node);
+  n.cpu_free = sim_->Now();
+  return n.transport.get();
+}
+
+void SimNetwork::DetachNode(NodeId node) {
+  auto it = nodes_.find(node);
+  LEASES_CHECK(it != nodes_.end());
+  // Epoch bump orphans any in-flight deliveries to this node.
+  it->second.epoch++;
+  it->second.handler = nullptr;
+}
+
+void SimNetwork::ReplaceHandler(NodeId node, PacketHandler* handler) {
+  Node* n = FindNode(node);
+  LEASES_CHECK(n != nullptr);
+  n->epoch++;
+  n->handler = handler;
+  n->cpu_free = sim_->Now();
+}
+
+void SimNetwork::SetNodeUp(NodeId node, bool up) {
+  Node* n = FindNode(node);
+  LEASES_CHECK(n != nullptr);
+  if (n->up == up) {
+    return;
+  }
+  n->up = up;
+  // Crash (or restart) invalidates messages queued for the old incarnation
+  // and clears any backlog on the CPU.
+  n->epoch++;
+  n->cpu_free = sim_->Now();
+}
+
+bool SimNetwork::IsNodeUp(NodeId node) const {
+  const Node* n = FindNode(node);
+  return n != nullptr && n->up;
+}
+
+void SimNetwork::SetPartitioned(NodeId a, NodeId b, bool blocked) {
+  auto key = std::minmax(a, b);
+  if (blocked) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+void SimNetwork::IsolateNode(NodeId island, bool blocked) {
+  for (const auto& [id, node] : nodes_) {
+    if (id != island) {
+      SetPartitioned(island, id, blocked);
+    }
+  }
+}
+
+bool SimNetwork::ArePartitioned(NodeId a, NodeId b) const {
+  return partitions_.count(std::minmax(a, b)) > 0;
+}
+
+const NodeMessageStats& SimNetwork::stats(NodeId node) const {
+  const Node* n = FindNode(node);
+  LEASES_CHECK(n != nullptr);
+  return n->stats;
+}
+
+void SimNetwork::ResetStats() {
+  for (auto& [id, node] : nodes_) {
+    node.stats.Reset();
+  }
+}
+
+uint64_t SimNetwork::TotalHandled() const {
+  uint64_t total = 0;
+  for (const auto& [id, node] : nodes_) {
+    total += node.stats.Handled();
+  }
+  return total;
+}
+
+TimePoint SimNetwork::ChargeCpu(Node& node, TimePoint at) {
+  TimePoint start = std::max(at, node.cpu_free);
+  node.cpu_free = start + params_.proc_time;
+  return node.cpu_free;
+}
+
+void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
+                              MessageClass cls, std::vector<uint8_t> bytes) {
+  Node* sender = FindNode(src);
+  LEASES_CHECK(sender != nullptr);
+  if (!sender->up) {
+    // A crashed host cannot send; protocol objects are expected to be
+    // quiescent, but stray timers may still fire.
+    return;
+  }
+  // One send-side processing charge regardless of fan-out (multicast is
+  // "sent once", Section 3.1).
+  TimePoint departure = ChargeCpu(*sender, sim_->Now());
+  sender->stats.sent[static_cast<int>(cls)]++;
+
+  auto payload = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  for (NodeId d : dst) {
+    if (d == src) {
+      continue;  // no self-delivery; local effects are applied directly
+    }
+    if (tracer_) {
+      tracer_(src, d, cls, *payload);
+    }
+    if (ArePartitioned(src, d)) {
+      sender->stats.dropped_partition++;
+      continue;
+    }
+    if (params_.loss_prob > 0 && rng_.NextBernoulli(params_.loss_prob)) {
+      sender->stats.dropped_loss++;
+      continue;
+    }
+    DeliverAt(departure + params_.prop_delay, src, d, cls, payload);
+  }
+}
+
+void SimNetwork::DeliverAt(TimePoint wire_arrival, NodeId src, NodeId dst,
+                           MessageClass cls,
+                           std::shared_ptr<std::vector<uint8_t>> bytes) {
+  Node* receiver = FindNode(dst);
+  if (receiver == nullptr) {
+    return;
+  }
+  uint64_t epoch = receiver->epoch;
+  sim_->ScheduleAt(wire_arrival, [this, src, dst, cls, epoch,
+                                  bytes = std::move(bytes)]() {
+    Node* node = FindNode(dst);
+    if (node == nullptr || node->epoch != epoch || !node->up ||
+        node->handler == nullptr) {
+      if (node != nullptr) {
+        node->stats.dropped_down++;
+      }
+      return;
+    }
+    // Receive-side processing serializes on the node's CPU; the handler
+    // runs when the processing slot completes.
+    TimePoint done = ChargeCpu(*node, sim_->Now());
+    sim_->ScheduleAt(done, [this, src, dst, cls, epoch, bytes]() {
+      Node* n = FindNode(dst);
+      if (n == nullptr || n->epoch != epoch || !n->up ||
+          n->handler == nullptr) {
+        return;
+      }
+      n->stats.received[static_cast<int>(cls)]++;
+      n->handler->HandlePacket(src, cls, *bytes);
+    });
+  });
+}
+
+SimNetwork::Node* SimNetwork::FindNode(NodeId id) {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+const SimNetwork::Node* SimNetwork::FindNode(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : &it->second;
+}
+
+}  // namespace leases

@@ -1,0 +1,144 @@
+// Simulated datagram network with the paper's cost model.
+//
+// Timing (Section 3.1, Table 1):
+//   * every send occupies the sender's CPU for m_proc;
+//   * the wire adds m_prop;
+//   * every receive occupies the receiver's CPU for m_proc before the
+//     handler runs.
+// Per-node CPU work is serialized, so a unicast request-response costs
+// 2*m_prop + 4*m_proc and a multicast with n replies costs
+// 2*m_prop + (n+3)*m_proc -- exactly the paper's formulas. (The n replies
+// each pay send/recv processing, but the n receive slots queue on the one
+// server CPU, overlapping all but the first with the wire time.)
+//
+// Failure injection:
+//   * independent per-(message, destination) loss probability;
+//   * pairwise partitions (messages silently dropped while blocked);
+//   * host crash/restart (down hosts receive nothing; restart clears the
+//     CPU queue -- state recovery is the protocol's job).
+#ifndef SRC_NET_SIM_NETWORK_H_
+#define SRC_NET_SIM_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/net/message_stats.h"
+#include "src/net/transport.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+struct NetworkParams {
+  // One-way propagation delay m_prop.
+  Duration prop_delay = Duration::Millis(1) / 2;  // 0.5 ms
+  // Per-message processing time m_proc (charged at sender and receiver).
+  Duration proc_time = Duration::Millis(1);
+  // Independent probability that any (message, destination) is lost.
+  double loss_prob = 0.0;
+  uint64_t seed = 1;
+};
+
+class SimNetwork;
+
+// Transport endpoint bound to one simulated node.
+class SimTransport : public Transport {
+ public:
+  SimTransport(SimNetwork* net, NodeId node) : net_(net), node_(node) {}
+
+  NodeId local_node() const override { return node_; }
+  void Send(NodeId dst, MessageClass cls, std::vector<uint8_t> bytes) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 std::vector<uint8_t> bytes) override;
+
+ private:
+  SimNetwork* net_;
+  NodeId node_;
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(Simulator* sim, NetworkParams params)
+      : sim_(sim), params_(params), rng_(params.seed ^ 0x6e657477ULL) {}
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Registers a node. The returned transport is owned by the network and
+  // valid for its lifetime. The handler must outlive the network or be
+  // detached (DetachNode) first.
+  SimTransport* AttachNode(NodeId node, PacketHandler* handler);
+  void DetachNode(NodeId node);
+  // Swaps in a new protocol object after a node restart; in-flight messages
+  // addressed to the old incarnation are dropped.
+  void ReplaceHandler(NodeId node, PacketHandler* handler);
+
+  // Crash / restart. While down, a node receives nothing; messages already
+  // queued on its CPU are discarded.
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+
+  // Symmetric pairwise partition control.
+  void SetPartitioned(NodeId a, NodeId b, bool blocked);
+  // Partitions `island` from every other attached node (or heals it).
+  void IsolateNode(NodeId island, bool blocked);
+  bool ArePartitioned(NodeId a, NodeId b) const;
+
+  void set_loss_prob(double p) { params_.loss_prob = p; }
+
+  // Wire tap: invoked once per (message, destination) at send time, before
+  // loss/partition filtering. Used by the protocol-conformance tests and
+  // handy for debugging; null disables.
+  using Tracer = std::function<void(NodeId src, NodeId dst, MessageClass cls,
+                                    std::span<const uint8_t> bytes)>;
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  const NetworkParams& params() const { return params_; }
+  const NodeMessageStats& stats(NodeId node) const;
+  void ResetStats();
+
+  // Total messages handled across all nodes (for aggregate load figures).
+  uint64_t TotalHandled() const;
+
+ private:
+  friend class SimTransport;
+
+  struct Node {
+    PacketHandler* handler = nullptr;
+    std::unique_ptr<SimTransport> transport;
+    bool up = true;
+    // CPU availability in true time; receive/send processing serializes here.
+    TimePoint cpu_free = TimePoint::Epoch();
+    // Bumped on crash so queued deliveries from before the crash are ignored.
+    uint64_t epoch = 0;
+    NodeMessageStats stats;
+  };
+
+  // Charges `proc_time` on the node's CPU starting no earlier than `at`;
+  // returns when the slot ends.
+  TimePoint ChargeCpu(Node& node, TimePoint at);
+  void SendInternal(NodeId src, std::span<const NodeId> dst, MessageClass cls,
+                    std::vector<uint8_t> bytes);
+  void DeliverAt(TimePoint wire_arrival, NodeId src, NodeId dst,
+                 MessageClass cls, std::shared_ptr<std::vector<uint8_t>> bytes);
+
+  Node* FindNode(NodeId id);
+  const Node* FindNode(NodeId id) const;
+
+  Simulator* sim_;
+  NetworkParams params_;
+  Rng rng_;
+  Tracer tracer_;
+  std::unordered_map<NodeId, Node> nodes_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_NET_SIM_NETWORK_H_

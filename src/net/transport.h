@@ -1,0 +1,59 @@
+// Transport abstraction shared by the simulator and the real UDP runtime.
+//
+// The lease protocol is written entirely against this interface, so the same
+// LeaseServer / CacheClient state machines run deterministically in
+// simulation and over real sockets.
+//
+// Multicast takes an explicit recipient list: the paper's V system used
+// hardware host groups [5,6]; what matters to the analysis is the *cost
+// model* -- a multicast is sent once (one send-side processing charge) and
+// received by each recipient -- which both backends honour.
+#ifndef SRC_NET_TRANSPORT_H_
+#define SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace leases {
+
+// Coarse classification used for the paper's load accounting: Figure 1 plots
+// *consistency-related* messages (lease extensions, approvals, invalidations)
+// separately from file data transfer.
+enum class MessageClass : uint8_t {
+  kData = 0,         // file reads/writes payload traffic
+  kConsistency = 1,  // lease grants/extensions/approvals/relinquishes
+  kControl = 2,      // everything else (e.g. clock sync, test harness)
+};
+
+inline constexpr int kNumMessageClasses = 3;
+
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+  virtual void HandlePacket(NodeId from, MessageClass cls,
+                            std::span<const uint8_t> bytes) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual NodeId local_node() const = 0;
+
+  // Fire-and-forget datagram send. Loss, delay and reordering are the
+  // backend's business; the protocol handles them with timeouts.
+  virtual void Send(NodeId dst, MessageClass cls,
+                    std::vector<uint8_t> bytes) = 0;
+
+  // One logical multicast delivered to every listed recipient. The sender
+  // pays one processing charge regardless of fan-out.
+  virtual void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                         std::vector<uint8_t> bytes) = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_NET_TRANSPORT_H_

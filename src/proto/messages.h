@@ -1,0 +1,191 @@
+// Lease protocol wire messages.
+//
+// The protocol of Section 2 of the paper, concretely:
+//
+//   ReadRequest/ReadReply        fetch a datum; the reply carries a lease
+//                                grant riding for free on the data transfer.
+//   ExtendRequest/ExtendReply    batched lease extension over all files a
+//                                cache still holds (Section 3.1: "a cache
+//                                should extend together all leases over all
+//                                files that it still holds"); stale entries
+//                                are refreshed in the reply.
+//   WriteRequest/WriteReply      write-through; the request carries the
+//                                writer's implicit approval (footnote 5).
+//   ApproveRequest/ApproveReply  server->leaseholders callback asking
+//                                approval of a pending write; granting
+//                                approval invalidates the holder's copy.
+//   Relinquish                   voluntary lease give-up (Section 4 option).
+//   InstalledExtend              periodic multicast extending the leases
+//                                covering installed files; a key missing
+//                                from the multicast is no longer extended
+//                                (the Section 4 installed-files
+//                                optimization).
+//
+// Lease terms travel as *durations*, never absolute times, so correctness
+// needs only bounded clock drift (Section 5).
+#ifndef SRC_PROTO_MESSAGES_H_
+#define SRC_PROTO_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/result.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+enum class MsgType : uint8_t {
+  kReadRequest = 1,
+  kReadReply = 2,
+  kWriteRequest = 3,
+  kWriteReply = 4,
+  kExtendRequest = 5,
+  kExtendReply = 6,
+  kApproveRequest = 7,
+  kApproveReply = 8,
+  kRelinquish = 9,
+  kInstalledExtend = 10,
+  kPing = 100,
+  kPong = 101,
+};
+
+// How the server classifies the covered datum; clients route temporary files
+// locally and know installed files are renewed by multicast.
+enum class FileClass : uint8_t {
+  kNormal = 0,
+  kInstalled = 1,   // widely shared, read-mostly (commands, headers, libs)
+  kTemporary = 2,   // handled client-locally, never written through
+  kDirectory = 3,   // name-to-file bindings + permission records
+};
+
+const char* FileClassName(FileClass cls);
+
+// A lease grant as shipped on the wire: which cover key it is for and for
+// how long, measured from receipt. A zero term grants no caching rights
+// (used while a write is pending to avoid starving it, footnote 1).
+struct LeaseGrant {
+  LeaseKey key;
+  Duration term;
+};
+
+struct ReadRequest {
+  RequestId req;
+  FileId file;
+  // Version already held by the cache, or 0. Lets the server reply
+  // "not modified" without resending data.
+  uint64_t have_version = 0;
+};
+
+struct ReadReply {
+  RequestId req;
+  FileId file;
+  ErrorCode status = ErrorCode::kOk;
+  uint64_t version = 0;
+  bool not_modified = false;
+  FileClass file_class = FileClass::kNormal;
+  LeaseGrant lease;
+  std::vector<uint8_t> data;
+};
+
+struct ExtendItem {
+  FileId file;
+  uint64_t version = 0;
+};
+
+struct ExtendRequest {
+  RequestId req;
+  std::vector<ExtendItem> items;
+};
+
+struct ExtendReplyItem {
+  FileId file;
+  ErrorCode status = ErrorCode::kOk;
+  uint64_t version = 0;
+  // True if `data` holds fresh contents (the cache's version was stale).
+  bool refreshed = false;
+  FileClass file_class = FileClass::kNormal;
+  LeaseGrant lease;
+  std::vector<uint8_t> data;
+};
+
+struct ExtendReply {
+  RequestId req;
+  std::vector<ExtendReplyItem> items;
+};
+
+struct WriteRequest {
+  RequestId req;
+  FileId file;
+  // Expected current version (optimistic check); 0 means blind write.
+  uint64_t base_version = 0;
+  // True when this write is a write-back FLUSH of staged data from a holder
+  // whose approval is being awaited; the server commits it ahead of the
+  // pending write (token-revocation ordering).
+  bool flush = false;
+  std::vector<uint8_t> data;
+};
+
+struct WriteReply {
+  RequestId req;
+  FileId file;
+  ErrorCode status = ErrorCode::kOk;
+  uint64_t version = 0;
+};
+
+struct ApproveRequest {
+  // Identifies the pending write; replies echo it so retransmitted requests
+  // pair up correctly.
+  uint64_t write_seq = 0;
+  FileId file;
+  // Cover key of the lease being consulted, so the holder can decide whether
+  // to relinquish the whole key.
+  LeaseKey key;
+};
+
+struct ApproveReply {
+  uint64_t write_seq = 0;
+  FileId file;
+  // Holder additionally gives up the whole cover key (it caches nothing
+  // else under it), sparing future writes a callback to this client.
+  bool relinquish_key = false;
+};
+
+struct Relinquish {
+  std::vector<LeaseKey> keys;
+};
+
+struct InstalledExtend {
+  Duration term;
+  std::vector<LeaseKey> keys;
+};
+
+struct Ping {
+  RequestId req;
+};
+
+struct Pong {
+  RequestId req;
+};
+
+using Packet =
+    std::variant<ReadRequest, ReadReply, WriteRequest, WriteReply,
+                 ExtendRequest, ExtendReply, ApproveRequest, ApproveReply,
+                 Relinquish, InstalledExtend, Ping, Pong>;
+
+// Serializes a packet (1-byte type tag + body).
+std::vector<uint8_t> EncodePacket(const Packet& packet);
+
+// Parses a datagram; returns nullopt on any truncation or unknown type.
+std::optional<Packet> DecodePacket(std::span<const uint8_t> bytes);
+
+// Human-readable packet summary for logging.
+std::string PacketName(const Packet& packet);
+
+}  // namespace leases
+
+#endif  // SRC_PROTO_MESSAGES_H_

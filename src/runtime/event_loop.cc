@@ -1,0 +1,112 @@
+#include "src/runtime/event_loop.h"
+
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+EventLoop::EventLoop() : thread_([this]() { Run(); }) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      if (thread_.joinable()) {
+        thread_.join();
+      }
+      return;
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return;
+    }
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void EventLoop::RunSync(std::function<void()> task) {
+  LEASES_CHECK(!InLoopThread());
+  std::promise<void> done;
+  Post([&task, &done]() {
+    task();
+    done.set_value();
+  });
+  done.get_future().wait();
+}
+
+TimerId EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  SteadyPoint when = std::chrono::steady_clock::now() +
+                     std::chrono::microseconds(delay.ToMicros());
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = timer_ids_.Next();
+    timers_.emplace(when, Timer{id, std::move(fn)});
+    live_timers_.insert(id);
+  }
+  cv_.notify_one();
+  return id;
+}
+
+bool EventLoop::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_timers_.erase(id) > 0;
+}
+
+void EventLoop::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Drop cancelled timers at the head.
+    while (!timers_.empty() &&
+           live_timers_.count(timers_.begin()->second.id) == 0) {
+      timers_.erase(timers_.begin());
+    }
+    if (stopping_) {
+      return;
+    }
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (!timers_.empty() &&
+        timers_.begin()->first <= std::chrono::steady_clock::now()) {
+      auto it = timers_.begin();
+      Timer timer = std::move(it->second);
+      timers_.erase(it);
+      live_timers_.erase(timer.id);
+      lock.unlock();
+      timer.fn();
+      lock.lock();
+      continue;
+    }
+    if (timers_.empty()) {
+      cv_.wait(lock, [this]() {
+        return stopping_ || !tasks_.empty() || !timers_.empty();
+      });
+    } else {
+      cv_.wait_until(lock, timers_.begin()->first);
+    }
+  }
+}
+
+}  // namespace leases

@@ -1,0 +1,72 @@
+// Single-threaded event loop with timers for the real-time runtime.
+//
+// Each runtime node (server or client) owns one EventLoop; its protocol
+// object runs exclusively on the loop thread, giving the same serialized
+// execution model the simulator provides. The loop implements TimerHost, so
+// LeaseServer / CacheClient code is oblivious to which world it is in.
+#ifndef SRC_RUNTIME_EVENT_LOOP_H_
+#define SRC_RUNTIME_EVENT_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "src/clock/timer_host.h"
+#include "src/common/ids.h"
+
+namespace leases {
+
+class EventLoop : public TimerHost {
+ public:
+  EventLoop();
+  ~EventLoop() override;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Enqueues a task for execution on the loop thread. Thread-safe.
+  void Post(std::function<void()> task);
+
+  // Runs `task` on the loop thread and waits for it to finish. Must not be
+  // called from the loop thread itself.
+  void RunSync(std::function<void()> task);
+
+  // TimerHost (thread-safe).
+  TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override;
+  bool CancelTimer(TimerId id) override;
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  // Stops the loop and joins the thread; pending tasks are dropped.
+  void Stop();
+
+ private:
+  using SteadyPoint = std::chrono::steady_clock::time_point;
+
+  struct Timer {
+    TimerId id;
+    std::function<void()> fn;
+  };
+
+  void Run();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::multimap<SteadyPoint, Timer> timers_;
+  std::unordered_set<TimerId> live_timers_;
+  IdGenerator<TimerId> timer_ids_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_RUNTIME_EVENT_LOOP_H_

@@ -1,0 +1,179 @@
+#include "src/runtime/node.h"
+
+#include <chrono>
+#include <future>
+
+#include "src/common/check.h"
+
+namespace leases {
+namespace {
+
+// Bridges an async protocol call into a blocking one with a timeout. The
+// shared state keeps the promise alive even if the callback outlives the
+// caller's wait.
+template <typename T>
+class Waiter {
+ public:
+  std::function<void(Result<T>)> MakeCallback() {
+    auto state = state_;
+    return [state](Result<T> r) {
+      bool expected = false;
+      if (state->done.compare_exchange_strong(expected, true)) {
+        state->promise.set_value(std::move(r));
+      }
+    };
+  }
+
+  Result<T> Wait(Duration timeout) {
+    std::future<Result<T>> future = state_->promise.get_future();
+    if (future.wait_for(std::chrono::microseconds(timeout.ToMicros())) !=
+        std::future_status::ready) {
+      return Error{ErrorCode::kTimeout, "blocking call timed out"};
+    }
+    return future.get();
+  }
+
+ private:
+  struct State {
+    std::promise<Result<T>> promise;
+    std::atomic<bool> done{false};
+  };
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+}  // namespace
+
+RuntimeServer::RuntimeServer(NodeId id, ServerParams params, Duration term)
+    : id_(id),
+      params_(params),
+      policy_(std::make_unique<FixedTermPolicy>(term)) {}
+
+RuntimeServer::~RuntimeServer() { Stop(); }
+
+Status RuntimeServer::Start(uint16_t port) {
+  loop_ = std::make_unique<EventLoop>();
+  transport_ = std::make_unique<UdpTransport>(id_, loop_.get(), nullptr);
+  Status started = transport_->Start(port);
+  if (!started.ok()) {
+    return started;
+  }
+  loop_->RunSync([this]() {
+    server_ = std::make_unique<LeaseServer>(
+        id_, &store_, &meta_, transport_.get(), &clock_, loop_.get(),
+        policy_.get(), params_, /*oracle=*/nullptr);
+  });
+  transport_->SetHandler(server_.get());
+  return Status::Ok();
+}
+
+void RuntimeServer::Stop() {
+  if (transport_ != nullptr) {
+    transport_->SetHandler(nullptr);
+    transport_->Stop();
+  }
+  if (loop_ != nullptr && server_ != nullptr) {
+    loop_->RunSync([this]() { server_.reset(); });
+  }
+  if (loop_ != nullptr) {
+    loop_->Stop();
+  }
+  server_.reset();
+  transport_.reset();
+  loop_.reset();
+}
+
+void RuntimeServer::WithServer(std::function<void(LeaseServer&)> fn) {
+  LEASES_CHECK(loop_ != nullptr && server_ != nullptr);
+  loop_->RunSync([this, &fn]() { fn(*server_); });
+}
+
+ServerStats RuntimeServer::stats() {
+  ServerStats out;
+  WithServer([&out](LeaseServer& server) { out = server.stats(); });
+  return out;
+}
+
+RuntimeClient::RuntimeClient(NodeId id, NodeId server_id, FileId root,
+                             ClientParams params)
+    : id_(id), server_id_(server_id), root_(root), params_(params) {}
+
+RuntimeClient::~RuntimeClient() { Stop(); }
+
+Status RuntimeClient::Start(uint16_t server_port, uint16_t port) {
+  loop_ = std::make_unique<EventLoop>();
+  transport_ = std::make_unique<UdpTransport>(id_, loop_.get(), nullptr);
+  Status started = transport_->Start(port);
+  if (!started.ok()) {
+    return started;
+  }
+  transport_->AddPeer(server_id_, server_port);
+  uint64_t incarnation = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  loop_->RunSync([this, incarnation]() {
+    client_ = std::make_unique<CacheClient>(
+        id_, server_id_, root_, transport_.get(), &clock_, loop_.get(),
+        params_, /*oracle=*/nullptr, incarnation);
+  });
+  transport_->SetHandler(client_.get());
+  return Status::Ok();
+}
+
+void RuntimeClient::Stop() {
+  if (transport_ != nullptr) {
+    transport_->SetHandler(nullptr);
+    transport_->Stop();
+  }
+  if (loop_ != nullptr && client_ != nullptr) {
+    loop_->RunSync([this]() { client_.reset(); });
+  }
+  if (loop_ != nullptr) {
+    loop_->Stop();
+  }
+  client_.reset();
+  transport_.reset();
+  loop_.reset();
+}
+
+Result<OpenResult> RuntimeClient::Open(const std::string& path,
+                                       Duration timeout) {
+  LEASES_CHECK(client_ != nullptr);
+  Waiter<OpenResult> waiter;
+  loop_->Post([this, path, cb = waiter.MakeCallback()]() mutable {
+    client_->Open(path, std::move(cb));
+  });
+  return waiter.Wait(timeout);
+}
+
+Result<ReadResult> RuntimeClient::Read(FileId file, Duration timeout) {
+  LEASES_CHECK(client_ != nullptr);
+  Waiter<ReadResult> waiter;
+  loop_->Post([this, file, cb = waiter.MakeCallback()]() mutable {
+    client_->Read(file, std::move(cb));
+  });
+  return waiter.Wait(timeout);
+}
+
+Result<WriteResult> RuntimeClient::Write(FileId file,
+                                         std::vector<uint8_t> data,
+                                         Duration timeout) {
+  LEASES_CHECK(client_ != nullptr);
+  Waiter<WriteResult> waiter;
+  loop_->Post(
+      [this, file, data = std::move(data), cb = waiter.MakeCallback()]() mutable {
+        client_->Write(file, std::move(data), std::move(cb));
+      });
+  return waiter.Wait(timeout);
+}
+
+void RuntimeClient::WithClient(std::function<void(CacheClient&)> fn) {
+  LEASES_CHECK(loop_ != nullptr && client_ != nullptr);
+  loop_->RunSync([this, &fn]() { fn(*client_); });
+}
+
+ClientStats RuntimeClient::stats() {
+  ClientStats out;
+  WithClient([&out](CacheClient& client) { out = client.stats(); });
+  return out;
+}
+
+}  // namespace leases

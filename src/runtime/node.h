@@ -1,0 +1,91 @@
+// Runtime node harnesses: the same LeaseServer / CacheClient state machines
+// running over real UDP sockets and the monotonic system clock.
+//
+// RuntimeServer and RuntimeClient each own an event loop, a UDP transport
+// and a clock; all protocol work happens on the loop thread. RuntimeClient
+// additionally offers blocking wrappers for application code.
+#ifndef SRC_RUNTIME_NODE_H_
+#define SRC_RUNTIME_NODE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/clock/system_clock.h"
+#include "src/core/cache_client.h"
+#include "src/core/lease_server.h"
+#include "src/core/term_policy.h"
+#include "src/fs/file_store.h"
+#include "src/runtime/event_loop.h"
+#include "src/runtime/udp_transport.h"
+
+namespace leases {
+
+class RuntimeServer {
+ public:
+  // `policy` may be null (defaults to a fixed `term`).
+  RuntimeServer(NodeId id, ServerParams params, Duration term);
+  ~RuntimeServer();
+
+  Status Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return transport_->port(); }
+  void AddPeer(NodeId peer, uint16_t peer_port) {
+    transport_->AddPeer(peer, peer_port);
+  }
+
+  // Direct (pre-start) store setup; not thread-safe once serving.
+  FileStore& store() { return store_; }
+  // Runs `fn` on the protocol thread against the live server.
+  void WithServer(std::function<void(LeaseServer&)> fn);
+  ServerStats stats();
+
+ private:
+  NodeId id_;
+  ServerParams params_;
+  FileStore store_;
+  DurableMeta meta_;
+  SystemClock clock_;
+  std::unique_ptr<TermPolicy> policy_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<UdpTransport> transport_;
+  std::unique_ptr<LeaseServer> server_;
+};
+
+class RuntimeClient {
+ public:
+  RuntimeClient(NodeId id, NodeId server_id, FileId root,
+                ClientParams params);
+  ~RuntimeClient();
+
+  Status Start(uint16_t server_port, uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return transport_->port(); }
+
+  // Blocking wrappers (call from any non-loop thread).
+  Result<OpenResult> Open(const std::string& path,
+                          Duration timeout = Duration::Seconds(30));
+  Result<ReadResult> Read(FileId file,
+                          Duration timeout = Duration::Seconds(30));
+  Result<WriteResult> Write(FileId file, std::vector<uint8_t> data,
+                            Duration timeout = Duration::Seconds(30));
+
+  void WithClient(std::function<void(CacheClient&)> fn);
+  ClientStats stats();
+  UdpTransport& transport() { return *transport_; }
+
+ private:
+  NodeId id_;
+  NodeId server_id_;
+  FileId root_;
+  ClientParams params_;
+  SystemClock clock_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<UdpTransport> transport_;
+  std::unique_ptr<CacheClient> client_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_RUNTIME_NODE_H_

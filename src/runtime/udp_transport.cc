@@ -1,0 +1,188 @@
+#include "src/runtime/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace leases {
+namespace {
+
+constexpr size_t kMaxDatagram = 60 * 1024;
+constexpr size_t kHeaderSize = 5;  // u32 sender + u8 class
+
+}  // namespace
+
+UdpTransport::UdpTransport(NodeId self, EventLoop* loop,
+                           PacketHandler* handler)
+    : self_(self), loop_(loop), handler_(handler) {}
+
+UdpTransport::~UdpTransport() { Stop(); }
+
+Status UdpTransport::Start(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    return Status(ErrorCode::kUnavailable, "socket() failed");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status(ErrorCode::kUnavailable, "bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status(ErrorCode::kUnavailable, "getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  stopping_ = false;
+  receiver_ = std::thread([this]() { ReceiverThread(); });
+  return Status::Ok();
+}
+
+void UdpTransport::Stop() {
+  if (fd_ < 0) {
+    return;
+  }
+  stopping_ = true;
+  ::shutdown(fd_, SHUT_RDWR);
+  // shutdown() does not reliably wake a blocked recvfrom on UDP; nudge it.
+  int wake = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (wake >= 0) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    uint8_t zero = 0;
+    ::sendto(wake, &zero, 1, 0, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr));
+    ::close(wake);
+  }
+  if (receiver_.joinable()) {
+    receiver_.join();
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void UdpTransport::AddPeer(NodeId peer, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[peer] = port;
+}
+
+std::vector<uint8_t> UdpTransport::BuildFrame(
+    NodeId sender, MessageClass cls, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size());
+  uint32_t id = sender.value();
+  frame.push_back(static_cast<uint8_t>(id));
+  frame.push_back(static_cast<uint8_t>(id >> 8));
+  frame.push_back(static_cast<uint8_t>(id >> 16));
+  frame.push_back(static_cast<uint8_t>(id >> 24));
+  frame.push_back(static_cast<uint8_t>(cls));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void UdpTransport::SendFrame(NodeId dst, MessageClass /*cls*/,
+                             const std::vector<uint8_t>& frame) {
+  uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = peers_.find(dst);
+    if (it == peers_.end()) {
+      LEASES_WARN("udp %u: no peer registered for node %u", self_.value(),
+                  dst.value());
+      return;
+    }
+    port = it->second;
+  }
+  uint32_t nth = drop_every_nth_.load();
+  if (nth > 0 && ++send_counter_ % nth == 0) {
+    return;  // injected loss
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ::sendto(fd_, frame.data(), frame.size(), 0,
+           reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}
+
+void UdpTransport::Send(NodeId dst, MessageClass cls,
+                        std::vector<uint8_t> bytes) {
+  LEASES_CHECK(bytes.size() + kHeaderSize <= kMaxDatagram);
+  std::vector<uint8_t> frame = BuildFrame(self_, cls, bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.sent[static_cast<int>(cls)]++;
+  }
+  SendFrame(dst, cls, frame);
+}
+
+void UdpTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
+                             std::vector<uint8_t> bytes) {
+  LEASES_CHECK(bytes.size() + kHeaderSize <= kMaxDatagram);
+  std::vector<uint8_t> frame = BuildFrame(self_, cls, bytes);
+  {
+    // One logical send, per the paper's multicast cost model.
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.sent[static_cast<int>(cls)]++;
+  }
+  for (NodeId node : dst) {
+    if (node != self_) {
+      SendFrame(node, cls, frame);
+    }
+  }
+}
+
+void UdpTransport::ReceiverThread() {
+  std::vector<uint8_t> buffer(kMaxDatagram);
+  while (!stopping_) {
+    ssize_t n = ::recvfrom(fd_, buffer.data(), buffer.size(), 0, nullptr,
+                           nullptr);
+    if (stopping_) {
+      return;
+    }
+    if (n < static_cast<ssize_t>(kHeaderSize)) {
+      continue;  // wake-up byte or damaged frame
+    }
+    uint32_t sender = static_cast<uint32_t>(buffer[0]) |
+                      (static_cast<uint32_t>(buffer[1]) << 8) |
+                      (static_cast<uint32_t>(buffer[2]) << 16) |
+                      (static_cast<uint32_t>(buffer[3]) << 24);
+    auto cls = static_cast<MessageClass>(buffer[4]);
+    if (static_cast<int>(cls) >= kNumMessageClasses) {
+      continue;
+    }
+    std::vector<uint8_t> payload(buffer.begin() + kHeaderSize,
+                                 buffer.begin() + n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.received[static_cast<int>(cls)]++;
+    }
+    loop_->Post([this, sender, cls, payload = std::move(payload)]() {
+      PacketHandler* handler = handler_.load();
+      if (handler != nullptr) {
+        handler->HandlePacket(NodeId(sender), cls, payload);
+      }
+    });
+  }
+}
+
+NodeMessageStats UdpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace leases

@@ -1,0 +1,80 @@
+// UDP datagram transport on localhost for the real-time runtime.
+//
+// Frame layout: [sender NodeId u32 LE][MessageClass u8][payload]. Incoming
+// datagrams are posted onto the owning node's EventLoop, preserving the
+// single-threaded execution model the protocol objects require. Multicast is
+// emulated by iterated sendto over the recipient list -- the paper's cost
+// model charges the sender once, which the stats mirror.
+#ifndef SRC_RUNTIME_UDP_TRANSPORT_H_
+#define SRC_RUNTIME_UDP_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/net/message_stats.h"
+#include "src/net/transport.h"
+#include "src/runtime/event_loop.h"
+
+namespace leases {
+
+class UdpTransport : public Transport {
+ public:
+  // `handler` is invoked on `loop`'s thread for each datagram; it may be
+  // null until SetHandler is called.
+  UdpTransport(NodeId self, EventLoop* loop, PacketHandler* handler);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  // receiver thread.
+  Status Start(uint16_t port = 0);
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  void SetHandler(PacketHandler* handler) { handler_ = handler; }
+
+  // Registers where a peer lives; must be called before sending to it.
+  void AddPeer(NodeId peer, uint16_t port);
+
+  NodeId local_node() const override { return self_; }
+  void Send(NodeId dst, MessageClass cls, std::vector<uint8_t> bytes) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 std::vector<uint8_t> bytes) override;
+
+  // Test hook: drop this fraction of outgoing datagrams (deterministic
+  // counter-based, not random, so tests are stable).
+  void set_drop_every_nth(uint32_t n) { drop_every_nth_ = n; }
+
+  NodeMessageStats stats() const;
+
+ private:
+  void ReceiverThread();
+  void SendFrame(NodeId dst, MessageClass cls,
+                 const std::vector<uint8_t>& frame);
+  static std::vector<uint8_t> BuildFrame(NodeId sender, MessageClass cls,
+                                         const std::vector<uint8_t>& payload);
+
+  NodeId self_;
+  EventLoop* loop_;
+  std::atomic<PacketHandler*> handler_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread receiver_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, uint16_t> peers_;
+  NodeMessageStats stats_;
+  std::atomic<uint32_t> drop_every_nth_{0};
+  std::atomic<uint32_t> send_counter_{0};
+};
+
+}  // namespace leases
+
+#endif  // SRC_RUNTIME_UDP_TRANSPORT_H_

@@ -1,0 +1,134 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Rng is a xoshiro256** generator seeded through SplitMix64, with the
+// distribution helpers the workload models need (uniform, exponential,
+// Poisson). It is deliberately independent of <random> engines so that
+// simulation results are bit-identical across platforms and standard-library
+// versions -- determinism is what lets the property tests shrink failures and
+// the benches produce stable series.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    LEASES_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with the given rate (events per second). Used for Poisson
+  // inter-arrival times of reads and writes (Section 3.1's model).
+  double NextExponential(double rate_per_sec) {
+    LEASES_CHECK(rate_per_sec > 0);
+    double u;
+    do {
+      u = NextDouble();
+    } while (u <= 0.0);
+    return -std::log(u) / rate_per_sec;
+  }
+
+  Duration NextExponentialDuration(double rate_per_sec) {
+    return Duration::Seconds(NextExponential(rate_per_sec));
+  }
+
+  // Poisson-distributed count with the given mean (Knuth's method for small
+  // means, normal approximation above 64 where Knuth's product underflows).
+  uint64_t NextPoisson(double mean) {
+    LEASES_CHECK(mean >= 0);
+    if (mean == 0) {
+      return 0;
+    }
+    if (mean > 64) {
+      double g = NextGaussian() * std::sqrt(mean) + mean;
+      return g < 0 ? 0 : static_cast<uint64_t>(g + 0.5);
+    }
+    double limit = std::exp(-mean);
+    double prod = NextDouble();
+    uint64_t n = 0;
+    while (prod > limit) {
+      prod *= NextDouble();
+      ++n;
+    }
+    return n;
+  }
+
+  // Standard normal via Box-Muller.
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 0.0);
+    double u2 = NextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  // A fresh generator whose stream is independent of this one; used to give
+  // each simulated client its own stream so adding a client does not perturb
+  // the others (variance reduction across sweep points).
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_SIM_RNG_H_

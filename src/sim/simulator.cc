@@ -1,0 +1,81 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace leases {
+
+EventId Simulator::ScheduleAt(TimePoint when, Action action) {
+  // Never schedule into the past; clamp to "now" so causality holds.
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = ids_.Next();
+  queue_.push(Event{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  auto it = actions_.find(id);
+  if (it == actions_.end()) {
+    return false;
+  }
+  actions_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void Simulator::ExecuteHead() {
+  Event ev = queue_.top();
+  queue_.pop();
+  auto cancelled = cancelled_.find(ev.id);
+  if (cancelled != cancelled_.end()) {
+    cancelled_.erase(cancelled);
+    return;
+  }
+  auto it = actions_.find(ev.id);
+  LEASES_CHECK(it != actions_.end());
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  LEASES_CHECK(ev.when >= now_);
+  now_ = ev.when;
+  ++executed_;
+  action();
+}
+
+void Simulator::RunUntil(TimePoint deadline) {
+  LEASES_CHECK(!running_);
+  running_ = true;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    ExecuteHead();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  running_ = false;
+}
+
+bool Simulator::Step() {
+  LEASES_CHECK(!running_);
+  running_ = true;
+  // Skip over cancelled entries to execute exactly one live event.
+  bool executed = false;
+  while (!queue_.empty() && !executed) {
+    uint64_t before = executed_;
+    ExecuteHead();
+    executed = executed_ > before;
+  }
+  running_ = false;
+  return executed;
+}
+
+void Simulator::RunUntilIdle() {
+  LEASES_CHECK(!running_);
+  running_ = true;
+  while (!queue_.empty()) {
+    ExecuteHead();
+  }
+  running_ = false;
+}
+
+}  // namespace leases

@@ -1,0 +1,93 @@
+// Deterministic discrete-event simulator.
+//
+// The simulator owns virtual time. Events are (time, sequence) ordered, so
+// two events scheduled for the same instant fire in scheduling order and
+// every run with the same seed is bit-identical. All simulated components
+// (network, clocks, protocol timers, workload generators) schedule through
+// this one queue; nothing in a simulation reads wall-clock time.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+// Handle identifying a scheduled event so it can be cancelled.
+struct EventIdTag {};
+using EventId = StrongId<EventIdTag, uint64_t>;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current virtual time ("true time" in the paper's sense -- host clocks in
+  // src/clock/ may drift relative to it).
+  TimePoint Now() const { return now_; }
+
+  EventId ScheduleAt(TimePoint when, Action action);
+  EventId ScheduleAfter(Duration delay, Action action) {
+    return ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Cancels a pending event. Returns false if the event already fired or was
+  // already cancelled. Cancelling is O(1); cancelled entries are dropped
+  // lazily when they reach the head of the queue.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue empties or `deadline` is passed. Time
+  // advances to `deadline` even if the queue empties earlier, so back-to-back
+  // RunUntil calls behave like a continuous timeline.
+  void RunUntil(TimePoint deadline);
+  void RunFor(Duration d) { RunUntil(now_ + d); }
+  // Runs a single event. Returns false if the queue is empty.
+  bool Step();
+  // Runs until the queue is completely empty. Use with care: workload
+  // generators that perpetually reschedule will never drain.
+  void RunUntilIdle();
+
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Event& o) const {
+      if (when != o.when) {
+        return when > o.when;
+      }
+      return seq > o.seq;
+    }
+  };
+
+  void ExecuteHead();
+
+  TimePoint now_ = TimePoint::Epoch();
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  IdGenerator<EventId> ids_;
+  std::priority_queue<Event> queue_;
+  // Actions stored out-of-line so cancellation can free them eagerly.
+  std::unordered_map<EventId, Action> actions_;
+  std::unordered_set<EventId> cancelled_;
+  bool running_ = false;
+};
+
+}  // namespace leases
+
+#endif  // SRC_SIM_SIMULATOR_H_

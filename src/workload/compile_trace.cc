@@ -1,0 +1,282 @@
+#include "src/workload/compile_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/logging.h"
+
+namespace leases {
+namespace {
+
+std::string HeaderPath(int i) {
+  return std::string(CompileTraceGenerator::kIncludeDir) + "/h" +
+         std::to_string(i) + ".h";
+}
+std::string SourcePath(int i) { return "/src/m" + std::to_string(i) + ".c"; }
+std::string ObjectPath(int i) { return "/tmp/m" + std::to_string(i) + ".o"; }
+std::string DocPath(int i) { return "/home/doc" + std::to_string(i); }
+const char* kCompiler = "/usr/bin/cc68";
+const char* kLinker = "/usr/bin/ld68";
+const char* kProgram = "/src/fileserver";
+
+}  // namespace
+
+void CompileTraceGenerator::PopulateStore(FileStore& store) const {
+  auto create = [&store](const std::string& path, FileClass cls,
+                         const std::string& data) {
+    Result<FileId> r = store.CreatePath(path, cls, Bytes(data));
+    LEASES_CHECK(r.ok());
+  };
+  create(kCompiler, FileClass::kInstalled, "compiler-binary");
+  create(kLinker, FileClass::kInstalled, "linker-binary");
+  for (int i = 0; i < options_.headers; ++i) {
+    create(HeaderPath(i), FileClass::kInstalled, "header");
+  }
+  for (int i = 0; i < options_.modules; ++i) {
+    create(SourcePath(i), FileClass::kNormal, "source");
+    create(ObjectPath(i), FileClass::kTemporary, "");
+  }
+  for (int i = 0; i < options_.doc_files; ++i) {
+    create(DocPath(i), FileClass::kNormal, "document");
+  }
+  create(kProgram, FileClass::kNormal, "old-binary");
+}
+
+bool CompileTraceGenerator::IsInstalledPath(const std::string& path) const {
+  return path.rfind("/usr/", 0) == 0;
+}
+
+bool CompileTraceGenerator::IsTempPath(const std::string& path) const {
+  return path.rfind("/tmp/", 0) == 0;
+}
+
+std::vector<TraceOp> CompileTraceGenerator::Generate() const {
+  Rng rng(options_.seed);
+  std::vector<TraceOp> trace;
+
+  // One edit-compile-link-browse cycle, emitted with bursty intra-cycle
+  // spacing; the idle gap between cycles is sized so the long-run
+  // non-temporary read rate matches target_read_rate.
+  Duration now = Duration::Zero();
+  auto emit = [&](TraceOp::Kind kind, const std::string& path,
+                  const std::string& payload) {
+    now += Duration::Seconds(
+        rng.NextExponential(1.0 / options_.op_gap_mean.ToSeconds()));
+    trace.push_back(TraceOp{now, kind, path, payload});
+  };
+
+  uint64_t edit_counter = 0;
+  while (now < options_.length) {
+    Duration cycle_start = now;
+    size_t reads_before = trace.size();
+
+    // Edit a couple of sources (the user saves their changes).
+    for (int e = 0; e < 2; ++e) {
+      int m = static_cast<int>(rng.NextBounded(options_.modules));
+      emit(TraceOp::Kind::kRead, SourcePath(m), "");
+      emit(TraceOp::Kind::kWrite, SourcePath(m),
+           "edited-" + std::to_string(++edit_counter));
+    }
+
+    // Compile each module: compiler + source + a few headers, object out.
+    for (int m = 0; m < options_.modules; ++m) {
+      emit(TraceOp::Kind::kRead, kCompiler, "");
+      emit(TraceOp::Kind::kRead, SourcePath(m), "");
+      for (int h = 0; h < options_.headers_per_module; ++h) {
+        int header = static_cast<int>(rng.NextBounded(options_.headers));
+        emit(TraceOp::Kind::kRead, HeaderPath(header), "");
+      }
+      emit(TraceOp::Kind::kWrite, ObjectPath(m), "object");
+    }
+
+    // Link: linker reads every object, writes the program image.
+    emit(TraceOp::Kind::kRead, kLinker, "");
+    for (int m = 0; m < options_.modules; ++m) {
+      emit(TraceOp::Kind::kRead, ObjectPath(m), "");
+    }
+    emit(TraceOp::Kind::kWrite, kProgram,
+         "binary-" + std::to_string(edit_counter));
+
+    // Browse documentation / other files while thinking; occasionally save
+    // one (document production is the paper's other motivating workload).
+    for (int d = 0; d < options_.doc_files; ++d) {
+      if (rng.NextBernoulli(0.6)) {
+        emit(TraceOp::Kind::kRead, DocPath(d), "");
+      }
+    }
+    if (rng.NextBernoulli(0.5)) {
+      int d = static_cast<int>(rng.NextBounded(options_.doc_files));
+      emit(TraceOp::Kind::kWrite, DocPath(d),
+           "edited-" + std::to_string(++edit_counter));
+    }
+
+    // Count the non-temporary reads this cycle produced and pad the cycle
+    // with think time to hit the target rate.
+    uint64_t cycle_reads = 0;
+    for (size_t i = reads_before; i < trace.size(); ++i) {
+      if (trace[i].kind == TraceOp::Kind::kRead &&
+          !IsTempPath(trace[i].path)) {
+        ++cycle_reads;
+      }
+    }
+    Duration busy = now - cycle_start;
+    Duration cycle_target = Duration::Seconds(
+        static_cast<double>(cycle_reads) / options_.target_read_rate);
+    if (cycle_target > busy) {
+      // Think gap, jittered so cycles do not phase-lock with lease expiry.
+      Duration think = (cycle_target - busy) * (0.8 + 0.4 * rng.NextDouble());
+      now += think;
+    }
+  }
+
+  // Trim overshoot.
+  while (!trace.empty() && trace.back().at > options_.length) {
+    trace.pop_back();
+  }
+  return trace;
+}
+
+TraceStats CompileTraceGenerator::Analyze(
+    const std::vector<TraceOp>& trace) const {
+  TraceStats stats;
+  stats.length = trace.empty() ? Duration::Zero() : trace.back().at;
+  for (const TraceOp& op : trace) {
+    if (IsTempPath(op.path)) {
+      ++stats.temp_ops;
+      continue;
+    }
+    if (op.kind == TraceOp::Kind::kRead) {
+      ++stats.reads;
+      if (IsInstalledPath(op.path)) {
+        ++stats.installed_reads;
+      }
+    } else {
+      ++stats.writes;
+    }
+  }
+  return stats;
+}
+
+std::string SerializeTrace(const std::vector<TraceOp>& trace) {
+  std::string out;
+  char buf[64];
+  for (const TraceOp& op : trace) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " %c ", op.at.ToMicros(),
+                  op.kind == TraceOp::Kind::kRead ? 'R' : 'W');
+    out += buf;
+    out += op.path;
+    if (op.kind == TraceOp::Kind::kWrite) {
+      out += ' ';
+      out += op.payload;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<TraceOp>> ParseTrace(const std::string& text) {
+  std::vector<TraceOp> trace;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = text.size();
+    }
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    TraceOp op;
+    char kind = 0;
+    int consumed = 0;
+    long long at_us = 0;
+    if (std::sscanf(line.c_str(), "%lld %c %n", &at_us, &kind, &consumed) < 2) {
+      return std::nullopt;
+    }
+    op.at = Duration::Micros(at_us);
+    std::string rest = line.substr(static_cast<size_t>(consumed));
+    if (kind == 'R') {
+      op.kind = TraceOp::Kind::kRead;
+      op.path = rest;
+    } else if (kind == 'W') {
+      op.kind = TraceOp::Kind::kWrite;
+      size_t space = rest.find(' ');
+      if (space == std::string::npos) {
+        op.path = rest;
+      } else {
+        op.path = rest.substr(0, space);
+        op.payload = rest.substr(space + 1);
+      }
+    } else {
+      return std::nullopt;
+    }
+    if (op.path.empty() || op.path[0] != '/') {
+      return std::nullopt;
+    }
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+TraceRunReport TraceRunner::Run(const std::vector<TraceOp>& trace) {
+  cluster_->network().ResetStats();
+  cluster_->oracle().Reset();
+  TraceRunReport report;
+  if (trace.empty()) {
+    return report;
+  }
+
+  auto on_read = [&report](Result<ReadResult> r) {
+    if (!r.ok()) {
+      ++report.failures;
+    }
+  };
+  auto on_write = [&report](Result<WriteResult> r) {
+    if (!r.ok()) {
+      ++report.failures;
+    }
+  };
+
+  TimePoint base = cluster_->sim().Now();
+  for (const TraceOp& op : trace) {
+    cluster_->sim().ScheduleAt(base + op.at, [this, &report, op, on_read,
+                                              on_write]() {
+      ++report.ops_issued;
+      CacheClient& client = cluster_->client(client_);
+      if (op.kind == TraceOp::Kind::kRead) {
+        client.Open(op.path, [&client, on_read](Result<OpenResult> o) {
+          if (!o.ok()) {
+            on_read(o.error());
+            return;
+          }
+          client.Read(o->file, on_read);
+        });
+      } else {
+        std::string payload = op.payload;
+        client.Open(op.path,
+                    [&client, on_write, payload](Result<OpenResult> o) {
+                      if (!o.ok()) {
+                        on_write(o.error());
+                        return;
+                      }
+                      client.Write(o->file, Bytes(payload), on_write);
+                    });
+      }
+    });
+  }
+  Duration span = trace.back().at + Duration::Seconds(5);
+  cluster_->RunFor(span);
+  report.elapsed = span;
+  const NodeMessageStats& server =
+      cluster_->network().stats(cluster_->server_id());
+  report.server_consistency_msgs =
+      server.HandledByClass(MessageClass::kConsistency);
+  report.server_total_msgs = server.Handled();
+  report.oracle_violations = cluster_->oracle().violations();
+  return report;
+}
+
+}  // namespace leases

@@ -1,0 +1,125 @@
+// Synthetic V-system trace: an edit-compile-link cycle on a diskless
+// workstation, standing in for the paper's trace of "recompiling the V file
+// server" (see DESIGN.md's substitution table).
+//
+// The generator reproduces the trace properties that drive the published
+// results:
+//   * logical read rate ~ R = 0.864/s and non-temporary write rate
+//     ~ W = 0.04/s (Table 2), measured at open/commit granularity;
+//   * installed files (compiler, linker, headers) take about half of all
+//     reads and none of the writes (Section 4);
+//   * object files are temporaries handled locally, absorbing the majority
+//     of raw writes (Section 2);
+//   * access is bursty -- compile bursts separated by editing think time --
+//     which is why the paper's Trace curve has "a sharper knee at a lower
+//     term" than the Poisson model.
+#ifndef SRC_WORKLOAD_COMPILE_TRACE_H_
+#define SRC_WORKLOAD_COMPILE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/sim_cluster.h"
+#include "src/fs/file_store.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+
+struct TraceOp {
+  enum class Kind { kRead, kWrite };
+  Duration at;  // offset from trace start
+  Kind kind = Kind::kRead;
+  std::string path;
+  std::string payload;  // for writes
+};
+
+struct CompileTraceOptions {
+  int modules = 10;             // source files per program
+  int headers = 40;             // installed headers in /usr/include
+  int headers_per_module = 3;   // read per compilation unit
+  int doc_files = 42;           // normal files browsed per cycle
+  double target_read_rate = 0.864;  // non-temporary logical reads/sec
+  Duration length = Duration::Seconds(3600);
+  Duration op_gap_mean = Duration::Millis(150);  // within-burst spacing
+  uint64_t seed = 7;
+};
+
+struct TraceStats {
+  uint64_t reads = 0;             // non-temporary reads
+  uint64_t writes = 0;            // non-temporary writes
+  uint64_t temp_ops = 0;
+  uint64_t installed_reads = 0;
+  Duration length;
+
+  double ReadRate() const {
+    double s = length.ToSeconds();
+    return s <= 0 ? 0 : static_cast<double>(reads) / s;
+  }
+  double WriteRate() const {
+    double s = length.ToSeconds();
+    return s <= 0 ? 0 : static_cast<double>(writes) / s;
+  }
+  double InstalledShare() const {
+    return reads == 0 ? 0
+                      : static_cast<double>(installed_reads) /
+                            static_cast<double>(reads);
+  }
+};
+
+class CompileTraceGenerator {
+ public:
+  explicit CompileTraceGenerator(CompileTraceOptions options)
+      : options_(options) {}
+
+  // Creates the file layout (compiler/linker/headers installed, sources and
+  // docs normal, objects temporary) in the store.
+  void PopulateStore(FileStore& store) const;
+
+  // Generates a trace covering options_.length.
+  std::vector<TraceOp> Generate() const;
+
+  // Classifies a generated trace (used by the Table 2 bench and tests).
+  TraceStats Analyze(const std::vector<TraceOp>& trace) const;
+
+  // Paths for the setup hooks (e.g. marking installed directories).
+  static constexpr const char* kBinDir = "/usr/bin";
+  static constexpr const char* kIncludeDir = "/usr/include";
+
+ private:
+  bool IsInstalledPath(const std::string& path) const;
+  bool IsTempPath(const std::string& path) const;
+
+  CompileTraceOptions options_;
+};
+
+// Trace serialization: one op per line, "t_us R|W path [payload]".
+std::string SerializeTrace(const std::vector<TraceOp>& trace);
+std::optional<std::vector<TraceOp>> ParseTrace(const std::string& text);
+
+struct TraceRunReport {
+  uint64_t ops_issued = 0;
+  uint64_t failures = 0;
+  uint64_t server_consistency_msgs = 0;
+  uint64_t server_total_msgs = 0;
+  uint64_t oracle_violations = 0;
+  Duration elapsed;
+};
+
+// Replays a trace through one cluster client, resolving paths with Open and
+// issuing reads/writes through the cache. Message stats cover the replay
+// window only.
+class TraceRunner {
+ public:
+  TraceRunner(SimCluster* cluster, size_t client)
+      : cluster_(cluster), client_(client) {}
+
+  TraceRunReport Run(const std::vector<TraceOp>& trace);
+
+ private:
+  SimCluster* cluster_;
+  size_t client_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_WORKLOAD_COMPILE_TRACE_H_

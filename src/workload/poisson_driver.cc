@@ -1,0 +1,108 @@
+#include "src/workload/poisson_driver.h"
+
+#include <string>
+
+#include "src/common/check.h"
+
+namespace leases {
+
+PoissonDriver::PoissonDriver(SimCluster* cluster, PoissonOptions options)
+    : cluster_(cluster), options_(options) {
+  LEASES_CHECK(options_.sharing >= 1);
+  Rng seeder(options_.seed);
+  for (size_t i = 0; i < cluster_->num_clients(); ++i) {
+    rngs_.push_back(seeder.Fork());
+  }
+}
+
+FileId PoissonDriver::FileFor(size_t client) const {
+  return group_files_[client / options_.sharing];
+}
+
+void PoissonDriver::Setup() {
+  size_t groups =
+      (cluster_->num_clients() + options_.sharing - 1) / options_.sharing;
+  for (size_t g = 0; g < groups; ++g) {
+    Result<FileId> file = cluster_->store().CreatePath(
+        "/shared/group" + std::to_string(g), FileClass::kNormal,
+        Bytes("seed"));
+    LEASES_CHECK(file.ok());
+    group_files_.push_back(*file);
+  }
+  for (size_t c = 0; c < cluster_->num_clients(); ++c) {
+    ScheduleNextRead(c);
+    if (options_.write_rate > 0) {
+      ScheduleNextWrite(c);
+    }
+  }
+}
+
+void PoissonDriver::ScheduleNextRead(size_t client) {
+  if (options_.read_rate <= 0) {
+    return;
+  }
+  Duration gap = rngs_[client].NextExponentialDuration(options_.read_rate);
+  cluster_->sim().ScheduleAfter(gap, [this, client]() {
+    TimePoint start = cluster_->sim().Now();
+    cluster_->client(client).Read(
+        FileFor(client), [this, start](Result<ReadResult> r) {
+          if (!measuring_) {
+            return;
+          }
+          if (!r.ok()) {
+            ++report_.failures;
+            return;
+          }
+          Duration delay = cluster_->sim().Now() - start;
+          ++report_.reads;
+          report_.read_delay.RecordDuration(delay);
+          report_.op_delay.RecordDuration(delay);
+        });
+    ScheduleNextRead(client);  // open loop: next arrival is independent
+  });
+}
+
+void PoissonDriver::ScheduleNextWrite(size_t client) {
+  Duration gap = rngs_[client].NextExponentialDuration(options_.write_rate);
+  cluster_->sim().ScheduleAfter(gap, [this, client]() {
+    TimePoint start = cluster_->sim().Now();
+    std::string payload = "w" + std::to_string(++write_counter_);
+    cluster_->client(client).Write(
+        FileFor(client), Bytes(payload),
+        [this, start](Result<WriteResult> r) {
+          if (!measuring_) {
+            return;
+          }
+          if (!r.ok()) {
+            ++report_.failures;
+            return;
+          }
+          Duration delay = cluster_->sim().Now() - start;
+          ++report_.writes;
+          report_.write_delay.RecordDuration(delay);
+          report_.op_delay.RecordDuration(delay);
+        });
+    ScheduleNextWrite(client);
+  });
+}
+
+WorkloadReport PoissonDriver::Run() {
+  cluster_->RunFor(options_.warmup);
+  cluster_->network().ResetStats();
+  cluster_->oracle().Reset();
+  measuring_ = true;
+  cluster_->RunFor(options_.measure);
+  measuring_ = false;
+
+  report_.elapsed = options_.measure;
+  const NodeMessageStats& server =
+      cluster_->network().stats(cluster_->server_id());
+  report_.server_consistency_msgs =
+      server.HandledByClass(MessageClass::kConsistency);
+  report_.server_data_msgs = server.HandledByClass(MessageClass::kData);
+  report_.server_total_msgs = server.Handled();
+  report_.oracle_violations = cluster_->oracle().violations();
+  return report_;
+}
+
+}  // namespace leases

@@ -1,0 +1,76 @@
+// Open-loop Poisson workload matching the analytic model of Section 3.1.
+//
+// N clients; each reads its group's shared file at Poisson rate R and writes
+// it at rate W; groups have S members, so a write finds (about) S caches
+// sharing the file -- the paper's sharing parameter. The driver measures
+// consistency-message load at the server and the consistency-induced delay
+// added to each operation, the two quantities plotted in Figures 1-3.
+#ifndef SRC_WORKLOAD_POISSON_DRIVER_H_
+#define SRC_WORKLOAD_POISSON_DRIVER_H_
+
+#include <vector>
+
+#include "src/core/sim_cluster.h"
+#include "src/metrics/metrics.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+
+struct PoissonOptions {
+  double read_rate = 0.864;  // R, per client per second
+  double write_rate = 0.04;  // W, per client per second
+  size_t sharing = 1;        // S: clients per shared file
+  Duration warmup = Duration::Seconds(50);
+  Duration measure = Duration::Seconds(2000);
+  uint64_t seed = 42;
+};
+
+struct WorkloadReport {
+  Duration elapsed;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t failures = 0;
+  Histogram read_delay;   // seconds added per read
+  Histogram write_delay;  // seconds added per write
+  Histogram op_delay;     // both combined (Figure 2's y-axis)
+  uint64_t server_consistency_msgs = 0;
+  uint64_t server_data_msgs = 0;
+  uint64_t server_total_msgs = 0;
+  uint64_t oracle_violations = 0;
+
+  double ConsistencyMsgsPerSec() const {
+    double s = elapsed.ToSeconds();
+    return s <= 0 ? 0 : static_cast<double>(server_consistency_msgs) / s;
+  }
+  double TotalMsgsPerSec() const {
+    double s = elapsed.ToSeconds();
+    return s <= 0 ? 0 : static_cast<double>(server_total_msgs) / s;
+  }
+};
+
+class PoissonDriver {
+ public:
+  // The cluster must outlive the driver. Setup() creates one shared file per
+  // group of `sharing` clients.
+  PoissonDriver(SimCluster* cluster, PoissonOptions options);
+
+  void Setup();
+  WorkloadReport Run();
+
+ private:
+  void ScheduleNextRead(size_t client);
+  void ScheduleNextWrite(size_t client);
+  FileId FileFor(size_t client) const;
+
+  SimCluster* cluster_;
+  PoissonOptions options_;
+  std::vector<Rng> rngs_;
+  std::vector<FileId> group_files_;
+  bool measuring_ = false;
+  uint64_t write_counter_ = 0;
+  WorkloadReport report_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_WORKLOAD_POISSON_DRIVER_H_

@@ -1,0 +1,40 @@
+// Canonical cluster configuration for the V-system parameters of Table 2,
+// shared by the figure benches and the model-validation tests.
+#ifndef SRC_WORKLOAD_V_CONFIG_H_
+#define SRC_WORKLOAD_V_CONFIG_H_
+
+#include "src/analytic/model.h"
+#include "src/core/sim_cluster.h"
+
+namespace leases {
+
+inline ClusterOptions MakeVClusterOptions(Duration term,
+                                          size_t num_clients = 20,
+                                          uint64_t seed = 1) {
+  ClusterOptions options;
+  options.num_clients = num_clients;
+  options.term = term;
+  options.net.prop_delay = Duration::Micros(500);  // m_prop
+  options.net.proc_time = Duration::Millis(1);     // m_proc
+  options.net.seed = seed;
+  // Client-side shortening allowance: exactly m_prop + 2*m_proc, plus the
+  // clock-uncertainty epsilon of 100 ms (Table 1 / Section 3.1).
+  options.client.transit_allowance = Duration::Micros(2500);
+  options.client.epsilon = Duration::Millis(100);
+  options.server.epsilon = Duration::Millis(100);
+  return options;
+}
+
+// The WAN variant of Figure 3: 100 ms round-trip, everything else equal.
+inline ClusterOptions MakeWanClusterOptions(Duration term,
+                                            size_t num_clients = 20,
+                                            uint64_t seed = 1) {
+  ClusterOptions options = MakeVClusterOptions(term, num_clients, seed);
+  options.net.prop_delay = Duration::Micros(48000);
+  options.client.transit_allowance = Duration::Micros(50000);
+  return options;
+}
+
+}  // namespace leases
+
+#endif  // SRC_WORKLOAD_V_CONFIG_H_

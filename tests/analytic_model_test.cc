@@ -1,0 +1,134 @@
+// Unit tests for the analytic model beyond the Section 3.2 calibration
+// anchors: each formula's structure, limits and monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analytic/model.h"
+
+namespace leases {
+namespace {
+
+TEST(ModelTest, EffectiveTermShorteningAndClamping) {
+  LeaseModel model(SystemParams::VSystem(1));
+  // t_c = t_s - (m_prop + 2 m_proc) - epsilon = t_s - 2.5ms - 100ms.
+  Duration ts = Duration::Seconds(10);
+  EXPECT_EQ(model.EffectiveTerm(ts),
+            ts - Duration::Micros(2500) - Duration::Millis(100));
+  EXPECT_EQ(model.EffectiveTerm(Duration::Millis(50)), Duration::Zero());
+  EXPECT_TRUE(model.EffectiveTerm(Duration::Infinite()).IsInfinite());
+}
+
+TEST(ModelTest, ZeroTermLoadIsTwoNR) {
+  SystemParams params = SystemParams::VSystem(1);
+  LeaseModel model(params);
+  EXPECT_DOUBLE_EQ(model.ConsistencyLoad(Duration::Zero()),
+                   2 * params.clients * params.reads_per_sec);
+  EXPECT_DOUBLE_EQ(model.RelativeConsistencyLoad(Duration::Zero()), 1.0);
+}
+
+TEST(ModelTest, ExtensionLoadFollowsFormula) {
+  LeaseModel model(SystemParams::VSystem(1));
+  Duration ts = Duration::Seconds(10);
+  double tc = model.EffectiveTerm(ts).ToSeconds();
+  EXPECT_NEAR(model.ExtensionLoad(ts),
+              2 * 20 * 0.864 / (1 + 0.864 * tc), 1e-9);
+  EXPECT_DOUBLE_EQ(model.ExtensionLoad(Duration::Infinite()), 0.0);
+}
+
+TEST(ModelTest, ApprovalLoadCases) {
+  // S = 1: writer's implicit approval, no messages.
+  EXPECT_DOUBLE_EQ(
+      LeaseModel(SystemParams::VSystem(1)).ApprovalLoad(Duration::Seconds(5)),
+      0.0);
+  // t_s = 0: nobody holds a lease.
+  EXPECT_DOUBLE_EQ(
+      LeaseModel(SystemParams::VSystem(10)).ApprovalLoad(Duration::Zero()),
+      0.0);
+  // S > 1, t_s > 0: N * S * W (multicast).
+  EXPECT_NEAR(LeaseModel(SystemParams::VSystem(10))
+                  .ApprovalLoad(Duration::Seconds(5)),
+              20 * 10 * 0.04, 1e-9);
+  // Unicast: N * 2(S-1) * W.
+  SystemParams unicast = SystemParams::VSystem(10);
+  unicast.multicast_approvals = false;
+  EXPECT_NEAR(LeaseModel(unicast).ApprovalLoad(Duration::Seconds(5)),
+              20 * 18 * 0.04, 1e-9);
+}
+
+TEST(ModelTest, ApprovalTimeFormulas) {
+  // Multicast: 2 m_prop + (S+2) m_proc (n = S-1 replies).
+  LeaseModel s10(SystemParams::VSystem(10));
+  EXPECT_EQ(s10.ApprovalTime(),
+            Duration::Micros(1000) + Duration::Millis(12));
+  // S = 1: no approval round at all.
+  EXPECT_EQ(LeaseModel(SystemParams::VSystem(1)).ApprovalTime(),
+            Duration::Zero());
+}
+
+TEST(ModelTest, LoadMonotoneDecreasingInTermForLowSharing) {
+  LeaseModel model(SystemParams::VSystem(2));
+  double prev = model.ConsistencyLoad(Duration::Millis(200));
+  for (int t = 1; t <= 60; t += 3) {
+    double load = model.ConsistencyLoad(Duration::Seconds(t));
+    EXPECT_LE(load, prev + 1e-9) << "term " << t;
+    prev = load;
+  }
+}
+
+TEST(ModelTest, DelayDecreasesWithTermAndIncreasesWithSharing) {
+  Duration ts = Duration::Seconds(10);
+  double prev = 1e18;
+  for (double s : {1.0, 5.0, 10.0, 40.0}) {
+    double delay = LeaseModel(SystemParams::VSystem(s)).AddedDelay(ts)
+                       .ToSeconds();
+    if (s > 1) {
+      EXPECT_GT(delay,
+                LeaseModel(SystemParams::VSystem(1)).AddedDelay(ts)
+                    .ToSeconds());
+    }
+    (void)prev;
+  }
+  LeaseModel model(SystemParams::VSystem(1));
+  EXPECT_GT(model.AddedDelay(Duration::Zero()),
+            model.AddedDelay(Duration::Seconds(10)));
+  EXPECT_GT(model.AddedDelay(Duration::Seconds(10)),
+            model.AddedDelay(Duration::Infinite()));
+}
+
+TEST(ModelTest, AlphaDefinitions) {
+  EXPECT_NEAR(LeaseModel(SystemParams::VSystem(1)).Alpha(),
+              2 * 0.864 / 0.04, 1e-9);
+  EXPECT_NEAR(LeaseModel(SystemParams::VSystem(10)).Alpha(),
+              2 * 0.864 / (10 * 0.04), 1e-9);
+  SystemParams unicast = SystemParams::VSystem(10);
+  unicast.multicast_approvals = false;
+  EXPECT_NEAR(LeaseModel(unicast).Alpha(), 0.864 / (9 * 0.04), 1e-9);
+  // No writes at all: alpha is infinite, break-even at zero.
+  SystemParams read_only = SystemParams::VSystem(1);
+  read_only.writes_per_sec = 0;
+  LeaseModel ro(read_only);
+  EXPECT_TRUE(std::isinf(ro.Alpha()));
+  ASSERT_TRUE(ro.BreakEvenEffectiveTerm().has_value());
+  EXPECT_EQ(*ro.BreakEvenEffectiveTerm(), Duration::Zero());
+}
+
+TEST(ModelTest, TotalLoadEndpoints) {
+  LeaseModel model(SystemParams::VSystem(1));
+  EXPECT_DOUBLE_EQ(model.RelativeTotalLoad(Duration::Zero()), 1.0);
+  // At infinite term, consistency vanishes (S=1): total = 1 - share = 0.7.
+  EXPECT_NEAR(model.RelativeTotalLoad(Duration::Infinite()), 0.70, 1e-9);
+  EXPECT_NEAR(model.TotalLoadOverInfinite(Duration::Zero()),
+              1.0 / 0.7 - 1.0, 1e-9);
+}
+
+TEST(ModelTest, WanFactoryMatchesFigure3Setup) {
+  SystemParams wan = SystemParams::Wan(1);
+  EXPECT_EQ((wan.m_prop * 2 + wan.m_proc * 4), Duration::Millis(100));
+  LeaseModel model(wan);
+  EXPECT_DOUBLE_EQ(
+      model.ResponseDegradationVsInfinite(Duration::Infinite()), 0.0);
+}
+
+}  // namespace
+}  // namespace leases

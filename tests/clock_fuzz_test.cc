@@ -1,0 +1,95 @@
+// Randomized clock-drift property test: the Section 5 correctness condition
+// quantified. With every host's drift bounded so that |rate-1| * term stays
+// within the epsilon allowance, arbitrary workloads produce zero violations;
+// with a grossly fast server clock, violations are possible (and observed
+// over the seed sweep).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "src/core/sim_cluster.h"
+#include "src/sim/rng.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+constexpr size_t kClients = 4;
+constexpr int kTermSeconds = 10;
+
+// Runs a shared-file read/write mix and returns oracle violations.
+uint64_t RunWithClocks(ClockModel server_clock,
+                       std::vector<ClockModel> client_clocks, uint64_t seed) {
+  ClusterOptions options =
+      MakeVClusterOptions(Duration::Seconds(kTermSeconds), kClients, seed);
+  options.server_clock = server_clock;
+  options.client_clocks = std::move(client_clocks);
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v0"));
+  Rng rng(seed);
+  uint64_t wseq = 0;
+  std::function<void(size_t)> ops = [&](size_t c) {
+    cluster.sim().ScheduleAfter(rng.NextExponentialDuration(1.0), [&, c]() {
+      if (rng.NextBernoulli(0.2)) {
+        cluster.client(c).Write(file, Bytes("w" + std::to_string(++wseq)),
+                                [](Result<WriteResult>) {});
+      } else {
+        cluster.client(c).Read(file, [](Result<ReadResult>) {});
+      }
+      ops(c);
+    });
+  };
+  for (size_t c = 0; c < kClients; ++c) {
+    ops(c);
+  }
+  cluster.RunFor(Duration::Seconds(400));
+  return cluster.oracle().violations();
+}
+
+class BoundedDriftFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundedDriftFuzz, WithinEpsilonDriftIsAlwaysSafe) {
+  // epsilon = 100 ms over a 10 s term allows |rate-1| <= 1% with a wide
+  // margin (we also budget the transit allowance). Draw random drifts and
+  // skews within half that bound for every host.
+  Rng rng(GetParam());
+  auto random_model = [&rng]() {
+    double rate = 1.0 + (rng.NextDouble() - 0.5) * 0.008;  // +/-0.4%
+    Duration skew = Duration::Millis(
+        static_cast<int64_t>((rng.NextDouble() - 0.5) * 7200000));  // +/-1h
+    return ClockModel{skew, rate};
+  };
+  std::vector<ClockModel> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.push_back(random_model());
+  }
+  uint64_t violations = RunWithClocks(random_model(), clients, GetParam());
+  EXPECT_EQ(violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundedDriftFuzz,
+                         ::testing::Range<uint64_t>(1, 11));
+
+TEST(UnboundedDriftFuzz, GrosslyFastServerEventuallyViolates) {
+  // The negative control: a 30%-fast server clock breaks the assumption
+  // badly enough that some schedule in the sweep must produce a stale read.
+  // (Any single run may get lucky; the sweep must not.)
+  uint64_t total = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    total += RunWithClocks(ClockModel::Drifting(1.3), {}, seed);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(UnboundedDriftFuzz, GrosslySlowServerNeverViolates) {
+  // Slow server clocks are the safe direction regardless of magnitude.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_EQ(RunWithClocks(ClockModel::Drifting(0.7), {}, seed), 0u)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace leases

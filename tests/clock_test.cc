@@ -1,0 +1,108 @@
+// Unit tests for the clock substrate: skewed/drifting simulated clocks and
+// drift-aware timers.
+#include <gtest/gtest.h>
+
+#include "src/clock/sim_clock.h"
+#include "src/clock/sim_timer_host.h"
+#include "src/clock/system_clock.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+namespace {
+
+TEST(SimClockTest, PerfectClockTracksTrueTime) {
+  Simulator sim;
+  SimClock clock(&sim, ClockModel::Perfect());
+  EXPECT_EQ(clock.Now(), TimePoint::Epoch());
+  sim.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(clock.Now(), TimePoint::Epoch() + Duration::Seconds(5));
+}
+
+TEST(SimClockTest, SkewAddsConstantOffset) {
+  Simulator sim;
+  SimClock clock(&sim, ClockModel::Skewed(Duration::Seconds(100)));
+  sim.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(clock.Now(), TimePoint::Epoch() + Duration::Seconds(105));
+}
+
+TEST(SimClockTest, DriftScalesElapsedTime) {
+  Simulator sim;
+  SimClock fast(&sim, ClockModel::Drifting(2.0));
+  SimClock slow(&sim, ClockModel::Drifting(0.5));
+  sim.RunFor(Duration::Seconds(10));
+  EXPECT_EQ(fast.Now(), TimePoint::Epoch() + Duration::Seconds(20));
+  EXPECT_EQ(slow.Now(), TimePoint::Epoch() + Duration::Seconds(5));
+}
+
+TEST(SimClockTest, SetModelIsContinuous) {
+  Simulator sim;
+  SimClock clock(&sim, ClockModel::Drifting(1.0));
+  sim.RunFor(Duration::Seconds(10));
+  TimePoint before = clock.Now();
+  clock.SetModel(ClockModel::Drifting(2.0));
+  // No jump at the switch point...
+  EXPECT_EQ(clock.Now(), before);
+  // ...but the new rate applies from here on.
+  sim.RunFor(Duration::Seconds(5));
+  EXPECT_EQ(clock.Now(), before + Duration::Seconds(10));
+}
+
+TEST(SimClockTest, LocalToTrueDelayInvertsRate) {
+  Simulator sim;
+  SimClock fast(&sim, ClockModel::Drifting(2.0));
+  // 10 local seconds on a clock running twice as fast = 5 true seconds.
+  EXPECT_EQ(fast.LocalToTrueDelay(Duration::Seconds(10)),
+            Duration::Seconds(5));
+}
+
+TEST(SimTimerHostTest, TimerFiresAfterLocalDelay) {
+  Simulator sim;
+  SimClock clock(&sim, ClockModel::Perfect());
+  SimTimerHost timers(&sim, &clock);
+  bool fired = false;
+  timers.ScheduleAfter(Duration::Seconds(3), [&]() { fired = true; });
+  sim.RunFor(Duration::Seconds(2));
+  EXPECT_FALSE(fired);
+  sim.RunFor(Duration::Seconds(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimTimerHostTest, DriftingClockShiftsTimerInTrueTime) {
+  Simulator sim;
+  SimClock fast(&sim, ClockModel::Drifting(2.0));
+  SimTimerHost timers(&sim, &fast);
+  TimePoint fired_at;
+  timers.ScheduleAfter(Duration::Seconds(10),
+                       [&]() { fired_at = sim.Now(); });
+  sim.RunUntilIdle();
+  // 10 local seconds on a 2x clock elapse after 5 true seconds.
+  EXPECT_EQ(fired_at, TimePoint::Epoch() + Duration::Seconds(5));
+}
+
+TEST(SimTimerHostTest, CancelSemantics) {
+  Simulator sim;
+  SimClock clock(&sim, ClockModel::Perfect());
+  SimTimerHost timers(&sim, &clock);
+  bool fired = false;
+  TimerId id = timers.ScheduleAfter(Duration::Seconds(1),
+                                    [&]() { fired = true; });
+  EXPECT_TRUE(timers.CancelTimer(id));
+  EXPECT_FALSE(timers.CancelTimer(id));
+  sim.RunUntilIdle();
+  EXPECT_FALSE(fired);
+
+  TimerId id2 = timers.ScheduleAfter(Duration::Seconds(1), []() {});
+  sim.RunUntilIdle();
+  EXPECT_FALSE(timers.CancelTimer(id2));  // already fired
+}
+
+TEST(SystemClockTest, MonotonicNonDecreasing) {
+  SystemClock clock;
+  TimePoint a = clock.Now();
+  TimePoint b = clock.Now();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, TimePoint::Epoch());
+}
+
+}  // namespace
+}  // namespace leases

@@ -1,0 +1,344 @@
+// End-to-end behaviour of the lease protocol on the simulated cluster:
+// grants, cache hits, extensions, write approval, starvation avoidance,
+// write-sharing callbacks -- the mechanics of Section 2 of the paper.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_cluster.h"
+
+namespace leases {
+namespace {
+
+ClusterOptions BaseOptions(size_t clients = 2) {
+  ClusterOptions options;
+  options.num_clients = clients;
+  options.term = Duration::Seconds(10);
+  // Allowance comfortably above m_prop + 2*m_proc = 2.5 ms.
+  options.client.transit_allowance = Duration::Millis(5);
+  options.client.epsilon = Duration::Millis(100);
+  return options;
+}
+
+TEST(CoreBasic, ReadFetchesDataAndLease) {
+  SimCluster cluster(BaseOptions());
+  FileId file =
+      *cluster.store().CreatePath("/src/main.c", FileClass::kNormal,
+                                  Bytes("int main(){}"));
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(Text(r->data), "int main(){}");
+  EXPECT_FALSE(r->from_cache);
+  EXPECT_TRUE(cluster.client(0).HasValidLease(file));
+  EXPECT_EQ(cluster.server().stats().leases_granted, 1u);
+}
+
+TEST(CoreBasic, SecondReadWithinTermIsLocal) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/bin/latex",
+                                            FileClass::kNormal, Bytes("TeX"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(5));
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(cluster.client(0).stats().local_reads, 1u);
+  // Only the first read reached the server.
+  EXPECT_EQ(cluster.server().stats().reads_served, 1u);
+}
+
+TEST(CoreBasic, ReadAfterExpiryExtendsLease) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/bin/latex",
+                                            FileClass::kNormal, Bytes("TeX"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(11));
+  EXPECT_FALSE(cluster.client(0).HasValidLease(file));
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->from_cache);
+  EXPECT_EQ(cluster.client(0).stats().extend_requests, 1u);
+  EXPECT_EQ(cluster.server().stats().extension_requests, 1u);
+  // Data unchanged: the extension carried no payload refresh.
+  EXPECT_EQ(cluster.client(0).stats().refreshed_items, 0u);
+  EXPECT_TRUE(cluster.client(0).HasValidLease(file));
+}
+
+TEST(CoreBasic, ExtensionRefreshesStaleData) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/etc/conf", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(11));  // client 0's lease expires
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("v2")).ok());
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v2");
+  EXPECT_EQ(cluster.client(0).stats().refreshed_items, 1u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(CoreBasic, WriteToUnsharedFileCommitsImmediately) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/home/a/doc", FileClass::kNormal,
+                                            Bytes("draft"));
+  Result<WriteResult> w = cluster.SyncWrite(0, file, Bytes("final"));
+  ASSERT_TRUE(w.ok()) << w.error().ToString();
+  EXPECT_EQ(w->version, 2u);
+  EXPECT_EQ(cluster.server().stats().writes_immediate, 1u);
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 0u);
+  EXPECT_EQ(Text(cluster.store().Find(file)->data), "final");
+}
+
+TEST(CoreBasic, WritersOwnLeaseGivesImplicitApproval) {
+  // Footnote 5: an unshared file held by the writer itself commits with a
+  // single unicast request-response; no callback to the writer.
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/home/a/doc", FileClass::kNormal,
+                                            Bytes("draft"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  ASSERT_TRUE(cluster.client(0).HasValidLease(file));
+  Result<WriteResult> w = cluster.SyncWrite(0, file, Bytes("final"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 0u);
+  EXPECT_EQ(cluster.server().stats().writes_immediate, 1u);
+  // The writer keeps its cached copy, now current.
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(Text(r->data), "final");
+}
+
+TEST(CoreBasic, SharedWriteRequiresApprovalAndInvalidates) {
+  SimCluster cluster(BaseOptions(3));
+  FileId file = *cluster.store().CreatePath("/shared/plan", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  ASSERT_TRUE(cluster.SyncRead(2, file).ok());
+
+  Result<WriteResult> w = cluster.SyncWrite(0, file, Bytes("v2"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 1u);
+  EXPECT_EQ(cluster.server().stats().approvals_received, 2u);
+  EXPECT_EQ(cluster.server().stats().writes_deferred, 1u);
+  // Holders invalidated their copies when approving.
+  EXPECT_FALSE(cluster.client(1).HasCached(file));
+  EXPECT_FALSE(cluster.client(2).HasCached(file));
+  EXPECT_EQ(cluster.client(1).stats().invalidations, 1u);
+
+  // Their next read sees the new data.
+  Result<ReadResult> r = cluster.SyncRead(1, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v2");
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(CoreBasic, ApprovalWaitIsShortComparedToTerm) {
+  SimCluster cluster(BaseOptions(2));
+  FileId file = *cluster.store().CreatePath("/shared/x", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  TimePoint before = cluster.sim().Now();
+  ASSERT_TRUE(cluster.SyncWrite(0, file, Bytes("v2")).ok());
+  Duration wait = cluster.sim().Now() - before;
+  // Approval is a multicast round-trip (milliseconds), not a lease term.
+  EXPECT_LT(wait, Duration::Millis(50));
+  EXPECT_EQ(cluster.server().stats().writes_expired_commit, 0u);
+}
+
+TEST(CoreBasic, NoNewLeasesWhileWriteWaits) {
+  // Footnote 1: to avoid starving writes, the server grants no new leases on
+  // a file with a waiting write. A partitioned holder forces the wait.
+  SimCluster cluster(BaseOptions(3));
+  FileId file = *cluster.store().CreatePath("/shared/y", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  cluster.PartitionClient(1, true);  // holder unreachable
+
+  bool write_done = false;
+  cluster.client(0).Write(file, Bytes("v2"),
+                          [&](Result<WriteResult> r) {
+                            ASSERT_TRUE(r.ok());
+                            write_done = true;
+                          });
+  cluster.RunFor(Duration::Seconds(1));
+  EXPECT_FALSE(write_done);
+  ASSERT_TRUE(cluster.server().HasPendingWrite(file));
+
+  // A third client reading now gets the (pre-write) data but no lease.
+  Result<ReadResult> r = cluster.SyncRead(2, file, Duration::Seconds(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v1");
+  EXPECT_FALSE(cluster.client(2).HasValidLease(file));
+  EXPECT_GE(cluster.server().stats().zero_term_grants, 1u);
+
+  // Once the unreachable holder's lease expires, the write commits.
+  cluster.RunFor(Duration::Seconds(12));
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(cluster.server().stats().writes_expired_commit, 1u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(CoreBasic, QueuedWritesCommitInOrder) {
+  SimCluster cluster(BaseOptions(3));
+  FileId file = *cluster.store().CreatePath("/shared/z", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(2, file).ok());
+  cluster.PartitionClient(2, true);
+
+  int done = 0;
+  std::vector<uint64_t> versions;
+  cluster.client(0).Write(file, Bytes("a"), [&](Result<WriteResult> r) {
+    ASSERT_TRUE(r.ok());
+    versions.push_back(r->version);
+    ++done;
+  });
+  cluster.client(1).Write(file, Bytes("b"), [&](Result<WriteResult> r) {
+    ASSERT_TRUE(r.ok());
+    versions.push_back(r->version);
+    ++done;
+  });
+  cluster.RunFor(Duration::Seconds(15));
+  ASSERT_EQ(done, 2);
+  EXPECT_EQ(versions[0], 2u);
+  EXPECT_EQ(versions[1], 3u);
+  EXPECT_EQ(Text(cluster.store().Find(file)->data), "b");
+}
+
+TEST(CoreBasic, ZeroTermPolicyChecksEveryRead) {
+  ClusterOptions options = BaseOptions();
+  options.term = Duration::Zero();
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("x"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  // No lease: every read after the first is a (cheap, not-modified)
+  // consistency check; none are local.
+  EXPECT_EQ(cluster.client(0).stats().local_reads, 0u);
+  EXPECT_EQ(cluster.server().stats().extension_requests, 2u);
+  EXPECT_EQ(cluster.server().stats().zero_term_grants, 3u);
+  // Zero term makes every write immediate -- no one can hold a lease.
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("y")).ok());
+  EXPECT_EQ(cluster.server().stats().writes_immediate, 1u);
+}
+
+TEST(CoreBasic, InfiniteTermNeverReExtends) {
+  ClusterOptions options = BaseOptions();
+  options.term = Duration::Infinite();
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("x"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(3600));
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(cluster.server().stats().extension_requests, 0u);
+  // Writes by others still work: the holder is reachable and approves.
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("y")).ok());
+  EXPECT_EQ(cluster.server().stats().approvals_received, 1u);
+}
+
+TEST(CoreBasic, NotModifiedSuppressesPayload) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath(
+      "/big", FileClass::kNormal, std::vector<uint8_t>(4096, 0xAB));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(11));
+  // Extension of an unmodified file must not resend the 4 KB payload.
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  EXPECT_EQ(cluster.client(0).stats().refreshed_items, 0u);
+}
+
+TEST(CoreBasic, TemporaryFilesNeverWriteThrough) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/tmp/cc.o",
+                                            FileClass::kTemporary, Bytes(""));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  uint64_t writes_before = cluster.server().stats().writes_received;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.SyncWrite(0, file, Bytes("obj")).ok());
+  }
+  EXPECT_EQ(cluster.server().stats().writes_received, writes_before);
+  EXPECT_EQ(cluster.client(0).stats().temp_local_writes, 10u);
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+  EXPECT_EQ(Text(r->data), "obj");
+}
+
+TEST(CoreBasic, OpenResolvesThroughCachedDirectories) {
+  SimCluster cluster(BaseOptions());
+  ASSERT_TRUE(cluster.store()
+                  .CreatePath("/usr/bin/latex", FileClass::kInstalled,
+                              Bytes("TeX"))
+                  .ok());
+  Result<OpenResult> open = cluster.SyncOpen(0, "/usr/bin/latex");
+  ASSERT_TRUE(open.ok()) << open.error().ToString();
+  EXPECT_EQ(open->file_class, FileClass::kInstalled);
+
+  uint64_t served = cluster.server().stats().reads_served;
+  // Repeated open: every directory datum is cached under a valid lease.
+  Result<OpenResult> again = cluster.SyncOpen(0, "/usr/bin/latex");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->file, open->file);
+  EXPECT_EQ(cluster.server().stats().reads_served, served);
+}
+
+TEST(CoreBasic, RenameIsAWriteToTheDirectoryDatum) {
+  SimCluster cluster(BaseOptions(2));
+  FileId file = *cluster.store().CreatePath("/proj/old", FileClass::kNormal,
+                                            Bytes("data"));
+  ASSERT_TRUE(cluster.SyncOpen(0, "/proj/old").ok());
+  FileId dir = *cluster.store().Resolve("/proj");
+
+  // Client 1 renames by rewriting the directory datum through the protocol.
+  Result<ReadResult> dir_data = cluster.SyncRead(1, dir);
+  ASSERT_TRUE(dir_data.ok());
+  auto entries = DecodeDirectory(dir_data->data);
+  ASSERT_TRUE(entries.has_value());
+  (*entries)[0].name = "new";
+  Result<WriteResult> w =
+      cluster.SyncWrite(1, dir, EncodeDirectory(*entries));
+  ASSERT_TRUE(w.ok());
+
+  // Client 0's cached binding was invalidated via the approval callback, so
+  // the old name no longer resolves and the new one does.
+  EXPECT_FALSE(cluster.SyncOpen(0, "/proj/old").ok());
+  Result<OpenResult> open = cluster.SyncOpen(0, "/proj/new");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->file, file);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(CoreBasic, PermissionDeniedOnUnreadableFile) {
+  SimCluster cluster(BaseOptions());
+  FileId file = *cluster.store().CreatePath("/secret", FileClass::kNormal,
+                                            Bytes("x"), /*mode=*/0,
+                                            /*who=*/NodeId(99));
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(CoreBasic, OracleSeesNoViolationsInHealthyRun) {
+  SimCluster cluster(BaseOptions(4));
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("0"));
+  for (int round = 0; round < 20; ++round) {
+    for (size_t c = 0; c < 4; ++c) {
+      ASSERT_TRUE(cluster.SyncRead(c, file).ok());
+    }
+    ASSERT_TRUE(cluster
+                    .SyncWrite(round % 4, file,
+                               Bytes(std::to_string(round)))
+                    .ok());
+    cluster.RunFor(Duration::Seconds(1));
+  }
+  EXPECT_GT(cluster.oracle().reads_checked(), 0u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

@@ -1,0 +1,207 @@
+// Unit tests for the real-time event loop and UDP transport.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/runtime/event_loop.h"
+#include "src/runtime/udp_transport.h"
+
+namespace leases {
+namespace {
+
+TEST(EventLoopTest, PostedTasksRunInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  loop.Post([&]() { order.push_back(1); });
+  loop.Post([&]() { order.push_back(2); });
+  loop.Post([&]() {
+    order.push_back(3);
+    done = true;
+  });
+  while (!done) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoopTest, RunSyncWaitsForCompletion) {
+  EventLoop loop;
+  int value = 0;
+  loop.RunSync([&]() { value = 42; });
+  EXPECT_EQ(value, 42);  // no race: RunSync returns after execution
+  EXPECT_FALSE(loop.InLoopThread());
+  bool in_loop = false;
+  loop.RunSync([&]() { in_loop = loop.InLoopThread(); });
+  EXPECT_TRUE(in_loop);
+}
+
+TEST(EventLoopTest, TimerFiresApproximatelyOnTime) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  auto start = std::chrono::steady_clock::now();
+  std::atomic<int64_t> elapsed_ms{0};
+  loop.ScheduleAfter(Duration::Millis(50), [&]() {
+    elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    fired = true;
+  });
+  for (int i = 0; i < 200 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_GE(elapsed_ms, 45);
+  EXPECT_LE(elapsed_ms, 500);  // generous for loaded CI machines
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  std::atomic<bool> done{false};
+  loop.ScheduleAfter(Duration::Millis(60), [&]() {
+    order.push_back(2);
+    done = true;
+  });
+  loop.ScheduleAfter(Duration::Millis(20), [&]() { order.push_back(1); });
+  for (int i = 0; i < 200 && !done; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(done);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoopTest, CancelledTimerDoesNotFire) {
+  EventLoop loop;
+  std::atomic<bool> fired{false};
+  TimerId id = loop.ScheduleAfter(Duration::Millis(30),
+                                  [&]() { fired = true; });
+  EXPECT_TRUE(loop.CancelTimer(id));
+  EXPECT_FALSE(loop.CancelTimer(id));
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoopTest, StopIsIdempotentAndDropsPendingWork) {
+  auto loop = std::make_unique<EventLoop>();
+  std::atomic<bool> fired{false};
+  loop->ScheduleAfter(Duration::Seconds(30), [&]() { fired = true; });
+  loop->Stop();
+  loop->Stop();
+  loop.reset();
+  EXPECT_FALSE(fired);
+}
+
+TEST(UdpTransportTest, LoopbackDelivery) {
+  EventLoop loop_a;
+  EventLoop loop_b;
+
+  struct Capture : PacketHandler {
+    std::atomic<int> count{0};
+    std::vector<uint8_t> last;
+    NodeId last_from;
+    MessageClass last_cls = MessageClass::kData;
+    void HandlePacket(NodeId from, MessageClass cls,
+                      std::span<const uint8_t> bytes) override {
+      last.assign(bytes.begin(), bytes.end());
+      last_from = from;
+      last_cls = cls;
+      ++count;
+    }
+  } capture;
+
+  UdpTransport a(NodeId(1), &loop_a, nullptr);
+  UdpTransport b(NodeId(2), &loop_b, &capture);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  EXPECT_NE(a.port(), 0);
+  a.AddPeer(NodeId(2), b.port());
+
+  a.Send(NodeId(2), MessageClass::kConsistency, {9, 8, 7});
+  for (int i = 0; i < 200 && capture.count == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(capture.count, 1);
+  EXPECT_EQ(capture.last, (std::vector<uint8_t>{9, 8, 7}));
+  EXPECT_EQ(capture.last_from, NodeId(1));
+  EXPECT_EQ(capture.last_cls, MessageClass::kConsistency);
+  EXPECT_EQ(a.stats().sent[static_cast<int>(MessageClass::kConsistency)], 1u);
+  EXPECT_EQ(
+      b.stats().received[static_cast<int>(MessageClass::kConsistency)], 1u);
+
+  a.Stop();
+  b.Stop();
+}
+
+TEST(UdpTransportTest, MulticastCountsOneSend) {
+  EventLoop loop_a;
+  EventLoop loop_b;
+  EventLoop loop_c;
+  struct Counter : PacketHandler {
+    std::atomic<int> count{0};
+    void HandlePacket(NodeId, MessageClass,
+                      std::span<const uint8_t>) override {
+      ++count;
+    }
+  } cb, cc;
+  UdpTransport a(NodeId(1), &loop_a, nullptr);
+  UdpTransport b(NodeId(2), &loop_b, &cb);
+  UdpTransport c(NodeId(3), &loop_c, &cc);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  ASSERT_TRUE(c.Start().ok());
+  a.AddPeer(NodeId(2), b.port());
+  a.AddPeer(NodeId(3), c.port());
+
+  NodeId dst[2] = {NodeId(2), NodeId(3)};
+  a.Multicast(dst, MessageClass::kConsistency, {1});
+  for (int i = 0; i < 200 && (cb.count == 0 || cc.count == 0); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(cb.count, 1);
+  EXPECT_EQ(cc.count, 1);
+  // The paper's accounting: one logical send regardless of fan-out.
+  EXPECT_EQ(a.stats().TotalSent(), 1u);
+  a.Stop();
+  b.Stop();
+  c.Stop();
+}
+
+TEST(UdpTransportTest, SendToUnknownPeerIsDroppedSafely) {
+  EventLoop loop;
+  UdpTransport a(NodeId(1), &loop, nullptr);
+  ASSERT_TRUE(a.Start().ok());
+  a.Send(NodeId(99), MessageClass::kData, {1});  // no peer registered
+  a.Stop();
+  SUCCEED();
+}
+
+TEST(UdpTransportTest, DropEveryNthLosesDeterministically) {
+  EventLoop loop_a;
+  EventLoop loop_b;
+  struct Counter : PacketHandler {
+    std::atomic<int> count{0};
+    void HandlePacket(NodeId, MessageClass,
+                      std::span<const uint8_t>) override {
+      ++count;
+    }
+  } counter;
+  UdpTransport a(NodeId(1), &loop_a, nullptr);
+  UdpTransport b(NodeId(2), &loop_b, &counter);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  a.AddPeer(NodeId(2), b.port());
+  a.set_drop_every_nth(2);
+  for (int i = 0; i < 10; ++i) {
+    a.Send(NodeId(2), MessageClass::kData, {static_cast<uint8_t>(i)});
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(counter.count, 5);
+  a.Stop();
+  b.Stop();
+}
+
+}  // namespace
+}  // namespace leases

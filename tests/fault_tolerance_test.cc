@@ -1,0 +1,278 @@
+// Section 5 of the paper: "consistency is maintained in spite of message
+// loss (including partition), and client or server failures", failures cost
+// performance only, and the effect is bounded by the lease term. Clock
+// failures are two-sided: a fast server clock or slow client clock CAN break
+// consistency; the opposite errors only generate extra traffic. Every claim
+// is exercised here, including the negative ones.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+FileId MakeFile(SimCluster& cluster, const std::string& path,
+                const std::string& data) {
+  Result<FileId> file =
+      cluster.store().CreatePath(path, FileClass::kNormal, Bytes(data));
+  EXPECT_TRUE(file.ok());
+  return *file;
+}
+
+TEST(FaultTolerance, ClientCrashDelaysWriteAtMostOneTerm) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  cluster.RunFor(Duration::Seconds(3));
+  cluster.CrashClient(1);
+
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> w = cluster.SyncWrite(0, file, Bytes("v2"));
+  ASSERT_TRUE(w.ok());
+  Duration waited = cluster.sim().Now() - start;
+  // The holder's lease had ~7 s to run; the write waits that out, no more.
+  EXPECT_GT(waited, Duration::Seconds(6));
+  EXPECT_LT(waited, Duration::Seconds(8));
+  EXPECT_EQ(cluster.server().stats().writes_expired_commit, 1u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(FaultTolerance, CrashedClientRestartsWithColdCache) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashClient(0);
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartClient(0);
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->from_cache);
+  EXPECT_EQ(Text(r->data), "v1");
+}
+
+TEST(FaultTolerance, PartitionHealsWithoutInconsistency) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 3));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  cluster.PartitionClient(1, true);
+
+  // Write must wait out the partitioned holder's lease.
+  ASSERT_TRUE(cluster.SyncWrite(0, file, Bytes("v2")).ok());
+  EXPECT_EQ(cluster.server().stats().writes_expired_commit, 1u);
+
+  cluster.PartitionClient(1, false);
+  // The healed client's lease has long expired; it revalidates and sees v2.
+  Result<ReadResult> r = cluster.SyncRead(1, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v2");
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(FaultTolerance, PartitionedHolderNeverServesStaleAfterExpiry) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  cluster.PartitionClient(1, true);
+  ASSERT_TRUE(cluster.SyncWrite(0, file, Bytes("v2")).ok());
+
+  // Still partitioned: reads from cache fail over to extension, which times
+  // out -- but they NEVER return the stale v1, because the client-side term
+  // t_c expired before the server committed.
+  Result<ReadResult> r =
+      cluster.SyncRead(1, file, /*timeout=*/Duration::Seconds(60));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(FaultTolerance, ServerCrashRecoveryHoldsWritesForMaxTerm) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());  // lease out there
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+  EXPECT_TRUE(cluster.server().InRecovery());
+  EXPECT_EQ(cluster.server().stats().recovery_window, Duration::Seconds(10));
+
+  // A write right after restart is held until the recovery window drains --
+  // the lease table was volatile, so the server must assume the maximum
+  // granted term is still outstanding.
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> w =
+      cluster.SyncWrite(1, file, Bytes("v2"), Duration::Seconds(30));
+  ASSERT_TRUE(w.ok());
+  Duration waited = cluster.sim().Now() - start;
+  EXPECT_GT(waited, Duration::Seconds(9));
+  EXPECT_LT(waited, Duration::Seconds(11));
+  EXPECT_EQ(cluster.server().stats().recovery_held_writes, 1u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(FaultTolerance, CommittedWritesSurviveServerCrash) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncWrite(0, file, Bytes("v2")).ok());
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+  // Write-through: the acknowledged write is durable across the crash.
+  Result<ReadResult> r =
+      cluster.SyncRead(1, file, Duration::Seconds(60));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v2");
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(FaultTolerance, ReadsNeedNoRecoveryWait) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 2));
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashServer();
+  cluster.RestartServer();
+  TimePoint start = cluster.sim().Now();
+  Result<ReadResult> r = cluster.SyncRead(1, file);
+  ASSERT_TRUE(r.ok());
+  // Reads are served immediately during recovery; only writes wait.
+  EXPECT_LT(cluster.sim().Now() - start, Duration::Millis(100));
+}
+
+TEST(FaultTolerance, ApprovalRetransmissionSurvivesLostCallback) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+  // Lose many messages; approval re-multicast recovers well before expiry.
+  cluster.network().set_loss_prob(0.4);
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> w =
+      cluster.SyncWrite(0, file, Bytes("v2"), Duration::Seconds(60));
+  ASSERT_TRUE(w.ok());
+  // Not instant (a retry interval or two) but far less than the lease term
+  // in expectation; allow up to the term as the hard bound.
+  EXPECT_LT(cluster.sim().Now() - start, Duration::Seconds(11));
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+// --- Clock failures (two-sided, Section 5) ---
+
+TEST(ClockFailure, FastServerClockCanViolateConsistency) {
+  // "a server clock that advances too quickly can cause errors because it
+  // may allow a write before the term of a lease held by a previous client
+  // has expired at that client."
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.server_clock = ClockModel::Drifting(1.5);  // way beyond epsilon
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  // True time 8 s: server (fast) believes the 10 s lease expired at ~6.7 s.
+  cluster.RunFor(Duration::Seconds(8));
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("v2")).ok());
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 0u);  // skipped holder!
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v1");  // stale, from the still-"valid" lease
+  EXPECT_GT(cluster.oracle().violations(), 0u);
+}
+
+TEST(ClockFailure, SlowClientClockCanViolateConsistency) {
+  // "if a client clock fails by advancing too slowly, it may continue using
+  // a lease which the server regards as having expired."
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.client_clocks = {ClockModel::Drifting(0.5)};
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  // True 12 s: server correctly sees the lease expired; the slow client
+  // (local ~6 s) still trusts it.
+  cluster.RunFor(Duration::Seconds(12));
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("v2")).ok());
+  Result<ReadResult> r = cluster.SyncRead(0, file);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "v1");
+  EXPECT_GT(cluster.oracle().violations(), 0u);
+}
+
+TEST(ClockFailure, SlowServerClockIsSafeJustSlower) {
+  // "The opposite errors ... do not result in inconsistencies, but do
+  // generate extra traffic."
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.server_clock = ClockModel::Drifting(0.8);  // slow server
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashClient(0);
+  TimePoint start = cluster.sim().Now();
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("v2"),
+                                Duration::Seconds(60))
+                  .ok());
+  // The 10 s lease lasts 12.5 s of true time on the slow server's clock:
+  // slower, never inconsistent.
+  EXPECT_GT(cluster.sim().Now() - start, Duration::Seconds(11));
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(ClockFailure, FastClientClockIsSafeJustChattier) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.client_clocks = {ClockModel::Drifting(1.5)};  // fast client
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+    cluster.RunFor(Duration::Seconds(8));
+    ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes(std::to_string(i))).ok());
+  }
+  // The fast client re-extends more often than a perfect clock would
+  // (its local 9.9 s validity spans only 6.6 s of true time)...
+  EXPECT_GT(cluster.client(0).stats().extend_requests +
+                cluster.client(0).stats().remote_fetches,
+            9u);
+  // ...but never serves stale data.
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(ClockFailure, DriftWithinEpsilonIsAlwaysSafe) {
+  // The correctness condition: |rate - 1| * term <= epsilon. 0.5% drift
+  // over a 10 s term is 50 ms, within the 100 ms allowance.
+  for (double rate : {0.995, 1.005}) {
+    ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+    options.client_clocks = {ClockModel::Drifting(rate)};
+    options.server_clock = ClockModel::Drifting(2.0 - rate);
+    SimCluster cluster(options);
+    FileId file = MakeFile(cluster, "/f", "v1");
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+      cluster.RunFor(Duration::Seconds(9));
+      ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes(std::to_string(i))).ok());
+      Result<ReadResult> r = cluster.SyncRead(0, file);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(Text(r->data), std::to_string(i));
+    }
+    EXPECT_EQ(cluster.oracle().violations(), 0u) << "rate " << rate;
+  }
+}
+
+TEST(ClockFailure, ConstantSkewCancelsWithDurationTerms) {
+  // Terms ship as durations, so a large constant offset between clocks is
+  // harmless -- only drift matters (Section 5: terms "communicated as a
+  // duration"; only bounded drift is required).
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.client_clocks = {ClockModel::Skewed(Duration::Seconds(3600))};
+  options.server_clock = ClockModel::Skewed(-Duration::Seconds(3600));
+  SimCluster cluster(options);
+  FileId file = MakeFile(cluster, "/f", "v1");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+    ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes(std::to_string(i))).ok());
+    cluster.RunFor(Duration::Seconds(5));
+  }
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

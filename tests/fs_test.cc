@@ -1,0 +1,208 @@
+// Unit tests for the file-store substrate: namespace operations,
+// versioning, permissions, directory data, cover keys and durable metadata.
+#include <gtest/gtest.h>
+
+#include "src/fs/file_store.h"
+
+namespace leases {
+namespace {
+
+std::vector<uint8_t> B(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(FileStoreTest, RootExistsAndIsEmptyDirectory) {
+  FileStore store;
+  const FileRecord* root = store.Find(store.root());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->file_class, FileClass::kDirectory);
+  auto entries = DecodeDirectory(root->data);
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(FileStoreTest, CreateAndLookup) {
+  FileStore store;
+  Result<FileId> file = store.Create(store.root(), "hello",
+                                     FileClass::kNormal, B("hi"),
+                                     kModeRead | kModeWrite, NodeId());
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(*store.Lookup(store.root(), "hello"), *file);
+  EXPECT_EQ(store.Find(*file)->version, 1u);
+  EXPECT_EQ(store.Find(*file)->name, "hello");
+  // Duplicate names are rejected.
+  EXPECT_EQ(store.Create(store.root(), "hello", FileClass::kNormal, {},
+                         kModeRead, NodeId())
+                .code(),
+            ErrorCode::kConflict);
+}
+
+TEST(FileStoreTest, CreateBumpsDirectoryVersion) {
+  FileStore store;
+  uint64_t v0 = store.Find(store.root())->version;
+  ASSERT_TRUE(store.Create(store.root(), "a", FileClass::kNormal, {},
+                           kModeRead, NodeId())
+                  .ok());
+  EXPECT_EQ(store.Find(store.root())->version, v0 + 1);
+}
+
+TEST(FileStoreTest, CreatePathMakesIntermediateDirectories) {
+  FileStore store;
+  Result<FileId> file = store.CreatePath("/a/b/c/file", FileClass::kNormal,
+                                         B("x"));
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(*store.Resolve("/a/b/c/file"), *file);
+  EXPECT_EQ(store.Find(*store.Resolve("/a/b"))->file_class,
+            FileClass::kDirectory);
+  EXPECT_FALSE(store.Resolve("/a/b/missing").ok());
+  EXPECT_FALSE(store.CreatePath("bad", FileClass::kNormal, {}).ok());
+}
+
+TEST(FileStoreTest, ApplyIncrementsVersionAndReplacesData) {
+  FileStore store;
+  FileId file = *store.CreatePath("/f", FileClass::kNormal, B("v1"));
+  Result<uint64_t> v2 = store.Apply(file, B("v2"), NodeId());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(store.Find(file)->data, B("v2"));
+  EXPECT_FALSE(store.Apply(FileId(999), B("x"), NodeId()).ok());
+}
+
+TEST(FileStoreTest, PermissionsEnforcedWithOwnerOverride) {
+  FileStore store;
+  NodeId owner(7);
+  NodeId other(8);
+  FileId file = *store.CreatePath("/private", FileClass::kNormal, B("x"),
+                                  /*mode=*/0, owner);
+  EXPECT_EQ(store.Read(file, other).code(), ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(store.Read(file, owner).ok());
+  EXPECT_EQ(store.Apply(file, B("y"), other).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(store.Apply(file, B("y"), owner).ok());
+  EXPECT_EQ(store.CheckWrite(file, other).code(),
+            ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(store.CheckWrite(file, owner).ok());
+}
+
+TEST(FileStoreTest, ChmodUpdatesFileAndParentBinding) {
+  FileStore store;
+  NodeId owner(7);
+  FileId file = *store.CreatePath("/doc", FileClass::kNormal, B("x"),
+                                  kModeRead | kModeWrite, owner);
+  EXPECT_EQ(store.Chmod(file, kModeRead, NodeId(9)).code(),
+            ErrorCode::kPermissionDenied);
+  ASSERT_TRUE(store.Chmod(file, kModeRead, owner).ok());
+  EXPECT_EQ(store.Find(file)->mode, kModeRead);
+  // The permission record in the directory datum changed too (it is cached
+  // by clients under a lease).
+  auto entries = DecodeDirectory(store.Find(store.root())->data);
+  ASSERT_TRUE(entries.has_value());
+  EXPECT_EQ(FindEntry(*entries, "doc")->mode, kModeRead);
+  // Writes now rejected for non-owners.
+  EXPECT_EQ(store.Apply(file, B("y"), NodeId(9)).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST(FileStoreTest, RenameKeepsIdAndBumpsDirVersion) {
+  FileStore store;
+  FileId file = *store.CreatePath("/old", FileClass::kNormal, B("x"));
+  uint64_t dir_version = store.Find(store.root())->version;
+  ASSERT_TRUE(store.Rename(store.root(), "old", "new", NodeId()).ok());
+  EXPECT_EQ(*store.Resolve("/new"), file);
+  EXPECT_FALSE(store.Resolve("/old").ok());
+  EXPECT_EQ(store.Find(store.root())->version, dir_version + 1);
+  EXPECT_EQ(store.Find(file)->name, "new");
+  // Rename onto an existing name fails.
+  ASSERT_TRUE(store.CreatePath("/other", FileClass::kNormal, B("y")).ok());
+  EXPECT_EQ(store.Rename(store.root(), "new", "other", NodeId()).code(),
+            ErrorCode::kConflict);
+}
+
+TEST(FileStoreTest, RemoveSemantics) {
+  FileStore store;
+  ASSERT_TRUE(store.CreatePath("/dir/inner", FileClass::kNormal, B("x")).ok());
+  FileId dir = *store.Resolve("/dir");
+  // Non-empty directories cannot be removed.
+  EXPECT_EQ(store.Remove(store.root(), "dir", NodeId()).code(),
+            ErrorCode::kConflict);
+  ASSERT_TRUE(store.Remove(dir, "inner", NodeId()).ok());
+  ASSERT_TRUE(store.Remove(store.root(), "dir", NodeId()).ok());
+  EXPECT_FALSE(store.Resolve("/dir").ok());
+  EXPECT_EQ(store.Remove(store.root(), "dir", NodeId()).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(FileStoreTest, DirectoryDatumWritesAreValidated) {
+  FileStore store;
+  FileId dir = *store.Mkdir(store.root(), "d", NodeId());
+  // Garbage bytes must not be committable as a directory datum.
+  EXPECT_EQ(store.Apply(dir, B("not a directory"), NodeId()).code(),
+            ErrorCode::kInvalidArgument);
+  // A well-formed table is accepted.
+  std::vector<DirEntry> entries = {{"x", FileId(42), kModeRead,
+                                    FileClass::kNormal}};
+  EXPECT_TRUE(store.Apply(dir, EncodeDirectory(entries), NodeId()).ok());
+}
+
+TEST(FileStoreTest, CoverKeysDefaultPrivateThenDirectoryGrouped) {
+  FileStore store;
+  FileId a = *store.CreatePath("/bin/a", FileClass::kInstalled, B("a"));
+  FileId b = *store.CreatePath("/bin/b", FileClass::kInstalled, B("b"));
+  FileId c = *store.CreatePath("/bin/c", FileClass::kNormal, B("c"));
+  EXPECT_NE(store.CoverOf(a), store.CoverOf(b));
+
+  FileId bin = *store.Resolve("/bin");
+  ASSERT_TRUE(store.CoverDirectory(bin).ok());
+  // Installed files share the directory's key; the normal file keeps its
+  // own.
+  EXPECT_EQ(store.CoverOf(a), store.CoverOf(bin));
+  EXPECT_EQ(store.CoverOf(b), store.CoverOf(bin));
+  EXPECT_NE(store.CoverOf(c), store.CoverOf(bin));
+  std::vector<FileId> covered = store.FilesCovered(store.CoverOf(bin));
+  EXPECT_EQ(covered.size(), 3u);  // dir datum + 2 installed files
+  // Idempotent.
+  ASSERT_TRUE(store.CoverDirectory(bin).ok());
+  EXPECT_EQ(store.FilesCovered(store.CoverOf(bin)).size(), 3u);
+}
+
+TEST(FileStoreTest, DirCodecRoundTripAndMalformed) {
+  std::vector<DirEntry> entries = {
+      {"alpha", FileId(1), kModeRead | kModeWrite, FileClass::kNormal},
+      {"beta", FileId(2), kModeRead, FileClass::kInstalled},
+      {"gamma", FileId(3), 0, FileClass::kDirectory},
+  };
+  std::vector<uint8_t> bytes = EncodeDirectory(entries);
+  auto decoded = DecodeDirectory(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, entries);
+  EXPECT_EQ(FindEntry(*decoded, "beta")->file, FileId(2));
+  EXPECT_EQ(FindEntry(*decoded, "missing"), nullptr);
+
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DecodeDirectory(bytes).has_value());
+}
+
+TEST(FileStoreTest, AllFilesAndApproxBytes) {
+  FileStore store;
+  ASSERT_TRUE(store.CreatePath("/a", FileClass::kNormal,
+                               std::vector<uint8_t>(1000, 1))
+                  .ok());
+  EXPECT_EQ(store.file_count(), 2u);  // root + /a
+  EXPECT_EQ(store.AllFiles().size(), 2u);
+  EXPECT_GT(store.ApproxBytes(), 1000u);
+}
+
+TEST(DurableMetaTest, SaveLoadAndWriteAccounting) {
+  DurableMeta meta;
+  EXPECT_FALSE(meta.Load("max_term_us").has_value());
+  meta.Save("max_term_us", 10000000);
+  meta.CountWrite();
+  EXPECT_EQ(*meta.Load("max_term_us"), 10000000);
+  EXPECT_EQ(meta.write_count(), 1u);
+  meta.Save("max_term_us", 30000000);
+  meta.CountWrite();
+  EXPECT_EQ(*meta.Load("max_term_us"), 30000000);
+}
+
+}  // namespace
+}  // namespace leases

@@ -1,0 +1,163 @@
+// Unit tests for the Section 4 installed-files optimization: directory
+// cover keys, periodic multicast extension, no per-client state, and the
+// drop-from-multicast write path.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+struct InstalledRig {
+  std::unique_ptr<SimCluster> cluster;
+  FileId dir;
+  std::vector<FileId> tools;
+  LeaseKey key;
+
+  explicit InstalledRig(size_t clients = 3,
+                        Duration period = Duration::Seconds(2),
+                        Duration term = Duration::Seconds(10)) {
+    ClusterOptions options = MakeVClusterOptions(term, clients);
+    options.server.installed_optimization = true;
+    options.server.installed_multicast_period = period;
+    options.server.installed_term = term;
+    cluster = std::make_unique<SimCluster>(options);
+    for (int i = 0; i < 3; ++i) {
+      tools.push_back(*cluster->store().CreatePath(
+          "/usr/bin/tool" + std::to_string(i), FileClass::kInstalled,
+          Bytes("bin" + std::to_string(i))));
+    }
+    dir = *cluster->store().Resolve("/usr/bin");
+    EXPECT_TRUE(cluster->server().InstallDirectory(dir).ok());
+    key = cluster->store().CoverOf(dir);
+  }
+};
+
+TEST(InstalledTest, RequiresOptimizationEnabled) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 1));
+  ASSERT_TRUE(cluster.store()
+                  .CreatePath("/usr/bin/x", FileClass::kInstalled, Bytes("x"))
+                  .ok());
+  FileId dir = *cluster.store().Resolve("/usr/bin");
+  EXPECT_EQ(cluster.server().InstallDirectory(dir).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(InstalledTest, OneKeyCoversTheDirectory) {
+  InstalledRig rig;
+  for (FileId tool : rig.tools) {
+    EXPECT_EQ(rig.cluster->store().CoverOf(tool), rig.key);
+  }
+}
+
+TEST(InstalledTest, MulticastKeepsLeasesAliveIndefinitely) {
+  InstalledRig rig;
+  ASSERT_TRUE(rig.cluster->SyncRead(0, rig.tools[0]).ok());
+  // Run far past the 10 s term: periodic multicasts keep renewing.
+  rig.cluster->RunFor(Duration::Seconds(120));
+  Result<ReadResult> r = rig.cluster->SyncRead(0, rig.tools[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+  // The client never had to ASK for an extension.
+  EXPECT_EQ(rig.cluster->client(0).stats().extend_requests, 0u);
+  EXPECT_GT(rig.cluster->client(0).stats().installed_renewals, 10u);
+  EXPECT_GT(rig.cluster->server().stats().installed_multicasts, 10u);
+}
+
+TEST(InstalledTest, OneRenewalCoversAllFilesUnderTheKey) {
+  InstalledRig rig;
+  for (FileId tool : rig.tools) {
+    ASSERT_TRUE(rig.cluster->SyncRead(0, tool).ok());
+  }
+  rig.cluster->RunFor(Duration::Seconds(60));
+  uint64_t served = rig.cluster->server().stats().reads_served;
+  for (FileId tool : rig.tools) {
+    Result<ReadResult> r = rig.cluster->SyncRead(0, tool);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->from_cache);
+  }
+  EXPECT_EQ(rig.cluster->server().stats().reads_served, served);
+}
+
+TEST(InstalledTest, NoPerClientHolderState) {
+  InstalledRig rig;
+  for (size_t c = 0; c < 3; ++c) {
+    ASSERT_TRUE(rig.cluster->SyncRead(c, rig.tools[0]).ok());
+  }
+  // "This optimization also eliminates the need for the server to keep
+  // track of the leaseholders for installed files."
+  EXPECT_EQ(rig.cluster->server().lease_table().RecordCount(), 0u);
+}
+
+TEST(InstalledTest, WriteWaitsOutTheAdvertisedWindowNoCallbacks) {
+  InstalledRig rig;
+  ASSERT_TRUE(rig.cluster->SyncRead(0, rig.tools[0]).ok());
+  ASSERT_TRUE(rig.cluster->SyncRead(1, rig.tools[0]).ok());
+  rig.cluster->RunFor(Duration::Seconds(5));
+
+  TimePoint start = rig.cluster->sim().Now();
+  Result<WriteResult> w = rig.cluster->SyncWrite(
+      2, rig.tools[0], Bytes("new"), Duration::Seconds(30));
+  ASSERT_TRUE(w.ok());
+  Duration waited = rig.cluster->sim().Now() - start;
+  // Bounded by the advertised window (<= term), achieved with ZERO
+  // approval traffic ("eliminates ... the resulting implosion of
+  // responses").
+  EXPECT_GT(waited, Duration::Seconds(1));
+  EXPECT_LE(waited, Duration::Seconds(10) + Duration::Millis(100));
+  EXPECT_EQ(rig.cluster->server().stats().approval_rounds, 0u);
+  EXPECT_EQ(rig.cluster->oracle().violations(), 0u);
+}
+
+TEST(InstalledTest, KeyDroppedFromMulticastWhileWritePending) {
+  InstalledRig rig;
+  ASSERT_TRUE(rig.cluster->SyncRead(0, rig.tools[0]).ok());
+  bool done = false;
+  rig.cluster->client(2).Write(rig.tools[0], Bytes("new"),
+                               [&](Result<WriteResult> r) {
+                                 ASSERT_TRUE(r.ok());
+                                 done = true;
+                               });
+  // While the write waits, client 0's lease stops being renewed: after the
+  // remaining window it cannot serve locally any more.
+  rig.cluster->RunFor(Duration::Seconds(11));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(rig.cluster->client(0).HasValidLease(rig.tools[0]));
+  // After commit the key is advertised again; a fresh read re-caches and
+  // multicasts keep it alive.
+  Result<ReadResult> r = rig.cluster->SyncRead(0, rig.tools[0]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Text(r->data), "new");
+  rig.cluster->RunFor(Duration::Seconds(30));
+  EXPECT_TRUE(rig.cluster->client(0).HasValidLease(rig.tools[0]));
+}
+
+TEST(InstalledTest, LateJoiningClientGetsRenewalsToo) {
+  InstalledRig rig;
+  rig.cluster->RunFor(Duration::Seconds(30));
+  ASSERT_TRUE(rig.cluster->SyncRead(2, rig.tools[1]).ok());
+  rig.cluster->RunFor(Duration::Seconds(60));
+  Result<ReadResult> r = rig.cluster->SyncRead(2, rig.tools[1]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->from_cache);
+}
+
+TEST(InstalledTest, ConsistencyHoldsAcrossInstalledUpdates) {
+  InstalledRig rig(3, Duration::Seconds(1), Duration::Seconds(3));
+  for (int round = 0; round < 5; ++round) {
+    for (size_t c = 0; c < 3; ++c) {
+      ASSERT_TRUE(rig.cluster->SyncRead(c, rig.tools[0]).ok());
+    }
+    ASSERT_TRUE(rig.cluster
+                    ->SyncWrite(round % 3, rig.tools[0],
+                                Bytes("v" + std::to_string(round)),
+                                Duration::Seconds(30))
+                    .ok());
+    rig.cluster->RunFor(Duration::Seconds(2));
+  }
+  EXPECT_EQ(rig.cluster->oracle().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

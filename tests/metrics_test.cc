@@ -1,0 +1,92 @@
+// Unit tests for the metrics helpers.
+#include <gtest/gtest.h>
+
+#include "src/metrics/metrics.h"
+#include "src/metrics/table.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+namespace {
+
+TEST(HistogramTest, BasicStatistics) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 4.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Record(-5.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+}
+
+TEST(HistogramTest, QuantilesApproximateOrder) {
+  Histogram h;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(rng.NextExponential(1.0));  // mean 1, median ~0.693
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 0.693, 0.693 * 0.3);
+  EXPECT_GT(h.Quantile(0.99), h.Quantile(0.5));
+  EXPECT_LE(h.Quantile(1.0), h.Max() + 1e-12);
+  EXPECT_NEAR(h.Mean(), 1.0, 0.02);
+}
+
+TEST(HistogramTest, DurationsAndSummary) {
+  Histogram h;
+  h.RecordDuration(Duration::Millis(5));
+  h.RecordDuration(Duration::Millis(10));
+  EXPECT_NEAR(h.Mean(), 0.0075, 1e-9);
+  std::string summary = h.Summary();
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(1.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Max(), 0.0);
+}
+
+TEST(MeanVarTest, WelfordMatchesClosedForm) {
+  MeanVar mv;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    mv.Record(v);
+  }
+  EXPECT_DOUBLE_EQ(mv.mean(), 5.0);
+  EXPECT_NEAR(mv.variance(), 32.0 / 7.0, 1e-9);
+  EXPECT_EQ(mv.count(), 8u);
+}
+
+TEST(SeriesTableTest, CsvOutput) {
+  SeriesTable table({"a", "b"});
+  table.AddRow({1.0, 2.5});
+  table.AddRow({3.0, 4.125});
+  std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "a,b\n1,2.5\n3,4.125\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_EQ(table.row(1)[1], 4.125);
+}
+
+TEST(SeriesTableTest, PrintAlignsColumns) {
+  SeriesTable table({"term", "load"});
+  table.AddRow({10, 0.105});
+  char buffer[256] = {};
+  FILE* mem = fmemopen(buffer, sizeof(buffer), "w");
+  table.Print(mem, 3);
+  std::fclose(mem);
+  std::string out(buffer);
+  EXPECT_NE(out.find("term"), std::string::npos);
+  EXPECT_NE(out.find("0.105"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace leases

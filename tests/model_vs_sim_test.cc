@@ -1,0 +1,86 @@
+// Validation of the analytic model against the discrete-event simulation --
+// the paper's own check ("the proximity of this curve to the no-sharing
+// curve ... validates the model", Section 3.2), run in both directions:
+// extension load and write-approval load.
+#include <gtest/gtest.h>
+
+#include "src/analytic/model.h"
+#include "src/workload/poisson_driver.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+WorkloadReport RunPoisson(Duration term, size_t sharing, uint64_t seed,
+                          Duration measure = Duration::Seconds(2000)) {
+  SimCluster cluster(MakeVClusterOptions(term, /*num_clients=*/20, seed));
+  PoissonOptions options;
+  options.sharing = sharing;
+  options.measure = measure;
+  options.seed = seed;
+  PoissonDriver driver(&cluster, options);
+  driver.Setup();
+  return driver.Run();
+}
+
+TEST(ModelVsSim, ZeroTermLoadIsTwoNR) {
+  WorkloadReport report = RunPoisson(Duration::Zero(), 1, 11);
+  LeaseModel model(SystemParams::VSystem(1));
+  double expected = model.ConsistencyLoad(Duration::Zero());  // 2NR
+  EXPECT_NEAR(report.ConsistencyMsgsPerSec(), expected, expected * 0.06);
+  EXPECT_EQ(report.oracle_violations, 0u);
+}
+
+TEST(ModelVsSim, TenSecondTermMatchesModelAtS1) {
+  WorkloadReport report = RunPoisson(Duration::Seconds(10), 1, 12);
+  LeaseModel model(SystemParams::VSystem(1));
+  double expected = model.ConsistencyLoad(Duration::Seconds(10));
+  EXPECT_NEAR(report.ConsistencyMsgsPerSec(), expected, expected * 0.12);
+}
+
+TEST(ModelVsSim, ThirtySecondTermMatchesModelAtS1) {
+  WorkloadReport report = RunPoisson(Duration::Seconds(30), 1, 13);
+  LeaseModel model(SystemParams::VSystem(1));
+  double expected = model.ConsistencyLoad(Duration::Seconds(30));
+  EXPECT_NEAR(report.ConsistencyMsgsPerSec(), expected, expected * 0.15);
+}
+
+TEST(ModelVsSim, SharedWritesAddApprovalTraffic) {
+  // S = 10: formula (1) adds N*S*W approval messages per second.
+  WorkloadReport report = RunPoisson(Duration::Seconds(10), 10, 14);
+  LeaseModel model(SystemParams::VSystem(10));
+  double expected = model.ConsistencyLoad(Duration::Seconds(10));
+  // The simulation's effective S is slightly below 10 (leases lapse between
+  // reads), so allow a wider band but require the approval term's presence:
+  double extension_only =
+      LeaseModel(SystemParams::VSystem(1)).ConsistencyLoad(
+          Duration::Seconds(10));
+  EXPECT_GT(report.ConsistencyMsgsPerSec(), extension_only * 1.5);
+  EXPECT_LT(report.ConsistencyMsgsPerSec(), expected * 1.15);
+  EXPECT_EQ(report.oracle_violations, 0u);
+}
+
+TEST(ModelVsSim, ReadDelayMatchesFormulaTwo) {
+  // At t_s = 10 s, mean added read delay = (2m_prop+4m_proc)/(1+R t_c).
+  WorkloadReport report = RunPoisson(Duration::Seconds(10), 1, 15);
+  LeaseModel model(SystemParams::VSystem(1));
+  double tc = model.EffectiveTerm(Duration::Seconds(10)).ToSeconds();
+  double expected =
+      model.ExtensionDelay().ToSeconds() / (1.0 + 0.864 * tc);
+  EXPECT_NEAR(report.read_delay.Mean(), expected, expected * 0.15);
+}
+
+TEST(ModelVsSim, LongerTermsReduceLoadMonotonically) {
+  double prev = 1e18;
+  for (int term_s : {0, 2, 5, 10, 30}) {
+    WorkloadReport report =
+        RunPoisson(Duration::Seconds(term_s), 1, 16,
+                   Duration::Seconds(1000));
+    double load = report.ConsistencyMsgsPerSec();
+    EXPECT_LT(load, prev) << "term " << term_s;
+    prev = load;
+  }
+}
+
+}  // namespace
+}  // namespace leases

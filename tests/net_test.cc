@@ -1,0 +1,244 @@
+// Unit tests for the simulated network: the paper's exact message cost
+// model, loss, partitions, crash semantics and load accounting.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/sim_network.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+namespace {
+
+class Recorder : public PacketHandler {
+ public:
+  struct Received {
+    NodeId from;
+    MessageClass cls;
+    std::vector<uint8_t> bytes;
+    TimePoint at;
+  };
+
+  explicit Recorder(Simulator* sim) : sim_(sim) {}
+
+  void HandlePacket(NodeId from, MessageClass cls,
+                    std::span<const uint8_t> bytes) override {
+    received.push_back(Received{from, cls,
+                                std::vector<uint8_t>(bytes.begin(),
+                                                     bytes.end()),
+                                sim_->Now()});
+    if (reply_to_sender) {
+      transport->Send(from, MessageClass::kConsistency, {0x99});
+    }
+  }
+
+  Simulator* sim_;
+  Transport* transport = nullptr;
+  bool reply_to_sender = false;
+  std::vector<Received> received;
+};
+
+struct Rig {
+  Simulator sim;
+  NetworkParams params;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::unique_ptr<Recorder>> nodes;
+  std::vector<SimTransport*> transports;
+
+  explicit Rig(size_t n, NetworkParams p = NetworkParams{}) : params(p) {
+    net = std::make_unique<SimNetwork>(&sim, p);
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<Recorder>(&sim));
+      transports.push_back(
+          net->AttachNode(NodeId(static_cast<uint32_t>(i + 1)),
+                          nodes.back().get()));
+      nodes.back()->transport = transports.back();
+    }
+  }
+};
+
+TEST(SimNetworkTest, UnicastDeliveryTimeIsPropPlusTwoProc) {
+  // "a message is received m_prop + 2*m_proc after it is sent"
+  Rig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1, 2, 3});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  Duration latency = rig.nodes[1]->received[0].at - TimePoint::Epoch();
+  EXPECT_EQ(latency, rig.params.prop_delay + rig.params.proc_time * 2);
+  EXPECT_EQ(rig.nodes[1]->received[0].bytes, (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(rig.nodes[1]->received[0].from, NodeId(1));
+}
+
+TEST(SimNetworkTest, RequestResponseCostsTwoPropFourProc) {
+  // Unicast request + reply = 2*m_prop + 4*m_proc (Table 1 discussion).
+  Rig rig(2);
+  rig.nodes[1]->reply_to_sender = true;
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[0]->received.size(), 1u);
+  Duration rtt = rig.nodes[0]->received[0].at - TimePoint::Epoch();
+  EXPECT_EQ(rtt, rig.params.prop_delay * 2 + rig.params.proc_time * 4);
+}
+
+class MulticastCost : public ::testing::TestWithParam<int> {};
+
+TEST_P(MulticastCost, MulticastWithNRepliesMatchesFormula) {
+  // "it requires time 2*m_prop + (n+3)*m_proc to send a multicast message
+  // and receive n replies" -- the replies serialize on the sender's CPU.
+  int n = GetParam();
+  Rig rig(static_cast<size_t>(n) + 1);
+  std::vector<NodeId> dst;
+  for (int i = 0; i < n; ++i) {
+    rig.nodes[static_cast<size_t>(i) + 1]->reply_to_sender = true;
+    dst.push_back(NodeId(static_cast<uint32_t>(i + 2)));
+  }
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency, {7});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[0]->received.size(), static_cast<size_t>(n));
+  TimePoint last;
+  for (const auto& msg : rig.nodes[0]->received) {
+    last = std::max(last, msg.at);
+  }
+  Duration expected =
+      rig.params.prop_delay * 2 + rig.params.proc_time * (n + 3);
+  EXPECT_EQ(last - TimePoint::Epoch(), expected) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanout, MulticastCost,
+                         ::testing::Values(1, 2, 5, 9, 19, 39));
+
+TEST(SimNetworkTest, SenderCpuSerializesBackToBackSends) {
+  Rig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {2});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 2u);
+  Duration gap = rig.nodes[1]->received[1].at - rig.nodes[1]->received[0].at;
+  // The second message waits for the sender CPU (m_proc), then the
+  // receiver CPU also serializes -- net effect: one m_proc apart.
+  EXPECT_EQ(gap, rig.params.proc_time);
+}
+
+TEST(SimNetworkTest, NoSelfDelivery) {
+  Rig rig(2);
+  NodeId self(1);
+  NodeId dsts[2] = {self, NodeId(2)};
+  rig.transports[0]->Multicast(dsts, MessageClass::kData, {1});
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[0]->received.empty());
+  EXPECT_EQ(rig.nodes[1]->received.size(), 1u);
+}
+
+TEST(SimNetworkTest, LossDropsApproximatelyTheConfiguredFraction) {
+  NetworkParams params;
+  params.loss_prob = 0.25;
+  params.seed = 42;
+  Rig rig(2, params);
+  const int kSends = 10000;
+  for (int i = 0; i < kSends; ++i) {
+    rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  }
+  rig.sim.RunUntilIdle();
+  double delivered = static_cast<double>(rig.nodes[1]->received.size());
+  EXPECT_NEAR(delivered / kSends, 0.75, 0.02);
+  EXPECT_EQ(rig.net->stats(NodeId(1)).dropped_loss,
+            kSends - rig.nodes[1]->received.size());
+}
+
+TEST(SimNetworkTest, PartitionBlocksBothDirectionsUntilHealed) {
+  Rig rig(2);
+  rig.net->SetPartitioned(NodeId(1), NodeId(2), true);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.transports[1]->Send(NodeId(1), MessageClass::kData, {2});
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[0]->received.empty());
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_EQ(rig.net->stats(NodeId(1)).dropped_partition, 1u);
+
+  rig.net->SetPartitioned(NodeId(1), NodeId(2), false);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {3});
+  rig.sim.RunUntilIdle();
+  EXPECT_EQ(rig.nodes[1]->received.size(), 1u);
+}
+
+TEST(SimNetworkTest, IsolateNodeCutsAllPairs) {
+  Rig rig(3);
+  rig.net->IsolateNode(NodeId(2), true);
+  EXPECT_TRUE(rig.net->ArePartitioned(NodeId(1), NodeId(2)));
+  EXPECT_TRUE(rig.net->ArePartitioned(NodeId(2), NodeId(3)));
+  EXPECT_FALSE(rig.net->ArePartitioned(NodeId(1), NodeId(3)));
+  rig.net->IsolateNode(NodeId(2), false);
+  EXPECT_FALSE(rig.net->ArePartitioned(NodeId(1), NodeId(2)));
+}
+
+TEST(SimNetworkTest, DownNodeReceivesNothing) {
+  Rig rig(2);
+  rig.net->SetNodeUp(NodeId(2), false);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  rig.net->SetNodeUp(NodeId(2), true);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {2});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(rig.nodes[1]->received[0].bytes[0], 2);
+}
+
+TEST(SimNetworkTest, MessagesInFlightAtCrashAreLost) {
+  Rig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  // Crash strictly between send and delivery.
+  rig.sim.ScheduleAfter(Duration::Micros(100), [&]() {
+    rig.net->SetNodeUp(NodeId(2), false);
+  });
+  rig.sim.ScheduleAfter(Duration::Millis(10), [&]() {
+    rig.net->SetNodeUp(NodeId(2), true);
+  });
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+}
+
+TEST(SimNetworkTest, DownSenderCannotSend) {
+  Rig rig(2);
+  rig.net->SetNodeUp(NodeId(1), false);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_EQ(rig.net->stats(NodeId(1)).TotalSent(), 0u);
+}
+
+TEST(SimNetworkTest, ReplaceHandlerDropsOldInFlight) {
+  Rig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  Recorder fresh(&rig.sim);
+  rig.net->ReplaceHandler(NodeId(2), &fresh);
+  rig.sim.RunUntilIdle();
+  // The in-flight message belonged to the old incarnation.
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_TRUE(fresh.received.empty());
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {2});
+  rig.sim.RunUntilIdle();
+  EXPECT_EQ(fresh.received.size(), 1u);
+}
+
+TEST(SimNetworkTest, StatsCountHandledByClassAndMulticastOnce) {
+  Rig rig(3);
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency, {1});
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {2});
+  rig.sim.RunUntilIdle();
+  const NodeMessageStats& sender = rig.net->stats(NodeId(1));
+  // One multicast counts as ONE sent message (the paper's "total of S
+  // messages" accounting), plus the unicast.
+  EXPECT_EQ(sender.sent[static_cast<int>(MessageClass::kConsistency)], 1u);
+  EXPECT_EQ(sender.sent[static_cast<int>(MessageClass::kData)], 1u);
+  EXPECT_EQ(sender.Handled(), 2u);
+  EXPECT_EQ(rig.net->stats(NodeId(2)).TotalReceived(), 2u);
+  EXPECT_EQ(rig.net->stats(NodeId(3)).TotalReceived(), 1u);
+  EXPECT_EQ(rig.net->TotalHandled(), 5u);
+  rig.net->ResetStats();
+  EXPECT_EQ(rig.net->TotalHandled(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

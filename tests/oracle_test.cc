@@ -1,0 +1,98 @@
+// Unit tests for the consistency oracle's scoring rules.
+#include <gtest/gtest.h>
+
+#include "src/core/oracle.h"
+
+namespace leases {
+namespace {
+
+TEST(OracleTest, ReadAtOrAboveAckedFloorIsFine) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnCommit(FileId(1), 2);
+  oracle.OnAcked(FileId(1), 2);
+  Oracle::ReadToken token = oracle.BeginRead(FileId(1), NodeId(5));
+  oracle.EndRead(token, 2);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 3);
+  EXPECT_EQ(oracle.violations(), 0u);
+  EXPECT_EQ(oracle.reads_checked(), 2u);
+}
+
+TEST(OracleTest, ReadBelowAckedFloorIsStale) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnAcked(FileId(1), 5);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 3);
+  EXPECT_EQ(oracle.stale_reads(), 1u);
+  EXPECT_EQ(oracle.staleness_total(), 2u);  // 5 - 3
+  EXPECT_FALSE(oracle.violation_log().empty());
+}
+
+TEST(OracleTest, AppliedButUnackedDoesNotRaiseFloor) {
+  // A write that committed at the server but whose ack never reached the
+  // writer is not yet observable-required (single-copy equivalence applies
+  // to COMPLETED writes).
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnCommit(FileId(1), 5);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 3);
+  EXPECT_EQ(oracle.violations(), 0u);
+  EXPECT_EQ(oracle.commits(), 1u);
+}
+
+TEST(OracleTest, FloorCapturedAtReadStartNotCompletion) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnAcked(FileId(1), 1);
+  Oracle::ReadToken token = oracle.BeginRead(FileId(1), NodeId(5));
+  // A write completes while the read is in flight; returning the older
+  // version is still linearizable.
+  oracle.OnAcked(FileId(1), 2);
+  oracle.EndRead(token, 1);
+  EXPECT_EQ(oracle.violations(), 0u);
+}
+
+TEST(OracleTest, PerClientVersionRegressionIsFlagged) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 4);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 3);
+  EXPECT_EQ(oracle.regression_reads(), 1u);
+  // A different client seeing 3 first is fine (separate session).
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(6)), 3);
+  EXPECT_EQ(oracle.regression_reads(), 1u);
+}
+
+TEST(OracleTest, FilesAreIndependent) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnAcked(FileId(1), 9);
+  oracle.EndRead(oracle.BeginRead(FileId(2), NodeId(5)), 1);
+  EXPECT_EQ(oracle.violations(), 0u);
+}
+
+TEST(OracleTest, AckedFloorIsMonotone) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnAcked(FileId(1), 5);
+  oracle.OnAcked(FileId(1), 3);  // late duplicate ack must not lower it
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 4);
+  EXPECT_EQ(oracle.stale_reads(), 1u);
+}
+
+TEST(OracleTest, ResetClearsEverything) {
+  Simulator sim;
+  Oracle oracle(&sim);
+  oracle.OnAcked(FileId(1), 5);
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 1);
+  EXPECT_GT(oracle.violations(), 0u);
+  oracle.Reset();
+  EXPECT_EQ(oracle.violations(), 0u);
+  EXPECT_EQ(oracle.reads_checked(), 0u);
+  EXPECT_TRUE(oracle.violation_log().empty());
+  oracle.EndRead(oracle.BeginRead(FileId(1), NodeId(5)), 0);
+  EXPECT_EQ(oracle.violations(), 0u);  // floor gone after reset
+}
+
+}  // namespace
+}  // namespace leases

@@ -1,0 +1,194 @@
+// Tests for the two recovery strategies of Section 2 and for client cache
+// eviction:
+//
+//   * default: persist only the maximum granted term; after a restart hold
+//     all writes for that long;
+//   * persist_lease_records: one durable write per grant buys instant
+//     recovery with holders intact ("the additional I/O traffic is unlikely
+//     to be justified unless terms of leases are much longer than the time
+//     to recover");
+//   * finite caches: LRU eviction with lease relinquish.
+#include <gtest/gtest.h>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+TEST(PersistedLeasesTest, RestartSkipsRecoveryWindow) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.server.persist_lease_records = true;
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+
+  // No recovery window: the holder set was durably recorded.
+  EXPECT_FALSE(cluster.server().InRecovery());
+  EXPECT_EQ(cluster.server().stats().recovered_lease_records, 1u);
+
+  // A write right after restart proceeds immediately -- and still consults
+  // the recovered holder, who invalidates as usual.
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> w = cluster.SyncWrite(1, file, Bytes("v2"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_LT(cluster.sim().Now() - start, Duration::Millis(100));
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 1u);
+  EXPECT_FALSE(cluster.client(0).HasCached(file));
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(PersistedLeasesTest, RecoveredHolderStillProtectedWhenPartitioned) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.server.persist_lease_records = true;
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.RunFor(Duration::Seconds(2));
+  cluster.CrashServer();
+  cluster.RestartServer();
+  cluster.PartitionClient(0, true);
+
+  // The write must wait out the RECOVERED lease's remaining term -- the
+  // durable record preserved the exact expiry, not a blanket window.
+  TimePoint start = cluster.sim().Now();
+  ASSERT_TRUE(cluster
+                  .SyncWrite(1, file, Bytes("v2"), Duration::Seconds(30))
+                  .ok());
+  Duration waited = cluster.sim().Now() - start;
+  EXPECT_GT(waited, Duration::Seconds(6));
+  EXPECT_LT(waited, Duration::Seconds(9));
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(PersistedLeasesTest, ExpiredRecordsPrunedAtReload) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(2), 2);
+  options.server.persist_lease_records = true;
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(5));  // lease long dead
+  cluster.RestartServer();
+  EXPECT_EQ(cluster.server().stats().recovered_lease_records, 0u);
+  // Write proceeds with no holders and no window.
+  TimePoint start = cluster.sim().Now();
+  ASSERT_TRUE(cluster.SyncWrite(1, file, Bytes("v2")).ok());
+  EXPECT_LT(cluster.sim().Now() - start, Duration::Millis(100));
+}
+
+TEST(PersistedLeasesTest, CostsOneDurableWritePerGrant) {
+  // The trade the paper calls out: grants now hit persistent storage.
+  for (bool persist : {false, true}) {
+    ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 1);
+    options.server.persist_lease_records = persist;
+    SimCluster cluster(options);
+    FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                              Bytes("x"));
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+      cluster.RunFor(Duration::Seconds(6));  // lapse; next read re-grants
+    }
+    uint64_t grants = cluster.server().stats().leases_granted;
+    EXPECT_EQ(grants, 10u);
+    // Covered indirectly: with persist off the only durable write is the
+    // single max-term record; with persist on, >= one per grant. The
+    // DurableMeta lives inside the cluster, so observe via behaviour above;
+    // the accounting itself is unit-tested in fs_test.
+  }
+}
+
+TEST(CacheEvictionTest, CapacityEnforcedLruVictim) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(30), 1);
+  options.client.max_cached_files = 3;
+  SimCluster cluster(options);
+  std::vector<FileId> files;
+  for (int i = 0; i < 5; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/f" + std::to_string(i), FileClass::kNormal, Bytes("x")));
+  }
+  // Touch 0,1,2 in order; 0 is oldest.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster.SyncRead(0, files[i]).ok());
+    cluster.RunFor(Duration::Millis(10));
+  }
+  EXPECT_EQ(cluster.client(0).cache_size(), 3u);
+  // Reading a 4th file evicts file 0 (LRU).
+  ASSERT_TRUE(cluster.SyncRead(0, files[3]).ok());
+  EXPECT_EQ(cluster.client(0).cache_size(), 3u);
+  EXPECT_FALSE(cluster.client(0).HasCached(files[0]));
+  EXPECT_TRUE(cluster.client(0).HasCached(files[1]));
+  EXPECT_EQ(cluster.client(0).stats().evictions, 1u);
+}
+
+TEST(CacheEvictionTest, EvictionRelinquishesTheLease) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(30), 2);
+  options.client.max_cached_files = 1;
+  SimCluster cluster(options);
+  FileId a = *cluster.store().CreatePath("/a", FileClass::kNormal, Bytes("x"));
+  FileId b = *cluster.store().CreatePath("/b", FileClass::kNormal, Bytes("x"));
+  ASSERT_TRUE(cluster.SyncRead(0, a).ok());
+  ASSERT_TRUE(cluster.SyncRead(0, b).ok());  // evicts a, relinquishes
+  cluster.RunFor(Duration::Millis(10));
+  EXPECT_EQ(cluster.server().ActiveLeaseCount(cluster.store().CoverOf(a)),
+            0u);
+  // So a write to the evicted file needs no callback -- eviction removed
+  // the false sharing the paper warns about.
+  ASSERT_TRUE(cluster.SyncWrite(1, a, Bytes("y")).ok());
+  EXPECT_EQ(cluster.server().stats().approval_rounds, 0u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(CacheEvictionTest, DirtyEntriesAreNotEvicted) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(30), 1);
+  options.client.max_cached_files = 1;
+  options.client.write_back = true;
+  options.client.write_back_delay = Duration::Seconds(60);  // stays dirty
+  SimCluster cluster(options);
+  FileId a = *cluster.store().CreatePath("/a", FileClass::kNormal, Bytes("x"));
+  FileId b = *cluster.store().CreatePath("/b", FileClass::kNormal, Bytes("x"));
+  ASSERT_TRUE(cluster.SyncRead(0, a).ok());
+  ASSERT_TRUE(cluster.SyncWrite(0, a, Bytes("dirty")).ok());  // staged
+  ASSERT_TRUE(cluster.SyncRead(0, b).ok());  // would evict a, but it's dirty
+  EXPECT_TRUE(cluster.client(0).HasCached(a));
+  // No data loss: the staged write still flushes on demand.
+  bool flushed = false;
+  cluster.client(0).Flush(a, [&](Result<WriteResult> r) {
+    ASSERT_TRUE(r.ok());
+    flushed = true;
+  });
+  cluster.RunFor(Duration::Millis(50));
+  EXPECT_TRUE(flushed);
+  EXPECT_EQ(Text(cluster.store().Find(a)->data), "dirty");
+}
+
+TEST(CacheEvictionTest, EvictedFileRefetchesConsistently) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(30), 2);
+  options.client.max_cached_files = 2;
+  SimCluster cluster(options);
+  std::vector<FileId> files;
+  for (int i = 0; i < 4; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/f" + std::to_string(i), FileClass::kNormal, Bytes("v1")));
+  }
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(cluster.SyncRead(0, files[static_cast<size_t>(i)]).ok());
+    }
+    ASSERT_TRUE(cluster
+                    .SyncWrite(1, files[static_cast<size_t>(round % 4)],
+                               Bytes("v" + std::to_string(round)))
+                    .ok());
+  }
+  EXPECT_GT(cluster.client(0).stats().evictions, 5u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

@@ -1,0 +1,220 @@
+// Unit tests for the discrete-event simulator and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(Duration::Millis(30), [&]() { order.push_back(3); });
+  sim.ScheduleAfter(Duration::Millis(10), [&]() { order.push_back(1); });
+  sim.ScheduleAfter(Duration::Millis(20), [&]() { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), TimePoint::Epoch() + Duration::Millis(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(Duration::Millis(5), [&, i]() { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  EventId id = sim.ScheduleAfter(Duration::Millis(5), [&]() { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // double cancel
+  sim.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.ScheduleAfter(Duration::Millis(1), []() {});
+  sim.RunUntilIdle();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeEvenWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(TimePoint::Epoch() + Duration::Seconds(5));
+  EXPECT_EQ(sim.Now(), TimePoint::Epoch() + Duration::Seconds(5));
+  sim.RunFor(Duration::Seconds(2));
+  EXPECT_EQ(sim.Now(), TimePoint::Epoch() + Duration::Seconds(7));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool late_ran = false;
+  sim.ScheduleAfter(Duration::Seconds(10), [&]() { late_ran = true; });
+  sim.RunUntil(TimePoint::Epoch() + Duration::Seconds(5));
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunFor(Duration::Seconds(10));
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(SimulatorTest, ScheduleIntoPastClampsToNow) {
+  Simulator sim;
+  sim.RunFor(Duration::Seconds(10));
+  TimePoint fired;
+  sim.ScheduleAt(TimePoint::Epoch() + Duration::Seconds(1),
+                 [&]() { fired = sim.Now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, TimePoint::Epoch() + Duration::Seconds(10));
+}
+
+TEST(SimulatorTest, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 100) {
+      sim.ScheduleAfter(Duration::Micros(1), chain);
+    }
+  };
+  sim.ScheduleAfter(Duration::Micros(1), chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAfter(Duration::Millis(1), [&]() { ++count; });
+  sim.ScheduleAfter(Duration::Millis(2), [&]() { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, StepSkipsCancelledEvents) {
+  Simulator sim;
+  int count = 0;
+  EventId a = sim.ScheduleAfter(Duration::Millis(1), [&]() { ++count; });
+  sim.ScheduleAfter(Duration::Millis(2), [&]() { ++count; });
+  sim.Cancel(a);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.Now(), TimePoint::Epoch() + Duration::Millis(2));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  EXPECT_NE(Rng(123).NextU64(), c.NextU64());
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsInRangeAndRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(55);
+  Rng child = parent.Fork();
+  // The child stream differs from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.NextU64() != child.NextU64()) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class ExponentialMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMoments, MeanMatchesRate) {
+  double rate = GetParam();
+  Rng rng(static_cast<uint64_t>(rate * 1000) + 3);
+  double sum = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextExponential(rate);
+    ASSERT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.02 / rate);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialMoments,
+                         ::testing::Values(0.04, 0.864, 2.0, 10.0, 100.0));
+
+class PoissonMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMoments, MeanAndVarianceMatch) {
+  double mean = GetParam();
+  Rng rng(static_cast<uint64_t>(mean * 100) + 17);
+  double sum = 0;
+  double sumsq = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = static_cast<double>(rng.NextPoisson(mean));
+    sum += x;
+    sumsq += x * x;
+  }
+  double m = sum / kDraws;
+  double var = sumsq / kDraws - m * m;
+  EXPECT_NEAR(m, mean, 0.05 * mean + 0.02);
+  EXPECT_NEAR(var, mean, 0.10 * mean + 0.05);  // Poisson: var == mean
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMoments,
+                         ::testing::Values(0.1, 1.0, 8.0, 50.0, 200.0));
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(31);
+  double sum = 0;
+  double sumsq = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.NextGaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sumsq / kDraws, 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace leases

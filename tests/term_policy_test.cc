@@ -1,0 +1,175 @@
+// Unit tests for lease-term policies, especially the Section 4 adaptive
+// policy ("a server can dynamically pick lease terms ... using the analytic
+// model").
+#include <gtest/gtest.h>
+
+#include "src/analytic/model.h"
+#include "src/core/term_policy.h"
+
+namespace leases {
+namespace {
+
+TimePoint At(double seconds) {
+  return TimePoint::Epoch() + Duration::Seconds(seconds);
+}
+
+TEST(FixedPolicyTest, ReturnsConfiguredTerm) {
+  FixedTermPolicy policy(Duration::Seconds(10));
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2)),
+            Duration::Seconds(10));
+  EXPECT_EQ(ZeroTermPolicy()->TermFor(FileId(1), FileClass::kNormal,
+                                      NodeId(2)),
+            Duration::Zero());
+  EXPECT_TRUE(InfiniteTermPolicy()
+                  ->TermFor(FileId(1), FileClass::kNormal, NodeId(2))
+                  .IsInfinite());
+}
+
+TEST(ClassPolicyTest, PerClassTerms) {
+  ClassTermPolicy policy(Duration::Seconds(10), Duration::Seconds(60),
+                         Duration::Seconds(30));
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2)),
+            Duration::Seconds(10));
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kInstalled, NodeId(2)),
+            Duration::Seconds(60));
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kDirectory, NodeId(2)),
+            Duration::Seconds(30));
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kTemporary, NodeId(2)),
+            Duration::Seconds(10));
+}
+
+TEST(AdaptivePolicyTest, ConvergesToObservedReadRate) {
+  AdaptiveTermPolicy policy;
+  // Feed reads at exactly 2/s for a while.
+  for (int i = 0; i < 600; ++i) {
+    policy.OnRead(FileId(1), At(i * 0.5));
+  }
+  EXPECT_NEAR(policy.EstimatedReadRate(FileId(1)), 2.0, 0.2);
+}
+
+class AdaptiveRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveRateSweep, TracksConstantRates) {
+  double rate = GetParam();
+  AdaptiveTermPolicy policy;
+  double t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 1.0 / rate;
+    policy.OnRead(FileId(1), At(t));
+  }
+  EXPECT_NEAR(policy.EstimatedReadRate(FileId(1)), rate, rate * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AdaptiveRateSweep,
+                         ::testing::Values(0.1, 0.864, 2.0, 10.0));
+
+TEST(AdaptivePolicyTest, VParametersYieldAboutTenSeconds) {
+  // With R = 0.864/s, W = 0.04/s and S = 1, the default 10% load margin
+  // picks t_c = 9/R ~ 10.4 s -- the paper's recommended ballpark.
+  AdaptiveTermPolicy policy;
+  double t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 1.0 / 0.864;
+    policy.OnRead(FileId(1), At(t));
+    if (i % 22 == 0) {  // ~ rate ratio 21.6
+      policy.OnWrite(FileId(1), 1, At(t));
+    }
+  }
+  Duration term = policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2));
+  EXPECT_GT(term, Duration::Seconds(8));
+  EXPECT_LT(term, Duration::Seconds(14));
+}
+
+TEST(AdaptivePolicyTest, HeavyWriteSharingGetsZeroTerm) {
+  // "a heavily write-shared file might be given a lease term of zero"
+  AdaptiveTermPolicy policy;
+  double t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 0.5;
+    policy.OnRead(FileId(1), At(t));
+    policy.OnWrite(FileId(1), /*holders=*/8, At(t + 0.1));
+  }
+  EXPECT_LE(policy.Alpha(FileId(1)), 1.0);
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2)),
+            Duration::Zero());
+}
+
+TEST(AdaptivePolicyTest, InstalledFilesGetMaxTerm) {
+  AdaptiveTermPolicy::Options options;
+  options.max_term = Duration::Seconds(60);
+  AdaptiveTermPolicy policy(options);
+  Duration term = policy.TermFor(FileId(1), FileClass::kInstalled, NodeId(2));
+  EXPECT_GE(term, Duration::Seconds(60));
+}
+
+TEST(AdaptivePolicyTest, GrantAllowanceCompensatesShortening) {
+  // "A lease given to a distant client could be increased to compensate."
+  AdaptiveTermPolicy::Options options;
+  options.grant_allowance = Duration::Millis(500);
+  options.min_term = Duration::Seconds(5);
+  AdaptiveTermPolicy policy(options);
+  Duration term = policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2));
+  // min_term clamp + allowance.
+  EXPECT_GE(term, Duration::Seconds(5) + Duration::Millis(500));
+}
+
+TEST(AdaptivePolicyTest, TermClampedToConfiguredRange) {
+  AdaptiveTermPolicy::Options options;
+  options.min_term = Duration::Seconds(2);
+  options.max_term = Duration::Seconds(20);
+  options.grant_allowance = Duration::Zero();
+  AdaptiveTermPolicy policy(options);
+  // Very fast reader: unclamped t_c would be tiny.
+  double t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += 0.001;
+    policy.OnRead(FileId(1), At(t));
+  }
+  EXPECT_GE(policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2)),
+            Duration::Seconds(2));
+  // Very slow reader: unclamped t_c would be huge.
+  AdaptiveTermPolicy slow(options);
+  t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += 1000.0;
+    slow.OnRead(FileId(2), At(t));
+  }
+  EXPECT_LE(slow.TermFor(FileId(2), FileClass::kNormal, NodeId(2)),
+            Duration::Seconds(20));
+}
+
+TEST(AnalyticModelTest, BreakEvenTermMatchesAlphaCondition) {
+  // t_c > 1 / (R (alpha - 1)) is the Section 3.1 break-even bound.
+  SystemParams params = SystemParams::VSystem(10);
+  LeaseModel model(params);
+  ASSERT_TRUE(model.BreakEvenEffectiveTerm().has_value());
+  double tc = model.BreakEvenEffectiveTerm()->ToSeconds();
+  EXPECT_NEAR(tc, 1.0 / (0.864 * (model.Alpha() - 1.0)), 1e-6);
+  // Just past break-even the load is (just) below the zero-term load.
+  Duration ts = *model.BreakEvenTerm() + Duration::Seconds(1);
+  EXPECT_LT(model.RelativeConsistencyLoad(ts), 1.0);
+}
+
+TEST(AnalyticModelTest, AlphaBelowOneMeansNoBreakEven) {
+  SystemParams params = SystemParams::VSystem(60);  // alpha < 1
+  LeaseModel model(params);
+  EXPECT_LT(model.Alpha(), 1.0);
+  EXPECT_FALSE(model.BreakEvenTerm().has_value());
+  // And indeed a nonzero term makes load worse than zero-term.
+  EXPECT_GT(model.RelativeConsistencyLoad(Duration::Seconds(5)), 1.0);
+}
+
+TEST(AnalyticModelTest, ZeroIsBetterThanVeryShortTerm) {
+  // "a zero lease term is better than a very short lease term": with t_c
+  // clamped to zero but t_s > 0, writes pay approvals and reads gain
+  // nothing.
+  SystemParams params = SystemParams::VSystem(10);
+  LeaseModel model(params);
+  Duration tiny = Duration::Millis(50);  // below the shortening allowance
+  EXPECT_EQ(model.EffectiveTerm(tiny), Duration::Zero());
+  EXPECT_GT(model.ConsistencyLoad(tiny),
+            model.ConsistencyLoad(Duration::Zero()));
+}
+
+}  // namespace
+}  // namespace leases

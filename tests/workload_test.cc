@@ -1,0 +1,163 @@
+// Unit tests for the workload generators: Poisson rates, the compile-trace
+// synthesizer's calibration, and trace serialization.
+#include <gtest/gtest.h>
+
+#include "src/workload/compile_trace.h"
+#include "src/workload/poisson_driver.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+class PoissonRates
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(PoissonRates, AchievedRatesMatchConfiguration) {
+  auto [read_rate, write_rate] = GetParam();
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 10, 5));
+  PoissonOptions options;
+  options.read_rate = read_rate;
+  options.write_rate = write_rate;
+  options.measure = Duration::Seconds(2000);
+  options.seed = 17;
+  PoissonDriver driver(&cluster, options);
+  driver.Setup();
+  WorkloadReport report = driver.Run();
+  double measured_r = static_cast<double>(report.reads) /
+                      (10 * report.elapsed.ToSeconds());
+  EXPECT_NEAR(measured_r, read_rate, read_rate * 0.1);
+  if (write_rate > 0) {
+    double measured_w = static_cast<double>(report.writes) /
+                        (10 * report.elapsed.ToSeconds());
+    EXPECT_NEAR(measured_w, write_rate, write_rate * 0.25 + 0.003);
+  }
+  EXPECT_EQ(report.oracle_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, PoissonRates,
+    ::testing::Values(std::make_pair(0.864, 0.04), std::make_pair(2.0, 0.2),
+                      std::make_pair(0.2, 0.0)));
+
+TEST(PoissonDriverTest, SharingGroupsShareOneFile) {
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 8, 5));
+  PoissonOptions options;
+  options.sharing = 4;
+  options.measure = Duration::Seconds(100);
+  PoissonDriver driver(&cluster, options);
+  driver.Setup();
+  // Two groups of four -> two shared files created.
+  EXPECT_TRUE(cluster.store().Resolve("/shared/group0").ok());
+  EXPECT_TRUE(cluster.store().Resolve("/shared/group1").ok());
+  EXPECT_FALSE(cluster.store().Resolve("/shared/group2").ok());
+}
+
+TEST(CompileTraceTest, CalibrationMatchesTable2) {
+  CompileTraceOptions options;
+  options.length = Duration::Seconds(2 * 3600);
+  CompileTraceGenerator generator(options);
+  std::vector<TraceOp> trace = generator.Generate();
+  TraceStats stats = generator.Analyze(trace);
+  // R within 5% of the paper's 0.864/s; W in the right regime.
+  EXPECT_NEAR(stats.ReadRate(), 0.864, 0.05);
+  EXPECT_GT(stats.WriteRate(), 0.02);
+  EXPECT_LT(stats.WriteRate(), 0.06);
+  // Read/write ratio "almost an order of magnitude" above Unix's ~2-3.
+  EXPECT_GT(stats.ReadRate() / stats.WriteRate(), 15);
+  // Installed files "account for almost half of all reads".
+  EXPECT_GT(stats.InstalledShare(), 0.40);
+  EXPECT_LT(stats.InstalledShare(), 0.60);
+}
+
+TEST(CompileTraceTest, TemporariesAbsorbMostRawWrites) {
+  CompileTraceGenerator generator(CompileTraceOptions{});
+  std::vector<TraceOp> trace = generator.Generate();
+  uint64_t temp_writes = 0;
+  uint64_t writes = 0;
+  for (const TraceOp& op : trace) {
+    if (op.kind == TraceOp::Kind::kWrite) {
+      ++writes;
+      if (op.path.rfind("/tmp/", 0) == 0) {
+        ++temp_writes;
+      }
+    }
+  }
+  EXPECT_GT(temp_writes * 2, writes);  // majority
+}
+
+TEST(CompileTraceTest, TraceIsTimeOrderedAndDeterministic) {
+  CompileTraceGenerator generator(CompileTraceOptions{});
+  std::vector<TraceOp> a = generator.Generate();
+  std::vector<TraceOp> b = generator.Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i].at, a[i - 1].at);
+    EXPECT_EQ(a[i].path, b[i].path);
+    EXPECT_EQ(a[i].at, b[i].at);
+  }
+}
+
+TEST(CompileTraceTest, BurstinessExceedsPoisson) {
+  // The coefficient of variation of inter-arrival gaps is well above 1
+  // (Poisson would be ~1); this is what sharpens the Figure 1 Trace knee.
+  CompileTraceGenerator generator(CompileTraceOptions{});
+  std::vector<TraceOp> trace = generator.Generate();
+  double sum = 0;
+  double sumsq = 0;
+  size_t n = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    double gap = (trace[i].at - trace[i - 1].at).ToSeconds();
+    sum += gap;
+    sumsq += gap * gap;
+    ++n;
+  }
+  double mean = sum / static_cast<double>(n);
+  double var = sumsq / static_cast<double>(n) - mean * mean;
+  double cv = std::sqrt(var) / mean;
+  EXPECT_GT(cv, 1.5);
+}
+
+TEST(CompileTraceTest, SerializeParseRoundTrip) {
+  CompileTraceOptions options;
+  options.length = Duration::Seconds(300);
+  CompileTraceGenerator generator(options);
+  std::vector<TraceOp> trace = generator.Generate();
+  std::string text = SerializeTrace(trace);
+  auto parsed = ParseTrace(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].at, trace[i].at);
+    EXPECT_EQ((*parsed)[i].kind, trace[i].kind);
+    EXPECT_EQ((*parsed)[i].path, trace[i].path);
+    EXPECT_EQ((*parsed)[i].payload, trace[i].payload);
+  }
+}
+
+TEST(CompileTraceTest, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(ParseTrace("not a trace").has_value());
+  EXPECT_FALSE(ParseTrace("123 X /path").has_value());
+  EXPECT_FALSE(ParseTrace("123 R relative").has_value());
+  auto empty = ParseTrace("");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(TraceRunnerTest, ReplayTouchesServerAndStaysConsistent) {
+  CompileTraceOptions options;
+  options.length = Duration::Seconds(600);
+  CompileTraceGenerator generator(options);
+  std::vector<TraceOp> trace = generator.Generate();
+
+  SimCluster cluster(MakeVClusterOptions(Duration::Seconds(10), 1));
+  generator.PopulateStore(cluster.store());
+  TraceRunner runner(&cluster, 0);
+  TraceRunReport report = runner.Run(trace);
+  EXPECT_EQ(report.ops_issued, trace.size());
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.server_total_msgs, 0u);
+  EXPECT_EQ(report.oracle_violations, 0u);
+}
+
+}  // namespace
+}  // namespace leases

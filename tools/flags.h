@@ -1,0 +1,68 @@
+// Minimal --key=value flag parsing for the CLI tools.
+#ifndef TOOLS_FLAGS_H_
+#define TOOLS_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace leases {
+
+class Flags {
+ public:
+  // Parses --key=value and --key value pairs; bare --key sets "true".
+  // Returns false (after printing the offender) on malformed input.
+  bool Parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        return false;
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+    return true;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    return it->second == "true" || it->second == "1";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace leases
+
+#endif  // TOOLS_FLAGS_H_

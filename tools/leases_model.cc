@@ -1,0 +1,95 @@
+// leases_model: the Section 3.1 analytic model as a command-line calculator.
+//
+// Print the load/delay curves and the recommended term for arbitrary system
+// parameters -- what a file-server operator would use to size lease terms
+// (the paper: "this model provides a basis for a file server setting lease
+// terms dynamically based on observed file access characteristics").
+//
+// Examples:
+//   leases_model                                 # the paper's V parameters
+//   leases_model --R 5 --W 0.5 --S 4             # a busier system
+//   leases_model --rtt_ms 100 --max_term 60      # WAN, longer sweep
+//   leases_model --R 2 --W 1.5 --S 8             # write-shared: term 0 wins
+#include <cstdio>
+#include <vector>
+
+#include "src/analytic/model.h"
+#include "src/metrics/table.h"
+#include "tools/flags.h"
+
+namespace leases {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: leases_model [--N clients] [--R reads/s] [--W writes/s]\n"
+        "                    [--S sharing] [--rtt_ms round_trip]\n"
+        "                    [--epsilon_ms clock_allowance] [--unicast]\n"
+        "                    [--max_term seconds] [--csv]\n");
+    return 0;
+  }
+
+  SystemParams params;
+  params.clients = flags.GetDouble("N", 20);
+  params.reads_per_sec = flags.GetDouble("R", 0.864);
+  params.writes_per_sec = flags.GetDouble("W", 0.04);
+  params.sharing = flags.GetDouble("S", 1);
+  double rtt_ms = flags.GetDouble("rtt_ms", 5.0);
+  // rtt = 2*m_prop + 4*m_proc with m_proc fixed at 1 ms.
+  params.m_proc = Duration::Millis(1);
+  params.m_prop =
+      Duration::Micros(static_cast<int64_t>((rtt_ms - 4.0) / 2.0 * 1000.0));
+  params.epsilon =
+      Duration::Micros(flags.GetInt("epsilon_ms", 100) * 1000);
+  params.multicast_approvals = !flags.GetBool("unicast", false);
+  LeaseModel model(params);
+
+  std::printf("system: N=%.0f R=%.3f/s W=%.3f/s S=%.0f rtt=%.1fms "
+              "epsilon=%.0fms approvals=%s\n",
+              params.clients, params.reads_per_sec, params.writes_per_sec,
+              params.sharing, rtt_ms, params.epsilon.ToMillis(),
+              params.multicast_approvals ? "multicast" : "unicast");
+  std::printf("lease benefit factor alpha = %.3f  (%s)\n", model.Alpha(),
+              model.Alpha() > 1 ? "a non-zero term can reduce server load"
+                                : "leases cannot win; use term 0");
+  if (auto break_even = model.BreakEvenTerm()) {
+    std::printf("break-even term t_s = %.3f s; load-optimal asymptote = "
+                "%.3f msgs/s\n",
+                break_even->ToSeconds(),
+                model.ConsistencyLoad(Duration::Infinite()));
+  }
+
+  int max_term = static_cast<int>(flags.GetInt("max_term", 30));
+  SeriesTable table({"term_s", "t_c_s", "load_msgs_s", "load_rel",
+                     "delay_ms", "total_rel"});
+  std::vector<int> terms;
+  for (int t = 0; t <= max_term;
+       t += (t < 10 ? 1 : (t < 30 ? 5 : 15))) {
+    terms.push_back(t);
+  }
+  for (int t : terms) {
+    Duration term = Duration::Seconds(t);
+    table.AddRow({static_cast<double>(t),
+                  model.EffectiveTerm(term).ToSeconds(),
+                  model.ConsistencyLoad(term),
+                  model.RelativeConsistencyLoad(term),
+                  model.AddedDelay(term).ToMillis(),
+                  model.RelativeTotalLoad(term)});
+  }
+  if (flags.GetBool("csv", false)) {
+    std::printf("%s", table.ToCsv().c_str());
+  } else {
+    table.Print(stdout, 4);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace leases
+
+int main(int argc, char** argv) { return leases::Run(argc, argv); }

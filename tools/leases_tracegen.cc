@@ -1,0 +1,113 @@
+// leases_tracegen: generate, analyze and replay V-style compilation traces.
+//
+//   leases_tracegen --length 3600 --out trace.txt        # generate & save
+//   leases_tracegen --in trace.txt                       # analyze a trace
+//   leases_tracegen --length 600 --replay --term 10      # replay through
+//                                                        # the simulator
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/compile_trace.h"
+#include "src/workload/v_config.h"
+#include "tools/flags.h"
+
+namespace leases {
+namespace {
+
+int Run(int argc, char** argv) {
+  Flags flags;
+  if (!flags.Parse(argc, argv)) {
+    return 1;
+  }
+  if (flags.Has("help")) {
+    std::printf(
+        "usage: leases_tracegen [--length seconds] [--seed n] [--out file]\n"
+        "                       [--in file] [--replay] [--term seconds]\n"
+        "                       [--read_rate r/s] [--modules n]\n");
+    return 0;
+  }
+
+  std::vector<TraceOp> trace;
+  CompileTraceOptions options;
+  options.length = Duration::Seconds(flags.GetDouble("length", 3600));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  options.target_read_rate = flags.GetDouble("read_rate", 0.864);
+  options.modules = static_cast<int>(flags.GetInt("modules", 10));
+  CompileTraceGenerator generator(options);
+
+  if (flags.Has("in")) {
+    std::ifstream in(flags.GetString("in", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n",
+                   flags.GetString("in", "").c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = ParseTrace(buffer.str());
+    if (!parsed.has_value()) {
+      std::fprintf(stderr, "malformed trace file\n");
+      return 1;
+    }
+    trace = std::move(*parsed);
+  } else {
+    trace = generator.Generate();
+  }
+
+  TraceStats stats = generator.Analyze(trace);
+  std::printf("trace: %zu ops over %.0f s\n", trace.size(),
+              stats.length.ToSeconds());
+  std::printf("  non-temp reads:  %llu (%.3f/s), %.1f%% installed\n",
+              static_cast<unsigned long long>(stats.reads), stats.ReadRate(),
+              100 * stats.InstalledShare());
+  std::printf("  non-temp writes: %llu (%.3f/s)\n",
+              static_cast<unsigned long long>(stats.writes),
+              stats.WriteRate());
+  std::printf("  temporary ops:   %llu\n",
+              static_cast<unsigned long long>(stats.temp_ops));
+
+  if (flags.Has("out")) {
+    std::ofstream out(flags.GetString("out", ""));
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.GetString("out", "").c_str());
+      return 1;
+    }
+    out << SerializeTrace(trace);
+    std::printf("wrote %s\n", flags.GetString("out", "").c_str());
+  }
+
+  if (flags.GetBool("replay", false)) {
+    Duration term = Duration::Seconds(flags.GetDouble("term", 10));
+    ClusterOptions cluster_options = MakeVClusterOptions(term, 1);
+    SimCluster cluster(cluster_options);
+    generator.PopulateStore(cluster.store());
+    TraceRunner runner(&cluster, 0);
+    TraceRunReport report = runner.Run(trace);
+    const ClientStats& client = cluster.client(0).stats();
+    std::printf("\nreplay at term %s:\n", term.ToString().c_str());
+    std::printf("  consistency msgs at server: %llu (%.3f/s)\n",
+                static_cast<unsigned long long>(
+                    report.server_consistency_msgs),
+                static_cast<double>(report.server_consistency_msgs) /
+                    report.elapsed.ToSeconds());
+    std::printf("  cache: %llu/%llu reads local (%.1f%%)\n",
+                static_cast<unsigned long long>(client.local_reads),
+                static_cast<unsigned long long>(client.reads),
+                client.reads == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(client.local_reads) /
+                          static_cast<double>(client.reads));
+    std::printf("  failures: %llu, oracle violations: %llu\n",
+                static_cast<unsigned long long>(report.failures),
+                static_cast<unsigned long long>(report.oracle_violations));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace leases
+
+int main(int argc, char** argv) { return leases::Run(argc, argv); }
