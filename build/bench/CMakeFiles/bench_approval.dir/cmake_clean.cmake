@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approval.dir/bench_approval.cc.o"
+  "CMakeFiles/bench_approval.dir/bench_approval.cc.o.d"
+  "bench_approval"
+  "bench_approval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

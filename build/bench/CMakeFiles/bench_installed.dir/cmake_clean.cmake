@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_installed.dir/bench_installed.cc.o"
+  "CMakeFiles/bench_installed.dir/bench_installed.cc.o.d"
+  "bench_installed"
+  "bench_installed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_installed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

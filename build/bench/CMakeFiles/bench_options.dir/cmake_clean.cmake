@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_options.dir/bench_options.cc.o"
+  "CMakeFiles/bench_options.dir/bench_options.cc.o.d"
+  "bench_options"
+  "bench_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_farm.dir/compile_farm.cpp.o"
+  "CMakeFiles/compile_farm.dir/compile_farm.cpp.o.d"
+  "compile_farm"
+  "compile_farm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_farm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/document_production.dir/document_production.cpp.o"
+  "CMakeFiles/document_production.dir/document_production.cpp.o.d"
+  "document_production"
+  "document_production.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/document_production.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

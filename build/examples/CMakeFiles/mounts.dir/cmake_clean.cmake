@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mounts.dir/mounts.cpp.o"
+  "CMakeFiles/mounts.dir/mounts.cpp.o.d"
+  "mounts"
+  "mounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_cache.dir/wan_cache.cpp.o"
+  "CMakeFiles/wan_cache.dir/wan_cache.cpp.o.d"
+  "wan_cache"
+  "wan_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

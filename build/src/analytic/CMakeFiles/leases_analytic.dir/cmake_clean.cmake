@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_analytic.dir/model.cc.o"
+  "CMakeFiles/leases_analytic.dir/model.cc.o.d"
+  "libleases_analytic.a"
+  "libleases_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

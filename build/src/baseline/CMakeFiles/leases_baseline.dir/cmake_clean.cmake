@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_baseline.dir/baseline_cluster.cc.o"
+  "CMakeFiles/leases_baseline.dir/baseline_cluster.cc.o.d"
+  "CMakeFiles/leases_baseline.dir/callback.cc.o"
+  "CMakeFiles/leases_baseline.dir/callback.cc.o.d"
+  "libleases_baseline.a"
+  "libleases_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

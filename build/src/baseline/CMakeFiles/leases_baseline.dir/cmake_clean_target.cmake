@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleases_baseline.a"
+)

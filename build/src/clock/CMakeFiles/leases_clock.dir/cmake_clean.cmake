@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_clock.dir/sim_clock.cc.o"
+  "CMakeFiles/leases_clock.dir/sim_clock.cc.o.d"
+  "libleases_clock.a"
+  "libleases_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

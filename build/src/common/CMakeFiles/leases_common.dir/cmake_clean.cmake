@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_common.dir/logging.cc.o"
+  "CMakeFiles/leases_common.dir/logging.cc.o.d"
+  "CMakeFiles/leases_common.dir/result.cc.o"
+  "CMakeFiles/leases_common.dir/result.cc.o.d"
+  "CMakeFiles/leases_common.dir/time.cc.o"
+  "CMakeFiles/leases_common.dir/time.cc.o.d"
+  "libleases_common.a"
+  "libleases_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

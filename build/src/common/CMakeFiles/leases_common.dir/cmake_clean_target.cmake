@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libleases_common.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_client.cc" "src/core/CMakeFiles/leases_core.dir/cache_client.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/cache_client.cc.o.d"
+  "/root/repo/src/core/lease_server.cc" "src/core/CMakeFiles/leases_core.dir/lease_server.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/lease_server.cc.o.d"
+  "/root/repo/src/core/lease_table.cc" "src/core/CMakeFiles/leases_core.dir/lease_table.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/lease_table.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/leases_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/sim_cluster.cc" "src/core/CMakeFiles/leases_core.dir/sim_cluster.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/sim_cluster.cc.o.d"
+  "/root/repo/src/core/term_policy.cc" "src/core/CMakeFiles/leases_core.dir/term_policy.cc.o" "gcc" "src/core/CMakeFiles/leases_core.dir/term_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leases_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/leases_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/leases_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leases_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/leases_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/leases_fs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

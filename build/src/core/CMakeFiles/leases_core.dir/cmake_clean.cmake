@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_core.dir/cache_client.cc.o"
+  "CMakeFiles/leases_core.dir/cache_client.cc.o.d"
+  "CMakeFiles/leases_core.dir/lease_server.cc.o"
+  "CMakeFiles/leases_core.dir/lease_server.cc.o.d"
+  "CMakeFiles/leases_core.dir/lease_table.cc.o"
+  "CMakeFiles/leases_core.dir/lease_table.cc.o.d"
+  "CMakeFiles/leases_core.dir/oracle.cc.o"
+  "CMakeFiles/leases_core.dir/oracle.cc.o.d"
+  "CMakeFiles/leases_core.dir/sim_cluster.cc.o"
+  "CMakeFiles/leases_core.dir/sim_cluster.cc.o.d"
+  "CMakeFiles/leases_core.dir/term_policy.cc.o"
+  "CMakeFiles/leases_core.dir/term_policy.cc.o.d"
+  "libleases_core.a"
+  "libleases_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/dir_codec.cc" "src/fs/CMakeFiles/leases_fs.dir/dir_codec.cc.o" "gcc" "src/fs/CMakeFiles/leases_fs.dir/dir_codec.cc.o.d"
+  "/root/repo/src/fs/file_store.cc" "src/fs/CMakeFiles/leases_fs.dir/file_store.cc.o" "gcc" "src/fs/CMakeFiles/leases_fs.dir/file_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/leases_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/leases_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

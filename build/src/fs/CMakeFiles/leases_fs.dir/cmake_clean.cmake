@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_fs.dir/dir_codec.cc.o"
+  "CMakeFiles/leases_fs.dir/dir_codec.cc.o.d"
+  "CMakeFiles/leases_fs.dir/file_store.cc.o"
+  "CMakeFiles/leases_fs.dir/file_store.cc.o.d"
+  "libleases_fs.a"
+  "libleases_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_metrics.dir/metrics.cc.o"
+  "CMakeFiles/leases_metrics.dir/metrics.cc.o.d"
+  "CMakeFiles/leases_metrics.dir/table.cc.o"
+  "CMakeFiles/leases_metrics.dir/table.cc.o.d"
+  "libleases_metrics.a"
+  "libleases_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

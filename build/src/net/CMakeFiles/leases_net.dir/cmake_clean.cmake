@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_net.dir/sim_network.cc.o"
+  "CMakeFiles/leases_net.dir/sim_network.cc.o.d"
+  "libleases_net.a"
+  "libleases_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

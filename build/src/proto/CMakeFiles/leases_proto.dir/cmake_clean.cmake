@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_proto.dir/messages.cc.o"
+  "CMakeFiles/leases_proto.dir/messages.cc.o.d"
+  "libleases_proto.a"
+  "libleases_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_runtime.dir/event_loop.cc.o"
+  "CMakeFiles/leases_runtime.dir/event_loop.cc.o.d"
+  "CMakeFiles/leases_runtime.dir/node.cc.o"
+  "CMakeFiles/leases_runtime.dir/node.cc.o.d"
+  "CMakeFiles/leases_runtime.dir/udp_transport.cc.o"
+  "CMakeFiles/leases_runtime.dir/udp_transport.cc.o.d"
+  "libleases_runtime.a"
+  "libleases_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

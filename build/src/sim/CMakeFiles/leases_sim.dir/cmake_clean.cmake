@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_sim.dir/simulator.cc.o"
+  "CMakeFiles/leases_sim.dir/simulator.cc.o.d"
+  "libleases_sim.a"
+  "libleases_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

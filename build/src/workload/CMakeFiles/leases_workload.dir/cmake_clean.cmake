@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_workload.dir/compile_trace.cc.o"
+  "CMakeFiles/leases_workload.dir/compile_trace.cc.o.d"
+  "CMakeFiles/leases_workload.dir/poisson_driver.cc.o"
+  "CMakeFiles/leases_workload.dir/poisson_driver.cc.o.d"
+  "libleases_workload.a"
+  "libleases_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_fuzz_test.dir/clock_fuzz_test.cc.o"
+  "CMakeFiles/clock_fuzz_test.dir/clock_fuzz_test.cc.o.d"
+  "clock_fuzz_test"
+  "clock_fuzz_test.pdb"
+  "clock_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

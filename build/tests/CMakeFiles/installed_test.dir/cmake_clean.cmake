@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/installed_test.dir/installed_test.cc.o"
+  "CMakeFiles/installed_test.dir/installed_test.cc.o.d"
+  "installed_test"
+  "installed_test.pdb"
+  "installed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/installed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lease_server_test.cc" "tests/CMakeFiles/lease_server_test.dir/lease_server_test.cc.o" "gcc" "tests/CMakeFiles/lease_server_test.dir/lease_server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/leases_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/leases_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/clock/CMakeFiles/leases_clock.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/leases_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/leases_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/leases_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/leases_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/leases_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/leases_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

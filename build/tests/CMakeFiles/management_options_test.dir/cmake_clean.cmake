@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/management_options_test.dir/management_options_test.cc.o"
+  "CMakeFiles/management_options_test.dir/management_options_test.cc.o.d"
+  "management_options_test"
+  "management_options_test.pdb"
+  "management_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/management_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_vs_sim_test.dir/model_vs_sim_test.cc.o"
+  "CMakeFiles/model_vs_sim_test.dir/model_vs_sim_test.cc.o.d"
+  "model_vs_sim_test"
+  "model_vs_sim_test.pdb"
+  "model_vs_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_vs_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

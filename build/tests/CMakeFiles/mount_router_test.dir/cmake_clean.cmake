@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mount_router_test.dir/mount_router_test.cc.o"
+  "CMakeFiles/mount_router_test.dir/mount_router_test.cc.o.d"
+  "mount_router_test"
+  "mount_router_test.pdb"
+  "mount_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mount_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_options_test.dir/recovery_options_test.cc.o"
+  "CMakeFiles/recovery_options_test.dir/recovery_options_test.cc.o.d"
+  "recovery_options_test"
+  "recovery_options_test.pdb"
+  "recovery_options_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/term_policy_test.dir/term_policy_test.cc.o"
+  "CMakeFiles/term_policy_test.dir/term_policy_test.cc.o.d"
+  "term_policy_test"
+  "term_policy_test.pdb"
+  "term_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/term_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

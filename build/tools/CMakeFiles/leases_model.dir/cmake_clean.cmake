@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_model.dir/leases_model.cc.o"
+  "CMakeFiles/leases_model.dir/leases_model.cc.o.d"
+  "leases_model"
+  "leases_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leases_tracegen.dir/leases_tracegen.cc.o"
+  "CMakeFiles/leases_tracegen.dir/leases_tracegen.cc.o.d"
+  "leases_tracegen"
+  "leases_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leases_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
