@@ -14,27 +14,20 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/metrics/table.h"
 #include "src/workload/compile_trace.h"
 
 namespace leases {
 namespace {
 
-double TraceRelativeLoad(Duration term, const std::vector<TraceOp>& trace,
-                         const CompileTraceGenerator& gen,
-                         uint64_t* zero_load_cache) {
+uint64_t TraceConsistencyLoad(Duration term, const std::vector<TraceOp>& trace,
+                              const CompileTraceGenerator& gen) {
   ClusterOptions options = MakeVClusterOptions(term, /*num_clients=*/1);
   SimCluster cluster(options);
   gen.PopulateStore(cluster.store());
   TraceRunner runner(&cluster, 0);
-  TraceRunReport report = runner.Run(trace);
-  if (term == Duration::Zero()) {
-    *zero_load_cache = report.server_consistency_msgs;
-  }
-  return *zero_load_cache == 0
-             ? 0
-             : static_cast<double>(report.server_consistency_msgs) /
-                   static_cast<double>(*zero_load_cache);
+  return runner.Run(trace).server_consistency_msgs;
 }
 
 void Run() {
@@ -48,26 +41,45 @@ void Run() {
   CompileTraceOptions trace_options;
   CompileTraceGenerator generator(trace_options);
   std::vector<TraceOp> trace = generator.Generate();
-  uint64_t trace_zero_load = 0;
+  // The trace curve normalizes against the zero-term load, so that one run
+  // happens up front; every term's simulations then fan out independently.
+  uint64_t trace_zero_load =
+      TraceConsistencyLoad(Duration::Zero(), trace, generator);
 
   SeriesTable table({"term_s", "S=1", "S=10", "S=20", "S=40", "S=1_sim",
                      "S=10_sim", "trace_sim"});
   std::vector<int> terms = {0, 1, 2, 3, 4, 5, 7, 10, 15, 20, 25, 30};
-  for (int term_s : terms) {
-    Duration term = Duration::Seconds(term_s);
-    std::vector<double> row;
-    row.push_back(term_s);
-    for (double s : {1.0, 10.0, 20.0, 40.0}) {
-      LeaseModel model(SystemParams::VSystem(s));
-      row.push_back(model.RelativeConsistencyLoad(term));
-    }
-    double zero = 2.0 * 20 * 0.864;  // 2NR
-    WorkloadReport s1 = RunVPoisson(term, 1, 100 + term_s);
-    row.push_back(s1.ConsistencyMsgsPerSec() / zero);
-    WorkloadReport s10 = RunVPoisson(term, 10, 200 + term_s);
-    row.push_back(s10.ConsistencyMsgsPerSec() / zero);
-    row.push_back(
-        TraceRelativeLoad(term, trace, generator, &trace_zero_load));
+  SweepRunner runner;
+  std::vector<std::vector<double>> rows = runner.Map<std::vector<double>>(
+      terms.size(),
+      [&terms, &trace, &generator,
+       trace_zero_load](size_t i) -> std::vector<double> {
+        int term_s = terms[i];
+        Duration term = Duration::Seconds(term_s);
+        std::vector<double> row;
+        row.push_back(term_s);
+        for (double s : {1.0, 10.0, 20.0, 40.0}) {
+          LeaseModel model(SystemParams::VSystem(s));
+          row.push_back(model.RelativeConsistencyLoad(term));
+        }
+        double zero = 2.0 * 20 * 0.864;  // 2NR
+        WorkloadReport s1 = RunVPoisson(term, 1, 100 + term_s);
+        row.push_back(s1.ConsistencyMsgsPerSec() / zero);
+        WorkloadReport s10 = RunVPoisson(term, 10, 200 + term_s);
+        row.push_back(s10.ConsistencyMsgsPerSec() / zero);
+        if (trace_zero_load == 0) {
+          row.push_back(0);
+        } else if (term_s == 0) {
+          row.push_back(1.0);  // the zero-term run normalized against itself
+        } else {
+          row.push_back(
+              static_cast<double>(
+                  TraceConsistencyLoad(term, trace, generator)) /
+              static_cast<double>(trace_zero_load));
+        }
+        return row;
+      });
+  for (std::vector<double>& row : rows) {
     table.AddRow(std::move(row));
   }
   table.Print(stdout, 3);

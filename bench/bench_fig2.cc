@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/metrics/table.h"
 
 namespace leases {
@@ -41,18 +42,26 @@ void Run() {
   SeriesTable table({"term_s", "S=1_ms", "S=10_ms", "S=20_ms", "S=40_ms",
                      "S=1_sim_ms", "S=10_sim_ms"});
   std::vector<int> terms = {0, 1, 2, 3, 5, 7, 10, 15, 20, 25, 30};
-  for (int term_s : terms) {
-    Duration term = Duration::Seconds(term_s);
-    std::vector<double> row;
-    row.push_back(term_s);
-    for (double s : {1.0, 10.0, 20.0, 40.0}) {
-      LeaseModel model(SystemParams::VSystem(s));
-      row.push_back(model.AddedDelay(term).ToMillis());
-    }
-    row.push_back(
-        SimAddedDelayMs(RunVPoisson(term, 1, 300 + term_s), base_rtt));
-    row.push_back(
-        SimAddedDelayMs(RunVPoisson(term, 10, 400 + term_s), base_rtt));
+  // Each term is an independent (cluster, seed) pair; fan the simulations
+  // out and print rows in index order for byte-identical output.
+  SweepRunner runner;
+  std::vector<std::vector<double>> rows = runner.Map<std::vector<double>>(
+      terms.size(), [&terms, base_rtt](size_t i) -> std::vector<double> {
+        int term_s = terms[i];
+        Duration term = Duration::Seconds(term_s);
+        std::vector<double> row;
+        row.push_back(term_s);
+        for (double s : {1.0, 10.0, 20.0, 40.0}) {
+          LeaseModel model(SystemParams::VSystem(s));
+          row.push_back(model.AddedDelay(term).ToMillis());
+        }
+        row.push_back(
+            SimAddedDelayMs(RunVPoisson(term, 1, 300 + term_s), base_rtt));
+        row.push_back(
+            SimAddedDelayMs(RunVPoisson(term, 10, 400 + term_s), base_rtt));
+        return row;
+      });
+  for (std::vector<double>& row : rows) {
     table.AddRow(std::move(row));
   }
   table.Print(stdout, 3);

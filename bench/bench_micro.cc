@@ -2,8 +2,23 @@
 // lease table, simulator event throughput, file store commits, and a full
 // simulated lease round-trip. These put absolute numbers on the claim that
 // lease bookkeeping is cheap relative to message costs.
+//
+// `bench_micro --json [path]` skips the google-benchmark suite and instead
+// writes BENCH_CORE.json (default path: ./BENCH_CORE.json): scheduler
+// events/sec, ns/event, cancel throughput, and serial-vs-parallel sweep
+// wall-clock. That file is committed per machine-generation so the perf
+// trajectory of the discrete-event core stays machine-readable across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/core/lease_table.h"
 #include "src/core/sim_cluster.h"
 #include "src/fs/file_store.h"
@@ -66,23 +81,79 @@ void BM_LeaseTableActiveHolders(benchmark::State& state) {
 }
 BENCHMARK(BM_LeaseTableActiveHolders)->Arg(1)->Arg(10)->Arg(100);
 
+// Self-rescheduling chain functors. These are the allocation-free idiom the
+// scheduler's inline-callable path is built for (every call site in src/
+// passes a lambda straight to ScheduleAfter); going through std::function
+// instead would benchmark std::function's heap-allocating copy constructor,
+// not the scheduler.
+struct ChainTick {
+  Simulator* sim;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) {
+      sim->ScheduleAfter(Duration::Micros(10), ChainTick{sim, remaining});
+    }
+  }
+};
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Simulator sim;
     int remaining = 10000;
-    std::function<void()> tick = [&]() {
-      if (--remaining > 0) {
-        sim.ScheduleAfter(Duration::Micros(10), tick);
-      }
-    };
-    sim.ScheduleAfter(Duration::Micros(10), tick);
+    sim.ScheduleAfter(Duration::Micros(10), ChainTick{&sim, &remaining});
     state.ResumeTiming();
     sim.RunUntilIdle();
   }
   state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// Throughput with a deep pending queue: `range` self-rescheduling chains are
+// in flight at once, which is what a large cluster's timer population looks
+// like. This exercises heap sifts and (at 10 s periods) the timer wheel.
+struct DeepTick {
+  Simulator* sim;
+  int* remaining;
+  void operator()() const {
+    if (--*remaining > 0) {
+      sim->ScheduleAfter(Duration::Micros(10 + *remaining % 977),
+                         DeepTick{sim, remaining});
+    }
+  }
+};
+
+void BM_SimulatorDeepQueue(benchmark::State& state) {
+  const int kChains = static_cast<int>(state.range(0));
+  const int kEventsPerChain = 1000;
+  int64_t total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    int remaining = kChains * kEventsPerChain;
+    for (int c = 0; c < kChains; ++c) {
+      sim.ScheduleAfter(Duration::Micros(c + 1), DeepTick{&sim, &remaining});
+    }
+    state.ResumeTiming();
+    sim.RunUntilIdle();
+    total += kChains * kEventsPerChain;
+  }
+  state.SetItemsProcessed(total);
+}
+BENCHMARK(BM_SimulatorDeepQueue)->Arg(64)->Arg(1024);
+
+// The lease-expiry pattern: schedule a far-future timer, cancel it before it
+// fires (an extension rescheds the expiry), repeat. Exercises O(1) cancel
+// and the timer wheel's park-without-heap-traffic property.
+void BM_SimulatorScheduleCancel(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    EventId id = sim.ScheduleAfter(Duration::Seconds(10), []() {});
+    benchmark::DoNotOptimize(sim.Cancel(id));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorScheduleCancel);
 
 void BM_FileStoreApply(benchmark::State& state) {
   FileStore store;
@@ -110,7 +181,184 @@ void BM_SimulatedLeaseRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatedLeaseRoundTrip);
 
+// --- BENCH_CORE.json ---
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Single-chain event churn: the same workload as BM_SimulatorEventThroughput
+// (one self-rescheduling 10 us chain), scaled up. This is the headline
+// events/sec figure, directly comparable across machine generations and
+// against the seed implementation's bench_micro number.
+double MeasureChainEventsPerSec(uint64_t* events_out) {
+  const int kTotalEvents = 4'000'000;
+  // Best of three: the measurement runs on shared machines, so a single rep
+  // can eat a scheduling hiccup.
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Simulator sim;
+    int remaining = kTotalEvents;
+    sim.ScheduleAfter(Duration::Micros(10), ChainTick{&sim, &remaining});
+    auto start = std::chrono::steady_clock::now();
+    sim.RunUntilIdle();
+    double elapsed = SecondsSince(start);
+    *events_out = sim.executed_events();
+    double rate = static_cast<double>(sim.executed_events()) / elapsed;
+    if (rate > best) {
+      best = rate;
+    }
+  }
+  return best;
+}
+
+// Mixed-horizon event churn: 1024 chains rescheduling at microsecond-to-
+// second horizons, the shape the simulated cluster produces.
+double MeasureMixedEventsPerSec(uint64_t* events_out) {
+  const int kChains = 1024;
+  const int kTotalEvents = 4'000'000;
+  Simulator sim;
+  int remaining = kTotalEvents;
+  // Self-rescheduling POD functor: the allocation-free idiom real call sites
+  // use. Horizons are spread across the heap (us..ms) and the wheel (s).
+  struct MixedTick {
+    Simulator* sim;
+    int* remaining;
+    void operator()() const {
+      int r = --*remaining;
+      if (r > 0) {
+        int64_t us = 10 + (r % 7) * ((r % 13 == 0) ? 100'000 : 97);
+        sim->ScheduleAfter(Duration::Micros(us), MixedTick{sim, remaining});
+      }
+    }
+  };
+  for (int c = 0; c < kChains; ++c) {
+    sim.ScheduleAfter(Duration::Micros(c + 1), MixedTick{&sim, &remaining});
+  }
+  auto start = std::chrono::steady_clock::now();
+  sim.RunUntilIdle();
+  double elapsed = SecondsSince(start);
+  *events_out = sim.executed_events();
+  return static_cast<double>(sim.executed_events()) / elapsed;
+}
+
+double MeasureCancelOpsPerSec() {
+  const int kOps = 2'000'000;
+  Simulator sim;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    EventId id = sim.ScheduleAfter(Duration::Seconds(10 + i % 50), []() {});
+    sim.Cancel(id);
+  }
+  double elapsed = SecondsSince(start);
+  return 2.0 * kOps / elapsed;  // schedule + cancel are two ops
+}
+
+uint64_t SweepSignature(const std::vector<WorkloadReport>& reports) {
+  uint64_t sig = 0;
+  for (const WorkloadReport& r : reports) {
+    sig = sig * 1000003 + r.server_consistency_msgs + r.reads + r.writes;
+  }
+  return sig;
+}
+
+// A scaled-down A6-style sweep, run serially and through the thread pool.
+// The signatures must match: parallelism must not change a single message.
+void MeasureSweep(double* serial_s, double* parallel_s, size_t* threads,
+                  size_t* points, bool* identical) {
+  const std::vector<size_t> counts = {5, 10, 20, 40};
+  auto point = [&counts](size_t i) {
+    return RunVPoisson(Duration::Seconds(10), 1, 600 + counts[i],
+                       Duration::Seconds(2000), counts[i]);
+  };
+  SweepRunner serial(1);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<WorkloadReport> serial_reports =
+      serial.Map<WorkloadReport>(counts.size(), point);
+  *serial_s = SecondsSince(start);
+
+  // At least two workers so the pool path (and its cross-thread determinism)
+  // is exercised even on a single-core container.
+  SweepRunner pool(std::max<size_t>(2, SweepRunner::DefaultThreads()));
+  start = std::chrono::steady_clock::now();
+  std::vector<WorkloadReport> pool_reports =
+      pool.Map<WorkloadReport>(counts.size(), point);
+  *parallel_s = SecondsSince(start);
+  *threads = pool.threads();
+  *points = counts.size();
+  *identical = SweepSignature(serial_reports) == SweepSignature(pool_reports);
+}
+
+int WriteBenchCore(const char* path) {
+  uint64_t events = 0;
+  uint64_t mixed_events = 0;
+  double events_per_sec = MeasureChainEventsPerSec(&events);
+  double mixed_per_sec = MeasureMixedEventsPerSec(&mixed_events);
+  double cancel_ops = MeasureCancelOpsPerSec();
+  double serial_s = 0;
+  double parallel_s = 0;
+  size_t threads = 0;
+  size_t points = 0;
+  bool identical = false;
+  MeasureSweep(&serial_s, &parallel_s, &threads, &points, &identical);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": 1,\n"
+               "  \"scheduler\": {\n"
+               "    \"events\": %llu,\n"
+               "    \"events_per_sec\": %.0f,\n"
+               "    \"ns_per_event\": %.2f,\n"
+               "    \"mixed_horizon_events_per_sec\": %.0f,\n"
+               "    \"schedule_cancel_ops_per_sec\": %.0f\n"
+               "  },\n"
+               "  \"sweep\": {\n"
+               "    \"points\": %zu,\n"
+               "    \"threads\": %zu,\n"
+               "    \"serial_wall_s\": %.3f,\n"
+               "    \"parallel_wall_s\": %.3f,\n"
+               "    \"speedup\": %.2f,\n"
+               "    \"results_identical\": %s\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(events), events_per_sec,
+               1e9 / events_per_sec, mixed_per_sec, cancel_ops, points,
+               threads, serial_s, parallel_s, serial_s / parallel_s,
+               identical ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s: %.1fM events/s (%.1f ns/event), %.1fM mixed-horizon "
+              "events/s, %.1fM sched+cancel ops/s, sweep %.2fs -> %.2fs "
+              "(%zu threads, identical=%s)\n",
+              path, events_per_sec / 1e6, 1e9 / events_per_sec,
+              mixed_per_sec / 1e6, cancel_ops / 1e6, serial_s, parallel_s,
+              threads, identical ? "true" : "false");
+  return identical ? 0 : 2;
+}
+
 }  // namespace
 }  // namespace leases
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const char* path =
+          (i + 1 < argc && argv[i + 1][0] != '-') ? argv[i + 1]
+                                                  : "BENCH_CORE.json";
+      return leases::WriteBenchCore(path);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/metrics/table.h"
 #include "src/sim/rng.h"
 
@@ -130,8 +131,17 @@ void Run() {
   };
   std::printf("%-28s %12s %10s %10s %8s %9s %9s\n", "scenario", "srv_msgs/s",
               "read_ms", "p99_ms", "local%", "ext_reqs", "ext_items");
-  for (const Scenario& s : scenarios) {
-    OptionsResult r = RunScenario(s.batch, s.anticipatory, s.relinquish);
+  // Each scenario simulates its own independent cluster; fan them out and
+  // print in scenario order.
+  SweepRunner runner;
+  std::vector<OptionsResult> results = runner.Map<OptionsResult>(
+      scenarios.size(), [&scenarios](size_t i) {
+        const Scenario& s = scenarios[i];
+        return RunScenario(s.batch, s.anticipatory, s.relinquish);
+      });
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    const OptionsResult& r = results[i];
     std::printf("%-28s %12.2f %10.4f %10.4f %8.1f %9llu %9llu\n", s.name,
                 r.server_msgs_s, r.mean_read_ms, r.p99_read_ms,
                 100 * r.local_ratio,

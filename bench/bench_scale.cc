@@ -8,51 +8,69 @@
 //   3. more clients => server consistency load scales linearly at term 0
 //      but stays nearly flat with a 10 s term ("leases ... increase the
 //      ratio of clients to servers").
+//
+// Every sweep point is an independent (cluster, seed) pair, so the points
+// fan out across cores via SweepRunner; rows are printed in index order
+// afterwards, making the table byte-identical to a serial run.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "src/metrics/table.h"
 
 namespace leases {
 namespace {
 
-void ProcessorSpeedSweep() {
+void ProcessorSpeedSweep(const SweepRunner& runner) {
   std::printf("1) processor speed: access rate multiplier k scales R and W\n");
   SeriesTable table({"k", "R_per_s", "knee_term_s_10pct",
                      "load_at_10s_rel"});
-  for (double k : {1.0, 2.0, 5.0, 10.0, 25.0}) {
-    SystemParams params = SystemParams::VSystem(1);
-    params.reads_per_sec *= k;
-    params.writes_per_sec *= k;
-    LeaseModel model(params);
-    // Term at which extension traffic falls to 10% of zero-term load:
-    // 1/(1+R t) = 0.1 => t = 9/R.
-    double knee = 9.0 / params.reads_per_sec;
-    table.AddRow({k, params.reads_per_sec, knee,
-                  model.RelativeConsistencyLoad(Duration::Seconds(10))});
+  const std::vector<double> ks = {1.0, 2.0, 5.0, 10.0, 25.0};
+  std::vector<std::vector<double>> rows = runner.Map<std::vector<double>>(
+      ks.size(), [&ks](size_t i) -> std::vector<double> {
+        double k = ks[i];
+        SystemParams params = SystemParams::VSystem(1);
+        params.reads_per_sec *= k;
+        params.writes_per_sec *= k;
+        LeaseModel model(params);
+        // Term at which extension traffic falls to 10% of zero-term load:
+        // 1/(1+R t) = 0.1 => t = 9/R.
+        double knee = 9.0 / params.reads_per_sec;
+        return {k, params.reads_per_sec, knee,
+                model.RelativeConsistencyLoad(Duration::Seconds(10))};
+      });
+  for (std::vector<double>& row : rows) {
+    table.AddRow(std::move(row));
   }
   table.Print(stdout, 4);
   std::printf("   faster clients push the knee to shorter terms: a fixed\n"
               "   10 s term captures ever more of the benefit.\n");
 }
 
-void PropagationDelaySweep() {
+void PropagationDelaySweep(const SweepRunner& runner) {
   std::printf("\n2) network propagation delay (m_proc fixed at 1 ms)\n");
   SeriesTable table({"rtt_ms", "delay_at_10s_ms", "degrade_10s_%",
                      "degrade_30s_%"});
-  for (double rtt_ms : {5.0, 20.0, 50.0, 100.0, 250.0}) {
-    SystemParams params = SystemParams::VSystem(1);
-    params.m_prop = Duration::Micros(
-        static_cast<int64_t>((rtt_ms - 4.0) / 2.0 * 1000.0));
-    // Scale the non-consistency response with the network, as in Fig. 3.
-    params.base_response = Duration::Micros(
-        static_cast<int64_t>(rtt_ms / 100.0 * 98600.0));
-    LeaseModel model(params);
-    table.AddRow({rtt_ms, model.AddedDelay(Duration::Seconds(10)).ToMillis(),
-                  100 * model.ResponseDegradationVsInfinite(
-                            Duration::Seconds(10)),
-                  100 * model.ResponseDegradationVsInfinite(
-                            Duration::Seconds(30))});
+  const std::vector<double> rtts = {5.0, 20.0, 50.0, 100.0, 250.0};
+  std::vector<std::vector<double>> rows = runner.Map<std::vector<double>>(
+      rtts.size(), [&rtts](size_t i) -> std::vector<double> {
+        double rtt_ms = rtts[i];
+        SystemParams params = SystemParams::VSystem(1);
+        params.m_prop = Duration::Micros(
+            static_cast<int64_t>((rtt_ms - 4.0) / 2.0 * 1000.0));
+        // Scale the non-consistency response with the network, as in Fig. 3.
+        params.base_response = Duration::Micros(
+            static_cast<int64_t>(rtt_ms / 100.0 * 98600.0));
+        LeaseModel model(params);
+        return {rtt_ms, model.AddedDelay(Duration::Seconds(10)).ToMillis(),
+                100 * model.ResponseDegradationVsInfinite(
+                          Duration::Seconds(10)),
+                100 * model.ResponseDegradationVsInfinite(
+                          Duration::Seconds(30))};
+      });
+  for (std::vector<double>& row : rows) {
+    table.AddRow(std::move(row));
   }
   table.Print(stdout, 3);
   std::printf("   degradation vs infinite term is delay-independent in\n"
@@ -60,21 +78,29 @@ void PropagationDelaySweep() {
               "RTT.\n");
 }
 
-void ClientCountSweep() {
+void ClientCountSweep(const SweepRunner& runner) {
   std::printf("\n3) scale: measured server consistency load vs client "
               "count\n");
   SeriesTable table({"N", "term0_msgs_s", "term10_msgs_s", "ratio"});
-  for (size_t n : {5, 10, 20, 40, 80}) {
-    WorkloadReport zero =
-        RunVPoisson(Duration::Zero(), 1, 600 + n,
-                    Duration::Seconds(1000), n);
-    WorkloadReport ten =
-        RunVPoisson(Duration::Seconds(10), 1, 700 + n,
-                    Duration::Seconds(1000), n);
-    table.AddRow({static_cast<double>(n), zero.ConsistencyMsgsPerSec(),
-                  ten.ConsistencyMsgsPerSec(),
-                  zero.ConsistencyMsgsPerSec() /
-                      std::max(ten.ConsistencyMsgsPerSec(), 1e-9)});
+  const std::vector<size_t> counts = {5, 10, 20, 40, 80};
+  // Both the zero-term and 10 s-term runs of a point are simulated inside
+  // one task; the heavy zero-term simulations of different N fan out.
+  std::vector<std::vector<double>> rows = runner.Map<std::vector<double>>(
+      counts.size(), [&counts](size_t i) -> std::vector<double> {
+        size_t n = counts[i];
+        WorkloadReport zero =
+            RunVPoisson(Duration::Zero(), 1, 600 + n,
+                        Duration::Seconds(1000), n);
+        WorkloadReport ten =
+            RunVPoisson(Duration::Seconds(10), 1, 700 + n,
+                        Duration::Seconds(1000), n);
+        return {static_cast<double>(n), zero.ConsistencyMsgsPerSec(),
+                ten.ConsistencyMsgsPerSec(),
+                zero.ConsistencyMsgsPerSec() /
+                    std::max(ten.ConsistencyMsgsPerSec(), 1e-9)};
+      });
+  for (std::vector<double>& row : rows) {
+    table.AddRow(std::move(row));
   }
   table.Print(stdout, 4);
   std::printf("   both scale linearly in N, but the 10 s term keeps a\n"
@@ -84,10 +110,11 @@ void ClientCountSweep() {
 }
 
 void Run() {
+  SweepRunner runner;
   PrintHeader("Ablation A6: scaling trends (Section 3.3)");
-  ProcessorSpeedSweep();
-  PropagationDelaySweep();
-  ClientCountSweep();
+  ProcessorSpeedSweep(runner);
+  PropagationDelaySweep(runner);
+  ClientCountSweep(runner);
 }
 
 }  // namespace

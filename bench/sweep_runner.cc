@@ -1,0 +1,57 @@
+#include "bench/sweep_runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+namespace leases {
+
+SweepRunner::SweepRunner(size_t threads)
+    : threads_(threads == 0 ? DefaultThreads() : threads) {}
+
+size_t SweepRunner::DefaultThreads() {
+  if (const char* env = std::getenv("LEASES_SWEEP_THREADS")) {
+    long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<size_t>(parsed);
+    }
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void SweepRunner::RunIndexed(size_t n,
+                             const std::function<void(size_t)>& body) const {
+  if (n == 0) {
+    return;
+  }
+  size_t workers = threads_ < n ? threads_ : n;
+  if (workers <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  // Work-stealing by atomic counter: sweep points vary wildly in cost (a
+  // zero-term point simulates far more messages than a 30 s-term point), so
+  // static striping would leave workers idle.
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&next, &body, n]() {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) {
+          return;
+        }
+        body(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+}  // namespace leases

@@ -1,0 +1,53 @@
+// Thread-pool fan-out for independent sweep points.
+//
+// Every figure/table bench sweeps a parameter (lease term, client count,
+// RTT) where each point builds its own SimCluster from its own seed --
+// points share nothing, so they parallelize perfectly. SweepRunner::Map runs
+// point i on some worker thread and returns results ordered by index, so a
+// bench that computes rows under Map and prints them afterwards emits output
+// byte-identical to a serial run.
+//
+// Thread count: explicit constructor argument, else the LEASES_SWEEP_THREADS
+// environment variable, else std::thread::hardware_concurrency(). A count of
+// 1 runs inline with no threads at all (useful for debugging and for
+// verifying output parity against a parallel run).
+#ifndef BENCH_SWEEP_RUNNER_H_
+#define BENCH_SWEEP_RUNNER_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace leases {
+
+class SweepRunner {
+ public:
+  // threads == 0 selects DefaultThreads().
+  explicit SweepRunner(size_t threads = 0);
+
+  size_t threads() const { return threads_; }
+
+  // LEASES_SWEEP_THREADS if set and positive, else hardware concurrency.
+  static size_t DefaultThreads();
+
+  // Runs fn(0) .. fn(n-1), each point on some worker, and returns the
+  // results in index order. R must be default-constructible and movable.
+  // fn must not touch shared mutable state (each point builds its own
+  // cluster); it is invoked at most once per index.
+  template <typename R>
+  std::vector<R> Map(size_t n, const std::function<R(size_t)>& fn) const {
+    std::vector<R> results(n);
+    RunIndexed(n, [&results, &fn](size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  // Untyped core: runs body(0) .. body(n-1) across the pool.
+  void RunIndexed(size_t n, const std::function<void(size_t)>& body) const;
+
+ private:
+  size_t threads_;
+};
+
+}  // namespace leases
+
+#endif  // BENCH_SWEEP_RUNNER_H_

@@ -4,11 +4,15 @@
 // seconds per true second elapses after d / rate true seconds; that is the
 // delay scheduled on the simulator. This is what makes a drifting clock
 // actually perturb protocol timing in simulation.
+//
+// TimerIds wrap the simulator's generation-tagged EventIds directly, so
+// scheduling and cancelling a protocol timer costs no hash-map bookkeeping
+// here -- cancellation resolves in O(1) inside the simulator.
 #ifndef SRC_CLOCK_SIM_TIMER_HOST_H_
 #define SRC_CLOCK_SIM_TIMER_HOST_H_
 
 #include <functional>
-#include <unordered_map>
+#include <utility>
 
 #include "src/clock/sim_clock.h"
 #include "src/clock/timer_host.h"
@@ -22,31 +26,18 @@ class SimTimerHost : public TimerHost {
       : sim_(sim), clock_(clock) {}
 
   TimerId ScheduleAfter(Duration delay, std::function<void()> fn) override {
-    TimerId id = ids_.Next();
-    EventId ev = sim_->ScheduleAfter(
-        clock_->LocalToTrueDelay(delay), [this, id, fn = std::move(fn)]() {
-          pending_.erase(id);
-          fn();
-        });
-    pending_.emplace(id, ev);
-    return id;
+    EventId ev =
+        sim_->ScheduleAfter(clock_->LocalToTrueDelay(delay), std::move(fn));
+    return TimerId(ev.value());
   }
 
   bool CancelTimer(TimerId id) override {
-    auto it = pending_.find(id);
-    if (it == pending_.end()) {
-      return false;
-    }
-    bool cancelled = sim_->Cancel(it->second);
-    pending_.erase(it);
-    return cancelled;
+    return sim_->Cancel(EventId(id.value()));
   }
 
  private:
   Simulator* sim_;
   const SimClock* clock_;
-  IdGenerator<TimerId> ids_;
-  std::unordered_map<TimerId, EventId> pending_;
 };
 
 }  // namespace leases

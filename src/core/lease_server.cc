@@ -442,12 +442,17 @@ void LeaseServer::ActivateWrite(QueuedWrite write) {
     return;
   }
 
-  std::vector<LeaseHolder> holders = table_.ActiveHolders(pending.key, now);
+  // One lookup serves holder enumeration and the expiry deadline below; the
+  // pointer stays valid because nothing mutates the table until then.
+  static const std::vector<LeaseHolder> kNoHolders;
+  const std::vector<LeaseHolder>* live = table_.PruneExpired(pending.key, now);
+  const std::vector<LeaseHolder>& holders = live ? *live : kNoHolders;
   LEASES_DEBUG("server: activate write file=%llu writer=%u holders=%zu",
                (unsigned long long)pending.file.value(), pending.writer.value(),
                holders.size());
   pending.holders_at_start = holders.size();
   bool writer_holds = false;
+  pending.waiting.reserve(holders.size());
   for (const LeaseHolder& h : holders) {
     if (h.node == pending.writer) {
       writer_holds = true;
@@ -455,6 +460,7 @@ void LeaseServer::ActivateWrite(QueuedWrite write) {
       pending.waiting.push_back(h.node);
     }
   }
+  TimePoint max_expiry = LeaseTable::MaxExpiryOf(holders, now);
   if (!writer_holds) {
     // S counts the writer's cache too once the write lands.
     pending.holders_at_start += 1;
@@ -471,7 +477,7 @@ void LeaseServer::ActivateWrite(QueuedWrite write) {
   }
 
   ++stats_.writes_deferred;
-  pending.deadline = table_.MaxExpiry(pending.key, now) + kExpirySlack;
+  pending.deadline = max_expiry + kExpirySlack;
   Duration delay = pending.deadline - now;
   auto [it, inserted] = pending_.emplace(seq, std::move(pending));
   PendingWrite& p = it->second;

@@ -49,9 +49,21 @@ void LeaseTable::RemoveAll(NodeId node) {
 
 std::vector<LeaseHolder> LeaseTable::ActiveHolders(LeaseKey key,
                                                    TimePoint now) {
+  const std::vector<LeaseHolder>* live = PruneExpired(key, now);
+  if (live == nullptr) {
+    return {};
+  }
+  std::vector<LeaseHolder> result;
+  result.reserve(live->size());
+  result.assign(live->begin(), live->end());
+  return result;
+}
+
+const std::vector<LeaseHolder>* LeaseTable::PruneExpired(LeaseKey key,
+                                                         TimePoint now) {
   auto it = keys_.find(key);
   if (it == keys_.end()) {
-    return {};
+    return nullptr;
   }
   auto& holders = it->second;
   holders.erase(std::remove_if(holders.begin(), holders.end(),
@@ -61,9 +73,18 @@ std::vector<LeaseHolder> LeaseTable::ActiveHolders(LeaseKey key,
                 holders.end());
   if (holders.empty()) {
     keys_.erase(it);
-    return {};
+    return nullptr;
   }
-  return holders;
+  return &holders;
+}
+
+TimePoint LeaseTable::MaxExpiryOf(const std::vector<LeaseHolder>& holders,
+                                  TimePoint now) {
+  TimePoint max = now;
+  for (const LeaseHolder& h : holders) {
+    max = std::max(max, h.expiry);
+  }
+  return max;
 }
 
 TimePoint LeaseTable::MaxExpiry(LeaseKey key, TimePoint now) const {

@@ -38,6 +38,18 @@ class LeaseTable {
   // reclaimed" with short terms).
   std::vector<LeaseHolder> ActiveHolders(LeaseKey key, TimePoint now);
 
+  // Like ActiveHolders, but returns a pointer to the pruned in-place list
+  // (nullptr if no live holders) instead of copying it. One hash lookup
+  // serves the whole write-activation path; the pointer is valid until the
+  // next mutating call on this table.
+  const std::vector<LeaseHolder>* PruneExpired(LeaseKey key, TimePoint now);
+
+  // Latest expiry among `holders`, or `now` if the list is empty. Lets a
+  // caller that already fetched the holder list (PruneExpired) compute the
+  // write deadline without re-hashing the key via MaxExpiry.
+  static TimePoint MaxExpiryOf(const std::vector<LeaseHolder>& holders,
+                               TimePoint now);
+
   // Latest expiry among current holders of `key`, or `now` if none. This is
   // the paper's bound on how long a write can be delayed.
   TimePoint MaxExpiry(LeaseKey key, TimePoint now) const;

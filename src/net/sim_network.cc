@@ -124,6 +124,8 @@ void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
   sender->stats.sent[static_cast<int>(cls)]++;
 
   auto payload = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
+  std::vector<Delivery> targets;
+  targets.reserve(dst.size());
   for (NodeId d : dst) {
     if (d == src) {
       continue;  // no self-delivery; local effects are applied directly
@@ -139,40 +141,59 @@ void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
       sender->stats.dropped_loss++;
       continue;
     }
-    DeliverAt(departure + params_.prop_delay, src, d, cls, payload);
+    Node* receiver = FindNode(d);
+    if (receiver == nullptr) {
+      continue;
+    }
+    targets.push_back(Delivery{d, receiver->epoch});
   }
-}
-
-void SimNetwork::DeliverAt(TimePoint wire_arrival, NodeId src, NodeId dst,
-                           MessageClass cls,
-                           std::shared_ptr<std::vector<uint8_t>> bytes) {
-  Node* receiver = FindNode(dst);
-  if (receiver == nullptr) {
+  if (targets.empty()) {
     return;
   }
-  uint64_t epoch = receiver->epoch;
-  sim_->ScheduleAt(wire_arrival, [this, src, dst, cls, epoch,
-                                  bytes = std::move(bytes)]() {
-    Node* node = FindNode(dst);
-    if (node == nullptr || node->epoch != epoch || !node->up ||
-        node->handler == nullptr) {
-      if (node != nullptr) {
-        node->stats.dropped_down++;
-      }
+  TimePoint wire_arrival = departure + params_.prop_delay;
+  if (targets.size() == 1) {
+    // Unicast fast path: the capture fits the scheduler's inline storage.
+    Delivery t = targets.front();
+    sim_->ScheduleAt(wire_arrival, [this, src, cls, t,
+                                    bytes = std::move(payload)]() {
+      StartReceive(src, t, cls, bytes);
+    });
+    return;
+  }
+  // Multicast: one wire-arrival event fans out to every destination, instead
+  // of one scheduler entry per destination. Per-receiver epoch checks and
+  // CPU serialization are unchanged, so the paper's cost model holds.
+  sim_->ScheduleAt(wire_arrival, [this, src, cls,
+                                  targets = std::move(targets),
+                                  bytes = std::move(payload)]() {
+    for (const Delivery& t : targets) {
+      StartReceive(src, t, cls, bytes);
+    }
+  });
+}
+
+void SimNetwork::StartReceive(NodeId src, Delivery to, MessageClass cls,
+                              const std::shared_ptr<std::vector<uint8_t>>&
+                                  bytes) {
+  Node* node = FindNode(to.dst);
+  if (node == nullptr || node->epoch != to.epoch || !node->up ||
+      node->handler == nullptr) {
+    if (node != nullptr) {
+      node->stats.dropped_down++;
+    }
+    return;
+  }
+  // Receive-side processing serializes on the node's CPU; the handler
+  // runs when the processing slot completes.
+  TimePoint done = ChargeCpu(*node, sim_->Now());
+  sim_->ScheduleAt(done, [this, src, to, cls, bytes]() {
+    Node* n = FindNode(to.dst);
+    if (n == nullptr || n->epoch != to.epoch || !n->up ||
+        n->handler == nullptr) {
       return;
     }
-    // Receive-side processing serializes on the node's CPU; the handler
-    // runs when the processing slot completes.
-    TimePoint done = ChargeCpu(*node, sim_->Now());
-    sim_->ScheduleAt(done, [this, src, dst, cls, epoch, bytes]() {
-      Node* n = FindNode(dst);
-      if (n == nullptr || n->epoch != epoch || !n->up ||
-          n->handler == nullptr) {
-        return;
-      }
-      n->stats.received[static_cast<int>(cls)]++;
-      n->handler->HandlePacket(src, cls, *bytes);
-    });
+    n->stats.received[static_cast<int>(cls)]++;
+    n->handler->HandlePacket(src, cls, *bytes);
   });
 }
 

@@ -120,13 +120,23 @@ class SimNetwork {
     NodeMessageStats stats;
   };
 
+  // A (destination, incarnation) pair resolved at send time; the epoch lets
+  // a delivery notice that the receiver crashed while the message was on the
+  // wire.
+  struct Delivery {
+    NodeId dst;
+    uint64_t epoch;
+  };
+
   // Charges `proc_time` on the node's CPU starting no earlier than `at`;
   // returns when the slot ends.
   TimePoint ChargeCpu(Node& node, TimePoint at);
   void SendInternal(NodeId src, std::span<const NodeId> dst, MessageClass cls,
                     std::vector<uint8_t> bytes);
-  void DeliverAt(TimePoint wire_arrival, NodeId src, NodeId dst,
-                 MessageClass cls, std::shared_ptr<std::vector<uint8_t>> bytes);
+  // Wire arrival at one destination: charges receive processing on its CPU
+  // and schedules the handler when the slot completes.
+  void StartReceive(NodeId src, Delivery to, MessageClass cls,
+                    const std::shared_ptr<std::vector<uint8_t>>& bytes);
 
   Node* FindNode(NodeId id);
   const Node* FindNode(NodeId id) const;

@@ -1,52 +1,260 @@
 #include "src/sim/simulator.h"
 
-#include <utility>
+#include <limits>
 
 namespace leases {
 
-EventId Simulator::ScheduleAt(TimePoint when, Action action) {
-  // Never schedule into the past; clamp to "now" so causality holds.
-  if (when < now_) {
-    when = now_;
+namespace {
+constexpr int64_t kNever = std::numeric_limits<int64_t>::max();
+}  // namespace
+
+void Simulator::FreeSlot(uint32_t idx) {
+  Slot& slot = SlotAt(idx);
+  slot.action.Reset();
+  slot.state = SlotState::kFree;
+  // Generation 0 is reserved for "never a live handle".
+  if (++slot.gen == 0) {
+    slot.gen = 1;
   }
-  EventId id = ids_.Next();
-  queue_.push(Event{when, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
-  return id;
+  slot.next_free = free_head_;
+  free_head_ = idx;
 }
 
-bool Simulator::Cancel(EventId id) {
-  auto it = actions_.find(id);
-  if (it == actions_.end()) {
-    return false;
+void Simulator::InsertFar(Entry e) {
+  // The base may trail `now_` after a heap-only stretch (it only advances
+  // while the wheel has entries). Resync before computing the level; the
+  // entry may then turn out to be heap-near after all. A stale base never
+  // sends a far entry to the heap -- base <= now implies the stale delta
+  // overestimates -- so the fast path in InsertEntry stays correct.
+  if (far_count_ == 0) {
+    int64_t now_us = now_.ToMicros();
+    if (wheel_base_us_ < now_us) {
+      wheel_base_us_ = now_us;
+      if (e.when_us - wheel_base_us_ < (int64_t{1} << kHeapHorizonBits)) {
+        HeapPush(e);
+        return;
+      }
+    }
   }
-  actions_.erase(it);
-  cancelled_.insert(id);
-  return true;
+  // Pick the level from the XOR of the absolute times, not from the delta:
+  // the highest differing bit guarantees the entry's slot index differs from
+  // the base's current slot at the chosen level. A delta-based level can put
+  // a next-rotation entry into the base's *current* slot, whose bound clamps
+  // to the base itself -- the dump would then reinsert the entry unchanged,
+  // looping forever. (delta >= 2^16 implies the times differ at bit >= 16,
+  // so width >= 17 here.)
+  uint64_t diff = static_cast<uint64_t>(e.when_us) ^
+                  static_cast<uint64_t>(wheel_base_us_);
+  int width = std::bit_width(diff);
+  int level = (width - kHeapHorizonBits - 1) / kSlotBits;
+  if (level >= kWheelLevels) {
+    if (overflow_.empty() || e.when_us < overflow_min_us_) {
+      overflow_min_us_ = e.when_us;
+    }
+    overflow_.push_back(e);
+    ++far_count_;
+    return;
+  }
+  int slot = static_cast<int>(
+      (static_cast<uint64_t>(e.when_us) >> LevelShift(level)) &
+      (kSlotsPerLevel - 1));
+  wheel_[level][slot].push_back(e);
+  occupancy_[level][slot >> 6] |= uint64_t{1} << (slot & 63);
+  ++wheel_count_;
+  ++far_count_;
+}
+
+Simulator::Entry Simulator::HeapPopMin() {
+  Entry result = head_;
+  if (heap_.empty()) {
+    head_valid_ = false;
+    return result;
+  }
+  // Refill the cached head from the vector heap.
+  Entry top = heap_[0];
+  Entry last = heap_.back();
+  heap_.pop_back();
+  size_t n = heap_.size();
+  if (n > 0) {
+    size_t i = 0;
+    while (true) {
+      size_t first_child = 4 * i + 1;
+      if (first_child >= n) {
+        break;
+      }
+      size_t best = first_child;
+      size_t end = first_child + 4 < n ? first_child + 4 : n;
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[c].EarlierThan(heap_[best])) {
+          best = c;
+        }
+      }
+      if (!heap_[best].EarlierThan(last)) {
+        break;
+      }
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  head_ = top;
+  return result;
+}
+
+int Simulator::FindOccupied(int level, int from, int to) const {
+  for (int word = from >> 6; word <= (to - 1) >> 6; ++word) {
+    uint64_t bits = occupancy_[level][word];
+    if (word == from >> 6) {
+      bits &= ~uint64_t{0} << (from & 63);
+    }
+    if (word == (to - 1) >> 6 && (to & 63) != 0) {
+      bits &= (uint64_t{1} << (to & 63)) - 1;
+    }
+    if (bits != 0) {
+      return (word << 6) + std::countr_zero(bits);
+    }
+  }
+  return -1;
+}
+
+int64_t Simulator::NextWheelBound(int* level, int* slot) const {
+  int64_t best = kNever;
+  if (wheel_count_ > 0) {
+    for (int l = 0; l < kWheelLevels; ++l) {
+      int shift = LevelShift(l);
+      uint64_t base = static_cast<uint64_t>(wheel_base_us_);
+      int cur = static_cast<int>((base >> shift) & (kSlotsPerLevel - 1));
+      uint64_t rotation = base >> (shift + kSlotBits);
+      int idx = FindOccupied(l, cur, kSlotsPerLevel);
+      int64_t t;
+      if (idx >= 0) {
+        t = static_cast<int64_t>((rotation << (shift + kSlotBits)) |
+                                 (static_cast<uint64_t>(idx) << shift));
+      } else {
+        idx = FindOccupied(l, 0, cur);
+        if (idx < 0) {
+          continue;
+        }
+        t = static_cast<int64_t>(((rotation + 1) << (shift + kSlotBits)) |
+                                 (static_cast<uint64_t>(idx) << shift));
+      }
+      // The slot start can precede the base inside the current slot; the
+      // entries themselves are never earlier than the base.
+      if (t < wheel_base_us_) {
+        t = wheel_base_us_;
+      }
+      if (t < best) {
+        best = t;
+        *level = l;
+        *slot = idx;
+      }
+    }
+  }
+  if (!overflow_.empty() && overflow_min_us_ < best) {
+    best = overflow_min_us_;
+    *level = -1;
+    *slot = 0;
+  }
+  return best;
+}
+
+void Simulator::DumpWheel(int level, int slot, int64_t bound) {
+  if (bound > wheel_base_us_) {
+    wheel_base_us_ = bound;
+  }
+  std::vector<Entry> entries;
+  if (level < 0) {
+    entries.swap(overflow_);
+    overflow_min_us_ = 0;
+    far_count_ -= entries.size();
+  } else {
+    entries.swap(wheel_[level][slot]);
+    occupancy_[level][slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+    wheel_count_ -= entries.size();
+    far_count_ -= entries.size();
+  }
+  for (Entry& e : entries) {
+    uint32_t idx = static_cast<uint32_t>(e.handle >> 32);
+    uint32_t gen = static_cast<uint32_t>(e.handle);
+    Slot& s = SlotAt(idx);
+    if (s.gen != gen || s.state != SlotState::kPending) {
+      // Cancelled while parked: reclaim the slot instead of cascading.
+      FreeSlot(idx);
+      continue;
+    }
+    InsertEntry(e);
+  }
+}
+
+bool Simulator::PrepareHead(int64_t limit_us) {
+  while (true) {
+    int level = 0;
+    int slot = 0;
+    int64_t bound = far_count_ > 0 ? NextWheelBound(&level, &slot) : kNever;
+    if (head_valid_ && head_.when_us < bound) {
+      return head_.when_us <= limit_us;
+    }
+    if (bound == kNever) {
+      return head_valid_ && head_.when_us <= limit_us;
+    }
+    if (bound > limit_us) {
+      return false;
+    }
+    DumpWheel(level, slot, bound);
+  }
 }
 
 void Simulator::ExecuteHead() {
-  Event ev = queue_.top();
-  queue_.pop();
-  auto cancelled = cancelled_.find(ev.id);
-  if (cancelled != cancelled_.end()) {
-    cancelled_.erase(cancelled);
+  Entry e = HeapPopMin();
+  uint32_t idx = static_cast<uint32_t>(e.handle >> 32);
+  uint32_t gen = static_cast<uint32_t>(e.handle);
+  Slot& slot = SlotAt(idx);
+  LEASES_DCHECK(slot.gen == gen);
+  (void)gen;
+  if (slot.state != SlotState::kPending) {
+    FreeSlot(idx);
     return;
   }
-  auto it = actions_.find(ev.id);
-  LEASES_CHECK(it != actions_.end());
-  Action action = std::move(it->second);
-  actions_.erase(it);
-  LEASES_CHECK(ev.when >= now_);
-  now_ = ev.when;
+  LEASES_DCHECK(e.when_us >= now_.ToMicros());
+  now_ = TimePoint::FromMicros(e.when_us);
   ++executed_;
-  action();
+  // The callback runs in place from the slot (chunked storage keeps the
+  // address stable while it schedules); kExecuting makes a Cancel of the
+  // running event's own id report "too late".
+  slot.state = SlotState::kExecuting;
+  slot.action();
+  FreeSlot(idx);
+}
+
+bool Simulator::Cancel(EventId id) {
+  uint32_t idx = static_cast<uint32_t>(id.value() >> 32);
+  uint32_t gen = static_cast<uint32_t>(id.value());
+  if (idx >= slot_count_) {
+    return false;
+  }
+  Slot& slot = SlotAt(idx);
+  if (slot.gen != gen || slot.state != SlotState::kPending) {
+    return false;
+  }
+  slot.state = SlotState::kCancelled;
+  slot.action.Reset();  // free captures eagerly; the queue entry drops lazily
+  ++cancelled_;
+  return true;
 }
 
 void Simulator::RunUntil(TimePoint deadline) {
   LEASES_CHECK(!running_);
   running_ = true;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
+  int64_t limit_us = deadline.ToMicros();
+  while (true) {
+    if (far_count_ == 0) [[likely]] {
+      // Heap-only fast path: no wheel bound to compute.
+      if (!head_valid_ || head_.when_us > limit_us) {
+        break;
+      }
+    } else if (!PrepareHead(limit_us)) {
+      break;
+    }
     ExecuteHead();
   }
   if (now_ < deadline) {
@@ -60,7 +268,7 @@ bool Simulator::Step() {
   running_ = true;
   // Skip over cancelled entries to execute exactly one live event.
   bool executed = false;
-  while (!queue_.empty() && !executed) {
+  while (!executed && PrepareHead(kNever)) {
     uint64_t before = executed_;
     ExecuteHead();
     executed = executed_ > before;
@@ -72,7 +280,14 @@ bool Simulator::Step() {
 void Simulator::RunUntilIdle() {
   LEASES_CHECK(!running_);
   running_ = true;
-  while (!queue_.empty()) {
+  while (true) {
+    if (far_count_ == 0) [[likely]] {
+      if (!head_valid_) {
+        break;
+      }
+    } else if (!PrepareHead(kNever)) {
+      break;
+    }
     ExecuteHead();
   }
   running_ = false;

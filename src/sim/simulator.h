@@ -5,14 +5,30 @@
 // every run with the same seed is bit-identical. All simulated components
 // (network, clocks, protocol timers, workload generators) schedule through
 // this one queue; nothing in a simulation reads wall-clock time.
+//
+// Hot-path layout (see DESIGN.md "Performance"):
+//  * Actions are small-buffer-optimized callables (InlineAction): captures up
+//    to 48 bytes live inline in the slot table, larger closures fall back to
+//    one heap allocation.
+//  * Every scheduled event owns a generation-tagged slot in a flat slot
+//    table; the EventId packs (slot index, generation), so Cancel is an O(1)
+//    array probe with no hash map or side set.
+//  * Near-term events (< ~65 ms ahead) sit in an inline 4-ary min-heap of
+//    24-byte POD entries keyed by (time, seq). Far events park in a
+//    hierarchical timer wheel (3 levels x 256 slots, spans 65 ms / 16.7 s /
+//    71 min per slot) and cascade toward the heap as time advances, so the
+//    heap stays small even with hundreds of thousands of pending lease
+//    expiries and retry timers.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -21,13 +37,146 @@
 
 namespace leases {
 
-// Handle identifying a scheduled event so it can be cancelled.
+// Handle identifying a scheduled event so it can be cancelled. The value
+// packs (slot index << 32 | generation); generations start at 1, so a
+// default-constructed EventId (value 0) is never a live handle.
 struct EventIdTag {};
 using EventId = StrongId<EventIdTag, uint64_t>;
 
+// Move-only type-erased callable with inline storage for small captures.
+// Closures up to kInlineSize bytes are stored in place; larger ones cost one
+// heap allocation. This replaces std::function on the scheduler hot path:
+// moves are a vtable call instead of a potential allocation, and the common
+// simulation captures (a few pointers, ids and a shared_ptr payload) fit
+// inline.
+class InlineAction {
+ public:
+  static constexpr size_t kInlineSize = 48;
+
+  InlineAction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineAction>>>
+  InlineAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  // Constructs the callable in place. Storage must be empty (ops_ == null);
+  // the scheduler uses this to build closures directly inside the slot table
+  // with no intermediate InlineAction.
+  template <typename F>
+  void Emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  InlineAction(InlineAction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      Relocate(o);
+      o.ops_ = nullptr;
+    }
+  }
+
+  InlineAction& operator=(InlineAction&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        Relocate(o);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+
+  ~InlineAction() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial_destroy) {
+        ops_->destroy(storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-constructs into raw `dst` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    // Fast-path flags: most simulation closures capture only pointers and
+    // ids, so moves collapse to a fixed-size memcpy and destruction to
+    // nothing -- no indirect call on either path.
+    bool trivial_relocate;
+    bool trivial_destroy;
+  };
+
+  // Moves `o`'s payload into this object's storage (ops_ already copied).
+  void Relocate(InlineAction& o) {
+    if (ops_->trivial_relocate) {
+      // Copying the whole buffer is branch-free and vectorizes; trailing
+      // bytes past the object's size are never read through a typed pointer.
+      std::memcpy(storage_, o.storage_, kInlineSize);
+    } else {
+      ops_->relocate(storage_, o.storage_);
+    }
+  }
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); }
+    static void Relocate(void* dst, void* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (dst) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(void* p) {
+      std::launder(reinterpret_cast<Fn*>(p))->~Fn();
+    }
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy,
+                                std::is_trivially_copyable_v<Fn>,
+                                std::is_trivially_destructible_v<Fn>};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* Get(void* p) {
+      Fn* fn;
+      std::memcpy(&fn, p, sizeof(fn));
+      return fn;
+    }
+    static void Invoke(void* p) { (*Get(p))(); }
+    static void Relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(Fn*));
+    }
+    static void Destroy(void* p) { delete Get(p); }
+    // The stored pointer relocates by memcpy, but destruction must run.
+    static constexpr Ops ops = {&Invoke, &Relocate, &Destroy, true, false};
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -37,14 +186,33 @@ class Simulator {
   // src/clock/ may drift relative to it).
   TimePoint Now() const { return now_; }
 
-  EventId ScheduleAt(TimePoint when, Action action);
-  EventId ScheduleAfter(Duration delay, Action action) {
-    return ScheduleAt(now_ + delay, std::move(action));
+  // Schedules `fn` at absolute virtual time `when` (clamped to now). The
+  // callable is constructed directly inside the event's slot: for a lambda
+  // with <= 48 bytes of captures the whole schedule path performs zero
+  // heap allocations and zero callable moves.
+  template <typename F>
+  EventId ScheduleAt(TimePoint when, F&& fn) {
+    int64_t when_us = when < now_ ? now_.ToMicros() : when.ToMicros();
+    uint32_t idx = AllocSlotIndex();
+    Slot& slot = SlotAt(idx);
+    slot.state = SlotState::kPending;
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineAction>) {
+      slot.action = std::forward<F>(fn);
+    } else {
+      slot.action.Emplace(std::forward<F>(fn));
+    }
+    uint64_t handle = (static_cast<uint64_t>(idx) << 32) | slot.gen;
+    InsertEntry(Entry{when_us, next_seq_++, handle});
+    return EventId(handle);
+  }
+  template <typename F>
+  EventId ScheduleAfter(Duration delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   // Cancels a pending event. Returns false if the event already fired or was
-  // already cancelled. Cancelling is O(1); cancelled entries are dropped
-  // lazily when they reach the head of the queue.
+  // already cancelled. Cancelling is O(1) and frees the action eagerly; the
+  // queue entry is dropped lazily when it surfaces.
   bool Cancel(EventId id);
 
   // Runs events until the queue empties or `deadline` is passed. Time
@@ -58,34 +226,160 @@ class Simulator {
   // generators that perpetually reschedule will never drain.
   void RunUntilIdle();
 
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  // Derived rather than maintained: every scheduled event is eventually
+  // either executed or cancelled exactly once, so no per-event counter
+  // update is needed on the drain path.
+  size_t pending_events() const {
+    return static_cast<size_t>(next_seq_ - executed_ - cancelled_);
+  }
   uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    TimePoint when;
+  // 24-byte POD queue entry; the action lives in the slot table, so heap
+  // sifts and wheel cascades move raw integers only.
+  struct Entry {
+    int64_t when_us;
     uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
-    // Ordered as a max-heap by default; invert for earliest-first.
-    bool operator<(const Event& o) const {
-      if (when != o.when) {
-        return when > o.when;
-      }
-      return seq > o.seq;
+    uint64_t handle;  // packed (slot index << 32 | generation)
+
+    bool EarlierThan(const Entry& o) const {
+      return when_us != o.when_us ? when_us < o.when_us : seq < o.seq;
     }
   };
 
+  // kExecuting marks the event currently being run: its callback executes in
+  // place from the slot, and a Cancel of its own id must report "too late".
+  enum class SlotState : uint8_t { kFree, kPending, kCancelled, kExecuting };
+
+  struct Slot {
+    uint32_t gen = 0;
+    SlotState state = SlotState::kFree;
+    uint32_t next_free = kNoSlot;
+    InlineAction action;
+  };
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+  // Slots live in fixed-size chunks so their addresses stay stable while a
+  // callback executing in place schedules new events (which may grow the
+  // table). Only the chunk-pointer vector ever reallocates.
+  static constexpr int kSlotChunkBits = 10;
+  static constexpr uint32_t kSlotChunkSize = 1u << kSlotChunkBits;
+  // Entries less than 2^16 us (~65 ms) ahead of the wheel base go straight
+  // to the heap; the wheel levels cover [2^16, 2^40) us in 256-slot tiers.
+  static constexpr int kHeapHorizonBits = 16;
+  static constexpr int kWheelLevels = 3;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlotsPerLevel = 1 << kSlotBits;
+  static constexpr int kBitmapWords = kSlotsPerLevel / 64;
+
+  static constexpr int LevelShift(int level) {
+    return kHeapHorizonBits + kSlotBits * level;
+  }
+
+  Slot& SlotAt(uint32_t idx) {
+    return slot_chunks_[idx >> kSlotChunkBits]
+        .get()[idx & (kSlotChunkSize - 1)];
+  }
+
+  // Pops a recycled slot or appends a fresh one; the slot's generation is
+  // already valid. The caller fills state and action.
+  uint32_t AllocSlotIndex() {
+    uint32_t idx = free_head_;
+    if (idx != kNoSlot) {
+      free_head_ = SlotAt(idx).next_free;
+      return idx;
+    }
+    if ((slot_count_ & (kSlotChunkSize - 1)) == 0) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    idx = slot_count_++;
+    SlotAt(idx).gen = 1;
+    return idx;
+  }
+
+  void FreeSlot(uint32_t idx);
+
+  // The earliest heap entry is cached in `head_` (valid iff head_valid_);
+  // heap_ holds the rest. Shallow queues -- the common hot phase, where an
+  // executing event immediately schedules its successor -- ping-pong through
+  // the cached head without touching the vector at all.
+  void HeapPush(Entry e) {
+    if (!head_valid_) {
+      head_ = e;
+      head_valid_ = true;
+      return;
+    }
+    if (e.EarlierThan(head_)) {
+      HeapPushVec(head_);
+      head_ = e;
+      return;
+    }
+    HeapPushVec(e);
+  }
+
+  void HeapPushVec(Entry e) {
+    heap_.push_back(e);
+    size_t i = heap_.size() - 1;
+    while (i > 0) {
+      size_t parent = (i - 1) / 4;
+      if (!heap_[i].EarlierThan(heap_[parent])) {
+        break;
+      }
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  // Near events go straight to the heap; everything else takes the
+  // out-of-line wheel/overflow path (which also resyncs a stale base).
+  void InsertEntry(Entry e) {
+    int64_t delta = e.when_us - wheel_base_us_;
+    if (delta < (int64_t{1} << kHeapHorizonBits)) [[likely]] {
+      HeapPush(e);
+      return;
+    }
+    InsertFar(e);
+  }
+
+  void InsertFar(Entry e);
+  Entry HeapPopMin();
+  // Redistributes the earliest wheel slot (or the overflow list) after
+  // advancing the wheel base to `bound`.
+  void DumpWheel(int level, int slot, int64_t bound);
+  // Lower-bound arrival time of the earliest wheel entry; INT64_MAX if the
+  // wheel and overflow list are empty. Fills the slot to dump.
+  int64_t NextWheelBound(int* level, int* slot) const;
+  int FindOccupied(int level, int from, int to) const;
+  // Ensures the globally earliest event, if due at or before `limit_us`, is
+  // at the heap top. Returns false if no event is due by `limit_us`.
+  bool PrepareHead(int64_t limit_us);
   void ExecuteHead();
 
   TimePoint now_ = TimePoint::Epoch();
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  IdGenerator<EventId> ids_;
-  std::priority_queue<Event> queue_;
-  // Actions stored out-of-line so cancellation can free them eagerly.
-  std::unordered_map<EventId, Action> actions_;
-  std::unordered_set<EventId> cancelled_;
+  uint64_t cancelled_ = 0;
   bool running_ = false;
+
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  uint32_t slot_count_ = 0;
+  uint32_t free_head_ = kNoSlot;
+
+  Entry head_{0, 0, 0};  // cached minimum of the heap (valid iff head_valid_)
+  bool head_valid_ = false;
+  std::vector<Entry> heap_;  // inline 4-ary min-heap holding the rest
+
+  int64_t wheel_base_us_ = 0;
+  size_t wheel_count_ = 0;
+  // wheel_count_ + overflow_.size(): one load decides whether the drain loop
+  // can skip wheel-bound computation entirely.
+  size_t far_count_ = 0;
+  std::vector<Entry> wheel_[kWheelLevels][kSlotsPerLevel];
+  uint64_t occupancy_[kWheelLevels][kBitmapWords] = {};
+  // Events beyond the wheel range (> ~12.7 days ahead, e.g. infinite-term
+  // lease timers); examined only when everything nearer has drained.
+  std::vector<Entry> overflow_;
+  int64_t overflow_min_us_ = 0;
 };
 
 }  // namespace leases
