@@ -20,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "bench/sweep_runner.h"
 #include "src/core/lease_table.h"
+#include "src/net/sim_network.h"
 #include "src/core/sim_cluster.h"
 #include "src/fs/file_store.h"
 #include "src/proto/messages.h"
@@ -266,29 +267,152 @@ uint64_t SweepSignature(const std::vector<WorkloadReport>& reports) {
 
 // A scaled-down A6-style sweep, run serially and through the thread pool.
 // The signatures must match: parallelism must not change a single message.
+//
+// Points are sized so each runs long enough (hundreds of milliseconds) to
+// amortize pool startup, and the pool takes the machine's real thread count
+// (honoring LEASES_SWEEP_THREADS): on a single-core container the runner
+// skips thread spin-up entirely and runs inline, so the "parallel" pass
+// measures pool overhead honestly instead of forcing two threads to fight
+// over one CPU.
 void MeasureSweep(double* serial_s, double* parallel_s, size_t* threads,
                   size_t* points, bool* identical) {
   const std::vector<size_t> counts = {5, 10, 20, 40};
-  auto point = [&counts](size_t i) {
-    return RunVPoisson(Duration::Seconds(10), 1, 600 + counts[i],
-                       Duration::Seconds(2000), counts[i]);
+  const Duration kMeasure = Duration::Seconds(12000);
+  auto point = [&counts, kMeasure](size_t i) {
+    return RunVPoisson(Duration::Seconds(10), 1, 600 + counts[i], kMeasure,
+                       counts[i]);
   };
   SweepRunner serial(1);
-  auto start = std::chrono::steady_clock::now();
-  std::vector<WorkloadReport> serial_reports =
-      serial.Map<WorkloadReport>(counts.size(), point);
-  *serial_s = SecondsSince(start);
+  SweepRunner pool(SweepRunner::DefaultThreads());
 
-  // At least two workers so the pool path (and its cross-thread determinism)
-  // is exercised even on a single-core container.
-  SweepRunner pool(std::max<size_t>(2, SweepRunner::DefaultThreads()));
-  start = std::chrono::steady_clock::now();
-  std::vector<WorkloadReport> pool_reports =
-      pool.Map<WorkloadReport>(counts.size(), point);
-  *parallel_s = SecondsSince(start);
+  // Untimed warmup over the full point set, so neither timed pass pays
+  // first-touch costs (the 40-client point dominates the arena shape) and
+  // both run against the same steady-state allocator.
+  (void)serial.Map<WorkloadReport>(counts.size(), point);
+
+  // ABBA ordering (serial, parallel, parallel, serial), repeated: each mode
+  // occupies early and late positions equally, so linear clock/thermal drift
+  // cancels out of the means instead of biasing whichever pass ran second.
+  std::vector<WorkloadReport> serial_reports;
+  std::vector<WorkloadReport> pool_reports;
+  double serial_sum = 0.0;
+  double parallel_sum = 0.0;
+  constexpr int kRounds = 2;
+  for (int round = 0; round < kRounds; ++round) {
+    auto start = std::chrono::steady_clock::now();
+    serial_reports = serial.Map<WorkloadReport>(counts.size(), point);
+    serial_sum += SecondsSince(start);
+
+    for (int rep = 0; rep < 2; ++rep) {
+      start = std::chrono::steady_clock::now();
+      pool_reports = pool.Map<WorkloadReport>(counts.size(), point);
+      parallel_sum += SecondsSince(start);
+    }
+
+    start = std::chrono::steady_clock::now();
+    serial_reports = serial.Map<WorkloadReport>(counts.size(), point);
+    serial_sum += SecondsSince(start);
+  }
+  *serial_s = serial_sum / (2 * kRounds);
+  *parallel_s = parallel_sum / (2 * kRounds);
   *threads = pool.threads();
   *points = counts.size();
   *identical = SweepSignature(serial_reports) == SweepSignature(pool_reports);
+}
+
+// --- Protocol message-path metrics ---
+
+// A node that pumps messages back and forth: on each arrival it produces a
+// fresh reply packet while replies remain. In force-wire mode arrivals come
+// through HandlePacket and are decoded (the old world, end to end); on the
+// typed path the packet arrives without any codec work.
+class PumpNode : public PacketHandler {
+ public:
+  static Packet MakeMessage() {
+    ReadReply m;
+    m.req = RequestId(1);
+    m.file = FileId(7);
+    m.version = 9;
+    m.lease = LeaseGrant{LeaseKey(7), Duration::Seconds(10)};
+    m.data.assign(512, 0xAB);
+    return m;
+  }
+
+  void HandlePacket(NodeId from, MessageClass /*cls*/,
+                    std::span<const uint8_t> bytes) override {
+    std::optional<Packet> packet = DecodePacket(bytes);
+    if (packet.has_value()) {
+      benchmark::DoNotOptimize(*packet);
+      OnArrival(from);
+    }
+  }
+
+  void HandleTyped(NodeId from, MessageClass /*cls*/,
+                   const Packet& packet) override {
+    benchmark::DoNotOptimize(packet);
+    OnArrival(from);
+  }
+
+  void OnArrival(NodeId from) {
+    ++received;
+    if (remaining > 0) {
+      --remaining;
+      transport->Send(from, MessageClass::kData, MakeMessage());
+    }
+  }
+
+  Transport* transport = nullptr;
+  int remaining = 0;
+  uint64_t received = 0;
+};
+
+// Raw message-path throughput through SimNetwork: two nodes exchanging
+// 512-byte ReadReplies. The typed/wire ratio is the serialization tax the
+// fast path removes from every simulated message.
+double MeasurePumpMsgsPerSec(bool force_wire, uint64_t* messages) {
+  const int kMessages = 200'000;
+  double best = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    Simulator sim;
+    SimNetwork net(&sim, NetworkParams{});
+    net.set_force_wire(force_wire);
+    PumpNode a;
+    PumpNode b;
+    a.transport = net.AttachNode(NodeId(1), &a);
+    b.transport = net.AttachNode(NodeId(2), &b);
+    a.remaining = kMessages / 2;
+    b.remaining = kMessages / 2;
+    auto start = std::chrono::steady_clock::now();
+    a.transport->Send(NodeId(2), MessageClass::kData, PumpNode::MakeMessage());
+    sim.RunUntilIdle();
+    double elapsed = SecondsSince(start);
+    *messages = a.received + b.received;
+    double rate = static_cast<double>(*messages) / elapsed;
+    if (rate > best) {
+      best = rate;
+    }
+  }
+  return best;
+}
+
+// End-to-end protocol throughput: the standard 10-client V cluster under
+// the Section 3.1 Poisson workload, measured as simulated lease operations
+// (reads + writes) completed per host second.
+double MeasureLeaseOpsPerSec(bool force_wire, uint64_t* ops) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 10, 7);
+  SimCluster cluster(options);
+  cluster.network().set_force_wire(force_wire);
+  PoissonOptions poisson;
+  poisson.sharing = 5;
+  poisson.seed = 7;
+  poisson.measure = Duration::Seconds(4000);
+  PoissonDriver driver(&cluster, poisson);
+  driver.Setup();
+  auto start = std::chrono::steady_clock::now();
+  WorkloadReport report = driver.Run();
+  double elapsed = SecondsSince(start);
+  *ops = report.reads + report.writes;
+  return static_cast<double>(*ops) / elapsed;
 }
 
 int WriteBenchCore(const char* path) {
@@ -297,6 +421,16 @@ int WriteBenchCore(const char* path) {
   double events_per_sec = MeasureChainEventsPerSec(&events);
   double mixed_per_sec = MeasureMixedEventsPerSec(&mixed_events);
   double cancel_ops = MeasureCancelOpsPerSec();
+
+  uint64_t pump_messages = 0;
+  double pump_wire = MeasurePumpMsgsPerSec(/*force_wire=*/true,
+                                           &pump_messages);
+  double pump_typed = MeasurePumpMsgsPerSec(/*force_wire=*/false,
+                                            &pump_messages);
+  uint64_t lease_ops = 0;
+  double ops_wire = MeasureLeaseOpsPerSec(/*force_wire=*/true, &lease_ops);
+  double ops_typed = MeasureLeaseOpsPerSec(/*force_wire=*/false, &lease_ops);
+
   double serial_s = 0;
   double parallel_s = 0;
   size_t threads = 0;
@@ -311,13 +445,25 @@ int WriteBenchCore(const char* path) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 1,\n"
+               "  \"schema\": 2,\n"
                "  \"scheduler\": {\n"
                "    \"events\": %llu,\n"
                "    \"events_per_sec\": %.0f,\n"
                "    \"ns_per_event\": %.2f,\n"
                "    \"mixed_horizon_events_per_sec\": %.0f,\n"
                "    \"schedule_cancel_ops_per_sec\": %.0f\n"
+               "  },\n"
+               "  \"protocol\": {\n"
+               "    \"pump_messages\": %llu,\n"
+               "    \"pump_payload_bytes\": 512,\n"
+               "    \"pump_wire_msgs_per_sec\": %.0f,\n"
+               "    \"pump_typed_msgs_per_sec\": %.0f,\n"
+               "    \"pump_typed_speedup\": %.2f,\n"
+               "    \"cluster_clients\": 10,\n"
+               "    \"cluster_lease_ops\": %llu,\n"
+               "    \"lease_ops_wire_per_sec\": %.0f,\n"
+               "    \"lease_ops_typed_per_sec\": %.0f,\n"
+               "    \"lease_ops_typed_speedup\": %.2f\n"
                "  },\n"
                "  \"sweep\": {\n"
                "    \"points\": %zu,\n"
@@ -329,16 +475,24 @@ int WriteBenchCore(const char* path) {
                "  }\n"
                "}\n",
                static_cast<unsigned long long>(events), events_per_sec,
-               1e9 / events_per_sec, mixed_per_sec, cancel_ops, points,
-               threads, serial_s, parallel_s, serial_s / parallel_s,
+               1e9 / events_per_sec, mixed_per_sec, cancel_ops,
+               static_cast<unsigned long long>(pump_messages), pump_wire,
+               pump_typed, pump_typed / pump_wire,
+               static_cast<unsigned long long>(lease_ops), ops_wire,
+               ops_typed, ops_typed / ops_wire, points, threads, serial_s,
+               parallel_s, serial_s / parallel_s,
                identical ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s: %.1fM events/s (%.1f ns/event), %.1fM mixed-horizon "
-              "events/s, %.1fM sched+cancel ops/s, sweep %.2fs -> %.2fs "
-              "(%zu threads, identical=%s)\n",
+              "events/s, %.1fM sched+cancel ops/s\n"
+              "  protocol: pump %.2fM -> %.2fM msgs/s (%.2fx typed), "
+              "cluster %.0f -> %.0f lease ops/s (%.2fx typed)\n"
+              "  sweep %.2fs -> %.2fs (%zu threads, identical=%s)\n",
               path, events_per_sec / 1e6, 1e9 / events_per_sec,
-              mixed_per_sec / 1e6, cancel_ops / 1e6, serial_s, parallel_s,
-              threads, identical ? "true" : "false");
+              mixed_per_sec / 1e6, cancel_ops / 1e6, pump_wire / 1e6,
+              pump_typed / 1e6, pump_typed / pump_wire, ops_wire, ops_typed,
+              ops_typed / ops_wire, serial_s, parallel_s, threads,
+              identical ? "true" : "false");
   return identical ? 0 : 2;
 }
 

@@ -25,8 +25,12 @@ void SweepRunner::RunIndexed(size_t n,
   if (n == 0) {
     return;
   }
+  // Pool spin-up is pure overhead when there is nothing to overlap: a
+  // single point, a single configured thread (LEASES_SWEEP_THREADS=1), or
+  // a single-core machine all run inline on the calling thread, with no
+  // threads created at all.
   size_t workers = threads_ < n ? threads_ : n;
-  if (workers <= 1) {
+  if (n <= 1 || workers <= 1) {
     for (size_t i = 0; i < n; ++i) {
       body(i);
     }

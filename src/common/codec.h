@@ -23,7 +23,13 @@ namespace leases {
 
 class Writer {
  public:
-  void WriteU8(uint8_t v) { buf_.push_back(v); }
+  Writer() : out_(&buf_) {}
+  // Appends into an external buffer instead of an owned one. The caller
+  // keeps ownership; reusing one buffer across encodes makes the hot wire
+  // path allocation-free once its capacity has grown to the working set.
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void WriteU8(uint8_t v) { out_->push_back(v); }
   void WriteU16(uint16_t v) { AppendLe(&v, sizeof(v)); }
   void WriteU32(uint32_t v) { AppendLe(&v, sizeof(v)); }
   void WriteU64(uint64_t v) { AppendLe(&v, sizeof(v)); }
@@ -40,24 +46,25 @@ class Writer {
 
   void WriteBytes(std::span<const uint8_t> bytes) {
     WriteU32(static_cast<uint32_t>(bytes.size()));
-    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    out_->insert(out_->end(), bytes.begin(), bytes.end());
   }
   void WriteString(const std::string& s) {
     WriteBytes(std::span<const uint8_t>(
         reinterpret_cast<const uint8_t*>(s.data()), s.size()));
   }
 
-  const std::vector<uint8_t>& buffer() const { return buf_; }
-  std::vector<uint8_t> Take() { return std::move(buf_); }
+  const std::vector<uint8_t>& buffer() const { return *out_; }
+  std::vector<uint8_t> Take() { return std::move(*out_); }
 
  private:
   void AppendLe(const void* p, size_t n) {
     // Host is little-endian on all supported platforms; memcpy is the
     // portable way to avoid aliasing issues.
     const auto* b = static_cast<const uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    out_->insert(out_->end(), b, b + n);
   }
   std::vector<uint8_t> buf_;
+  std::vector<uint8_t>* out_;
 };
 
 class Reader {

@@ -58,36 +58,45 @@ void CacheClient::HandlePacket(NodeId from, MessageClass /*cls*/,
                 from.value());
     return;
   }
+  DispatchPacket(from, *packet);
+}
+
+void CacheClient::HandleTyped(NodeId from, MessageClass /*cls*/,
+                              const Packet& packet) {
+  DispatchPacket(from, packet);
+}
+
+void CacheClient::DispatchPacket(NodeId from, const Packet& packet) {
   if (from != server_) {
     LEASES_WARN("client %u: packet from unexpected node %u", id_.value(),
                 from.value());
     return;
   }
-  if (const auto* read = std::get_if<ReadReply>(&*packet)) {
+  if (const auto* read = std::get_if<ReadReply>(&packet)) {
     OnReadReply(*read);
     return;
   }
-  if (const auto* extend = std::get_if<ExtendReply>(&*packet)) {
+  if (const auto* extend = std::get_if<ExtendReply>(&packet)) {
     OnExtendReply(*extend);
     return;
   }
-  if (const auto* write = std::get_if<WriteReply>(&*packet)) {
+  if (const auto* write = std::get_if<WriteReply>(&packet)) {
     OnWriteReply(*write);
     return;
   }
-  if (const auto* approve = std::get_if<ApproveRequest>(&*packet)) {
+  if (const auto* approve = std::get_if<ApproveRequest>(&packet)) {
     OnApproveRequest(*approve);
     return;
   }
-  if (const auto* installed = std::get_if<InstalledExtend>(&*packet)) {
+  if (const auto* installed = std::get_if<InstalledExtend>(&packet)) {
     OnInstalledExtend(*installed);
     return;
   }
-  if (std::get_if<Pong>(&*packet) != nullptr) {
+  if (std::get_if<Pong>(&packet) != nullptr) {
     return;  // keepalive; nothing to do
   }
   LEASES_WARN("client %u: unexpected %s", id_.value(),
-              PacketName(*packet).c_str());
+              PacketName(packet).c_str());
 }
 
 // --- Reads ---
@@ -879,8 +888,8 @@ bool CacheClient::HasValidLease(FileId file) const {
   return it != cache_.end() && LeaseValid(it->second.key);
 }
 
-void CacheClient::SendToServer(MessageClass cls, const Packet& packet) {
-  transport_->Send(server_, cls, EncodePacket(packet));
+void CacheClient::SendToServer(MessageClass cls, Packet packet) {
+  transport_->Send(server_, cls, std::move(packet));
 }
 
 }  // namespace leases

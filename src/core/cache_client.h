@@ -141,6 +141,8 @@ class CacheClient : public PacketHandler {
 
   void HandlePacket(NodeId from, MessageClass cls,
                     std::span<const uint8_t> bytes) override;
+  void HandleTyped(NodeId from, MessageClass cls,
+                   const Packet& packet) override;
 
  private:
   struct Entry {
@@ -243,7 +245,10 @@ class CacheClient : public PacketHandler {
   // still uses the key.
   void RelinquishKeyIfUnused(LeaseKey key);
 
-  void SendToServer(MessageClass cls, const Packet& packet);
+  // Both entry points (decoded bytes and the typed fast path) funnel here.
+  void DispatchPacket(NodeId from, const Packet& packet);
+
+  void SendToServer(MessageClass cls, Packet packet);
   Oracle::ReadToken BeginRead(FileId file);
   void FinishRead(const ReadWaiter& waiter, const Entry& entry,
                   bool from_cache);

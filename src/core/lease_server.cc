@@ -110,33 +110,42 @@ void LeaseServer::HandlePacket(NodeId from, MessageClass /*cls*/,
                 from.value());
     return;
   }
+  DispatchPacket(from, *packet);
+}
+
+void LeaseServer::HandleTyped(NodeId from, MessageClass /*cls*/,
+                              const Packet& packet) {
+  DispatchPacket(from, packet);
+}
+
+void LeaseServer::DispatchPacket(NodeId from, const Packet& packet) {
   RememberClient(from);
-  if (const auto* read = std::get_if<ReadRequest>(&*packet)) {
+  if (const auto* read = std::get_if<ReadRequest>(&packet)) {
     OnReadRequest(from, *read);
     return;
   }
-  if (const auto* extend = std::get_if<ExtendRequest>(&*packet)) {
+  if (const auto* extend = std::get_if<ExtendRequest>(&packet)) {
     OnExtendRequest(from, *extend);
     return;
   }
-  if (const auto* write = std::get_if<WriteRequest>(&*packet)) {
+  if (const auto* write = std::get_if<WriteRequest>(&packet)) {
     OnWriteRequest(from, *write);
     return;
   }
-  if (const auto* approve = std::get_if<ApproveReply>(&*packet)) {
+  if (const auto* approve = std::get_if<ApproveReply>(&packet)) {
     OnApproveReply(from, *approve);
     return;
   }
-  if (const auto* relinquish = std::get_if<Relinquish>(&*packet)) {
+  if (const auto* relinquish = std::get_if<Relinquish>(&packet)) {
     OnRelinquish(from, *relinquish);
     return;
   }
-  if (const auto* ping = std::get_if<Ping>(&*packet)) {
+  if (const auto* ping = std::get_if<Ping>(&packet)) {
     SendTo(from, MessageClass::kControl, Pong{ping->req});
     return;
   }
   LEASES_WARN("server %u: unexpected %s from %u", id_.value(),
-              PacketName(*packet).c_str(), from.value());
+              PacketName(packet).c_str(), from.value());
 }
 
 // --- Reads and extensions ---
@@ -497,13 +506,13 @@ void LeaseServer::SendApprovalRound(PendingWrite& pending, bool retry) {
     ++stats_.approval_rounds;
   }
   ApproveRequest request{pending.seq, pending.file, pending.key};
-  std::vector<uint8_t> bytes = EncodePacket(Packet(request));
   if (params_.multicast_approvals) {
-    transport_->Multicast(pending.waiting, MessageClass::kConsistency, bytes);
+    transport_->Multicast(pending.waiting, MessageClass::kConsistency,
+                          Packet(request));
   } else {
     // Ablation A2: serial unicast costs 2(S-1) messages (footnote 6).
     for (NodeId node : pending.waiting) {
-      transport_->Send(node, MessageClass::kConsistency, bytes);
+      transport_->Send(node, MessageClass::kConsistency, Packet(request));
     }
   }
   uint64_t seq = pending.seq;
@@ -720,7 +729,7 @@ void LeaseServer::InstalledMulticastTick() {
     msg.keys = std::move(advertised);
     std::vector<NodeId> targets(clients_.begin(), clients_.end());
     transport_->Multicast(targets, MessageClass::kConsistency,
-                          EncodePacket(Packet(std::move(msg))));
+                          Packet(std::move(msg)));
     ++stats_.installed_multicasts;
   }
   installed_timer_ = timers_->ScheduleAfter(
@@ -738,8 +747,8 @@ void LeaseServer::RememberClient(NodeId from) {
   }
 }
 
-void LeaseServer::SendTo(NodeId to, MessageClass cls, const Packet& packet) {
-  transport_->Send(to, cls, EncodePacket(packet));
+void LeaseServer::SendTo(NodeId to, MessageClass cls, Packet packet) {
+  transport_->Send(to, cls, std::move(packet));
 }
 
 void LeaseServer::RememberWriteReply(NodeId to, const WriteReply& reply) {

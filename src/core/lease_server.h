@@ -89,6 +89,8 @@ class LeaseServer : public PacketHandler {
 
   void HandlePacket(NodeId from, MessageClass cls,
                     std::span<const uint8_t> bytes) override;
+  void HandleTyped(NodeId from, MessageClass cls,
+                   const Packet& packet) override;
 
   // Enables the installed-file optimization for directory `dir`: re-covers
   // its installed files under the directory's key and adds the key to the
@@ -185,7 +187,10 @@ class LeaseServer : public PacketHandler {
   void InstalledMulticastTick();
   bool IsInstalledKey(LeaseKey key) const;
 
-  void SendTo(NodeId to, MessageClass cls, const Packet& packet);
+  // Both entry points (decoded bytes and the typed fast path) funnel here.
+  void DispatchPacket(NodeId from, const Packet& packet);
+
+  void SendTo(NodeId to, MessageClass cls, Packet packet);
   void RememberClient(NodeId from);
   void RememberWriteReply(NodeId to, const WriteReply& reply);
   const WriteReply* FindWriteReply(NodeId from, RequestId req) const;

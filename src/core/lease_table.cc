@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace leases {
 
 void LeaseTable::Grant(LeaseKey key, NodeId node, TimePoint expiry) {
@@ -49,10 +51,15 @@ void LeaseTable::RemoveAll(NodeId node) {
 
 std::vector<LeaseHolder> LeaseTable::ActiveHolders(LeaseKey key,
                                                    TimePoint now) {
+  // The allocation-free counter iterates the unpruned list with the same
+  // liveness predicate PruneExpired applies; they must agree.
+  [[maybe_unused]] const size_t counted = ActiveHolderCount(key, now);
   const std::vector<LeaseHolder>* live = PruneExpired(key, now);
   if (live == nullptr) {
+    LEASES_DCHECK(counted == 0);
     return {};
   }
+  LEASES_DCHECK(counted == live->size());
   std::vector<LeaseHolder> result;
   result.reserve(live->size());
   result.assign(live->begin(), live->end());

@@ -18,6 +18,24 @@ void SimTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
   net_->SendInternal(node_, dst, cls, std::move(bytes));
 }
 
+void SimTransport::Send(NodeId dst, MessageClass cls, Packet packet) {
+  NodeId dsts[1] = {dst};
+  if (net_->force_wire()) {
+    net_->SendInternal(node_, dsts, cls, EncodePacket(packet));
+    return;
+  }
+  net_->SendTyped(node_, dsts, cls, std::move(packet));
+}
+
+void SimTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
+                             Packet packet) {
+  if (net_->force_wire()) {
+    net_->SendInternal(node_, dst, cls, EncodePacket(packet));
+    return;
+  }
+  net_->SendTyped(node_, dst, cls, std::move(packet));
+}
+
 SimTransport* SimNetwork::AttachNode(NodeId node, PacketHandler* handler) {
   LEASES_CHECK(node.valid());
   LEASES_CHECK(nodes_.find(node) == nodes_.end());
@@ -194,6 +212,126 @@ void SimNetwork::StartReceive(NodeId src, Delivery to, MessageClass cls,
     }
     n->stats.received[static_cast<int>(cls)]++;
     n->handler->HandlePacket(src, cls, *bytes);
+  });
+}
+
+SimNetwork::TypedMessage* SimNetwork::AcquireTyped() {
+  if (!typed_free_.empty()) {
+    TypedMessage* msg = typed_free_.back();
+    typed_free_.pop_back();
+    return msg;
+  }
+  typed_pool_.push_back(std::make_unique<TypedMessage>());
+  return typed_pool_.back().get();
+}
+
+void SimNetwork::ReleaseTyped(TypedMessage* msg) {
+  LEASES_DCHECK(msg->refs > 0);
+  if (--msg->refs == 0) {
+    typed_free_.push_back(msg);
+  }
+}
+
+void SimNetwork::SendTyped(NodeId src, std::span<const NodeId> dst,
+                           MessageClass cls, Packet packet) {
+  Node* sender = FindNode(src);
+  LEASES_CHECK(sender != nullptr);
+  if (!sender->up) {
+    return;
+  }
+  // Identical timing to the byte path: one send-side processing charge
+  // regardless of fan-out.
+  TimePoint departure = ChargeCpu(*sender, sim_->Now());
+  sender->stats.sent[static_cast<int>(cls)]++;
+
+  if (conformance_) {
+    // Round-trip through the wire codec: the encode must decode, the decode
+    // must re-encode to identical bytes, and the *decoded* packet is what
+    // gets delivered -- a codec bug cannot hide behind the fast path.
+    conf_buf_.clear();
+    EncodePacketInto(packet, &conf_buf_);
+    std::optional<Packet> decoded = DecodePacket(conf_buf_);
+    LEASES_CHECK(decoded.has_value());
+    LEASES_CHECK(EncodePacket(*decoded) == conf_buf_);
+    packet = std::move(*decoded);
+  }
+
+  TypedMessage* msg = AcquireTyped();
+  msg->packet = std::move(packet);
+  msg->src = src;
+  msg->cls = cls;
+  msg->targets.clear();
+  // Lazy wire tap: bytes are produced once per message, and only when a
+  // tracer is actually installed; taps see exactly what the byte path
+  // would have sent.
+  bool traced = false;
+  for (NodeId d : dst) {
+    if (d == src) {
+      continue;  // no self-delivery; local effects are applied directly
+    }
+    if (tracer_) {
+      if (!traced) {
+        tracer_buf_.clear();
+        EncodePacketInto(msg->packet, &tracer_buf_);
+        traced = true;
+      }
+      tracer_(src, d, cls, tracer_buf_);
+    }
+    if (ArePartitioned(src, d)) {
+      sender->stats.dropped_partition++;
+      continue;
+    }
+    if (params_.loss_prob > 0 && rng_.NextBernoulli(params_.loss_prob)) {
+      sender->stats.dropped_loss++;
+      continue;
+    }
+    Node* receiver = FindNode(d);
+    if (receiver == nullptr) {
+      continue;
+    }
+    msg->targets.push_back(Delivery{d, receiver->epoch});
+  }
+  if (msg->targets.empty()) {
+    msg->refs = 1;
+    ReleaseTyped(msg);
+    return;
+  }
+  // One wire-arrival event fans out to every destination. The event holds a
+  // guard ref so releases by dropped receivers cannot recycle the node while
+  // the fan-out loop is still walking it; each scheduled receive takes its
+  // own ref. Captures are two pointers -- well inside the scheduler's
+  // inline-callable storage, so nothing here allocates.
+  msg->refs = 1;
+  TimePoint wire_arrival = departure + params_.prop_delay;
+  sim_->ScheduleAt(wire_arrival, [this, msg]() {
+    for (const Delivery& t : msg->targets) {
+      StartReceiveTyped(msg, t);
+    }
+    ReleaseTyped(msg);
+  });
+}
+
+void SimNetwork::StartReceiveTyped(TypedMessage* msg, Delivery to) {
+  Node* node = FindNode(to.dst);
+  if (node == nullptr || node->epoch != to.epoch || !node->up ||
+      node->handler == nullptr) {
+    if (node != nullptr) {
+      node->stats.dropped_down++;
+    }
+    return;
+  }
+  // Receive-side processing serializes on the node's CPU, exactly as in
+  // StartReceive; the handler sees the shared immutable packet.
+  TimePoint done = ChargeCpu(*node, sim_->Now());
+  msg->refs++;
+  sim_->ScheduleAt(done, [this, msg, to]() {
+    Node* n = FindNode(to.dst);
+    if (n != nullptr && n->epoch == to.epoch && n->up &&
+        n->handler != nullptr) {
+      n->stats.received[static_cast<int>(msg->cls)]++;
+      n->handler->HandleTyped(msg->src, msg->cls, msg->packet);
+    }
+    ReleaseTyped(msg);
   });
 }
 

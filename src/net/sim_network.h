@@ -19,6 +19,7 @@
 #ifndef SRC_NET_SIM_NETWORK_H_
 #define SRC_NET_SIM_NETWORK_H_
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <set>
@@ -30,6 +31,7 @@
 #include "src/common/time.h"
 #include "src/net/message_stats.h"
 #include "src/net/transport.h"
+#include "src/proto/messages.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulator.h"
 
@@ -57,6 +59,12 @@ class SimTransport : public Transport {
   void Multicast(std::span<const NodeId> dst, MessageClass cls,
                  std::vector<uint8_t> bytes) override;
 
+  // Typed fast path: the packet is moved into a pooled in-flight node and
+  // handed to the receiver(s) without serialization.
+  void Send(NodeId dst, MessageClass cls, Packet packet) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 Packet packet) override;
+
  private:
   SimNetwork* net_;
   NodeId node_;
@@ -65,7 +73,10 @@ class SimTransport : public Transport {
 class SimNetwork {
  public:
   SimNetwork(Simulator* sim, NetworkParams params)
-      : sim_(sim), params_(params), rng_(params.seed ^ 0x6e657477ULL) {}
+      : sim_(sim), params_(params), rng_(params.seed ^ 0x6e657477ULL) {
+    const char* conf = std::getenv("LEASES_CODEC_CONFORMANCE");
+    conformance_ = conf != nullptr && conf[0] != '\0' && conf[0] != '0';
+  }
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
@@ -91,6 +102,22 @@ class SimNetwork {
   bool ArePartitioned(NodeId a, NodeId b) const;
 
   void set_loss_prob(double p) { params_.loss_prob = p; }
+
+  // Routes typed sends through the byte path (encode at the sender, decode
+  // at the receiver) instead of the zero-serialization fast path. Used as
+  // the benchmark baseline and by the determinism-equivalence tests; timing
+  // and delivery semantics are identical either way.
+  void set_force_wire(bool v) { force_wire_ = v; }
+  bool force_wire() const { return force_wire_; }
+
+  // Codec conformance mode: every fast-path packet is additionally
+  // round-tripped through Encode/Decode at send time -- the decode must
+  // succeed, re-encoding it must reproduce the original bytes, and the
+  // *decoded* packet is what gets delivered. Keeps the wire format fully
+  // covered even though the sim no longer needs it. Also enabled by the
+  // LEASES_CODEC_CONFORMANCE environment variable.
+  void set_codec_conformance(bool v) { conformance_ = v; }
+  bool codec_conformance() const { return conformance_; }
 
   // Wire tap: invoked once per (message, destination) at send time, before
   // loss/partition filtering. Used by the protocol-conformance tests and
@@ -128,6 +155,21 @@ class SimNetwork {
     uint64_t epoch;
   };
 
+  // One typed message in flight. Pooled and refcounted: the packet is moved
+  // in once at send time and shared immutably by every recipient of a
+  // multicast; the node returns to the free list when the last scheduled
+  // event referencing it has run. Keeping src/cls/targets inside the node
+  // keeps scheduler captures down to (this, node*) pointers, well inside
+  // the InlineAction inline-storage limit, so the whole delivery chain is
+  // allocation-free once the pool and vector capacities have warmed up.
+  struct TypedMessage {
+    Packet packet;
+    NodeId src;
+    MessageClass cls = MessageClass::kControl;
+    std::vector<Delivery> targets;
+    uint32_t refs = 0;
+  };
+
   // Charges `proc_time` on the node's CPU starting no earlier than `at`;
   // returns when the slot ends.
   TimePoint ChargeCpu(Node& node, TimePoint at);
@@ -138,6 +180,13 @@ class SimNetwork {
   void StartReceive(NodeId src, Delivery to, MessageClass cls,
                     const std::shared_ptr<std::vector<uint8_t>>& bytes);
 
+  // Typed fast path counterparts.
+  void SendTyped(NodeId src, std::span<const NodeId> dst, MessageClass cls,
+                 Packet packet);
+  void StartReceiveTyped(TypedMessage* msg, Delivery to);
+  TypedMessage* AcquireTyped();
+  void ReleaseTyped(TypedMessage* msg);
+
   Node* FindNode(NodeId id);
   const Node* FindNode(NodeId id) const;
 
@@ -147,6 +196,17 @@ class SimNetwork {
   Tracer tracer_;
   std::unordered_map<NodeId, Node> nodes_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
+
+  bool force_wire_ = false;
+  bool conformance_ = false;
+  // Pool of in-flight typed messages: `typed_pool_` owns the nodes,
+  // `typed_free_` indexes the idle ones. Scratch buffers back the lazy
+  // tracer encode and the conformance round-trip; their capacity persists
+  // across messages.
+  std::vector<std::unique_ptr<TypedMessage>> typed_pool_;
+  std::vector<TypedMessage*> typed_free_;
+  std::vector<uint8_t> tracer_buf_;
+  std::vector<uint8_t> conf_buf_;
 };
 
 }  // namespace leases

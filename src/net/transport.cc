@@ -1,0 +1,20 @@
+#include "src/net/transport.h"
+
+namespace leases {
+
+void PacketHandler::HandleTyped(NodeId from, MessageClass cls,
+                                const Packet& packet) {
+  std::vector<uint8_t> bytes = EncodePacket(packet);
+  HandlePacket(from, cls, bytes);
+}
+
+void Transport::Send(NodeId dst, MessageClass cls, Packet packet) {
+  Send(dst, cls, EncodePacket(packet));
+}
+
+void Transport::Multicast(std::span<const NodeId> dst, MessageClass cls,
+                          Packet packet) {
+  Multicast(dst, cls, EncodePacket(packet));
+}
+
+}  // namespace leases

@@ -8,6 +8,20 @@
 // hardware host groups [5,6]; what matters to the analysis is the *cost
 // model* -- a multicast is sent once (one send-side processing charge) and
 // received by each recipient -- which both backends honour.
+//
+// Two message paths exist:
+//
+//   byte path   Send/Multicast with an encoded datagram, delivered to
+//               PacketHandler::HandlePacket. This is the wire format; the
+//               UDP runtime always uses it.
+//   typed path  Send/Multicast with the Packet variant itself. In the
+//               simulator both endpoints share an address space, so the
+//               packet is handed over without ever being serialized
+//               (HandleTyped). Backends without a native typed path fall
+//               back to encoding, and handlers that only speak bytes get
+//               them via the default HandleTyped shim, so the two paths are
+//               interchangeable semantically -- the typed one just skips
+//               the codec.
 #ifndef SRC_NET_TRANSPORT_H_
 #define SRC_NET_TRANSPORT_H_
 
@@ -16,6 +30,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/proto/messages.h"
 
 namespace leases {
 
@@ -35,6 +50,13 @@ class PacketHandler {
   virtual ~PacketHandler() = default;
   virtual void HandlePacket(NodeId from, MessageClass cls,
                             std::span<const uint8_t> bytes) = 0;
+
+  // Typed delivery. The default shim encodes and funnels into HandlePacket
+  // so handlers written against the byte interface keep working; protocol
+  // endpoints override it to dispatch on the variant directly and skip the
+  // codec entirely. `packet` is immutable and may be shared between the
+  // recipients of one multicast -- copy any payload you keep.
+  virtual void HandleTyped(NodeId from, MessageClass cls, const Packet& packet);
 };
 
 class Transport {
@@ -52,6 +74,14 @@ class Transport {
   // pays one processing charge regardless of fan-out.
   virtual void Multicast(std::span<const NodeId> dst, MessageClass cls,
                          std::vector<uint8_t> bytes) = 0;
+
+  // Typed sends. Defaults encode and use the byte path; SimNetwork
+  // overrides them to move the packet to the receiver without
+  // serialization, and UdpTransport overrides them to encode into a
+  // reusable buffer instead of a fresh allocation.
+  virtual void Send(NodeId dst, MessageClass cls, Packet packet);
+  virtual void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                         Packet packet);
 };
 
 }  // namespace leases

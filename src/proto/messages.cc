@@ -277,11 +277,18 @@ const char* FileClassName(FileClass cls) {
 }
 
 std::vector<uint8_t> EncodePacket(const Packet& packet) {
-  Writer w;
+  std::vector<uint8_t> out;
+  EncodePacketInto(packet, &out);
+  return out;
+}
+
+void EncodePacketInto(const Packet& packet, std::vector<uint8_t>* out) {
+  Writer w(out);
   w.WriteU8(static_cast<uint8_t>(TypeOf(packet)));
   std::visit([&w](const auto& m) { EncodeBody(w, m); }, packet);
-  return w.Take();
 }
+
+MsgType PacketType(const Packet& packet) { return TypeOf(packet); }
 
 std::optional<Packet> DecodePacket(std::span<const uint8_t> bytes) {
   Reader r(bytes);

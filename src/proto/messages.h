@@ -180,6 +180,14 @@ using Packet =
 // Serializes a packet (1-byte type tag + body).
 std::vector<uint8_t> EncodePacket(const Packet& packet);
 
+// Serializes a packet appending to `out`. Callers that clear and reuse one
+// buffer across encodes stop allocating once its capacity has grown to the
+// largest message seen (the UDP send path and the lazy tracer hook do this).
+void EncodePacketInto(const Packet& packet, std::vector<uint8_t>* out);
+
+// Wire tag of a packet without encoding it.
+MsgType PacketType(const Packet& packet);
+
 // Parses a datagram; returns nullopt on any truncation or unknown type.
 std::optional<Packet> DecodePacket(std::span<const uint8_t> bytes);
 

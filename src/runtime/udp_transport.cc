@@ -20,7 +20,11 @@ constexpr size_t kHeaderSize = 5;  // u32 sender + u8 class
 
 UdpTransport::UdpTransport(NodeId self, EventLoop* loop,
                            PacketHandler* handler)
-    : self_(self), loop_(loop), handler_(handler) {}
+    : self_(self),
+      loop_(loop),
+      recv_state_(std::make_shared<ReceiveState>()) {
+  recv_state_->handler = handler;
+}
 
 UdpTransport::~UdpTransport() { Stop(); }
 
@@ -71,6 +75,7 @@ void UdpTransport::Stop() {
   if (receiver_.joinable()) {
     receiver_.join();
   }
+  std::lock_guard<std::mutex> lock(fd_mu_);
   ::close(fd_);
   fd_ = -1;
 }
@@ -115,6 +120,10 @@ void UdpTransport::SendFrame(NodeId dst, MessageClass /*cls*/,
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  if (fd_ < 0) {
+    return;  // transport already stopped
+  }
   ::sendto(fd_, frame.data(), frame.size(), 0,
            reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
 }
@@ -146,6 +155,62 @@ void UdpTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
   }
 }
 
+void UdpTransport::BeginFrameLocked(MessageClass cls) {
+  send_frame_.clear();
+  uint32_t id = self_.value();
+  send_frame_.push_back(static_cast<uint8_t>(id));
+  send_frame_.push_back(static_cast<uint8_t>(id >> 8));
+  send_frame_.push_back(static_cast<uint8_t>(id >> 16));
+  send_frame_.push_back(static_cast<uint8_t>(id >> 24));
+  send_frame_.push_back(static_cast<uint8_t>(cls));
+}
+
+void UdpTransport::Send(NodeId dst, MessageClass cls, Packet packet) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  BeginFrameLocked(cls);
+  EncodePacketInto(packet, &send_frame_);
+  LEASES_CHECK(send_frame_.size() <= kMaxDatagram);
+  {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    stats_.sent[static_cast<int>(cls)]++;
+  }
+  SendFrame(dst, cls, send_frame_);
+}
+
+void UdpTransport::Multicast(std::span<const NodeId> dst, MessageClass cls,
+                             Packet packet) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  BeginFrameLocked(cls);
+  EncodePacketInto(packet, &send_frame_);
+  LEASES_CHECK(send_frame_.size() <= kMaxDatagram);
+  {
+    // One logical send, per the paper's multicast cost model.
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    stats_.sent[static_cast<int>(cls)]++;
+  }
+  for (NodeId node : dst) {
+    if (node != self_) {
+      SendFrame(node, cls, send_frame_);
+    }
+  }
+}
+
+std::vector<uint8_t> UdpTransport::AcquireBuffer(ReceiveState& state) {
+  std::lock_guard<std::mutex> lock(state.pool_mu);
+  if (state.pool.empty()) {
+    return {};
+  }
+  std::vector<uint8_t> buf = std::move(state.pool.back());
+  state.pool.pop_back();
+  return buf;
+}
+
+void UdpTransport::ReleaseBuffer(ReceiveState& state,
+                                 std::vector<uint8_t> buf) {
+  std::lock_guard<std::mutex> lock(state.pool_mu);
+  state.pool.push_back(std::move(buf));
+}
+
 void UdpTransport::ReceiverThread() {
   std::vector<uint8_t> buffer(kMaxDatagram);
   while (!stopping_) {
@@ -165,17 +230,23 @@ void UdpTransport::ReceiverThread() {
     if (static_cast<int>(cls) >= kNumMessageClasses) {
       continue;
     }
-    std::vector<uint8_t> payload(buffer.begin() + kHeaderSize,
-                                 buffer.begin() + n);
+    // Pooled payload: the vector cycles back after the handler runs, so
+    // steady-state receives reuse capacity instead of allocating. The
+    // callback co-owns the receive state rather than capturing `this`,
+    // since it may still be queued when the transport is destroyed.
+    std::vector<uint8_t> payload = AcquireBuffer(*recv_state_);
+    payload.assign(buffer.begin() + kHeaderSize, buffer.begin() + n);
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.received[static_cast<int>(cls)]++;
     }
-    loop_->Post([this, sender, cls, payload = std::move(payload)]() {
-      PacketHandler* handler = handler_.load();
+    loop_->Post([state = recv_state_, sender, cls,
+                 payload = std::move(payload)]() mutable {
+      PacketHandler* handler = state->handler.load();
       if (handler != nullptr) {
         handler->HandlePacket(NodeId(sender), cls, payload);
       }
+      ReleaseBuffer(*state, std::move(payload));
     });
   }
 }

@@ -10,9 +10,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/net/message_stats.h"
@@ -37,7 +39,7 @@ class UdpTransport : public Transport {
   void Stop();
 
   uint16_t port() const { return port_; }
-  void SetHandler(PacketHandler* handler) { handler_ = handler; }
+  void SetHandler(PacketHandler* handler) { recv_state_->handler = handler; }
 
   // Registers where a peer lives; must be called before sending to it.
   void AddPeer(NodeId peer, uint16_t port);
@@ -46,6 +48,14 @@ class UdpTransport : public Transport {
   void Send(NodeId dst, MessageClass cls, std::vector<uint8_t> bytes) override;
   void Multicast(std::span<const NodeId> dst, MessageClass cls,
                  std::vector<uint8_t> bytes) override;
+
+  // Typed sends: the packet is encoded straight into a reusable frame
+  // buffer (header + payload in one buffer, no intermediate payload
+  // vector), so steady-state sends do not allocate. The wire format is
+  // identical to the byte overloads.
+  void Send(NodeId dst, MessageClass cls, Packet packet) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 Packet packet) override;
 
   // Test hook: drop this fraction of outgoing datagrams (deterministic
   // counter-based, not random, so tests are stable).
@@ -59,10 +69,30 @@ class UdpTransport : public Transport {
                  const std::vector<uint8_t>& frame);
   static std::vector<uint8_t> BuildFrame(NodeId sender, MessageClass cls,
                                          const std::vector<uint8_t>& payload);
+  // Writes [sender u32][class u8] into the reusable send frame; the caller
+  // appends the payload. Must hold send_mu_.
+  void BeginFrameLocked(MessageClass cls);
+
+  // Receive-side state shared between the transport and in-flight EventLoop
+  // callbacks: the payload buffer pool (vectors cycle between the receiver
+  // thread and the callbacks instead of being allocated per datagram) and
+  // the handler pointer. Callbacks co-own it via shared_ptr, so one that
+  // runs after the transport is destroyed touches only this block.
+  struct ReceiveState {
+    std::atomic<PacketHandler*> handler{nullptr};
+    std::mutex pool_mu;
+    std::vector<std::vector<uint8_t>> pool;
+  };
+  static std::vector<uint8_t> AcquireBuffer(ReceiveState& state);
+  static void ReleaseBuffer(ReceiveState& state, std::vector<uint8_t> buf);
 
   NodeId self_;
   EventLoop* loop_;
-  std::atomic<PacketHandler*> handler_;
+  std::shared_ptr<ReceiveState> recv_state_;
+  // fd_mu_ serializes sendto against close: EventLoop callbacks may still be
+  // sending replies while the owner tears the transport down. recvfrom needs
+  // no lock -- the receiver thread is joined before the fd is closed.
+  std::mutex fd_mu_;
   int fd_ = -1;
   uint16_t port_ = 0;
   std::thread receiver_;
@@ -73,6 +103,12 @@ class UdpTransport : public Transport {
   NodeMessageStats stats_;
   std::atomic<uint32_t> drop_every_nth_{0};
   std::atomic<uint32_t> send_counter_{0};
+
+  // Scratch frame for the typed send path; its capacity persists across
+  // sends. Guarded by its own mutex so encoding does not hold up AddPeer
+  // or stats readers.
+  std::mutex send_mu_;
+  std::vector<uint8_t> send_frame_;
 };
 
 }  // namespace leases

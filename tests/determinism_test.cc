@@ -21,11 +21,16 @@ struct RunSignature {
   bool operator==(const RunSignature&) const = default;
 };
 
-RunSignature RunOnce(uint64_t seed, double loss) {
+enum class MessagePath { kTyped, kForceWire, kConformance };
+
+RunSignature RunOnce(uint64_t seed, double loss,
+                     MessagePath path = MessagePath::kTyped) {
   ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 10,
                                                seed);
   options.net.loss_prob = loss;
   SimCluster cluster(options);
+  cluster.network().set_force_wire(path == MessagePath::kForceWire);
+  cluster.network().set_codec_conformance(path == MessagePath::kConformance);
   PoissonOptions poisson;
   poisson.sharing = 5;
   poisson.seed = seed;
@@ -45,6 +50,25 @@ TEST(DeterminismTest, SameSeedSameWorldExactly) {
   RunSignature a = RunOnce(42, 0.1);
   RunSignature b = RunOnce(42, 0.1);
   EXPECT_EQ(a, b);
+}
+
+TEST(DeterminismTest, TypedFastPathMatchesWirePathExactly) {
+  // The zero-serialization fast path must be observationally identical to
+  // routing every message through Encode/Decode: same timings, same event
+  // count, same protocol outcomes -- including under loss, where both
+  // paths must consume the loss RNG identically.
+  RunSignature typed = RunOnce(42, 0.1, MessagePath::kTyped);
+  RunSignature wire = RunOnce(42, 0.1, MessagePath::kForceWire);
+  EXPECT_EQ(typed, wire);
+}
+
+TEST(DeterminismTest, ConformanceModeDoesNotPerturbTheRun) {
+  // Conformance mode round-trips every packet through the codec but
+  // delivers the decoded packet on the fast path; nothing observable may
+  // change.
+  RunSignature typed = RunOnce(42, 0.0, MessagePath::kTyped);
+  RunSignature conf = RunOnce(42, 0.0, MessagePath::kConformance);
+  EXPECT_EQ(typed, conf);
 }
 
 TEST(DeterminismTest, DifferentSeedsDiverge) {

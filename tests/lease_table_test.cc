@@ -86,6 +86,31 @@ TEST(LeaseTableTest, ClearDropsEverything) {
   EXPECT_EQ(table.RecordCount(), 0u);
 }
 
+TEST(LeaseTableTest, CountersAgreeWithActiveHolders) {
+  // ActiveHolderCount and Holds iterate without pruning or allocating;
+  // they must agree with the pruned list ActiveHolders materializes, at
+  // every instant relative to the staggered expiries.
+  LeaseTable table;
+  table.Grant(LeaseKey(1), NodeId(10), At(10));
+  table.Grant(LeaseKey(1), NodeId(11), At(20));
+  table.Grant(LeaseKey(1), NodeId(12), At(30));
+  for (int t : {0, 5, 10, 15, 20, 25, 30, 35}) {
+    size_t counted = table.ActiveHolderCount(LeaseKey(1), At(t));
+    size_t holds = 0;
+    for (uint32_t node : {10u, 11u, 12u}) {
+      holds += table.Holds(LeaseKey(1), NodeId(node), At(t)) ? 1 : 0;
+    }
+    auto listed = table.ActiveHolders(LeaseKey(1), At(t));
+    EXPECT_EQ(counted, listed.size()) << "at t=" << t;
+    EXPECT_EQ(holds, listed.size()) << "at t=" << t;
+    // Re-count after pruning: still consistent.
+    EXPECT_EQ(table.ActiveHolderCount(LeaseKey(1), At(t)), listed.size());
+  }
+  // Absent key: everything agrees on zero.
+  EXPECT_EQ(table.ActiveHolderCount(LeaseKey(7), At(0)), 0u);
+  EXPECT_TRUE(table.ActiveHolders(LeaseKey(7), At(0)).empty());
+}
+
 TEST(LeaseTableTest, PerClientStorageMatchesPaperEstimate) {
   // "For a client holding about one hundred leases, the total is around
   // one kilobyte per client."

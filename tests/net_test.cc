@@ -240,5 +240,207 @@ TEST(SimNetworkTest, StatsCountHandledByClassAndMulticastOnce) {
   EXPECT_EQ(rig.net->TotalHandled(), 0u);
 }
 
+// --- Typed fast path ------------------------------------------------------
+
+class TypedRecorder : public PacketHandler {
+ public:
+  struct Received {
+    NodeId from;
+    MessageClass cls;
+    Packet packet;
+    TimePoint at;
+  };
+
+  explicit TypedRecorder(Simulator* sim) : sim_(sim) {}
+
+  void HandlePacket(NodeId from, MessageClass cls,
+                    std::span<const uint8_t> bytes) override {
+    ++byte_deliveries;
+    last_bytes.assign(bytes.begin(), bytes.end());
+    last_from = from;
+    last_cls = cls;
+  }
+
+  void HandleTyped(NodeId from, MessageClass cls,
+                   const Packet& packet) override {
+    received.push_back(Received{from, cls, packet, sim_->Now()});
+    if (reply_to_sender) {
+      transport->Send(from, MessageClass::kConsistency,
+                      Packet(Pong{RequestId(1)}));
+    }
+  }
+
+  Simulator* sim_;
+  Transport* transport = nullptr;
+  bool reply_to_sender = false;
+  std::vector<Received> received;
+  size_t byte_deliveries = 0;
+  std::vector<uint8_t> last_bytes;
+  NodeId last_from;
+  MessageClass last_cls = MessageClass::kControl;
+};
+
+struct TypedRig {
+  Simulator sim;
+  NetworkParams params;
+  std::unique_ptr<SimNetwork> net;
+  std::vector<std::unique_ptr<TypedRecorder>> nodes;
+  std::vector<SimTransport*> transports;
+
+  explicit TypedRig(size_t n, NetworkParams p = NetworkParams{}) : params(p) {
+    net = std::make_unique<SimNetwork>(&sim, p);
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<TypedRecorder>(&sim));
+      transports.push_back(
+          net->AttachNode(NodeId(static_cast<uint32_t>(i + 1)),
+                          nodes.back().get()));
+      nodes.back()->transport = transports.back();
+    }
+  }
+};
+
+Packet SamplePacket() {
+  ReadReply m;
+  m.req = RequestId(42);
+  m.file = FileId(7);
+  m.version = 3;
+  m.lease = LeaseGrant{LeaseKey(7), Duration::Seconds(10)};
+  m.data = {9, 8, 7, 6};
+  return m;
+}
+
+TEST(SimNetworkTypedTest, TypedUnicastKeepsTheCostModelAndPayload) {
+  TypedRig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, SamplePacket());
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(rig.nodes[1]->byte_deliveries, 0u);  // no decode happened
+  const auto& got = rig.nodes[1]->received[0];
+  EXPECT_EQ(got.at - TimePoint::Epoch(),
+            rig.params.prop_delay + rig.params.proc_time * 2);
+  EXPECT_EQ(got.from, NodeId(1));
+  const auto* reply = std::get_if<ReadReply>(&got.packet);
+  ASSERT_NE(reply, nullptr);
+  EXPECT_EQ(reply->data, (std::vector<uint8_t>{9, 8, 7, 6}));
+}
+
+TEST(SimNetworkTypedTest, TypedMulticastWithRepliesMatchesFormula) {
+  const int n = 5;
+  TypedRig rig(n + 1);
+  std::vector<NodeId> dst;
+  for (int i = 0; i < n; ++i) {
+    rig.nodes[static_cast<size_t>(i) + 1]->reply_to_sender = true;
+    dst.push_back(NodeId(static_cast<uint32_t>(i + 2)));
+  }
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency,
+                               Packet(Ping{RequestId(1)}));
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[0]->received.size(), static_cast<size_t>(n));
+  TimePoint last;
+  for (const auto& msg : rig.nodes[0]->received) {
+    last = std::max(last, msg.at);
+  }
+  EXPECT_EQ(last - TimePoint::Epoch(),
+            rig.params.prop_delay * 2 + rig.params.proc_time * (n + 3));
+}
+
+TEST(SimNetworkTypedTest, ByteOnlyHandlerGetsWireBytesFromTypedSend) {
+  // A handler that never overrides HandleTyped must observe exactly what
+  // the wire would have carried.
+  Simulator sim;
+  SimNetwork net(&sim, NetworkParams{});
+  Recorder byte_node(&sim);
+  TypedRecorder typed_node(&sim);
+  net.AttachNode(NodeId(1), &typed_node);
+  SimTransport* t1 = net.AttachNode(NodeId(2), &byte_node);
+  (void)t1;
+  SimTransport* t0 = net.AttachNode(NodeId(3), &typed_node);
+  Packet packet = SamplePacket();
+  t0->Send(NodeId(2), MessageClass::kData, Packet(packet));
+  sim.RunUntilIdle();
+  ASSERT_EQ(byte_node.received.size(), 1u);
+  EXPECT_EQ(byte_node.received[0].bytes, EncodePacket(packet));
+}
+
+TEST(SimNetworkTypedTest, TracerSeesWireBytesLazily) {
+  TypedRig rig(3);
+  std::vector<std::vector<uint8_t>> taps;
+  rig.net->set_tracer([&](NodeId src, NodeId dst, MessageClass cls,
+                          std::span<const uint8_t> bytes) {
+    (void)src;
+    (void)dst;
+    (void)cls;
+    taps.emplace_back(bytes.begin(), bytes.end());
+  });
+  // Tracer fires per destination, even for a partitioned one, exactly like
+  // the byte path.
+  rig.net->SetPartitioned(NodeId(1), NodeId(3), true);
+  Packet packet = SamplePacket();
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kData, Packet(packet));
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(taps.size(), 2u);
+  EXPECT_EQ(taps[0], EncodePacket(packet));
+  EXPECT_EQ(taps[1], EncodePacket(packet));
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  EXPECT_TRUE(rig.nodes[2]->received.empty());
+}
+
+TEST(SimNetworkTypedTest, ForceWireRoutesTypedSendsThroughTheCodec) {
+  TypedRig rig(2);
+  rig.net->set_force_wire(true);
+  Packet packet = SamplePacket();
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, Packet(packet));
+  rig.sim.RunUntilIdle();
+  // Delivered via HandlePacket (the byte entry point), not HandleTyped.
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  ASSERT_EQ(rig.nodes[1]->byte_deliveries, 1u);
+  EXPECT_EQ(rig.nodes[1]->last_bytes, EncodePacket(packet));
+}
+
+TEST(SimNetworkTypedTest, ConformanceModeDeliversTheDecodedPacket) {
+  TypedRig rig(2);
+  rig.net->set_codec_conformance(true);
+  Packet packet = SamplePacket();
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, Packet(packet));
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(rig.nodes[1]->byte_deliveries, 0u);
+  EXPECT_EQ(EncodePacket(rig.nodes[1]->received[0].packet),
+            EncodePacket(packet));
+}
+
+TEST(SimNetworkTypedTest, TypedInFlightAtCrashIsDroppedAndRecycled) {
+  TypedRig rig(2);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, SamplePacket());
+  rig.sim.ScheduleAfter(Duration::Micros(100), [&]() {
+    rig.net->SetNodeUp(NodeId(2), false);
+  });
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  // The pooled message must have been released: a follow-up send after
+  // restart reuses it and still delivers correctly.
+  rig.net->SetNodeUp(NodeId(2), true);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData,
+                          Packet(Ping{RequestId(5)}));
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  EXPECT_NE(std::get_if<Ping>(&rig.nodes[1]->received[0].packet), nullptr);
+}
+
+TEST(SimNetworkTypedTest, TypedStatsMatchBytePathAccounting) {
+  TypedRig rig(3);
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency,
+                               Packet(Ping{RequestId(1)}));
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, SamplePacket());
+  rig.sim.RunUntilIdle();
+  const NodeMessageStats& sender = rig.net->stats(NodeId(1));
+  EXPECT_EQ(sender.sent[static_cast<int>(MessageClass::kConsistency)], 1u);
+  EXPECT_EQ(sender.sent[static_cast<int>(MessageClass::kData)], 1u);
+  EXPECT_EQ(rig.net->stats(NodeId(2)).TotalReceived(), 2u);
+  EXPECT_EQ(rig.net->stats(NodeId(3)).TotalReceived(), 1u);
+}
+
 }  // namespace
 }  // namespace leases
