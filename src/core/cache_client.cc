@@ -189,6 +189,7 @@ void CacheClient::StartFetch(FileId file, ReadWaiter waiter) {
   fetch.is_extend = false;
   fetch.file = file;
   fetch.have_version = 0;
+  fetch.sent_at = clock_->Now();
   fetch.waiters.push_back(std::move(waiter));
   fetch_for_file_.emplace(file, req);
   ++stats_.remote_fetches;
@@ -230,6 +231,7 @@ void CacheClient::StartExtension(FileId focus, ReadWaiter waiter) {
   PendingFetch fetch;
   fetch.req = req;
   fetch.is_extend = true;
+  fetch.sent_at = clock_->Now();
   fetch.items = CollectExtensionItems(focus);
   if (waiter.cb) {
     fetch.waiters.push_back(std::move(waiter));
@@ -312,6 +314,9 @@ void CacheClient::OnReadReply(const ReadReply& m) {
     }
     return;
   }
+  bool poisoned = std::find(fetch.poisoned_keys.begin(),
+                            fetch.poisoned_keys.end(),
+                            m.lease.key) != fetch.poisoned_keys.end();
   Entry& entry = cache_[m.file];
   // Replies apply monotonically: a delayed or replayed reply must never
   // regress the entry past data a newer reply already installed.
@@ -325,7 +330,15 @@ void CacheClient::OnReadReply(const ReadReply& m) {
     entry.suspect = false;  // this reply revalidated the datum
   }
   entry.last_access = clock_->Now();
-  AcceptLease(m.lease, m.file);
+  if (poisoned) {
+    // We relinquished this cover key while the fetch was on the wire: the
+    // grant may predate the relinquish on the server, so it cannot be
+    // trusted. Serve the fetched data once, then revalidate.
+    entry.suspect = true;
+    ++stats_.poisoned_grants;
+  } else {
+    AcceptLease(m.lease, m.file, fetch.sent_at);
+  }
   MaybeEvict(m.file);
   LEASES_DEBUG("client %u: readreply file=%llu v=%llu term=%s", id_.value(),
                (unsigned long long)m.file.value(),
@@ -360,6 +373,9 @@ void CacheClient::OnExtendReply(const ExtendReply& m) {
       cache_.erase(item.file);
       continue;
     }
+    bool poisoned = std::find(fetch.poisoned_keys.begin(),
+                              fetch.poisoned_keys.end(),
+                              item.lease.key) != fetch.poisoned_keys.end();
     Entry& entry = cache_[item.file];
     if (item.version >= entry.version) {
       if (item.refreshed) {
@@ -371,7 +387,13 @@ void CacheClient::OnExtendReply(const ExtendReply& m) {
       entry.key = item.lease.key;
       entry.suspect = false;
     }
-    AcceptLease(item.lease, item.file);
+    if (poisoned) {
+      // Same overtaken-grant hazard as in OnReadReply.
+      entry.suspect = true;
+      ++stats_.poisoned_grants;
+      continue;
+    }
+    AcceptLease(item.lease, item.file, fetch.sent_at);
     LEASES_DEBUG("client %u: extendreply file=%llu v=%llu term=%s",
                  id_.value(), (unsigned long long)item.file.value(),
                  (unsigned long long)item.version,
@@ -639,6 +661,13 @@ void CacheClient::SendApproval(uint64_t seq, FileId file, LeaseKey key) {
     if (lease_expiry_.erase(key) > 0) {
       ++stats_.keys_relinquished;
     }
+    // The server will drop us as a holder of `key` when this approval
+    // lands. Any reply already on the wire may carry a grant of the same
+    // key issued before that, which would resurrect a lease the server no
+    // longer tracks -- poison in-flight fetches against it.
+    for (auto& [req, fetch] : fetches_) {
+      fetch.poisoned_keys.push_back(key);
+    }
   }
   ++stats_.approvals_granted;
   SendToServer(MessageClass::kConsistency,
@@ -665,7 +694,8 @@ void CacheClient::OnInstalledExtend(const InstalledExtend& m) {
 
 // --- Leases ---
 
-void CacheClient::AcceptLease(const LeaseGrant& grant, FileId validated) {
+void CacheClient::AcceptLease(const LeaseGrant& grant, FileId validated,
+                              TimePoint anchor) {
   if (!grant.key.valid()) {
     return;
   }
@@ -692,6 +722,15 @@ void CacheClient::AcceptLease(const LeaseGrant& grant, FileId validated) {
       return;  // grants never shorten an existing lease
     }
     candidate = clock_->Now() + tc;
+    // A reply the network delayed past transit_allowance (reorder jitter, a
+    // duplicate surfacing late) would otherwise date the term from receipt
+    // and overshoot the server's expiry -- a stale-read window. The term
+    // cannot have started before the request left, so the first-send anchor
+    // caps the expiry; when the round trip stayed within the allowance the
+    // cap is slack and behaviour is unchanged.
+    if (anchor != TimePoint::Max()) {
+      candidate = std::min(candidate, anchor + grant.term - params_.epsilon);
+    }
   }
   // Absence means "no lease": never default-construct an entry, whose epoch
   // value would read as far-future on a clock with negative readings.

@@ -92,6 +92,9 @@ struct ClientStats {
   uint64_t invalidations = 0;
   uint64_t keys_relinquished = 0;
   uint64_t installed_renewals = 0;
+  // Grants discarded because the reply carrying them was overtaken by an
+  // approval that relinquished the same cover key.
+  uint64_t poisoned_grants = 0;
 
   uint64_t opens = 0;
   uint64_t retransmits = 0;
@@ -179,6 +182,18 @@ class CacheClient : public PacketHandler {
     std::vector<ReadWaiter> waiters;
     int retries = 0;
     TimerId timer;
+    // Local clock reading when the request was *first* sent. The server's
+    // term cannot have started counting before this instant, so it anchors
+    // an upper bound on the lease expiry a (possibly delayed or reordered)
+    // reply may establish -- see AcceptLease.
+    TimePoint sent_at;
+    // Cover keys this client relinquished while the fetch was on the wire.
+    // The reply may carry a grant of such a key that the server issued
+    // *before* it processed the relinquish (the approval overtook the reply
+    // in the network); installing that grant would leave the client serving
+    // cached reads the server no longer consults it about. Poisoned grants
+    // install their data but stay `suspect` and take no lease.
+    std::vector<LeaseKey> poisoned_keys;
   };
 
   struct PendingWriteOp {
@@ -231,7 +246,15 @@ class CacheClient : public PacketHandler {
   // Applies the received term with client-side shortening; records expiry on
   // the local clock. If the key's lease had lapsed, every cached entry under
   // it other than `validated` becomes suspect (see Entry::suspect).
-  void AcceptLease(const LeaseGrant& grant, FileId validated = FileId());
+  // `anchor`, when not TimePoint::Max(), is the local time the originating
+  // request was first sent; the expiry is capped at anchor + term - epsilon
+  // so a reply the network held back longer than transit_allowance can never
+  // extend the lease past the server's own expiry (the cap is slack whenever
+  // the round trip stayed within the allowance). Replies without a request
+  // of their own (InstalledExtend) carry no anchor and rely on the
+  // transit_allowance bound alone.
+  void AcceptLease(const LeaseGrant& grant, FileId validated = FileId(),
+                   TimePoint anchor = TimePoint::Max());
   bool LeaseValid(LeaseKey key) const;
   void MaybeScheduleAnticipation();
   void AnticipationTick();

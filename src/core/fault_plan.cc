@@ -1,0 +1,271 @@
+#include "src/core/fault_plan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace leases {
+namespace {
+
+// Fixed-precision formatting keeps the text form canonical: parsing a line
+// and re-serializing it reproduces the same bytes.
+std::string FormatSeconds(Duration d) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", d.ToSeconds());
+  return buf;
+}
+
+std::string FormatProb(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", p);
+  return buf;
+}
+
+std::string FormatRate(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", r);
+  return buf;
+}
+
+Duration SecondsFromText(double s) {
+  return Duration::Micros(static_cast<int64_t>(std::llround(s * 1e6)));
+}
+
+// Parses "key=value" returning the value, or nullopt on mismatch.
+std::optional<double> KeyedValue(std::istringstream& in, const char* key) {
+  std::string token;
+  if (!(in >> token)) {
+    return std::nullopt;
+  }
+  std::string prefix = std::string(key) + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return std::nullopt;
+  }
+  try {
+    return std::stod(token.substr(prefix.size()));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+Duration FaultPlan::End() const {
+  Duration end = Duration::Zero();
+  for (const FaultEvent& ev : events) {
+    Duration t = ev.at + (ev.op == FaultOp::kDrift ? ev.span : Duration::Zero());
+    end = std::max(end, t);
+  }
+  return end;
+}
+
+std::string FaultPlan::ToLine() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += '@';
+    out += FormatSeconds(ev.at);
+    out += ' ';
+    switch (ev.op) {
+      case FaultOp::kCrashServer:
+        out += "crash-server";
+        break;
+      case FaultOp::kRestartServer:
+        out += "restart-server";
+        break;
+      case FaultOp::kCrashClient:
+        out += "crash-client " + std::to_string(ev.target);
+        break;
+      case FaultOp::kRestartClient:
+        out += "restart-client " + std::to_string(ev.target);
+        break;
+      case FaultOp::kPartition:
+        out += "partition " + std::to_string(ev.target) +
+               (ev.on ? " on" : " off");
+        break;
+      case FaultOp::kHeal:
+        out += "heal";
+        break;
+      case FaultOp::kRates:
+        out += "rates loss=" + FormatProb(ev.loss) +
+               " dup=" + FormatProb(ev.dup) +
+               " reorder=" + FormatProb(ev.reorder) +
+               " burst=" + FormatProb(ev.burst);
+        break;
+      case FaultOp::kDrift:
+        out += "drift " + std::to_string(ev.target) +
+               " rate=" + FormatRate(ev.rate) +
+               " span=" + FormatSeconds(ev.span);
+        break;
+    }
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
+  FaultPlan plan;
+  std::istringstream segments(line);
+  std::string segment;
+  while (std::getline(segments, segment, ';')) {
+    // Trim leading whitespace.
+    size_t start = segment.find_first_not_of(" \t");
+    if (start == std::string::npos) {
+      continue;
+    }
+    segment = segment.substr(start);
+    if (segment.empty()) {
+      continue;
+    }
+    if (segment[0] != '@') {
+      return std::nullopt;
+    }
+    std::istringstream in(segment.substr(1));
+    double seconds = 0;
+    std::string op;
+    if (!(in >> seconds >> op)) {
+      return std::nullopt;
+    }
+    FaultEvent ev;
+    ev.at = SecondsFromText(seconds);
+    if (op == "crash-server") {
+      ev.op = FaultOp::kCrashServer;
+    } else if (op == "restart-server") {
+      ev.op = FaultOp::kRestartServer;
+    } else if (op == "crash-client" || op == "restart-client") {
+      ev.op = op == "crash-client" ? FaultOp::kCrashClient
+                                   : FaultOp::kRestartClient;
+      if (!(in >> ev.target)) {
+        return std::nullopt;
+      }
+    } else if (op == "partition") {
+      ev.op = FaultOp::kPartition;
+      std::string state;
+      if (!(in >> ev.target >> state) || (state != "on" && state != "off")) {
+        return std::nullopt;
+      }
+      ev.on = state == "on";
+    } else if (op == "heal") {
+      ev.op = FaultOp::kHeal;
+    } else if (op == "rates") {
+      ev.op = FaultOp::kRates;
+      std::optional<double> loss = KeyedValue(in, "loss");
+      std::optional<double> dup = KeyedValue(in, "dup");
+      std::optional<double> reorder = KeyedValue(in, "reorder");
+      std::optional<double> burst = KeyedValue(in, "burst");
+      if (!loss || !dup || !reorder || !burst) {
+        return std::nullopt;
+      }
+      ev.loss = *loss;
+      ev.dup = *dup;
+      ev.reorder = *reorder;
+      ev.burst = *burst;
+    } else if (op == "drift") {
+      ev.op = FaultOp::kDrift;
+      if (!(in >> ev.target)) {
+        return std::nullopt;
+      }
+      std::optional<double> rate = KeyedValue(in, "rate");
+      std::optional<double> span = KeyedValue(in, "span");
+      if (!rate || !span) {
+        return std::nullopt;
+      }
+      ev.rate = *rate;
+      ev.span = SecondsFromText(*span);
+    } else {
+      return std::nullopt;
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
+  FaultPlan plan;
+  // Build the menu of disruption kinds this draw may use.
+  enum Kind { kServer, kClient, kPart, kRateStorm, kClock };
+  std::vector<Kind> menu = {kPart, kRateStorm};
+  if (options.allow_server_crash) {
+    menu.push_back(kServer);
+  }
+  if (options.allow_client_crash) {
+    menu.push_back(kClient);
+  }
+  if (options.allow_drift && options.num_clients > 0) {
+    menu.push_back(kClock);
+  }
+  size_t disruptions = 1 + rng.NextBounded(options.max_disruptions);
+  for (size_t i = 0; i < disruptions; ++i) {
+    // Start in the first 70% of the horizon so paired recovery events
+    // (restart, heal) land inside it too.
+    Duration at = options.horizon * (0.7 * rng.NextDouble());
+    Duration span = options.horizon * (0.25 * rng.NextDouble()) +
+                    Duration::Millis(100);
+    uint32_t client = options.num_clients > 0
+                          ? static_cast<uint32_t>(
+                                rng.NextBounded(options.num_clients))
+                          : 0;
+    FaultEvent ev;
+    ev.at = at;
+    switch (menu[rng.NextBounded(menu.size())]) {
+      case kServer: {
+        ev.op = FaultOp::kCrashServer;
+        plan.events.push_back(ev);
+        FaultEvent back = ev;
+        back.op = FaultOp::kRestartServer;
+        back.at = at + span;
+        plan.events.push_back(back);
+        break;
+      }
+      case kClient: {
+        ev.op = FaultOp::kCrashClient;
+        ev.target = client;
+        plan.events.push_back(ev);
+        FaultEvent back = ev;
+        back.op = FaultOp::kRestartClient;
+        back.at = at + span;
+        plan.events.push_back(back);
+        break;
+      }
+      case kPart: {
+        ev.op = FaultOp::kPartition;
+        ev.target = client;
+        ev.on = true;
+        plan.events.push_back(ev);
+        FaultEvent back = ev;
+        back.on = false;
+        back.at = at + span;
+        plan.events.push_back(back);
+        break;
+      }
+      case kRateStorm: {
+        ev.op = FaultOp::kRates;
+        ev.loss = options.max_loss * rng.NextDouble();
+        ev.dup = options.max_dup * rng.NextDouble();
+        ev.reorder = options.max_reorder * rng.NextDouble();
+        ev.burst = options.max_burst * rng.NextDouble();
+        plan.events.push_back(ev);
+        break;
+      }
+      case kClock: {
+        ev.op = FaultOp::kDrift;
+        ev.target = client;
+        ev.rate = 1.0 + options.drift_magnitude * (2.0 * rng.NextDouble() - 1.0);
+        ev.span = std::min(options.drift_span_max, span);
+        plan.events.push_back(ev);
+        break;
+      }
+    }
+  }
+  // Stable sort keeps generation order for simultaneous events, so plans are
+  // deterministic per seed.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace leases

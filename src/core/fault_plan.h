@@ -1,0 +1,94 @@
+// FaultPlan: a declarative timeline of fault events for chaos testing.
+//
+// A plan is a list of (time, operation) pairs -- crash/restart of the server
+// or a client, pairwise client<->server partitions and heals, fault-rate
+// changes for the network plane (loss, duplication, reorder jitter, burst
+// loss) and bounded clock-drift excursions. Plans serialize to a one-line
+// text form so a failing chaos run can print `seed + plan` and be replayed
+// byte-exactly:
+//
+//   @0.500000 crash-client 2;@2.000000 partition 1 on;@3.000000 rates
+//   loss=0.0500 dup=0.0200 reorder=0.1000 burst=0.0100;@4.000000 drift 0
+//   rate=1.005000 span=2.000000;@5.000000 heal
+//
+// The plan itself is pure data; applying it to a cluster is the chaos
+// harness's job (src/workload/chaos_harness.h), which also guards against
+// incoherent transitions (crashing an already-crashed node is a no-op).
+#ifndef SRC_CORE_FAULT_PLAN_H_
+#define SRC_CORE_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/rng.h"
+
+namespace leases {
+
+enum class FaultOp : uint8_t {
+  kCrashServer,
+  kRestartServer,
+  kCrashClient,    // target = client index
+  kRestartClient,  // target = client index
+  kPartition,      // client `target` <-> server, on/off
+  kHeal,           // heal every partition
+  kRates,          // set network fault rates (loss/dup/reorder/burst)
+  kDrift,          // client `target` clock runs at `rate` for `span`
+};
+
+struct FaultEvent {
+  Duration at;  // relative to plan start
+  FaultOp op = FaultOp::kHeal;
+  uint32_t target = 0;
+  bool on = false;  // kPartition
+  // kRates.
+  double loss = 0.0;
+  double dup = 0.0;
+  double reorder = 0.0;
+  double burst = 0.0;
+  // kDrift: local seconds per true second, restored after `span`.
+  double rate = 1.0;
+  Duration span;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  // Time of the last scheduled effect (including drift restorations).
+  Duration End() const;
+
+  // One-line text form; ToLine(Parse(ToLine(p))) == ToLine(p).
+  std::string ToLine() const;
+  static std::optional<FaultPlan> Parse(const std::string& line);
+};
+
+struct RandomPlanOptions {
+  size_t max_disruptions = 4;  // each may expand to a paired event (restart)
+  size_t num_clients = 4;
+  Duration horizon = Duration::Seconds(12);
+  // Rate ceilings for kRates events.
+  double max_loss = 0.05;
+  double max_dup = 0.05;
+  double max_reorder = 0.10;
+  double max_burst = 0.02;
+  bool allow_server_crash = true;
+  bool allow_client_crash = true;
+  // Drift excursions stay within |rate-1| <= drift_magnitude and last at
+  // most drift_span_max, so local-vs-true divergence is bounded well under
+  // the protocol's epsilon allowance and can never legitimately cause a
+  // consistency violation -- any Oracle complaint is a protocol bug.
+  bool allow_drift = true;
+  double drift_magnitude = 0.01;
+  Duration drift_span_max = Duration::Seconds(5);
+};
+
+// Draws a coherent random plan (every crash gets a restart, every partition
+// a heal, both inside the horizon) from `rng`; deterministic per seed.
+FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options);
+
+}  // namespace leases
+
+#endif  // SRC_CORE_FAULT_PLAN_H_

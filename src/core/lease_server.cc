@@ -11,6 +11,7 @@ namespace leases {
 namespace {
 
 constexpr const char* kMaxTermKey = "max_term_us";
+constexpr const char* kBootCountKey = "boot_count";
 constexpr const char* kLeaseRecordPrefix = "lease/";
 
 std::string LeaseRecordKey(LeaseKey key, NodeId node) {
@@ -76,6 +77,17 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
           window + kExpirySlack, [this]() { DrainRecoveryQueue(); });
     }
   }
+  // Write sequence numbers are salted with a durable boot counter, giving
+  // successive incarnations disjoint seq ranges. Without this, an
+  // ApproveRequest from before a crash -- duplicated or delayed on the wire,
+  // answered by a slow holder after the restart -- could carry a seq that
+  // collides with a *different* pending write of the new incarnation and
+  // count as a false approval, committing a write while a live lease still
+  // covers stale data.
+  int64_t boot = meta_->Load(kBootCountKey).value_or(0) + 1;
+  meta_->Save(kBootCountKey, boot);
+  next_write_seq_ = static_cast<uint64_t>(boot) << 32;
+
   if (params_.installed_optimization) {
     installed_timer_ = timers_->ScheduleAfter(
         params_.installed_multicast_period,

@@ -107,6 +107,9 @@ class LeaseServer : public PacketHandler {
   // --- Introspection for tests ---
   size_t ActiveLeaseCount(LeaseKey key) const;
   bool HasPendingWrite(FileId file) const;
+  // Next write seq (pre-increment); the top 32 bits carry the durable boot
+  // counter, so seq ranges of successive incarnations never collide.
+  uint64_t next_write_seq() const { return next_write_seq_; }
   TimePoint recovery_until() const { return recovery_until_; }
   bool InRecovery() const { return recovering_; }
   const LeaseTable& lease_table() const { return table_; }

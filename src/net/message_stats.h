@@ -16,9 +16,12 @@ namespace leases {
 struct NodeMessageStats {
   uint64_t sent[kNumMessageClasses] = {0, 0, 0};
   uint64_t received[kNumMessageClasses] = {0, 0, 0};
-  uint64_t dropped_loss = 0;       // lost on the wire
+  uint64_t dropped_loss = 0;       // lost on the wire (independent loss)
   uint64_t dropped_partition = 0;  // blocked by a partition
   uint64_t dropped_down = 0;       // destination host was down
+  uint64_t dropped_burst = 0;      // lost in a Gilbert-Elliott bad state
+  uint64_t duplicated = 0;         // extra copies injected by the fault plane
+  uint64_t delayed = 0;            // deliveries given extra reorder jitter
 
   uint64_t TotalSent() const {
     return sent[0] + sent[1] + sent[2];

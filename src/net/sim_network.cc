@@ -127,6 +127,58 @@ TimePoint SimNetwork::ChargeCpu(Node& node, TimePoint at) {
   return node.cpu_free;
 }
 
+void SimNetwork::ValidateParams(const NetworkParams& params) {
+  const FaultParams& f = params.faults;
+  LEASES_CHECK(params.loss_prob >= 0.0 && params.loss_prob <= 1.0);
+  LEASES_CHECK(f.dup_prob >= 0.0 && f.dup_prob <= 1.0);
+  LEASES_CHECK(f.reorder_prob >= 0.0 && f.reorder_prob <= 1.0);
+  LEASES_CHECK(f.burst_enter_prob >= 0.0 && f.burst_enter_prob <= 1.0);
+  LEASES_CHECK(f.burst_exit_prob >= 0.0 && f.burst_exit_prob <= 1.0);
+  LEASES_CHECK(f.burst_loss_prob >= 0.0 && f.burst_loss_prob <= 1.0);
+  LEASES_CHECK(f.dup_delay_max >= Duration::Zero());
+  LEASES_CHECK(f.reorder_delay_max >= Duration::Zero());
+}
+
+namespace {
+
+// Uniform jitter in [1us, max] (never zero, so a jittered delivery always
+// lands strictly after an unjittered one from the same send).
+Duration DrawJitter(Rng& rng, Duration max) {
+  uint64_t bound =
+      static_cast<uint64_t>(std::max<int64_t>(int64_t{1}, max.ToMicros()));
+  return Duration::Micros(1 + static_cast<int64_t>(rng.NextBounded(bound)));
+}
+
+}  // namespace
+
+SimNetwork::FaultDecision SimNetwork::DecideFaults(Node& sender) {
+  const FaultParams& f = params_.faults;
+  FaultDecision d;
+  if (f.burst_enter_prob > 0) {
+    // Advance the two-state chain once per delivery, then sample loss while
+    // in the bad state.
+    burst_bad_ = burst_bad_ ? !fault_rng_.NextBernoulli(f.burst_exit_prob)
+                            : fault_rng_.NextBernoulli(f.burst_enter_prob);
+    if (burst_bad_ && fault_rng_.NextBernoulli(f.burst_loss_prob)) {
+      d.drop = true;
+      sender.stats.dropped_burst++;
+      // A burst-dropped delivery consumes no dup/reorder draws: both paths
+      // return here, so the fault stream stays aligned.
+      return d;
+    }
+  }
+  if (f.reorder_prob > 0 && fault_rng_.NextBernoulli(f.reorder_prob)) {
+    d.extra = DrawJitter(fault_rng_, f.reorder_delay_max);
+    sender.stats.delayed++;
+  }
+  if (f.dup_prob > 0 && fault_rng_.NextBernoulli(f.dup_prob)) {
+    d.duplicate = true;
+    d.dup_extra = DrawJitter(fault_rng_, f.dup_delay_max);
+    sender.stats.duplicated++;
+  }
+  return d;
+}
+
 void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
                               MessageClass cls, std::vector<uint8_t> bytes) {
   Node* sender = FindNode(src);
@@ -144,6 +196,9 @@ void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
   auto payload = std::make_shared<std::vector<uint8_t>>(std::move(bytes));
   std::vector<Delivery> targets;
   targets.reserve(dst.size());
+  // Deliveries the fault plane jittered or duplicated; each gets its own
+  // wire-arrival event instead of joining the batched fan-out.
+  std::vector<std::pair<Delivery, Duration>> jittered;
   for (NodeId d : dst) {
     if (d == src) {
       continue;  // no self-delivery; local effects are applied directly
@@ -163,12 +218,32 @@ void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
     if (receiver == nullptr) {
       continue;
     }
-    targets.push_back(Delivery{d, receiver->epoch});
+    Delivery del{d, receiver->epoch};
+    if (params_.faults.Enabled()) {
+      FaultDecision fd = DecideFaults(*sender);
+      if (fd.drop) {
+        continue;
+      }
+      if (fd.duplicate) {
+        jittered.emplace_back(del, fd.dup_extra);
+      }
+      if (fd.extra > Duration::Zero()) {
+        jittered.emplace_back(del, fd.extra);
+        continue;
+      }
+    }
+    targets.push_back(del);
+  }
+  TimePoint wire_arrival = departure + params_.prop_delay;
+  for (const auto& [to, extra] : jittered) {
+    sim_->ScheduleAt(wire_arrival + extra,
+                     [this, src, cls, to, bytes = payload]() {
+                       StartReceive(src, to, cls, bytes);
+                     });
   }
   if (targets.empty()) {
     return;
   }
-  TimePoint wire_arrival = departure + params_.prop_delay;
   if (targets.size() == 1) {
     // Unicast fast path: the capture fits the scheduler's inline storage.
     Delivery t = targets.front();
@@ -265,6 +340,7 @@ void SimNetwork::SendTyped(NodeId src, std::span<const NodeId> dst,
   // tracer is actually installed; taps see exactly what the byte path
   // would have sent.
   bool traced = false;
+  std::vector<std::pair<Delivery, Duration>> jittered;
   for (NodeId d : dst) {
     if (d == src) {
       continue;  // no self-delivery; local effects are applied directly
@@ -289,26 +365,55 @@ void SimNetwork::SendTyped(NodeId src, std::span<const NodeId> dst,
     if (receiver == nullptr) {
       continue;
     }
-    msg->targets.push_back(Delivery{d, receiver->epoch});
+    Delivery del{d, receiver->epoch};
+    if (params_.faults.Enabled()) {
+      // Same draw order as the byte path, so typed-vs-wire equivalence
+      // holds with the fault plane on.
+      FaultDecision fd = DecideFaults(*sender);
+      if (fd.drop) {
+        continue;
+      }
+      if (fd.duplicate) {
+        jittered.emplace_back(del, fd.dup_extra);
+      }
+      if (fd.extra > Duration::Zero()) {
+        jittered.emplace_back(del, fd.extra);
+        continue;
+      }
+    }
+    msg->targets.push_back(del);
   }
-  if (msg->targets.empty()) {
+  if (msg->targets.empty() && jittered.empty()) {
     msg->refs = 1;
     ReleaseTyped(msg);
     return;
   }
-  // One wire-arrival event fans out to every destination. The event holds a
-  // guard ref so releases by dropped receivers cannot recycle the node while
-  // the fan-out loop is still walking it; each scheduled receive takes its
-  // own ref. Captures are two pointers -- well inside the scheduler's
-  // inline-callable storage, so nothing here allocates.
+  // One wire-arrival event fans out to every on-time destination; jittered
+  // and duplicated deliveries each get their own event. The construction
+  // guard ref (refs = 1) keeps releases by dropped receivers from recycling
+  // the node while events are still being scheduled; each event takes its
+  // own ref. Captures are at most (this, msg, Delivery) -- inside the
+  // scheduler's inline-callable storage, so the zero-fault path still does
+  // not allocate.
   msg->refs = 1;
   TimePoint wire_arrival = departure + params_.prop_delay;
-  sim_->ScheduleAt(wire_arrival, [this, msg]() {
-    for (const Delivery& t : msg->targets) {
-      StartReceiveTyped(msg, t);
-    }
-    ReleaseTyped(msg);
-  });
+  for (const auto& [to, extra] : jittered) {
+    msg->refs++;
+    sim_->ScheduleAt(wire_arrival + extra, [this, msg, to]() {
+      StartReceiveTyped(msg, to);
+      ReleaseTyped(msg);
+    });
+  }
+  if (!msg->targets.empty()) {
+    msg->refs++;
+    sim_->ScheduleAt(wire_arrival, [this, msg]() {
+      for (const Delivery& t : msg->targets) {
+        StartReceiveTyped(msg, t);
+      }
+      ReleaseTyped(msg);
+    });
+  }
+  ReleaseTyped(msg);  // drop the construction guard
 }
 
 void SimNetwork::StartReceiveTyped(TypedMessage* msg, Delivery to) {

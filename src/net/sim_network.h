@@ -15,7 +15,11 @@
 //   * independent per-(message, destination) loss probability;
 //   * pairwise partitions (messages silently dropped while blocked);
 //   * host crash/restart (down hosts receive nothing; restart clears the
-//     CPU queue -- state recovery is the protocol's job).
+//     CPU queue -- state recovery is the protocol's job);
+//   * a fault plane -- per-(message, destination) duplication, bounded
+//     reorder jitter and Gilbert-Elliott burst loss -- drawn from a
+//     *dedicated* RNG stream, so enabling any fault leaves the loss draws
+//     (and everything else derived from the base seed) untouched.
 #ifndef SRC_NET_SIM_NETWORK_H_
 #define SRC_NET_SIM_NETWORK_H_
 
@@ -37,6 +41,32 @@
 
 namespace leases {
 
+// Fault-plane rates. All draws come from a dedicated fault RNG stream
+// (derived from NetworkParams::seed but never shared with the loss stream),
+// and no draw is made while every rate is zero -- so a run with the fault
+// plane disabled is bit-identical to one on a build that predates it.
+struct FaultParams {
+  // Probability that a surviving (message, destination) delivery is sent
+  // twice; the duplicate takes an independent jitter draw in
+  // (0, dup_delay_max] on top of the normal propagation delay.
+  double dup_prob = 0.0;
+  Duration dup_delay_max = Duration::Millis(5);
+  // Probability that a delivery is held back by extra jitter drawn uniformly
+  // from (0, reorder_delay_max], letting later sends overtake it.
+  double reorder_prob = 0.0;
+  Duration reorder_delay_max = Duration::Millis(5);
+  // Gilbert-Elliott two-state burst loss: the chain moves good->bad with
+  // probability burst_enter_prob and bad->good with burst_exit_prob at each
+  // delivery; while bad, deliveries are dropped with burst_loss_prob.
+  double burst_enter_prob = 0.0;
+  double burst_exit_prob = 0.25;
+  double burst_loss_prob = 0.9;
+
+  bool Enabled() const {
+    return dup_prob > 0 || reorder_prob > 0 || burst_enter_prob > 0;
+  }
+};
+
 struct NetworkParams {
   // One-way propagation delay m_prop.
   Duration prop_delay = Duration::Millis(1) / 2;  // 0.5 ms
@@ -45,6 +75,7 @@ struct NetworkParams {
   // Independent probability that any (message, destination) is lost.
   double loss_prob = 0.0;
   uint64_t seed = 1;
+  FaultParams faults;
 };
 
 class SimNetwork;
@@ -73,7 +104,11 @@ class SimTransport : public Transport {
 class SimNetwork {
  public:
   SimNetwork(Simulator* sim, NetworkParams params)
-      : sim_(sim), params_(params), rng_(params.seed ^ 0x6e657477ULL) {
+      : sim_(sim),
+        params_(params),
+        rng_(params.seed ^ 0x6e657477ULL),
+        fault_rng_(Rng::ForStream(params.seed, kFaultStream)) {
+    ValidateParams(params_);
     const char* conf = std::getenv("LEASES_CODEC_CONFORMANCE");
     conformance_ = conf != nullptr && conf[0] != '\0' && conf[0] != '0';
   }
@@ -101,7 +136,17 @@ class SimNetwork {
   void IsolateNode(NodeId island, bool blocked);
   bool ArePartitioned(NodeId a, NodeId b) const;
 
-  void set_loss_prob(double p) { params_.loss_prob = p; }
+  void set_loss_prob(double p) {
+    params_.loss_prob = p;
+    ValidateParams(params_);
+  }
+  // Replaces the fault-plane rates mid-run (the chaos harness ramps these
+  // from a FaultPlan). The burst-loss chain state is preserved across calls.
+  void set_faults(FaultParams faults) {
+    params_.faults = faults;
+    ValidateParams(params_);
+  }
+  const FaultParams& faults() const { return params_.faults; }
 
   // Routes typed sends through the byte path (encode at the sender, decode
   // at the receiver) instead of the zero-serialization fast path. Used as
@@ -170,6 +215,18 @@ class SimNetwork {
     uint32_t refs = 0;
   };
 
+  // Outcome of the fault plane for one surviving (message, destination):
+  // drop it in a loss burst, jitter it, and/or inject a delayed duplicate.
+  struct FaultDecision {
+    bool drop = false;
+    Duration extra = Duration::Zero();
+    bool duplicate = false;
+    Duration dup_extra = Duration::Zero();
+  };
+  // Consumes fault_rng_ identically on the byte and typed paths so the
+  // typed-vs-wire determinism equivalence holds with faults enabled.
+  FaultDecision DecideFaults(Node& sender);
+
   // Charges `proc_time` on the node's CPU starting no earlier than `at`;
   // returns when the slot ends.
   TimePoint ChargeCpu(Node& node, TimePoint at);
@@ -190,9 +247,17 @@ class SimNetwork {
   Node* FindNode(NodeId id);
   const Node* FindNode(NodeId id) const;
 
+  static void ValidateParams(const NetworkParams& params);
+
+  // Stream id of the dedicated fault RNG (see Rng::ForStream).
+  static constexpr uint64_t kFaultStream = 0x6661756c74ULL;  // "fault"
+
   Simulator* sim_;
   NetworkParams params_;
   Rng rng_;
+  Rng fault_rng_;
+  // Gilbert-Elliott chain state: true while in the lossy "bad" state.
+  bool burst_bad_ = false;
   Tracer tracer_;
   std::unordered_map<NodeId, Node> nodes_;
   std::set<std::pair<NodeId, NodeId>> partitions_;

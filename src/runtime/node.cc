@@ -57,9 +57,13 @@ Status RuntimeServer::Start(uint16_t port) {
   if (!started.ok()) {
     return started;
   }
+  // All protocol traffic goes through the fault decorator (a passthrough
+  // until faults are configured); delayed re-sends run on the loop.
+  faulty_ =
+      std::make_unique<FaultInjectingTransport>(transport_.get(), loop_.get());
   loop_->RunSync([this]() {
     server_ = std::make_unique<LeaseServer>(
-        id_, &store_, &meta_, transport_.get(), &clock_, loop_.get(),
+        id_, &store_, &meta_, faulty_.get(), &clock_, loop_.get(),
         policy_.get(), params_, /*oracle=*/nullptr);
   });
   transport_->SetHandler(server_.get());
@@ -78,6 +82,7 @@ void RuntimeServer::Stop() {
     loop_->Stop();
   }
   server_.reset();
+  faulty_.reset();  // after Stop: no more loop callbacks into the decorator
   transport_.reset();
   loop_.reset();
 }
@@ -107,11 +112,13 @@ Status RuntimeClient::Start(uint16_t server_port, uint16_t port) {
     return started;
   }
   transport_->AddPeer(server_id_, server_port);
+  faulty_ =
+      std::make_unique<FaultInjectingTransport>(transport_.get(), loop_.get());
   uint64_t incarnation = static_cast<uint64_t>(
       std::chrono::steady_clock::now().time_since_epoch().count());
   loop_->RunSync([this, incarnation]() {
     client_ = std::make_unique<CacheClient>(
-        id_, server_id_, root_, transport_.get(), &clock_, loop_.get(),
+        id_, server_id_, root_, faulty_.get(), &clock_, loop_.get(),
         params_, /*oracle=*/nullptr, incarnation);
   });
   transport_->SetHandler(client_.get());
@@ -130,6 +137,7 @@ void RuntimeClient::Stop() {
     loop_->Stop();
   }
   client_.reset();
+  faulty_.reset();  // after Stop: no more loop callbacks into the decorator
   transport_.reset();
   loop_.reset();
 }

@@ -15,6 +15,7 @@
 #include "src/core/lease_server.h"
 #include "src/core/term_policy.h"
 #include "src/fs/file_store.h"
+#include "src/net/faulty_transport.h"
 #include "src/runtime/event_loop.h"
 #include "src/runtime/udp_transport.h"
 
@@ -40,6 +41,10 @@ class RuntimeServer {
   void WithServer(std::function<void(LeaseServer&)> fn);
   ServerStats stats();
 
+  // Fault-injection decorator the server sends through; a passthrough until
+  // faults are configured. Valid between Start and Stop.
+  FaultInjectingTransport& faults() { return *faulty_; }
+
  private:
   NodeId id_;
   ServerParams params_;
@@ -49,6 +54,7 @@ class RuntimeServer {
   std::unique_ptr<TermPolicy> policy_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<UdpTransport> transport_;
+  std::unique_ptr<FaultInjectingTransport> faulty_;
   std::unique_ptr<LeaseServer> server_;
 };
 
@@ -75,6 +81,10 @@ class RuntimeClient {
   ClientStats stats();
   UdpTransport& transport() { return *transport_; }
 
+  // Fault-injection decorator the client sends through; a passthrough until
+  // faults are configured. Valid between Start and Stop.
+  FaultInjectingTransport& faults() { return *faulty_; }
+
  private:
   NodeId id_;
   NodeId server_id_;
@@ -83,6 +93,7 @@ class RuntimeClient {
   SystemClock clock_;
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<UdpTransport> transport_;
+  std::unique_ptr<FaultInjectingTransport> faulty_;
   std::unique_ptr<CacheClient> client_;
 };
 

@@ -57,8 +57,10 @@ class UdpTransport : public Transport {
   void Multicast(std::span<const NodeId> dst, MessageClass cls,
                  Packet packet) override;
 
-  // Test hook: drop this fraction of outgoing datagrams (deterministic
-  // counter-based, not random, so tests are stable).
+  // Deprecated compat shim: counter-based datagram dropping. New code should
+  // wrap the transport in a FaultInjectingTransport (src/net/faulty_transport.h)
+  // and use its set_drop_every_nth / SetFaults instead -- the decorator adds
+  // loss, duplication, delay and partition semantics shared with the sim.
   void set_drop_every_nth(uint32_t n) { drop_every_nth_ = n; }
 
   NodeMessageStats stats() const;

@@ -121,6 +121,18 @@ class Rng {
   // the others (variance reduction across sweep points).
   Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
 
+  // Derives an independent generator for a named substream of `seed`. Unlike
+  // Fork(), no existing generator is advanced, so introducing a new consumer
+  // (e.g. the network's fault-injection stream) never perturbs the draws any
+  // other stream makes from the same base seed.
+  static Rng ForStream(uint64_t seed, uint64_t stream) {
+    // SplitMix64 finalizer decorrelates nearby stream ids before mixing.
+    uint64_t z = stream + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(seed ^ (z ^ (z >> 31)));
+  }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

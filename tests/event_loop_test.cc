@@ -1,10 +1,12 @@
-// Unit tests for the real-time event loop and UDP transport.
+// Unit tests for the real-time event loop, UDP transport and the
+// fault-injection decorator over the real backend.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <thread>
 
+#include "src/net/faulty_transport.h"
 #include "src/runtime/event_loop.h"
 #include "src/runtime/udp_transport.h"
 
@@ -193,12 +195,87 @@ TEST(UdpTransportTest, DropEveryNthLosesDeterministically) {
   ASSERT_TRUE(a.Start().ok());
   ASSERT_TRUE(b.Start().ok());
   a.AddPeer(NodeId(2), b.port());
-  a.set_drop_every_nth(2);
+  // The decorator's deterministic counter mode replaces the old transport
+  // hook; per-destination counting gives exactly 5/10 losses here.
+  FaultInjectingTransport faulty(&a, &loop_a);
+  faulty.set_drop_every_nth(2);
   for (int i = 0; i < 10; ++i) {
-    a.Send(NodeId(2), MessageClass::kData, {static_cast<uint8_t>(i)});
+    faulty.Send(NodeId(2), MessageClass::kData, {static_cast<uint8_t>(i)});
   }
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
   EXPECT_EQ(counter.count, 5);
+  EXPECT_EQ(faulty.fault_stats().dropped_nth, 5u);
+  a.Stop();
+  b.Stop();
+}
+
+TEST(FaultInjectingTransportTest, DuplicatesAndDelaysArriveOverUdp) {
+  EventLoop loop_a;
+  EventLoop loop_b;
+  struct Counter : PacketHandler {
+    std::atomic<int> count{0};
+    void HandlePacket(NodeId, MessageClass,
+                      std::span<const uint8_t>) override {
+      ++count;
+    }
+  } counter;
+  UdpTransport a(NodeId(1), &loop_a, nullptr);
+  UdpTransport b(NodeId(2), &loop_b, &counter);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  a.AddPeer(NodeId(2), b.port());
+  FaultInjectingTransport faulty(&a, &loop_a);
+  TransportFaults faults;
+  faults.dup_prob = 1.0;  // every send is doubled
+  faults.dup_delay_max = Duration::Millis(2);
+  faults.delay_prob = 1.0;  // and the original is jittered too
+  faults.delay_max = Duration::Millis(2);
+  faults.seed = 7;
+  faulty.SetFaults(faults);
+  for (int i = 0; i < 10; ++i) {
+    faulty.Send(NodeId(2), MessageClass::kData, {static_cast<uint8_t>(i)});
+  }
+  for (int i = 0; i < 200 && counter.count < 20; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(counter.count, 20);  // 10 originals + 10 duplicates
+  FaultInjectingTransport::FaultStats stats = faulty.fault_stats();
+  EXPECT_EQ(stats.duplicated, 10u);
+  EXPECT_EQ(stats.delayed, 10u);
+  a.Stop();
+  b.Stop();
+}
+
+TEST(FaultInjectingTransportTest, BlockedPeerPartitionsSendSide) {
+  EventLoop loop_a;
+  EventLoop loop_b;
+  struct Counter : PacketHandler {
+    std::atomic<int> count{0};
+    void HandlePacket(NodeId, MessageClass,
+                      std::span<const uint8_t>) override {
+      ++count;
+    }
+  } counter;
+  UdpTransport a(NodeId(1), &loop_a, nullptr);
+  UdpTransport b(NodeId(2), &loop_b, &counter);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+  a.AddPeer(NodeId(2), b.port());
+  FaultInjectingTransport faulty(&a, &loop_a);
+  faulty.SetPeerBlocked(NodeId(2), true);
+  faulty.Send(NodeId(2), MessageClass::kData, {1});
+  NodeId dst[1] = {NodeId(2)};
+  faulty.Multicast(dst, MessageClass::kData, {2});
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(counter.count, 0);
+  EXPECT_EQ(faulty.fault_stats().dropped_blocked, 2u);
+
+  faulty.SetPeerBlocked(NodeId(2), false);  // heal
+  faulty.Send(NodeId(2), MessageClass::kData, {3});
+  for (int i = 0; i < 200 && counter.count == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(counter.count, 1);
   a.Stop();
   b.Stop();
 }

@@ -2,6 +2,7 @@
 // model, loss, partitions, crash semantics and load accounting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/net/sim_network.h"
@@ -440,6 +441,141 @@ TEST(SimNetworkTypedTest, TypedStatsMatchBytePathAccounting) {
   EXPECT_EQ(sender.sent[static_cast<int>(MessageClass::kData)], 1u);
   EXPECT_EQ(rig.net->stats(NodeId(2)).TotalReceived(), 2u);
   EXPECT_EQ(rig.net->stats(NodeId(3)).TotalReceived(), 1u);
+}
+
+// --- Multicast vs. restart / handler replacement --------------------------
+
+TEST(SimNetworkTest, MulticastReplaceHandlerOrphansOnlyThatDestination) {
+  Rig rig(3);
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency, {5});
+  Recorder fresh(&rig.sim);
+  rig.net->ReplaceHandler(NodeId(2), &fresh);
+  rig.sim.RunUntilIdle();
+  // Node 2's copy belonged to the old incarnation; node 3's still lands.
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_TRUE(fresh.received.empty());
+  ASSERT_EQ(rig.nodes[2]->received.size(), 1u);
+  EXPECT_EQ(rig.nodes[2]->received[0].bytes, (std::vector<uint8_t>{5}));
+}
+
+TEST(SimNetworkTypedTest, TypedMulticastReplaceHandlerOrphansOldEpoch) {
+  TypedRig rig(3);
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kConsistency,
+                               Packet(Ping{RequestId(9)}));
+  TypedRecorder fresh(&rig.sim);
+  rig.net->ReplaceHandler(NodeId(2), &fresh);
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_TRUE(fresh.received.empty());
+  ASSERT_EQ(rig.nodes[2]->received.size(), 1u);
+  // Another typed send reaches the replaced handler; the shared in-flight
+  // message from before was released cleanly (no leak under asan).
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData,
+                          Packet(Ping{RequestId(10)}));
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(fresh.received.size(), 1u);
+}
+
+TEST(SimNetworkTypedTest, TypedMulticastCrashMidFlightOrphansOldEpoch) {
+  TypedRig rig(3);
+  std::vector<NodeId> dst = {NodeId(2), NodeId(3)};
+  rig.transports[0]->Multicast(dst, MessageClass::kData,
+                               Packet(Ping{RequestId(3)}));
+  rig.net->SetNodeUp(NodeId(2), false);
+  rig.net->SetNodeUp(NodeId(2), true);  // restart bumps the epoch
+  rig.sim.RunUntilIdle();
+  // The restarted incarnation must not see the pre-crash delivery.
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  ASSERT_EQ(rig.nodes[2]->received.size(), 1u);
+}
+
+// --- Fault plane: duplication, reorder jitter, burst loss -----------------
+
+TEST(SimNetworkFaultTest, DuplicationDeliversAnExtraCopy) {
+  NetworkParams params;
+  params.faults.dup_prob = 1.0;
+  Rig rig(2, params);
+  for (uint8_t i = 0; i < 5; ++i) {
+    rig.transports[0]->Send(NodeId(2), MessageClass::kData, {i});
+  }
+  rig.sim.RunUntilIdle();
+  EXPECT_EQ(rig.nodes[1]->received.size(), 10u);
+  EXPECT_EQ(rig.net->stats(NodeId(1)).duplicated, 5u);
+}
+
+TEST(SimNetworkFaultTest, TypedDuplicationMatchesBytePath) {
+  NetworkParams params;
+  params.faults.dup_prob = 1.0;
+  TypedRig rig(2, params);
+  for (int i = 0; i < 5; ++i) {
+    rig.transports[0]->Send(NodeId(2), MessageClass::kData,
+                            Packet(Ping{RequestId(i + 1)}));
+  }
+  rig.sim.RunUntilIdle();
+  EXPECT_EQ(rig.nodes[1]->received.size(), 10u);
+  EXPECT_EQ(rig.net->stats(NodeId(1)).duplicated, 5u);
+}
+
+TEST(SimNetworkFaultTest, ReorderJitterDelaysButDelivers) {
+  NetworkParams params;
+  params.faults.reorder_prob = 1.0;
+  params.faults.reorder_delay_max = Duration::Millis(5);
+  Rig rig(2, params);
+  rig.transports[0]->Send(NodeId(2), MessageClass::kData, {1});
+  rig.sim.RunUntilIdle();
+  ASSERT_EQ(rig.nodes[1]->received.size(), 1u);
+  Duration base = params.prop_delay + params.proc_time * 2;
+  Duration latency = rig.nodes[1]->received[0].at - TimePoint::Epoch();
+  EXPECT_GT(latency, base);
+  EXPECT_LE(latency, base + params.faults.reorder_delay_max);
+  EXPECT_EQ(rig.net->stats(NodeId(1)).delayed, 1u);
+}
+
+TEST(SimNetworkFaultTest, BurstLossDropsWhileChainIsBad) {
+  NetworkParams params;
+  params.faults.burst_enter_prob = 1.0;  // enter the bad state immediately
+  params.faults.burst_exit_prob = 0.0;   // and never leave it
+  params.faults.burst_loss_prob = 1.0;
+  Rig rig(2, params);
+  for (uint8_t i = 0; i < 8; ++i) {
+    rig.transports[0]->Send(NodeId(2), MessageClass::kData, {i});
+  }
+  rig.sim.RunUntilIdle();
+  EXPECT_TRUE(rig.nodes[1]->received.empty());
+  EXPECT_EQ(rig.net->stats(NodeId(1)).dropped_burst, 8u);
+}
+
+TEST(SimNetworkFaultTest, FaultStreamLeavesLossDrawsUntouched) {
+  // The whole point of the dedicated fault RNG: enabling a fault must not
+  // perturb which messages the independent-loss stream drops. Jitter-only
+  // faults neither add nor remove deliveries, so the delivered payload set
+  // must be identical with the fault plane on and off.
+  auto delivered = [](bool faults_on) {
+    NetworkParams params;
+    params.seed = 9;
+    params.loss_prob = 0.3;
+    if (faults_on) {
+      params.faults.reorder_prob = 1.0;
+      params.faults.reorder_delay_max = Duration::Millis(2);
+    }
+    Rig rig(2, params);
+    for (uint8_t i = 0; i < 50; ++i) {
+      rig.transports[0]->Send(NodeId(2), MessageClass::kData, {i});
+    }
+    rig.sim.RunUntilIdle();
+    std::vector<uint8_t> ids;
+    for (const auto& r : rig.nodes[1]->received) {
+      ids.push_back(r.bytes[0]);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  std::vector<uint8_t> base = delivered(false);
+  EXPECT_GT(base.size(), 0u);
+  EXPECT_LT(base.size(), 50u);  // some losses, or the test proves nothing
+  EXPECT_EQ(base, delivered(true));
 }
 
 }  // namespace

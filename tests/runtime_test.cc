@@ -79,7 +79,7 @@ TEST_F(RuntimeFixture, RetransmissionSurvivesDatagramLoss) {
   // Drop every 2nd outgoing datagram from the client; retries (same request
   // id, server-side dedup) must still complete every operation exactly once.
   client->WithClient([](CacheClient&) {});
-  client->transport().set_drop_every_nth(2);
+  client->faults().set_drop_every_nth(2);
   Result<WriteResult> w1 = client->Write(file, B("v2"), Duration::Seconds(10));
   ASSERT_TRUE(w1.ok()) << w1.error().ToString();
   Result<WriteResult> w2 = client->Write(file, B("v3"), Duration::Seconds(10));
@@ -89,6 +89,27 @@ TEST_F(RuntimeFixture, RetransmissionSurvivesDatagramLoss) {
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(std::string(read->data.begin(), read->data.end()), "v3");
   EXPECT_GT(client->stats().retransmits, 0u);
+}
+
+TEST_F(RuntimeFixture, DuplicatedAndDelayedDatagramsAreHarmless) {
+  // Duplicate half the client's datagrams and jitter a third of them; the
+  // request-id dedup and version-monotonic reply handling must keep every
+  // operation exactly-once over the real backend.
+  TransportFaults faults;
+  faults.dup_prob = 0.5;
+  faults.dup_delay_max = Duration::Millis(5);
+  faults.delay_prob = 0.3;
+  faults.delay_max = Duration::Millis(5);
+  faults.seed = 42;
+  client->faults().SetFaults(faults);
+  Result<WriteResult> w1 = client->Write(file, B("d2"), Duration::Seconds(10));
+  ASSERT_TRUE(w1.ok()) << w1.error().ToString();
+  Result<WriteResult> w2 = client->Write(file, B("d3"), Duration::Seconds(10));
+  ASSERT_TRUE(w2.ok());
+  EXPECT_EQ(w2->version, w1->version + 1);  // duplicates never double-commit
+  Result<ReadResult> read = client->Read(file, Duration::Seconds(10));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(std::string(read->data.begin(), read->data.end()), "d3");
 }
 
 TEST(RuntimeMultiClient, SharedWriteInvalidatesOtherClient) {

@@ -39,11 +39,15 @@ targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
-  --target "${targets[@]}"
+  --target "${targets[@]}" leases_chaos
 # Run the binaries directly rather than through ctest: the tier builds only
 # a subset of targets, and gtest discovery would flag the rest as NOT_BUILT.
 for t in "${targets[@]}"; do
   echo "=== $preset: $t ==="
   "build-$preset/tests/$t"
 done
-echo "$preset tier: ${#targets[@]} test binaries clean"
+# The chaos smoke drives full clusters through duplication/reorder/burst
+# faults and random plans -- the best sanitizer bait in the tree.
+echo "=== $preset: leases_chaos --smoke ==="
+"build-$preset/tools/leases_chaos" --smoke
+echo "$preset tier: ${#targets[@]} test binaries + chaos smoke clean"
