@@ -198,6 +198,41 @@ void RecoveryStrategyExperiment() {
               "   are much longer than the time to recover\".\n");
 }
 
+void PowerCutExperiment() {
+  std::printf(
+      "\n6) power cuts with journal tail damage (term 10 s): the replayed\n"
+      "   recovery state still covers every pre-crash grant\n");
+  SeriesTable table({"damage", "write_held_s", "replayed_records",
+                     "truncated_tails", "corrupt_dropped", "violations"});
+  for (TailDamage damage :
+       {TailDamage::kClean, TailDamage::kTorn, TailDamage::kCorrupt}) {
+    ClusterOptions options = MakeVClusterOptions(
+        Duration::Seconds(10), 2, 6000 + static_cast<uint64_t>(damage));
+    options.client.max_retries = 60;
+    SimCluster cluster(options);
+    FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                              Bytes("v1"));
+    LEASES_CHECK(cluster.SyncRead(0, file).ok());
+    cluster.CrashServer(damage);
+    cluster.RunFor(Duration::Seconds(1));
+    cluster.RestartServer();
+    TimePoint start = cluster.sim().Now();
+    LEASES_CHECK(
+        cluster.SyncWrite(1, file, Bytes("v2"), Duration::Seconds(30)).ok());
+    ServerStats stats = cluster.server().stats();
+    table.AddRow({static_cast<double>(damage),
+                  (cluster.sim().Now() - start).ToSeconds(),
+                  static_cast<double>(stats.journal_replayed_records),
+                  static_cast<double>(stats.journal_truncated_tails),
+                  static_cast<double>(stats.journal_corrupt_dropped),
+                  static_cast<double>(cluster.oracle().violations())});
+  }
+  table.Print(stdout, 3);
+  std::printf("   (damage: 0=clean 1=torn 2=corrupt; damage only ever eats\n"
+              "   the un-acknowledged tail, so the write hold time -- and\n"
+              "   correctness -- never move)\n");
+}
+
 void Run() {
   PrintHeader("Ablation A3: failures cost performance, never correctness");
   ClientCrashExperiment();
@@ -205,6 +240,7 @@ void Run() {
   LossSweepExperiment();
   FaultPlaneSweepExperiment();
   RecoveryStrategyExperiment();
+  PowerCutExperiment();
 }
 
 }  // namespace

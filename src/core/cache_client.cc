@@ -535,9 +535,50 @@ void CacheClient::ResendWrite(RequestId req) {
   ArmWriteTimer(req);
 }
 
+Duration CacheClient::UnavailableBackoff(int retries, uint64_t salt) const {
+  int64_t base = params_.unavailable_backoff_base.ToMicros();
+  int64_t cap = params_.unavailable_backoff_max.ToMicros();
+  int shift = retries < 20 ? retries : 20;  // avoid undefined huge shifts
+  int64_t delay = base << shift;
+  if (delay > cap || delay <= 0) {
+    delay = cap;
+  }
+  // +/-25% jitter from a splitmix-style hash of (request id, attempt): no
+  // RNG stream is consumed, so simulations stay bit-reproducible, yet
+  // concurrent clients (distinct request ids) decorrelate.
+  uint64_t h = salt + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(retries + 1);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  int64_t spread = delay / 4;
+  if (spread > 0) {
+    delay += static_cast<int64_t>(h % (2 * static_cast<uint64_t>(spread) + 1)) -
+             spread;
+  }
+  return Duration::Micros(delay);
+}
+
 void CacheClient::OnWriteReply(const WriteReply& m) {
   auto it = writes_.find(m.req);
   if (it == writes_.end()) {
+    return;
+  }
+  if (m.status == ErrorCode::kUnavailable &&
+      it->second.retries < params_.max_retries) {
+    // Graceful degradation: the server is recovering from a crash and shed
+    // this write. Retry the same request id after a jittered exponential
+    // backoff instead of hammering it every request_timeout (ResendWrite
+    // re-checks the retry budget and re-arms the normal timeout).
+    PendingWriteOp& op = it->second;
+    if (op.timer.valid()) {
+      timers_->CancelTimer(op.timer);
+    }
+    ++stats_.unavailable_retries;
+    op.timer = timers_->ScheduleAfter(
+        UnavailableBackoff(op.retries, m.req.value()),
+        [this, req = m.req]() { ResendWrite(req); });
     return;
   }
   PendingWriteOp op = std::move(it->second);

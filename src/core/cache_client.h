@@ -100,6 +100,9 @@ struct ClientStats {
   uint64_t retransmits = 0;
   uint64_t timeouts = 0;
   uint64_t evictions = 0;
+  // Writes the recovering server shed with kUnavailable, retried after a
+  // jittered exponential backoff rather than failed.
+  uint64_t unavailable_retries = 0;
 };
 
 class CacheClient : public PacketHandler {
@@ -233,6 +236,10 @@ class CacheClient : public PacketHandler {
   void OnWriteReply(const WriteReply& m);
   void ArmWriteTimer(RequestId req);
   void ResendWrite(RequestId req);
+  // Delay before the attempt after `retries` kUnavailable rejections:
+  // exponential in `retries`, capped, with deterministic +/-25% jitter
+  // salted by the request id.
+  Duration UnavailableBackoff(int retries, uint64_t salt) const;
   void StageWriteBack(FileId file, Entry& entry, std::vector<uint8_t> data,
                       WriteCallback cb);
   void FlushEntry(FileId file, WriteCallback cb);

@@ -100,6 +100,10 @@ std::string FaultPlan::ToLine() const {
                " rate=" + FormatRate(ev.rate) +
                " span=" + FormatSeconds(ev.span);
         break;
+      case FaultOp::kStorage:
+        out += std::string("storage-crash mode=") +
+               (ev.mode == 1 ? "torn" : ev.mode == 2 ? "corrupt" : "clean");
+        break;
     }
   }
   return out;
@@ -174,6 +178,22 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
       }
       ev.rate = *rate;
       ev.span = SecondsFromText(*span);
+    } else if (op == "storage-crash") {
+      ev.op = FaultOp::kStorage;
+      std::string token;
+      if (!(in >> token) || token.rfind("mode=", 0) != 0) {
+        return std::nullopt;
+      }
+      std::string mode = token.substr(5);
+      if (mode == "clean") {
+        ev.mode = 0;
+      } else if (mode == "torn") {
+        ev.mode = 1;
+      } else if (mode == "corrupt") {
+        ev.mode = 2;
+      } else {
+        return std::nullopt;
+      }
     } else {
       return std::nullopt;
     }
@@ -185,7 +205,7 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
 FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
   FaultPlan plan;
   // Build the menu of disruption kinds this draw may use.
-  enum Kind { kServer, kClient, kPart, kRateStorm, kClock };
+  enum Kind { kServer, kClient, kPart, kRateStorm, kClock, kStorageCut };
   std::vector<Kind> menu = {kPart, kRateStorm};
   if (options.allow_server_crash) {
     menu.push_back(kServer);
@@ -195,6 +215,11 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
   }
   if (options.allow_drift && options.num_clients > 0) {
     menu.push_back(kClock);
+  }
+  if (options.allow_storage_fault) {
+    // Appended last so draws for pre-existing seeds (which never set this)
+    // are untouched.
+    menu.push_back(kStorageCut);
   }
   size_t disruptions = 1 + rng.NextBounded(options.max_disruptions);
   for (size_t i = 0; i < disruptions; ++i) {
@@ -255,6 +280,18 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
         ev.rate = 1.0 + options.drift_magnitude * (2.0 * rng.NextDouble() - 1.0);
         ev.span = std::min(options.drift_span_max, span);
         plan.events.push_back(ev);
+        break;
+      }
+      case kStorageCut: {
+        ev.op = FaultOp::kStorage;
+        // Always wound the tail: torn or corrupt (clean power cuts are what
+        // plain crash-server already exercises).
+        ev.mode = 1 + static_cast<uint32_t>(rng.NextBounded(2));
+        plan.events.push_back(ev);
+        FaultEvent back;
+        back.at = at + span;
+        back.op = FaultOp::kRestartServer;
+        plan.events.push_back(back);
         break;
       }
     }

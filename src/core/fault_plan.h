@@ -36,6 +36,8 @@ enum class FaultOp : uint8_t {
   kHeal,           // heal every partition
   kRates,          // set network fault rates (loss/dup/reorder/burst)
   kDrift,          // client `target` clock runs at `rate` for `span`
+  kStorage,        // power-cut the server, damaging the journal tail per
+                   //   `mode`; pairs with kRestartServer for recovery
 };
 
 struct FaultEvent {
@@ -51,6 +53,9 @@ struct FaultEvent {
   // kDrift: local seconds per true second, restored after `span`.
   double rate = 1.0;
   Duration span;
+  // kStorage: TailDamage the power cut inflicts on the journal
+  // (0 = clean, 1 = torn tail, 2 = corrupt record).
+  uint32_t mode = 0;
 };
 
 struct FaultPlan {
@@ -83,6 +88,11 @@ struct RandomPlanOptions {
   bool allow_drift = true;
   double drift_magnitude = 0.01;
   Duration drift_span_max = Duration::Seconds(5);
+  // Storage power cuts (kStorage + paired restart): the server loses its
+  // volatile state AND the durable journal takes tail damage that recovery
+  // must repair. Off by default so plans drawn for pre-existing seeds stay
+  // byte-identical; storage soaks opt in (leases_chaos --storage).
+  bool allow_storage_fault = false;
 };
 
 // Draws a coherent random plan (every crash gets a restart, every partition

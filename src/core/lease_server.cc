@@ -87,6 +87,12 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
   int64_t boot = meta_->Load(kBootCountKey).value_or(0) + 1;
   meta_->Save(kBootCountKey, boot);
   next_write_seq_ = static_cast<uint64_t>(boot) << 32;
+  // boot > 1 means a previous incarnation's durable state was recovered
+  // (from the journal, when the meta store is backend-backed).
+  if (boot > 1) {
+    stats_.recoveries = 1;
+  }
+  RefreshDurabilityStats();
 
   if (params_.installed_optimization) {
     installed_timer_ = timers_->ScheduleAfter(
@@ -289,6 +295,20 @@ void LeaseServer::RecordMaxTerm(Duration term) {
   meta_->CountWrite();
 }
 
+void LeaseServer::RefreshDurabilityStats() const {
+  const StorageStats* s = meta_->storage_stats();
+  if (s == nullptr) {
+    return;
+  }
+  stats_.journal_appends = s->appends;
+  stats_.journal_replays = s->replays;
+  stats_.journal_replayed_records = s->replayed_records;
+  stats_.journal_truncated_tails = s->truncated_tails;
+  stats_.journal_corrupt_dropped = s->corrupt_dropped;
+  stats_.snapshot_compactions = s->compactions;
+  stats_.replay_duration = s->last_replay_time;
+}
+
 bool LeaseServer::KeyBlocked(LeaseKey key) const {
   auto it = blocked_keys_.find(key);
   return it != blocked_keys_.end() && it->second > 0;
@@ -326,7 +346,16 @@ void LeaseServer::OnWriteRequest(NodeId from, const WriteRequest& m) {
 void LeaseServer::AdmitWrite(QueuedWrite write) {
   if (InRecovery()) {
     // Honouring pre-crash leases: all writes wait out the recovery window
-    // ("it delays writes to all files for that period", Section 2).
+    // ("it delays writes to all files for that period", Section 2). Beyond
+    // the queue limit the server sheds load instead of buffering without
+    // bound; the client backs off and retries (kUnavailable is retryable).
+    if (recovery_queue_.size() >= params_.recovery_queue_limit) {
+      ++stats_.recovery_shed_writes;
+      // RejectWrite drops the in-flight dedup entry, so the retry after
+      // backoff is admitted as a fresh write rather than swallowed.
+      RejectWrite(write.from, write.request, ErrorCode::kUnavailable);
+      return;
+    }
     ++stats_.recovery_held_writes;
     recovery_queue_.push_back(std::move(write));
     return;

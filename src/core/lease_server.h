@@ -69,10 +69,23 @@ struct ServerStats {
 
   uint64_t installed_multicasts = 0;
   uint64_t recovery_held_writes = 0;
+  uint64_t recovery_shed_writes = 0;  // rejected kUnavailable at the limit
   Duration recovery_window;
   uint64_t recovered_lease_records = 0;
 
   uint64_t dedup_replays = 0;
+
+  // --- Durability plane (all zero when the meta store has no storage
+  // backend). Mirrors StorageStats for the backend behind DurableMeta;
+  // refreshed on every stats() read. ---
+  uint64_t recoveries = 0;            // this incarnation found durable state
+  uint64_t journal_appends = 0;       // records appended (cumulative)
+  uint64_t journal_replays = 0;       // replays performed (cumulative)
+  uint64_t journal_replayed_records = 0;  // records in the last replay
+  uint64_t journal_truncated_tails = 0;   // torn tails repaired on replay
+  uint64_t journal_corrupt_dropped = 0;   // bad-CRC records dropped
+  uint64_t snapshot_compactions = 0;
+  Duration replay_duration;           // wall time of the last replay
 };
 
 class LeaseServer : public PacketHandler {
@@ -101,7 +114,10 @@ class LeaseServer : public PacketHandler {
   // learned from their first request).
   void RegisterClient(NodeId client);
 
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const {
+    RefreshDurabilityStats();
+    return stats_;
+  }
   NodeId id() const { return id_; }
 
   // --- Introspection for tests ---
@@ -193,6 +209,10 @@ class LeaseServer : public PacketHandler {
   // Both entry points (decoded bytes and the typed fast path) funnel here.
   void DispatchPacket(NodeId from, const Packet& packet);
 
+  // Copies the storage-backend counters into stats_ (no-op when the meta
+  // store is not backend-backed).
+  void RefreshDurabilityStats() const;
+
   void SendTo(NodeId to, MessageClass cls, Packet packet);
   void RememberClient(NodeId from);
   void RememberWriteReply(NodeId to, const WriteReply& reply);
@@ -231,7 +251,9 @@ class LeaseServer : public PacketHandler {
   TimerId recovery_timer_;
   Duration max_term_granted_;
 
-  ServerStats stats_;
+  // Mutable so the const stats() accessor can refresh the durability-plane
+  // mirror from the storage backend before returning.
+  mutable ServerStats stats_;
 };
 
 }  // namespace leases

@@ -53,6 +53,12 @@ struct ServerParams {
 
   // Writes held back for dedup replay: remembered (client, request) pairs.
   size_t write_dedup_capacity = 4096;
+
+  // Writes arriving during the post-crash recovery window are queued and
+  // drained when it ends. Beyond this many held writes the server sheds
+  // load instead, rejecting with kUnavailable; clients retry with jittered
+  // exponential backoff (ClientParams::unavailable_backoff_base).
+  size_t recovery_queue_limit = 1024;
 };
 
 struct ClientParams {
@@ -76,6 +82,15 @@ struct ClientParams {
   // Request retransmission (lost datagrams / crashed server).
   Duration request_timeout = Duration::Seconds(2);
   int max_retries = 8;
+
+  // Graceful degradation when the server answers kUnavailable (recovering
+  // from a crash and shedding its write queue): instead of burning the
+  // fixed request_timeout, the write is retried after an exponential
+  // backoff -- base doubled per retry up to the cap, with +/-25% jitter
+  // derived deterministically from the request id so a fleet of clients
+  // does not stampede the recovering server in lockstep.
+  Duration unavailable_backoff_base = Duration::Millis(200);
+  Duration unavailable_backoff_max = Duration::Seconds(3);
 
   // Section 4: "The client is free in deciding ... when to approve a
   // write." A non-zero delay holds each approval for this long before

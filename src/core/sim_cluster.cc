@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/check.h"
+#include "src/fs/journal.h"
 
 namespace leases {
 
@@ -17,6 +18,18 @@ std::string Text(const std::vector<uint8_t>& b) {
 
 SimCluster::SimCluster(ClusterOptions options)
     : options_(std::move(options)), oracle_(&sim_) {
+  if (options_.data_dir.empty()) {
+    // Deterministic sim default: the record vector plays the platter.
+    storage_ = std::make_unique<MemoryBackend>();
+  } else {
+    auto journal = std::make_unique<JournalBackend>(options_.data_dir);
+    LEASES_CHECK(journal->Open().ok());
+    storage_ = std::move(journal);
+  }
+  meta_ = DurableMeta(storage_.get());
+  // Recover whatever a previous cluster (or process) left behind; a fresh
+  // backend replays zero records.
+  LEASES_CHECK(meta_.Reopen().ok());
   network_ = std::make_unique<SimNetwork>(&sim_, options_.net);
   if (options_.make_policy) {
     policy_ = options_.make_policy();
@@ -88,9 +101,13 @@ SimClock& SimCluster::client_clock(size_t i) {
   return *client_nodes_[i].clock;
 }
 
-void SimCluster::CrashServer() {
+void SimCluster::CrashServer(TailDamage damage) {
   LEASES_CHECK(server_ != nullptr);
   server_.reset();  // volatile lease state dies with the process
+  // Power-cut the storage plane: acknowledged records survive, and any
+  // damage lands on the un-acknowledged tail only (the server persists
+  // before it replies, so nothing a client saw can be lost).
+  storage_->PowerCut(damage);
   network_->ReplaceHandler(server_id_, nullptr);
   network_->SetNodeUp(server_id_, false);
 }
@@ -98,9 +115,11 @@ void SimCluster::CrashServer() {
 void SimCluster::RestartServer() {
   LEASES_CHECK(server_ == nullptr);
   network_->SetNodeUp(server_id_, true);
-  // Same durable store and meta: committed writes and the persisted maximum
+  // Real recovery: replay the journal into the meta cache, repairing any
+  // tail damage from the crash. Committed writes and the persisted maximum
   // term survive; the new incarnation honours pre-crash leases by holding
   // writes for that term.
+  LEASES_CHECK(meta_.Reopen().ok());
   server_ = std::make_unique<LeaseServer>(
       server_id_, &store_, &meta_, server_node_.transport,
       server_node_.clock.get(), server_node_.timers.get(), policy_.get(),

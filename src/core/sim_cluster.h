@@ -38,6 +38,10 @@ struct ClusterOptions {
   ClockModel server_clock = ClockModel::Perfect();
   // Per-client clock model; clients beyond the vector get perfect clocks.
   std::vector<ClockModel> client_clocks;
+  // When set, the server's recovery metadata lives in an on-disk journal
+  // (JournalBackend) under this directory instead of the in-memory backend;
+  // a cluster constructed over a previously-used directory recovers from it.
+  std::string data_dir;
 };
 
 class SimCluster {
@@ -55,6 +59,9 @@ class SimCluster {
   TermPolicy& policy() { return *policy_; }
 
   LeaseServer& server() { return *server_; }
+  // The durable recovery metadata (shared across server incarnations);
+  // tests inspect the boot counter and max-term record through it.
+  DurableMeta& meta() { return meta_; }
   CacheClient& client(size_t i);
   size_t num_clients() const { return clients_.size(); }
 
@@ -64,7 +71,10 @@ class SimCluster {
   SimClock& client_clock(size_t i);
 
   // --- Fault injection ---
-  void CrashServer();
+  // Kills the server process; `damage` additionally power-cuts the storage
+  // backend, wounding the un-acknowledged journal tail (recovery repairs it
+  // on restart). Volatile lease state dies either way.
+  void CrashServer(TailDamage damage = TailDamage::kClean);
   void RestartServer();
   bool ServerUp() const { return server_ != nullptr; }
   void CrashClient(size_t i);
@@ -103,6 +113,7 @@ class SimCluster {
   Simulator sim_;
   std::unique_ptr<SimNetwork> network_;
   FileStore store_;
+  std::unique_ptr<StorageBackend> storage_;  // outlives server incarnations
   DurableMeta meta_;
   Oracle oracle_;
   std::unique_ptr<TermPolicy> policy_;

@@ -30,6 +30,7 @@
 #include "src/common/ids.h"
 #include "src/common/result.h"
 #include "src/fs/dir_codec.h"
+#include "src/fs/storage.h"
 #include "src/proto/messages.h"
 
 namespace leases {
@@ -115,14 +116,52 @@ class FileStore {
   FileId root_;
 };
 
-// Tiny durable key-value record: models the server's persistent storage for
+// Durable key-value record: the server's persistent storage for
 // lease-recovery metadata. Section 2: the server "remembers the maximum term
 // for which it had granted a lease" so that after a crash it can delay
 // writes for that period. Keeping only this one number (instead of the whole
-// lease table) is the paper's recommended trade-off.
+// lease table) is the paper's recommended trade-off; the detailed
+// persistent-lease-record option stores one entry per outstanding lease.
+//
+// Default-constructed, the cache IS the store (the original in-memory
+// model). Constructed over a StorageBackend (storage.h), every mutation is
+// appended to the backend before the cache changes -- durability precedes
+// visibility -- and Reopen() rebuilds the cache by replaying whatever
+// survived a crash.
 class DurableMeta {
  public:
-  void Save(const std::string& key, int64_t value) { kv_[key] = value; }
+  DurableMeta() = default;
+  explicit DurableMeta(StorageBackend* backend) : backend_(backend) {}
+
+  // Recovery: rebuilds the cache from the backend (no-op without one).
+  // Replay order equals original append order, so the rebuilt map is
+  // exactly the pre-crash map minus any un-acknowledged tail.
+  Status Reopen() {
+    if (backend_ == nullptr) return Status::Ok();
+    kv_.clear();
+    return backend_->Replay([this](const MetaRecord& record) {
+      if (record.erase) {
+        kv_.erase(record.key);
+      } else {
+        kv_[record.key] = record.value;
+      }
+    });
+  }
+
+  // Folds the journal into one snapshot (atomic on the disk backend).
+  Status Compact() {
+    if (backend_ == nullptr) return Status::Ok();
+    return backend_->Compact(
+        std::vector<std::pair<std::string, int64_t>>(kv_.begin(), kv_.end()));
+  }
+
+  void Save(const std::string& key, int64_t value) {
+    if (backend_ != nullptr &&
+        !backend_->Append({key, value, false}).ok()) {
+      return;  // not durable => not visible; the cache must not advance
+    }
+    kv_[key] = value;
+  }
   std::optional<int64_t> Load(const std::string& key) const {
     auto it = kv_.find(key);
     if (it == kv_.end()) {
@@ -130,26 +169,36 @@ class DurableMeta {
     }
     return it->second;
   }
-  void Erase(const std::string& key) { kv_.erase(key); }
-  // Enumerates entries whose key starts with `prefix` (the detailed
-  // persistent-lease-record option needs to reload its records on restart).
+  void Erase(const std::string& key) {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return;
+    if (backend_ != nullptr && !backend_->Append({key, 0, true}).ok()) {
+      return;
+    }
+    kv_.erase(it);
+  }
+  // Enumerates entries whose key starts with `prefix`, in key order (the
+  // detailed persistent-lease-record option reloads its records on restart;
+  // sorted output keeps recovery order canonical).
   std::vector<std::pair<std::string, int64_t>> LoadPrefix(
       const std::string& prefix) const {
     std::vector<std::pair<std::string, int64_t>> out;
-    for (const auto& [key, value] : kv_) {
-      if (key.rfind(prefix, 0) == 0) {
-        out.emplace_back(key, value);
-      }
+    for (auto it = kv_.lower_bound(prefix);
+         it != kv_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      out.emplace_back(it->first, it->second);
     }
     return out;
   }
   void ErasePrefix(const std::string& prefix) {
-    for (auto it = kv_.begin(); it != kv_.end();) {
-      if (it->first.rfind(prefix, 0) == 0) {
-        it = kv_.erase(it);
-      } else {
-        ++it;
+    auto it = kv_.lower_bound(prefix);
+    while (it != kv_.end() &&
+           it->first.compare(0, prefix.size(), prefix) == 0) {
+      if (backend_ != nullptr &&
+          !backend_->Append({it->first, 0, true}).ok()) {
+        return;
       }
+      it = kv_.erase(it);
     }
   }
   // Models the extra I/O a detailed persistent lease record would take; the
@@ -157,8 +206,15 @@ class DurableMeta {
   uint64_t write_count() const { return writes_; }
   void CountWrite() { ++writes_; }
 
+  // Durability counters, null without a backend.
+  const StorageStats* storage_stats() const {
+    return backend_ != nullptr ? &backend_->stats() : nullptr;
+  }
+  bool durable() const { return backend_ != nullptr; }
+
  private:
-  std::unordered_map<std::string, int64_t> kv_;
+  StorageBackend* backend_ = nullptr;  // not owned
+  std::map<std::string, int64_t> kv_;
   uint64_t writes_ = 0;
 };
 

@@ -1,0 +1,102 @@
+// On-disk StorageBackend: an append-only, CRC-checksummed journal with
+// atomic-rename snapshot compaction and a crash-point injector.
+//
+// Layout under the data directory:
+//
+//   journal       append-only log of framed records since the last snapshot
+//   snapshot      framed records for the compacted state (atomic rename)
+//   snapshot.tmp  in-progress compaction; ignored and removed on reopen
+//
+// Record frame (all integers little-endian):
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//   payload = u8 erase | string key (u32 len + bytes) | i64 value
+//
+// Reopen semantics (Replay): a frame that does not fit in the remaining
+// bytes is a torn tail from a crashed append -- the file is truncated back
+// to the last intact record. A frame whose CRC does not match is a corrupt
+// record -- it and everything after it (a single-writer log has no valid
+// data past a mangled frame) are truncated away. Both repairs are counted
+// in StorageStats.
+//
+// The crash-point injector (ArmCrash) makes the next operation that reaches
+// the armed point perform the crash's on-disk effect -- partial frame,
+// flipped byte, unsynced bytes dropped, snapshot rename skipped -- then
+// fail WITHOUT acknowledging and leave the backend dead (every later call
+// except Replay returns kUnavailable). This models the LevelDB/SQLite-style
+// fault matrix: recovery is exercised by calling Replay, exactly as a
+// restarted process would.
+#ifndef SRC_FS_JOURNAL_H_
+#define SRC_FS_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fs/storage.h"
+
+namespace leases {
+
+// Enumerated crash points, one per distinct on-disk outcome.
+enum class CrashPoint : uint8_t {
+  kNone = 0,
+  kBeforeAppend,          // power dies before any byte of the frame lands
+  kPartialAppend,         // a prefix of the frame lands: torn tail
+  kCorruptAppend,         // the frame lands with one payload byte flipped
+  kBeforeSync,            // frame written but not fsynced: the page cache
+                          //   never reaches the platter (modeled as lost)
+  kSnapshotBeforeRename,  // snapshot.tmp fully written, crash before rename
+  kSnapshotAfterRename,   // renamed, crash before the journal truncate
+};
+
+const char* CrashPointName(CrashPoint point);
+
+class JournalBackend : public StorageBackend {
+ public:
+  explicit JournalBackend(std::string dir) : dir_(std::move(dir)) {}
+  ~JournalBackend() override;
+
+  JournalBackend(const JournalBackend&) = delete;
+  JournalBackend& operator=(const JournalBackend&) = delete;
+
+  // Creates the directory (and parents) if needed and opens the journal
+  // for appending. Does not read anything back; call Replay to recover.
+  Status Open();
+
+  Status Append(const MetaRecord& record) override;
+  Status Replay(const ReplayFn& fn) override;
+  Status Compact(
+      const std::vector<std::pair<std::string, int64_t>>& state) override;
+
+  // Damages the journal tail on disk per `damage` and goes dead, exactly
+  // like an armed crash would; Replay recovers.
+  void PowerCut(TailDamage damage) override;
+
+  const StorageStats& stats() const override { return stats_; }
+
+  // The next time execution reaches `point`, crash there. One-shot.
+  void ArmCrash(CrashPoint point) { armed_ = point; }
+  // True between a crash (armed or PowerCut) and the recovering Replay.
+  bool dead() const { return dead_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  bool Consume(CrashPoint point);  // true (and disarms) if `point` is armed
+  Status ReplayFile(const std::string& path, bool repair_tail,
+                    const ReplayFn& fn, uint64_t* delivered);
+  std::string JournalPath() const { return dir_ + "/journal"; }
+  std::string SnapshotPath() const { return dir_ + "/snapshot"; }
+  std::string SnapshotTmpPath() const { return dir_ + "/snapshot.tmp"; }
+
+  std::string dir_;
+  int journal_fd_ = -1;
+  CrashPoint armed_ = CrashPoint::kNone;
+  bool dead_ = false;
+  StorageStats stats_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_FS_JOURNAL_H_

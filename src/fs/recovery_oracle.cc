@@ -1,0 +1,56 @@
+#include "src/fs/recovery_oracle.h"
+
+#include <sstream>
+
+namespace leases {
+
+void RecoveryOracle::OnAcked(const MetaRecord& record) {
+  if (record.erase) {
+    acked_.erase(record.key);
+  } else {
+    acked_[record.key] = record.value;
+  }
+}
+
+void RecoveryOracle::OnCompacted(
+    const std::vector<std::pair<std::string, int64_t>>& state) {
+  acked_.clear();
+  for (const auto& [key, value] : state) acked_[key] = value;
+}
+
+Status RecoveryOracle::Check(StorageBackend& backend) {
+  ++checks_;
+  std::map<std::string, int64_t> recovered;
+  Status replayed = backend.Replay([&recovered](const MetaRecord& record) {
+    if (record.erase) {
+      recovered.erase(record.key);
+    } else {
+      recovered[record.key] = record.value;
+    }
+  });
+  if (!replayed.ok()) return replayed;
+
+  for (const auto& [key, value] : acked_) {
+    auto it = recovered.find(key);
+    if (it == recovered.end()) {
+      return Status(ErrorCode::kCorrupt,
+                    "committed write lost: key '" + key + "'");
+    }
+    if (it->second != value) {
+      std::ostringstream oss;
+      oss << "committed write damaged: key '" << key << "' expected "
+          << value << " got " << it->second;
+      return Status(ErrorCode::kCorrupt, oss.str());
+    }
+  }
+  for (const auto& [key, value] : recovered) {
+    (void)value;
+    if (acked_.find(key) == acked_.end()) {
+      return Status(ErrorCode::kCorrupt,
+                    "phantom record recovered: key '" + key + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace leases

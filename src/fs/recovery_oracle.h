@@ -1,0 +1,47 @@
+// RecoveryOracle: a model of what the storage plane has ACKNOWLEDGED as
+// durable, checked against what a recovering Replay actually returns.
+//
+// The crash-point matrix (tests/journal_crash_test.cc) drives a backend
+// through appends and compactions, telling the oracle about every operation
+// that returned Ok. After each injected crash it calls Check, which replays
+// the backend and verifies the paper's storage-level invariant: no
+// committed (acknowledged) write is lost, and nothing survives that was
+// never written. The protocol-level invariants -- recovered max term covers
+// every granted lease, post-restart writes delayed for the recovered term
+// -- are layered on top by the lease-server tests.
+#ifndef SRC_FS_RECOVERY_ORACLE_H_
+#define SRC_FS_RECOVERY_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fs/storage.h"
+
+namespace leases {
+
+class RecoveryOracle {
+ public:
+  // The backend acknowledged `record` (Append returned Ok).
+  void OnAcked(const MetaRecord& record);
+  // The backend acknowledged a compaction to exactly `state`.
+  void OnCompacted(const std::vector<std::pair<std::string, int64_t>>& state);
+
+  // Replays `backend` (performing its recovery) and checks that the
+  // recovered state matches the acknowledged model exactly. Returns the
+  // first violation as an error.
+  Status Check(StorageBackend& backend);
+
+  uint64_t checks() const { return checks_; }
+  const std::map<std::string, int64_t>& acked() const { return acked_; }
+
+ private:
+  std::map<std::string, int64_t> acked_;
+  uint64_t checks_ = 0;
+};
+
+}  // namespace leases
+
+#endif  // SRC_FS_RECOVERY_ORACLE_H_

@@ -1,0 +1,123 @@
+// The durable storage plane behind DurableMeta.
+//
+// A StorageBackend persists the server's recovery state -- the maximum
+// granted lease term, the boot counter, and (under persist_lease_records)
+// one record per outstanding lease -- as an ordered log of key/value
+// mutations. The contract mirrors a write-ahead journal:
+//
+//   * Append is durable-on-return: once it returns Ok the record survives
+//     any subsequent crash, so the caller may acknowledge dependent state
+//     (grant the lease, reply to the client). An Append that fails or
+//     crashes mid-way leaves an UN-acknowledged tail that recovery is free
+//     to discard.
+//   * Replay feeds every surviving record -- snapshot first, then the
+//     journal, in original append order -- to the caller, truncating torn
+//     tails and dropping corrupt records as it goes.
+//   * Compact atomically replaces the snapshot with the current state and
+//     truncates the journal (crash-safe via write-temp / fsync / rename).
+//
+// MemoryBackend is the deterministic simulation default: records live in a
+// vector that survives LeaseServer teardown, and PowerCut models the same
+// torn-tail / corrupt-record damage the on-disk JournalBackend (journal.h)
+// suffers from a real power cut, so chaos soaks exercise identical recovery
+// paths without touching the filesystem.
+#ifndef SRC_FS_STORAGE_H_
+#define SRC_FS_STORAGE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+// One durable key/value mutation. `erase` records delete the key.
+struct MetaRecord {
+  std::string key;
+  int64_t value = 0;
+  bool erase = false;
+};
+
+// Counters every backend keeps; surfaced through ServerStats and the tools.
+struct StorageStats {
+  uint64_t appends = 0;             // records durably appended (cumulative)
+  uint64_t replays = 0;             // Replay calls, i.e. recoveries performed
+  uint64_t replayed_records = 0;    // records delivered by the last Replay
+  uint64_t truncated_tails = 0;     // torn tails discarded on replay
+  uint64_t corrupt_dropped = 0;     // bad-CRC records discarded on replay
+  uint64_t compactions = 0;         // snapshot rewrites
+  Duration last_replay_time;        // wall time spent in the last Replay
+};
+
+// What a power cut does to the un-acknowledged tail of the journal. Because
+// Append is durable-on-return, only a record the caller was never told about
+// can be damaged -- recovery discards it without losing committed state.
+enum class TailDamage : uint8_t {
+  kClean = 0,    // power died between appends; the log is intact
+  kTorn = 1,     // a partial frame landed (length prefix without payload)
+  kCorrupt = 2,  // a full frame landed with a mangled payload (CRC mismatch)
+};
+
+class StorageBackend {
+ public:
+  using ReplayFn = std::function<void(const MetaRecord&)>;
+
+  virtual ~StorageBackend() = default;
+
+  // Durably appends one mutation; Ok is the acknowledgement point.
+  virtual Status Append(const MetaRecord& record) = 0;
+
+  // Recovery: re-reads everything that survived (resetting any PowerCut or
+  // injected-crash deadness first) and feeds each surviving record to `fn`
+  // in append order. Damage encountered at the tail is repaired in place --
+  // torn frames are truncated, corrupt records dropped -- and counted.
+  virtual Status Replay(const ReplayFn& fn) = 0;
+
+  // Atomically replaces the snapshot with `state` and empties the journal.
+  virtual Status Compact(
+      const std::vector<std::pair<std::string, int64_t>>& state) = 0;
+
+  // Simulates losing power: volatile state is gone, the un-acknowledged
+  // tail is damaged per `damage`, and every call except Replay fails until
+  // Replay performs recovery.
+  virtual void PowerCut(TailDamage damage) = 0;
+
+  virtual const StorageStats& stats() const = 0;
+};
+
+// CRC-32 (IEEE 802.3, reflected) over `len` bytes; the journal checksums
+// every record payload with this.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+// Deterministic in-memory backend: the simulation default. The record vector
+// plays the role of the platter -- it outlives any one LeaseServer
+// incarnation inside SimCluster -- while PowerCut/Replay model exactly the
+// tail-damage semantics of the on-disk journal.
+class MemoryBackend : public StorageBackend {
+ public:
+  Status Append(const MetaRecord& record) override;
+  Status Replay(const ReplayFn& fn) override;
+  Status Compact(
+      const std::vector<std::pair<std::string, int64_t>>& state) override;
+  void PowerCut(TailDamage damage) override;
+  const StorageStats& stats() const override { return stats_; }
+
+ private:
+  struct StoredRecord {
+    MetaRecord record;
+    TailDamage damage = TailDamage::kClean;  // non-clean: dropped on replay
+  };
+
+  std::vector<std::pair<std::string, int64_t>> snapshot_;
+  std::vector<StoredRecord> journal_;
+  bool dead_ = false;  // between PowerCut and the recovering Replay
+  StorageStats stats_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_FS_STORAGE_H_

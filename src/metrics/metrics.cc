@@ -71,4 +71,59 @@ std::string Histogram::Summary() const {
   return buf;
 }
 
+void CounterBag::Add(const std::string& name, uint64_t delta) {
+  for (auto& [key, value] : counters_) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  counters_.emplace_back(name, delta);
+}
+
+void CounterBag::Set(const std::string& name, uint64_t value) {
+  for (auto& [key, existing] : counters_) {
+    if (key == name) {
+      existing = value;
+      return;
+    }
+  }
+  counters_.emplace_back(name, value);
+}
+
+uint64_t CounterBag::Get(const std::string& name) const {
+  for (const auto& [key, value] : counters_) {
+    if (key == name) {
+      return value;
+    }
+  }
+  return 0;
+}
+
+bool CounterBag::Has(const std::string& name) const {
+  for (const auto& [key, value] : counters_) {
+    (void)value;
+    if (key == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CounterBag::Summary(bool include_zero) const {
+  std::string out;
+  for (const auto& [key, value] : counters_) {
+    if (value == 0 && !include_zero) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += key;
+    out += '=';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
 }  // namespace leases

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/time.h"
@@ -47,6 +48,29 @@ class Histogram {
   double min_ = 0;
   double max_ = 0;
   std::vector<uint64_t> buckets_;
+};
+
+// Ordered named counters. The durability/recovery plane reports through one
+// of these so tools and benches print a consistent one-line block
+// (insertion order is preserved; Summary skips zero counters by default,
+// keeping quiet runs quiet).
+class CounterBag {
+ public:
+  // Adds `delta` to `name`, creating it (in insertion order) on first use.
+  void Add(const std::string& name, uint64_t delta = 1);
+  // Overwrites `name` (creating it on first use).
+  void Set(const std::string& name, uint64_t value);
+  // 0 for names never touched.
+  uint64_t Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  size_t size() const { return counters_.size(); }
+
+  // "a=1 b=2" in insertion order; `include_zero` keeps untouched-but-Set(0)
+  // entries. Empty string when nothing qualifies.
+  std::string Summary(bool include_zero = false) const;
+
+ private:
+  std::vector<std::pair<std::string, uint64_t>> counters_;
 };
 
 // Welford mean/variance accumulator for steady-rate estimates.

@@ -11,8 +11,8 @@
 // All randomness comes from a private deterministic Rng seeded via
 // TransportFaults::seed: the sequence of fault decisions is a pure function
 // of the sequence of sends, independent of wall-clock timing. The
-// deterministic `drop_every_nth` counter mode subsumes the old
-// UdpTransport::set_drop_every_nth test hook (kept there as a compat shim).
+// deterministic `drop_every_nth` counter mode replaces the old
+// UdpTransport::set_drop_every_nth test hook (now removed).
 //
 // Thread safety: Send/Multicast and every setter may be called from any
 // thread (the decorator takes an internal mutex); the inner transport must

@@ -4,6 +4,7 @@
 #include <future>
 
 #include "src/common/check.h"
+#include "src/fs/journal.h"
 
 namespace leases {
 namespace {
@@ -50,7 +51,26 @@ RuntimeServer::RuntimeServer(NodeId id, ServerParams params, Duration term)
 
 RuntimeServer::~RuntimeServer() { Stop(); }
 
-Status RuntimeServer::Start(uint16_t port) {
+Status RuntimeServer::Start(uint16_t port) { return StartInternal(port); }
+
+Status RuntimeServer::Start(const std::string& data_dir, uint16_t port) {
+  auto journal = std::make_unique<JournalBackend>(data_dir);
+  Status opened = journal->Open();
+  if (!opened.ok()) {
+    return opened;
+  }
+  storage_ = std::move(journal);
+  meta_ = DurableMeta(storage_.get());
+  // Replay IS recovery: the rebuilt max term / boot count make the new
+  // server delay writes for the previous incarnation's grant window.
+  Status replayed = meta_.Reopen();
+  if (!replayed.ok()) {
+    return replayed;
+  }
+  return StartInternal(port);
+}
+
+Status RuntimeServer::StartInternal(uint16_t port) {
   loop_ = std::make_unique<EventLoop>();
   transport_ = std::make_unique<UdpTransport>(id_, loop_.get(), nullptr);
   Status started = transport_->Start(port);

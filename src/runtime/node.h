@@ -28,6 +28,11 @@ class RuntimeServer {
   ~RuntimeServer();
 
   Status Start(uint16_t port = 0);
+  // Durable variant: recovery state (max term, boot count, optional lease
+  // records) is journaled under `data_dir` and replayed before the server
+  // starts serving, so a restarted process honors the previous incarnation's
+  // grants. The directory is created if missing.
+  Status Start(const std::string& data_dir, uint16_t port = 0);
   void Stop();
 
   uint16_t port() const { return transport_->port(); }
@@ -46,9 +51,14 @@ class RuntimeServer {
   FaultInjectingTransport& faults() { return *faulty_; }
 
  private:
+  Status StartInternal(uint16_t port);
+
   NodeId id_;
   ServerParams params_;
   FileStore store_;
+  // Set only by the durable Start overload; meta_ journals through it and
+  // must be destroyed first (declaration order keeps the backend alive).
+  std::unique_ptr<StorageBackend> storage_;
   DurableMeta meta_;
   SystemClock clock_;
   std::unique_ptr<TermPolicy> policy_;

@@ -112,10 +112,6 @@ void UdpTransport::SendFrame(NodeId dst, MessageClass /*cls*/,
     }
     port = it->second;
   }
-  uint32_t nth = drop_every_nth_.load();
-  if (nth > 0 && ++send_counter_ % nth == 0) {
-    return;  // injected loss
-  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

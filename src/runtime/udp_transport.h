@@ -57,12 +57,6 @@ class UdpTransport : public Transport {
   void Multicast(std::span<const NodeId> dst, MessageClass cls,
                  Packet packet) override;
 
-  // Deprecated compat shim: counter-based datagram dropping. New code should
-  // wrap the transport in a FaultInjectingTransport (src/net/faulty_transport.h)
-  // and use its set_drop_every_nth / SetFaults instead -- the decorator adds
-  // loss, duplication, delay and partition semantics shared with the sim.
-  void set_drop_every_nth(uint32_t n) { drop_every_nth_ = n; }
-
   NodeMessageStats stats() const;
 
  private:
@@ -103,8 +97,6 @@ class UdpTransport : public Transport {
   mutable std::mutex mu_;
   std::unordered_map<NodeId, uint16_t> peers_;
   NodeMessageStats stats_;
-  std::atomic<uint32_t> drop_every_nth_{0};
-  std::atomic<uint32_t> send_counter_{0};
 
   // Scratch frame for the typed send path; its capacity persists across
   // sends. Guarded by its own mutex so encoding does not hold up AddPeer

@@ -92,6 +92,20 @@ class ChaosRun {
     report.trace = std::move(trace_);
     report.sim_time = sim.Now() - start;
     report.hit_time_cap = !Finished() && sim.Now() >= cap;
+    if (cluster_->ServerUp()) {  // quiesce restarts it; belt and braces
+      const ServerStats& s = cluster_->server().stats();
+      report.journal_appends = s.journal_appends;
+      report.journal_replays = s.journal_replays;
+      report.journal_truncated_tails = s.journal_truncated_tails;
+      report.journal_corrupt_dropped = s.journal_corrupt_dropped;
+      report.recovery_shed_writes = s.recovery_shed_writes;
+    }
+    for (size_t i = 0; i < options_.num_clients; ++i) {
+      if (cluster_->ClientUp(i)) {
+        report.unavailable_retries +=
+            cluster_->client(i).stats().unavailable_retries;
+      }
+    }
     return report;
   }
 
@@ -153,6 +167,17 @@ class ChaosRun {
             cluster_->client_clock(target).SetModel(ClockModel::Perfect());
             Note("drift-end", target, 0, 0);
           });
+        }
+        break;
+      case FaultOp::kStorage:
+        // Power cut: the server process dies AND the storage plane takes
+        // tail damage that the restart's replay must repair. Damage only
+        // ever lands on the un-acknowledged tail, so the oracle still
+        // demands zero violations through these.
+        if (cluster_->ServerUp()) {
+          cluster_->CrashServer(ev.mode == 1   ? TailDamage::kTorn
+                                : ev.mode == 2 ? TailDamage::kCorrupt
+                                               : TailDamage::kClean);
         }
         break;
     }

@@ -64,6 +64,15 @@ struct ChaosReport {
   std::vector<std::string> trace;  // only when collect_trace
   Duration sim_time;
   bool hit_time_cap = false;
+
+  // Durability-plane counters from the final server incarnation's stats
+  // (cumulative across the run; the storage backend outlives crashes).
+  uint64_t journal_appends = 0;
+  uint64_t journal_replays = 0;
+  uint64_t journal_truncated_tails = 0;
+  uint64_t journal_corrupt_dropped = 0;
+  uint64_t recovery_shed_writes = 0;
+  uint64_t unavailable_retries = 0;  // summed over surviving clients
 };
 
 // Runs one soak to completion. Deterministic per options.

@@ -88,5 +88,33 @@ TEST(SeriesTableTest, PrintAlignsColumns) {
   EXPECT_NE(out.find("0.105"), std::string::npos);
 }
 
+TEST(CounterBagTest, AddSetGetAndInsertionOrder) {
+  CounterBag bag;
+  bag.Add("replays");
+  bag.Add("replays", 2);
+  bag.Set("appends", 10);
+  bag.Set("appends", 7);  // Set overwrites, Add accumulates
+  bag.Add("compactions", 0);
+  EXPECT_EQ(bag.Get("replays"), 3u);
+  EXPECT_EQ(bag.Get("appends"), 7u);
+  EXPECT_EQ(bag.Get("never-touched"), 0u);
+  EXPECT_TRUE(bag.Has("compactions"));
+  EXPECT_FALSE(bag.Has("never-touched"));
+  EXPECT_EQ(bag.size(), 3u);
+  // Insertion order, zeros skipped by default.
+  EXPECT_EQ(bag.Summary(), "replays=3 appends=7");
+  EXPECT_EQ(bag.Summary(/*include_zero=*/true),
+            "replays=3 appends=7 compactions=0");
+}
+
+TEST(CounterBagTest, EmptyBagSummarizesToNothing) {
+  CounterBag bag;
+  EXPECT_EQ(bag.size(), 0u);
+  EXPECT_EQ(bag.Summary(), "");
+  bag.Set("only-zero", 0);
+  EXPECT_EQ(bag.Summary(), "");
+  EXPECT_EQ(bag.Summary(true), "only-zero=0");
+}
+
 }  // namespace
 }  // namespace leases

@@ -104,6 +104,51 @@ TEST(PersistedLeasesTest, CostsOneDurableWritePerGrant) {
   }
 }
 
+TEST(RecoveryShedTest, ShedWritesRetryWithBackoffAndEventuallyCommit) {
+  // Force the recovering server to shed EVERY queued write with
+  // kUnavailable (queue limit 0): the client must degrade gracefully --
+  // jittered exponential backoff, not a hot retry loop -- and the write
+  // still commits once the recovery window (5 s) closes.
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 2);
+  options.server.recovery_queue_limit = 0;
+  options.client.max_retries = 8;
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+  ASSERT_TRUE(cluster.server().InRecovery());
+
+  TimePoint start = cluster.sim().Now();
+  Result<WriteResult> w =
+      cluster.SyncWrite(1, file, Bytes("v2"), Duration::Seconds(60));
+  ASSERT_TRUE(w.ok());
+  // The write landed only after recovery ended, via kUnavailable retries.
+  EXPECT_GT(cluster.sim().Now() - start, Duration::Seconds(3));
+  EXPECT_GT(cluster.server().stats().recovery_shed_writes, 0u);
+  EXPECT_GT(cluster.client(1).stats().unavailable_retries, 0u);
+  EXPECT_EQ(cluster.client(1).stats().writes_failed, 0u);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(RecoveryShedTest, QueueWithinLimitNeverSheds) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 2);
+  SimCluster cluster(options);  // default limit: far above 2 clients
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+  ASSERT_TRUE(
+      cluster.SyncWrite(1, file, Bytes("v2"), Duration::Seconds(60)).ok());
+  EXPECT_EQ(cluster.server().stats().recovery_shed_writes, 0u);
+  EXPECT_EQ(cluster.client(1).stats().unavailable_retries, 0u);
+  EXPECT_GT(cluster.server().stats().recovery_held_writes, 0u);
+}
+
 TEST(CacheEvictionTest, CapacityEnforcedLruVictim) {
   ClusterOptions options = MakeVClusterOptions(Duration::Seconds(30), 1);
   options.client.max_cached_files = 3;

@@ -1,7 +1,10 @@
 // The lease protocol over real UDP sockets and real timers: the same state
 // machines as the simulation, on the localhost runtime.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <filesystem>
 #include <string>
 
 #include "src/runtime/node.h"
@@ -145,6 +148,65 @@ TEST(RuntimeMultiClient, SharedWriteInvalidatesOtherClient) {
   a.Stop();
   b.Stop();
   server.Stop();
+}
+
+TEST(RuntimeDurability, RestartedServerRecoversGrantWindowFromDataDir) {
+  const std::string dir =
+      "leases_runtime_durable." + std::to_string(::getpid()) + ".tmp";
+  std::filesystem::remove_all(dir);
+  ClientParams client_params;
+  client_params.transit_allowance = Duration::Millis(50);
+  client_params.epsilon = Duration::Millis(50);
+
+  // First incarnation journals its recovery state under `dir`; a client
+  // read leaves a 1 s lease granted.
+  {
+    RuntimeServer server(NodeId(1), ServerParams{}, Duration::Seconds(1));
+    FileId file = *server.store().CreatePath("/data/hello",
+                                             FileClass::kNormal, B("v1"));
+    ASSERT_TRUE(server.Start(dir).ok());
+    RuntimeClient client(NodeId(2), NodeId(1), server.store().root(),
+                         client_params);
+    ASSERT_TRUE(client.Start(server.port()).ok());
+    server.AddPeer(NodeId(2), client.port());
+    ASSERT_TRUE(client.Read(file).ok());
+    EXPECT_EQ(server.stats().recoveries, 0u);  // fresh boot, nothing durable
+    EXPECT_GT(server.stats().journal_appends, 0u);
+    client.Stop();
+    server.Stop();
+    // The server process dies here; only `dir` survives.
+  }
+
+  // Second incarnation over the same directory: it must find the durable
+  // state, advance the boot counter, and hold writes for the granted term.
+  RuntimeServer reborn(NodeId(1), ServerParams{}, Duration::Seconds(1));
+  FileId file = *reborn.store().CreatePath("/data/hello", FileClass::kNormal,
+                                           B("v1"));
+  ASSERT_TRUE(reborn.Start(dir).ok());
+  ServerStats stats = reborn.stats();
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.recovery_window, Duration::Seconds(1));
+  EXPECT_GE(stats.journal_replays, 1u);
+  EXPECT_GT(stats.journal_replayed_records, 0u);
+  bool in_recovery = false;
+  reborn.WithServer(
+      [&](LeaseServer& s) { in_recovery = s.InRecovery(); });
+  EXPECT_TRUE(in_recovery);
+
+  // A write during the window is held, not lost: it commits once the
+  // pre-crash grant has provably expired.
+  RuntimeClient client(NodeId(2), NodeId(1), reborn.store().root(),
+                       client_params);
+  ASSERT_TRUE(client.Start(reborn.port()).ok());
+  reborn.AddPeer(NodeId(2), client.port());
+  auto begin = std::chrono::steady_clock::now();
+  Result<WriteResult> w = client.Write(file, B("v2"), Duration::Seconds(10));
+  ASSERT_TRUE(w.ok()) << w.error().ToString();
+  EXPECT_GT(std::chrono::steady_clock::now() - begin,
+            std::chrono::milliseconds(200));
+  client.Stop();
+  reborn.Stop();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

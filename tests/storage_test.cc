@@ -1,0 +1,278 @@
+// Unit tests for the durable storage plane (src/fs/storage.h, journal.h):
+// CRC framing, the deterministic MemoryBackend, DurableMeta over a backend,
+// and the on-disk JournalBackend's reopen repairs (torn tail, corrupt
+// record, aborted compaction). Crash-point injection is exercised by the
+// matrix in journal_crash_test.cc.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/fs/file_store.h"
+#include "src/fs/journal.h"
+#include "src/fs/storage.h"
+
+namespace leases {
+namespace {
+
+// Fresh scratch directory under CWD, removed on scope exit.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag)
+      : path_("leases_" + tag + "." + std::to_string(::getpid()) + ".tmp") {
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<MetaRecord> Drain(StorageBackend& backend) {
+  std::vector<MetaRecord> out;
+  EXPECT_TRUE(
+      backend.Replay([&out](const MetaRecord& r) { out.push_back(r); }).ok());
+  return out;
+}
+
+uint64_t FileSize(const std::string& path) {
+  std::error_code ec;
+  auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(reinterpret_cast<const uint8_t*>(check.data()),
+                  check.size()),
+            0xCBF43926u);  // the classic CRC-32/IEEE check value
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+  // Any bit flip must move the checksum.
+  std::string flipped = check;
+  flipped[4] ^= 0x01;
+  EXPECT_NE(Crc32(reinterpret_cast<const uint8_t*>(flipped.data()),
+                  flipped.size()),
+            0xCBF43926u);
+}
+
+TEST(MemoryBackendTest, AppendReplayRoundTrip) {
+  MemoryBackend backend;
+  ASSERT_TRUE(backend.Append({"a", 1, false}).ok());
+  ASSERT_TRUE(backend.Append({"b", 2, false}).ok());
+  ASSERT_TRUE(backend.Append({"a", 0, true}).ok());
+  std::vector<MetaRecord> records = Drain(backend);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[2].erase, true);
+  EXPECT_EQ(backend.stats().appends, 3u);
+  EXPECT_EQ(backend.stats().replays, 1u);
+  EXPECT_EQ(backend.stats().replayed_records, 3u);
+}
+
+TEST(MemoryBackendTest, CompactReplacesHistory) {
+  MemoryBackend backend;
+  ASSERT_TRUE(backend.Append({"a", 1, false}).ok());
+  ASSERT_TRUE(backend.Append({"a", 2, false}).ok());
+  ASSERT_TRUE(backend.Compact({{"a", 2}}).ok());
+  ASSERT_TRUE(backend.Append({"b", 3, false}).ok());
+  std::vector<MetaRecord> records = Drain(backend);
+  ASSERT_EQ(records.size(), 2u);  // snapshot entry + post-compaction append
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[0].value, 2);
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(backend.stats().compactions, 1u);
+}
+
+TEST(MemoryBackendTest, PowerCutDamagesOnlyTheTail) {
+  for (TailDamage damage : {TailDamage::kTorn, TailDamage::kCorrupt}) {
+    MemoryBackend backend;
+    ASSERT_TRUE(backend.Append({"committed", 7, false}).ok());
+    backend.PowerCut(damage);
+    // Dead until recovery: appends fail un-acknowledged.
+    EXPECT_FALSE(backend.Append({"lost", 8, false}).ok());
+    std::vector<MetaRecord> records = Drain(backend);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].key, "committed");
+    const StorageStats& stats = backend.stats();
+    EXPECT_EQ(stats.truncated_tails + stats.corrupt_dropped, 1u);
+    // Recovered: appends work again.
+    EXPECT_TRUE(backend.Append({"after", 9, false}).ok());
+  }
+}
+
+TEST(MemoryBackendTest, CleanPowerCutLosesNothing) {
+  MemoryBackend backend;
+  ASSERT_TRUE(backend.Append({"a", 1, false}).ok());
+  backend.PowerCut(TailDamage::kClean);
+  EXPECT_EQ(Drain(backend).size(), 1u);
+  EXPECT_EQ(backend.stats().truncated_tails, 0u);
+  EXPECT_EQ(backend.stats().corrupt_dropped, 0u);
+}
+
+TEST(DurableMetaTest, DefaultStaysInMemory) {
+  DurableMeta meta;
+  EXPECT_FALSE(meta.durable());
+  EXPECT_EQ(meta.storage_stats(), nullptr);
+  meta.Save("k", 42);
+  EXPECT_EQ(meta.Load("k").value_or(0), 42);
+  EXPECT_TRUE(meta.Reopen().ok());   // no-op without a backend
+  EXPECT_TRUE(meta.Compact().ok());  // ditto
+  EXPECT_EQ(meta.Load("k").value_or(0), 42);
+}
+
+TEST(DurableMetaTest, ReopenRebuildsFromBackend) {
+  MemoryBackend backend;
+  DurableMeta meta(&backend);
+  meta.Save("max_term_us", 10'000'000);
+  meta.Save("boot_count", 1);
+  meta.Save("boot_count", 2);
+  meta.Erase("max_term_us");
+  meta.Save("lease/1", 5);
+
+  DurableMeta reborn(&backend);
+  ASSERT_TRUE(reborn.Reopen().ok());
+  EXPECT_FALSE(reborn.Load("max_term_us").has_value());
+  EXPECT_EQ(reborn.Load("boot_count").value_or(0), 2);
+  EXPECT_EQ(reborn.Load("lease/1").value_or(0), 5);
+}
+
+TEST(DurableMetaTest, PrefixOpsJournalPerKey) {
+  MemoryBackend backend;
+  DurableMeta meta(&backend);
+  meta.Save("lease/2", 2);
+  meta.Save("lease/1", 1);
+  meta.Save("other", 9);
+
+  // Sorted enumeration regardless of insertion order.
+  auto leases = meta.LoadPrefix("lease/");
+  ASSERT_EQ(leases.size(), 2u);
+  EXPECT_EQ(leases[0].first, "lease/1");
+  EXPECT_EQ(leases[1].first, "lease/2");
+
+  meta.ErasePrefix("lease/");
+  EXPECT_TRUE(meta.LoadPrefix("lease/").empty());
+  EXPECT_EQ(meta.Load("other").value_or(0), 9);
+
+  // The erases were journaled: a replayed meta agrees.
+  DurableMeta reborn(&backend);
+  ASSERT_TRUE(reborn.Reopen().ok());
+  EXPECT_TRUE(reborn.LoadPrefix("lease/").empty());
+  EXPECT_EQ(reborn.Load("other").value_or(0), 9);
+}
+
+TEST(DurableMetaTest, CompactFoldsJournal) {
+  MemoryBackend backend;
+  DurableMeta meta(&backend);
+  for (int i = 0; i < 10; ++i) {
+    meta.Save("k", i);
+  }
+  ASSERT_TRUE(meta.Compact().ok());
+  DurableMeta reborn(&backend);
+  ASSERT_TRUE(reborn.Reopen().ok());
+  EXPECT_EQ(reborn.Load("k").value_or(-1), 9);
+  EXPECT_EQ(backend.stats().replayed_records, 1u);  // one snapshot entry
+}
+
+TEST(JournalBackendTest, PersistsAcrossBackendObjects) {
+  ScratchDir dir("journal_roundtrip");
+  {
+    JournalBackend journal(dir.path());
+    ASSERT_TRUE(journal.Open().ok());
+    ASSERT_TRUE(journal.Append({"a", 1, false}).ok());
+    ASSERT_TRUE(journal.Append({"key with spaces", -7, false}).ok());
+    ASSERT_TRUE(journal.Append({"a", 0, true}).ok());
+  }
+  JournalBackend reopened(dir.path());
+  ASSERT_TRUE(reopened.Open().ok());
+  std::vector<MetaRecord> records = Drain(reopened);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].key, "key with spaces");
+  EXPECT_EQ(records[1].value, -7);
+  EXPECT_TRUE(records[2].erase);
+  EXPECT_EQ(reopened.stats().truncated_tails, 0u);
+  EXPECT_EQ(reopened.stats().corrupt_dropped, 0u);
+}
+
+TEST(JournalBackendTest, TornTailTruncatedOnReplay) {
+  ScratchDir dir("journal_torn");
+  JournalBackend journal(dir.path());
+  ASSERT_TRUE(journal.Open().ok());
+  ASSERT_TRUE(journal.Append({"committed", 1, false}).ok());
+  uint64_t intact_size = FileSize(dir.path() + "/journal");
+  journal.PowerCut(TailDamage::kTorn);
+  EXPECT_TRUE(journal.dead());
+  EXPECT_GT(FileSize(dir.path() + "/journal"), intact_size);
+
+  std::vector<MetaRecord> records = Drain(journal);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "committed");
+  EXPECT_EQ(journal.stats().truncated_tails, 1u);
+  EXPECT_FALSE(journal.dead());
+  // The repair is durable: the file shrank back to the intact prefix.
+  EXPECT_EQ(FileSize(dir.path() + "/journal"), intact_size);
+}
+
+TEST(JournalBackendTest, CorruptRecordDroppedOnReplay) {
+  ScratchDir dir("journal_corrupt");
+  JournalBackend journal(dir.path());
+  ASSERT_TRUE(journal.Open().ok());
+  ASSERT_TRUE(journal.Append({"committed", 1, false}).ok());
+  journal.PowerCut(TailDamage::kCorrupt);
+
+  std::vector<MetaRecord> records = Drain(journal);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "committed");
+  EXPECT_EQ(journal.stats().corrupt_dropped, 1u);
+}
+
+TEST(JournalBackendTest, CompactionIsAtomicAndAbortedTmpIgnored) {
+  ScratchDir dir("journal_compact");
+  JournalBackend journal(dir.path());
+  ASSERT_TRUE(journal.Open().ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(journal.Append({"k", i, false}).ok());
+  }
+  ASSERT_TRUE(journal.Compact({{"k", 4}}).ok());
+  EXPECT_EQ(FileSize(dir.path() + "/journal"), 0u);
+  ASSERT_TRUE(journal.Append({"post", 9, false}).ok());
+
+  // A stray snapshot.tmp (aborted compaction from a crashed process) must
+  // be ignored and removed by reopen.
+  {
+    std::ofstream tmp(dir.path() + "/snapshot.tmp", std::ios::binary);
+    tmp << "garbage from a crashed compaction";
+  }
+  JournalBackend reopened(dir.path());
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/snapshot.tmp"));
+  std::vector<MetaRecord> records = Drain(reopened);
+  ASSERT_EQ(records.size(), 2u);  // snapshot "k"=4, then "post"
+  EXPECT_EQ(records[0].value, 4);
+  EXPECT_EQ(records[1].key, "post");
+}
+
+TEST(JournalBackendTest, DurableMetaOverJournalSurvivesProcessRestart) {
+  ScratchDir dir("journal_meta");
+  {
+    JournalBackend journal(dir.path());
+    ASSERT_TRUE(journal.Open().ok());
+    DurableMeta meta(&journal);
+    ASSERT_TRUE(meta.Reopen().ok());
+    meta.Save("max_term_us", 10'000'000);
+    meta.Save("boot_count", 1);
+  }
+  JournalBackend journal(dir.path());
+  ASSERT_TRUE(journal.Open().ok());
+  DurableMeta meta(&journal);
+  ASSERT_TRUE(meta.Reopen().ok());
+  EXPECT_EQ(meta.Load("max_term_us").value_or(0), 10'000'000);
+  EXPECT_EQ(meta.Load("boot_count").value_or(0), 1);
+}
+
+}  // namespace
+}  // namespace leases

@@ -8,6 +8,8 @@
 //   leases_chaos --runs 20 --seed 1              # 20 seeds, 10x2000 ops each
 //   leases_chaos --seed 7 --ops 10000 --trace    # one soak, print the trace
 //   leases_chaos --plan "@1.000000 crash-server;@3.000000 restart-server"
+//   leases_chaos --storage --seed 3              # plans include power cuts
+//                                                # with journal tail damage
 //   leases_chaos --smoke                         # bounded CI self-check
 //
 // On a violation the tool greedily minimizes the failing plan and prints a
@@ -17,6 +19,7 @@
 #include <string>
 
 #include "src/common/logging.h"
+#include "src/metrics/metrics.h"
 #include "src/workload/chaos_harness.h"
 #include "tools/flags.h"
 
@@ -38,6 +41,7 @@ ChaosOptions OptionsFromFlags(const Flags& flags) {
   options.burst = flags.GetDouble("burst", 0.0);
   options.random_plan = !flags.GetBool("no-plan", false);
   options.collect_trace = flags.GetBool("trace", false);
+  options.plan_options.allow_storage_fault = flags.GetBool("storage", false);
   return options;
 }
 
@@ -56,6 +60,20 @@ void PrintReport(const ChaosOptions& options, const ChaosReport& report) {
       report.sim_time.ToSeconds());
   if (!report.plan_line.empty()) {
     std::printf("  plan: %s\n", report.plan_line.c_str());
+  }
+  // Durability plane: only chatty when storage actually did something
+  // (recoveries, tail repairs, shed writes) -- zero counters stay silent.
+  CounterBag storage;
+  storage.Set("journal_appends", report.journal_appends);
+  storage.Set("journal_replays", report.journal_replays);
+  storage.Set("truncated_tails", report.journal_truncated_tails);
+  storage.Set("corrupt_dropped", report.journal_corrupt_dropped);
+  storage.Set("shed_writes", report.recovery_shed_writes);
+  storage.Set("unavailable_retries", report.unavailable_retries);
+  // The cluster's initial Reopen counts as one replay; anything beyond it
+  // is a real crash recovery.
+  if (report.journal_replays > 1) {
+    std::printf("  storage: %s\n", storage.Summary().c_str());
   }
   if (report.hit_time_cap) {
     std::printf("  WARNING: hit simulated-time cap before all ops drained\n");
@@ -122,6 +140,31 @@ int RunSmoke() {
   }
   std::printf("smoke ok: replay digest stable 0x%016llx\n",
               static_cast<unsigned long long>(a.digest));
+
+  // Storage-fault pass: plans may now power-cut the server with journal
+  // tail damage; recovery replays from the (in-memory) journal and the
+  // oracle still demands zero violations. Fresh seeds so the pinned
+  // digests above are untouched.
+  options.plan_options.allow_storage_fault = true;
+  for (uint64_t seed : {3ULL, 21ULL}) {
+    options.seed = seed;
+    int rc = RunOne(options);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  options.seed = 21;
+  ChaosReport c = RunChaos(options);
+  ChaosReport d = RunChaos(options);
+  if (c.digest != d.digest || c.plan_line != d.plan_line) {
+    std::printf(
+        "SMOKE FAIL: storage seed diverged (0x%016llx vs 0x%016llx)\n",
+        static_cast<unsigned long long>(c.digest),
+        static_cast<unsigned long long>(d.digest));
+    return 1;
+  }
+  std::printf("smoke ok: storage-fault digest stable 0x%016llx\n",
+              static_cast<unsigned long long>(c.digest));
   return 0;
 }
 
@@ -136,7 +179,7 @@ int Run(int argc, char** argv) {
         "                    [--files n] [--term s] [--rate ops/s]\n"
         "                    [--write_fraction f] [--loss p] [--dup p]\n"
         "                    [--reorder p] [--burst p] [--plan \"...\"]\n"
-        "                    [--no-plan] [--trace] [--smoke]\n");
+        "                    [--no-plan] [--storage] [--trace] [--smoke]\n");
     return 0;
   }
   if (flags.Has("log")) {

@@ -32,10 +32,11 @@ if ! "$cxx" "$probe_flag" -o "$probe_dir/probe" "$probe_dir/probe.cc" \
 fi
 
 # The sanitizer-relevant surface: the allocation-free scheduler, the typed
-# message fast path + pooled buffers, and the codec the conformance mode
-# leans on.
+# message fast path + pooled buffers, the codec the conformance mode leans
+# on, and the durable storage plane (raw-fd journal I/O plus the crash-point
+# matrix, which ASan checks for leaks/overflows across injected crashes).
 targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
-         runtime_test event_loop_test)
+         runtime_test event_loop_test storage_test journal_crash_test)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
@@ -47,7 +48,8 @@ for t in "${targets[@]}"; do
   "build-$preset/tests/$t"
 done
 # The chaos smoke drives full clusters through duplication/reorder/burst
-# faults and random plans -- the best sanitizer bait in the tree.
+# faults and random plans -- the best sanitizer bait in the tree. Its
+# storage pass additionally power-cuts servers with journal tail damage.
 echo "=== $preset: leases_chaos --smoke ==="
 "build-$preset/tools/leases_chaos" --smoke
 echo "$preset tier: ${#targets[@]} test binaries + chaos smoke clean"
