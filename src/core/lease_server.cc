@@ -60,7 +60,9 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
         RememberClient(NodeId(node_value));
         ++stats_.recovered_lease_records;
       } else {
-        meta_->Erase(record);
+        // Already expired: drop the record. A failed erase keeps a lapsed
+        // lease on disk, which recovery honours needlessly but safely.
+        (void)meta_->Erase(record);
       }
     }
     if (std::optional<int64_t> us = meta_->Load(kMaxTermKey)) {
@@ -85,7 +87,14 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
   // count as a false approval, committing a write while a live lease still
   // covers stale data.
   int64_t boot = meta_->Load(kBootCountKey).value_or(0) + 1;
-  meta_->Save(kBootCountKey, boot);
+  if (!meta_->Save(kBootCountKey, boot).ok()) {
+    // The counter never reached the disk, so a later incarnation would
+    // recover the old value and reuse this one's seq range -- exactly the
+    // false-approval hazard the counter exists to prevent. Serving without
+    // it is unsafe: halt (drop every packet, as if the boot had failed).
+    halted_ = true;
+    LEASES_ERROR("server %u: boot counter not durable; halting", id_.value());
+  }
   next_write_seq_ = static_cast<uint64_t>(boot) << 32;
   // boot > 1 means a previous incarnation's durable state was recovered
   // (from the journal, when the meta store is backend-backed).
@@ -94,7 +103,7 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
   }
   RefreshDurabilityStats();
 
-  if (params_.installed_optimization) {
+  if (params_.installed_optimization && !halted_) {
     installed_timer_ = timers_->ScheduleAfter(
         params_.installed_multicast_period,
         [this]() { InstalledMulticastTick(); });
@@ -137,6 +146,11 @@ void LeaseServer::HandleTyped(NodeId from, MessageClass /*cls*/,
 }
 
 void LeaseServer::DispatchPacket(NodeId from, const Packet& packet) {
+  if (halted_) {
+    // Boot failed to persist its counter: acknowledging anything could
+    // violate recovery invariants, so behave exactly like a down server.
+    return;
+  }
   RememberClient(from);
   if (const auto* read = std::get_if<ReadRequest>(&packet)) {
     OnReadRequest(from, *read);
@@ -269,30 +283,49 @@ LeaseGrant LeaseServer::GrantFor(NodeId from, const FileRecord& rec) {
     ++stats_.zero_term_grants;
     return LeaseGrant{key, Duration::Zero()};
   }
-  table_.Grant(key, from, now + term);
+  // Durability precedes visibility: the recovery record (the max term, and
+  // under persist_lease_records the per-lease entry) must be on disk before
+  // the grant is acknowledged. On an append failure the read is still
+  // served, but with a zero-term grant -- no caching rights are handed out
+  // that a recovered server might not honour.
+  if (!RecordMaxTerm(term)) {
+    ++stats_.durability_refused_grants;
+    ++stats_.zero_term_grants;
+    return LeaseGrant{key, Duration::Zero()};
+  }
   if (params_.persist_lease_records) {
     // One durable write per grant -- the I/O cost the paper weighs against
     // the simple recovery window.
-    meta_->Save(LeaseRecordKey(key, from), (now + term).ToMicros());
+    if (!meta_->Save(LeaseRecordKey(key, from), (now + term).ToMicros())
+             .ok()) {
+      ++stats_.durability_refused_grants;
+      ++stats_.zero_term_grants;
+      return LeaseGrant{key, Duration::Zero()};
+    }
     meta_->CountWrite();
   }
+  table_.Grant(key, from, now + term);
   LEASES_DEBUG("server: grant key=%llu to=%u term=%s",
                (unsigned long long)key.value(), from.value(),
                term.ToString().c_str());
-  RecordMaxTerm(term);
   ++stats_.leases_granted;
   return LeaseGrant{key, term};
 }
 
-void LeaseServer::RecordMaxTerm(Duration term) {
+bool LeaseServer::RecordMaxTerm(Duration term) {
   if (term <= max_term_granted_) {
-    return;
+    return true;  // already durably covered by the recorded maximum
   }
-  max_term_granted_ = term;
   // One durable write, and only when the maximum grows -- the paper's
   // alternative of logging every lease would cost I/O per grant.
-  meta_->Save(kMaxTermKey, term.ToMicros());
+  if (!meta_->Save(kMaxTermKey, term.ToMicros()).ok()) {
+    // Not durable => not visible: leave the in-memory maximum where it is,
+    // so it never claims coverage the recovery window cannot deliver.
+    return false;
+  }
+  max_term_granted_ = term;
   meta_->CountWrite();
+  return true;
 }
 
 void LeaseServer::RefreshDurabilityStats() const {
@@ -730,7 +763,9 @@ void LeaseServer::OnRelinquish(NodeId from, const Relinquish& m) {
 
 void LeaseServer::ForgetLeaseRecord(LeaseKey key, NodeId node) {
   if (params_.persist_lease_records) {
-    meta_->Erase(LeaseRecordKey(key, node));
+    // A failed erase is conservative: recovery would honour a lease the
+    // holder already gave up, which costs time but never correctness.
+    (void)meta_->Erase(LeaseRecordKey(key, node));
     meta_->CountWrite();
   }
 }

@@ -79,6 +79,8 @@ struct ServerStats {
   // backend). Mirrors StorageStats for the backend behind DurableMeta;
   // refreshed on every stats() read. ---
   uint64_t recoveries = 0;            // this incarnation found durable state
+  uint64_t durability_refused_grants = 0;  // zero-term because the recovery
+                                           //   record could not be persisted
   uint64_t journal_appends = 0;       // records appended (cumulative)
   uint64_t journal_replays = 0;       // replays performed (cumulative)
   uint64_t journal_replayed_records = 0;  // records in the last replay
@@ -128,6 +130,9 @@ class LeaseServer : public PacketHandler {
   uint64_t next_write_seq() const { return next_write_seq_; }
   TimePoint recovery_until() const { return recovery_until_; }
   bool InRecovery() const { return recovering_; }
+  // True when the boot counter could not be made durable: the server drops
+  // every packet (equivalent to being down) rather than risk write-seq reuse.
+  bool halted() const { return halted_; }
   const LeaseTable& lease_table() const { return table_; }
   size_t known_clients() const { return clients_.size(); }
 
@@ -196,7 +201,10 @@ class LeaseServer : public PacketHandler {
 
   // --- Leases ---
   LeaseGrant GrantFor(NodeId from, const FileRecord& rec);
-  void RecordMaxTerm(Duration term);
+  // Durably records `term` as the maximum granted if it grows the maximum.
+  // Returns false when the backend append fails; the caller must then not
+  // acknowledge a grant of `term` (the recovery window would undershoot it).
+  bool RecordMaxTerm(Duration term);
   void ForgetLeaseRecord(LeaseKey key, NodeId node);
   bool KeyBlocked(LeaseKey key) const;
   void BlockKey(LeaseKey key);
@@ -245,6 +253,7 @@ class LeaseServer : public PacketHandler {
   std::deque<WriteDedupKey> write_dedup_order_;
   std::set<WriteDedupKey> writes_in_flight_;
 
+  bool halted_ = false;  // boot counter not durable; serve nothing
   bool recovering_ = false;
   TimePoint recovery_until_;
   std::deque<QueuedWrite> recovery_queue_;

@@ -62,6 +62,9 @@ class SimCluster {
   // The durable recovery metadata (shared across server incarnations);
   // tests inspect the boot counter and max-term record through it.
   DurableMeta& meta() { return meta_; }
+  // The backend behind meta() (JournalBackend when data_dir is set, else
+  // MemoryBackend); tests arm crash points on it through this.
+  StorageBackend& storage() { return *storage_; }
   CacheClient& client(size_t i);
   size_t num_clients() const { return clients_.size(); }
 

@@ -155,12 +155,17 @@ class DurableMeta {
         std::vector<std::pair<std::string, int64_t>>(kv_.begin(), kv_.end()));
   }
 
-  void Save(const std::string& key, int64_t value) {
-    if (backend_ != nullptr &&
-        !backend_->Append({key, value, false}).ok()) {
-      return;  // not durable => not visible; the cache must not advance
+  // Mutations return the backend append's Status: not durable => not
+  // visible, the cache does not advance on failure. Callers must not
+  // acknowledge state that depends on a failed mutation (e.g. hand out a
+  // lease whose recovery record never reached the disk).
+  Status Save(const std::string& key, int64_t value) {
+    if (backend_ != nullptr) {
+      Status appended = backend_->Append({key, value, false});
+      if (!appended.ok()) return appended;
     }
     kv_[key] = value;
+    return Status::Ok();
   }
   std::optional<int64_t> Load(const std::string& key) const {
     auto it = kv_.find(key);
@@ -169,13 +174,15 @@ class DurableMeta {
     }
     return it->second;
   }
-  void Erase(const std::string& key) {
+  Status Erase(const std::string& key) {
     auto it = kv_.find(key);
-    if (it == kv_.end()) return;
-    if (backend_ != nullptr && !backend_->Append({key, 0, true}).ok()) {
-      return;
+    if (it == kv_.end()) return Status::Ok();
+    if (backend_ != nullptr) {
+      Status appended = backend_->Append({key, 0, true});
+      if (!appended.ok()) return appended;
     }
     kv_.erase(it);
+    return Status::Ok();
   }
   // Enumerates entries whose key starts with `prefix`, in key order (the
   // detailed persistent-lease-record option reloads its records on restart;
@@ -190,16 +197,17 @@ class DurableMeta {
     }
     return out;
   }
-  void ErasePrefix(const std::string& prefix) {
+  Status ErasePrefix(const std::string& prefix) {
     auto it = kv_.lower_bound(prefix);
     while (it != kv_.end() &&
            it->first.compare(0, prefix.size(), prefix) == 0) {
-      if (backend_ != nullptr &&
-          !backend_->Append({it->first, 0, true}).ok()) {
-        return;
+      if (backend_ != nullptr) {
+        Status appended = backend_->Append({it->first, 0, true});
+        if (!appended.ok()) return appended;
       }
       it = kv_.erase(it);
     }
+    return Status::Ok();
   }
   // Models the extra I/O a detailed persistent lease record would take; the
   // tests use the write counter to show why the paper rejects that option.

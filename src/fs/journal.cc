@@ -49,20 +49,55 @@ bool WriteAll(int fd, const uint8_t* data, size_t len) {
   return true;
 }
 
+// Smallest possible payload: u8 erase + u32 key length + i64 value.
+constexpr uint32_t kMinPayload = 13;
+
 std::vector<uint8_t> EncodeFrame(const MetaRecord& record) {
+  // The header goes through the same little-endian Writer as the payload,
+  // so the frame layout matches journal.h on any host byte order.
+  std::vector<uint8_t> payload;
+  payload.reserve(kMinPayload + record.key.size());
+  Writer pw(&payload);
+  pw.WriteU8(record.erase ? 1 : 0);
+  pw.WriteString(record.key);
+  pw.WriteI64(record.value);
   std::vector<uint8_t> out;
-  out.reserve(kFrameHeader + 13 + record.key.size());
+  out.reserve(kFrameHeader + payload.size());
   Writer w(&out);
-  w.WriteU32(0);  // payload length, patched below
-  w.WriteU32(0);  // payload CRC, patched below
-  w.WriteU8(record.erase ? 1 : 0);
-  w.WriteString(record.key);
-  w.WriteI64(record.value);
-  uint32_t len = static_cast<uint32_t>(out.size() - kFrameHeader);
-  uint32_t crc = Crc32(out.data() + kFrameHeader, len);
-  std::memcpy(out.data(), &len, 4);
-  std::memcpy(out.data() + 4, &crc, 4);
+  w.WriteU32(static_cast<uint32_t>(payload.size()));
+  w.WriteU32(Crc32(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
   return out;
+}
+
+// Durably records directory-level changes (file creation, rename) by
+// fsyncing the directory itself; without this a power cut can lose the
+// directory entry even though the file's own bytes were synced.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return IoError("open " + dir);
+  if (::fsync(fd) != 0) {
+    Status failed = IoError("fsync " + dir);
+    ::close(fd);
+    return failed;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+// True when any offset at or past `from` parses as an intact frame
+// (plausible header, matching CRC). Distinguishes mid-log corruption --
+// acknowledged records follow the damage -- from the damaged
+// un-acknowledged tail a crashed append leaves behind.
+bool ValidFrameAfter(const std::vector<uint8_t>& bytes, size_t from) {
+  for (size_t q = from; q + kFrameHeader <= bytes.size(); ++q) {
+    Reader header(std::span<const uint8_t>(bytes.data() + q, kFrameHeader));
+    uint32_t len = header.ReadU32();
+    uint32_t crc = header.ReadU32();
+    if (len < kMinPayload || len > bytes.size() - q - kFrameHeader) continue;
+    if (Crc32(bytes.data() + q + kFrameHeader, len) == crc) return true;
+  }
+  return false;
 }
 
 // Reads a whole file; a missing file yields an empty buffer and Ok.
@@ -117,7 +152,9 @@ Status JournalBackend::Open() {
   journal_fd_ = ::open(JournalPath().c_str(),
                        O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
   if (journal_fd_ < 0) return IoError("open " + JournalPath());
-  return Status::Ok();
+  // The journal's directory entry must be durable before any append is
+  // acknowledged, or a power cut could lose the whole (just-created) file.
+  return SyncDir(dir_);
 }
 
 bool JournalBackend::Consume(CrashPoint point) {
@@ -200,6 +237,13 @@ Status JournalBackend::Compact(
   if (::rename(SnapshotTmpPath().c_str(), SnapshotPath().c_str()) != 0) {
     return IoError("rename " + SnapshotTmpPath());
   }
+  // The rename must reach the platter before the journal is truncated: a
+  // power cut that persisted the truncate but not the directory entry would
+  // recover the OLD snapshot plus an EMPTY journal, losing acknowledged
+  // records. (The injector's after-rename point therefore sits past this
+  // sync: it models a durable rename with the truncate still pending.)
+  Status dir_synced = SyncDir(dir_);
+  if (!dir_synced.ok()) return dir_synced;
 
   if (Consume(CrashPoint::kSnapshotAfterRename)) {
     // The snapshot is installed but the journal still holds the history
@@ -227,27 +271,42 @@ Status JournalBackend::ReplayFile(const std::string& path, bool repair_tail,
     uint32_t len = 0;
     uint32_t crc = 0;
     if (!torn) {
-      std::memcpy(&len, bytes.data() + pos, 4);
-      std::memcpy(&crc, bytes.data() + pos + 4, 4);
+      Reader header(
+          std::span<const uint8_t>(bytes.data() + pos, kFrameHeader));
+      len = header.ReadU32();
+      crc = header.ReadU32();
       torn = bytes.size() - pos - kFrameHeader < len;
     }
-    if (torn) {
-      ++stats_.truncated_tails;
-      break;
-    }
-    const uint8_t* payload = bytes.data() + pos + kFrameHeader;
     MetaRecord record;
-    bool corrupt = Crc32(payload, len) != crc;
-    if (!corrupt) {
-      Reader reader(std::span<const uint8_t>(payload, len));
-      record.erase = reader.ReadU8() != 0;
-      record.key = reader.ReadString();
-      record.value = reader.ReadI64();
-      corrupt = !reader.ok();
+    bool corrupt = false;
+    if (!torn) {
+      const uint8_t* payload = bytes.data() + pos + kFrameHeader;
+      corrupt = Crc32(payload, len) != crc;
+      if (!corrupt) {
+        Reader reader(std::span<const uint8_t>(payload, len));
+        record.erase = reader.ReadU8() != 0;
+        record.key = reader.ReadString();
+        record.value = reader.ReadI64();
+        corrupt = !reader.ok();
+      }
     }
-    if (corrupt) {
-      // A single-writer log has no valid data past a mangled frame.
-      ++stats_.corrupt_dropped;
+    if (torn || corrupt) {
+      if (ValidFrameAfter(bytes, pos + 1)) {
+        // Intact records follow the damage: this is bit rot in the MIDDLE
+        // of the log (acknowledged state), not a crashed append's tail.
+        // Truncating here would silently discard every acknowledged record
+        // after the damage -- refuse and surface the error instead.
+        return Status(ErrorCode::kCorrupt,
+                      path + ": damaged record at offset " +
+                          std::to_string(pos) +
+                          " with intact records after it; refusing to "
+                          "truncate acknowledged state");
+      }
+      if (torn) {
+        ++stats_.truncated_tails;
+      } else {
+        ++stats_.corrupt_dropped;
+      }
       break;
     }
     fn(record);

@@ -15,9 +15,17 @@
 // Reopen semantics (Replay): a frame that does not fit in the remaining
 // bytes is a torn tail from a crashed append -- the file is truncated back
 // to the last intact record. A frame whose CRC does not match is a corrupt
-// record -- it and everything after it (a single-writer log has no valid
-// data past a mangled frame) are truncated away. Both repairs are counted
-// in StorageStats.
+// record and is truncated away. Both repairs are counted in StorageStats,
+// and both apply ONLY when the damage is at the tail: a crashed append can
+// only ever damage the final, un-acknowledged frame. If intact frames
+// follow the damage the log has rotted in the middle (acknowledged state);
+// Replay then refuses to repair and fails with kCorrupt rather than
+// silently discarding acknowledged records.
+//
+// Every structural change is made durable before it matters: the data
+// directory is fsynced after the journal file is created and after the
+// snapshot rename, so neither a new journal nor an installed snapshot can
+// vanish in a power cut that the journal truncation survives.
 //
 // The crash-point injector (ArmCrash) makes the next operation that reaches
 // the armed point perform the crash's on-disk effect -- partial frame,

@@ -181,6 +181,53 @@ TEST(ClusterJournalTest, PowerCutRecoveryDelaysWritesForGrantedTerm) {
   EXPECT_EQ(cluster.oracle().violations(), 0u);
 }
 
+TEST(ClusterJournalTest, GrantRefusedWhenAppendNotDurable) {
+  // Durability precedes visibility at the protocol layer too: if the
+  // max-term append fails (disk full, fsync error -- modeled by an armed
+  // crash), the lease must NOT be acknowledged. The read is still served,
+  // but with a zero-term grant, and no recovery coverage is claimed that
+  // the journal cannot deliver.
+  ScratchDir dir("cluster_refused");
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2);
+  options.data_dir = dir.path();
+  SimCluster cluster(options);
+  FileId file = *cluster.store().CreatePath("/f", FileClass::kNormal,
+                                            Bytes("v1"));
+  auto& journal = static_cast<JournalBackend&>(cluster.storage());
+  journal.ArmCrash(CrashPoint::kBeforeSync);
+
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());  // served, just not cached
+  ServerStats stats = cluster.server().stats();
+  EXPECT_EQ(stats.durability_refused_grants, 1u);
+  EXPECT_GE(stats.zero_term_grants, 1u);
+  EXPECT_EQ(stats.leases_granted, 0u);
+  EXPECT_EQ(cluster.server().ActiveLeaseCount(cluster.store().CoverOf(file)),
+            0u);
+  // The un-durable maximum was never made visible either.
+  EXPECT_FALSE(cluster.meta().Load("max_term_us").has_value());
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+TEST(LeaseServerBootTest, HaltsWhenBootCounterNotDurable) {
+  // Without a durable boot counter the next incarnation would reuse this
+  // one's write-seq range (stale pre-crash approvals could count for new
+  // writes), so a server that cannot persist it must refuse to serve.
+  MemoryBackend backend;
+  DurableMeta meta(&backend);
+  backend.PowerCut(TailDamage::kClean);  // dead: every append fails
+  Simulator sim;
+  SimNetwork network(&sim, NetworkParams{});
+  SimClock clock(&sim, ClockModel::Perfect());
+  SimTimerHost timers(&sim, &clock);
+  SimTransport* transport = network.AttachNode(NodeId(1), nullptr);
+  FileStore store;
+  FixedTermPolicy policy(Duration::Seconds(10));
+  LeaseServer server(NodeId(1), &store, &meta, transport, &clock, &timers,
+                     &policy, ServerParams{}, /*oracle=*/nullptr);
+  EXPECT_TRUE(server.halted());
+  EXPECT_FALSE(meta.Load("boot_count").has_value());
+}
+
 TEST(ClusterJournalTest, BootCounterAdvancesAcrossPowerCuts) {
   ScratchDir dir("cluster_boots");
   ClusterOptions options = MakeVClusterOptions(Duration::Seconds(2), 1);

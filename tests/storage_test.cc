@@ -165,6 +165,20 @@ TEST(DurableMetaTest, PrefixOpsJournalPerKey) {
   EXPECT_EQ(reborn.Load("other").value_or(0), 9);
 }
 
+TEST(DurableMetaTest, FailedAppendSurfacesAndDoesNotAdvanceCache) {
+  MemoryBackend backend;
+  DurableMeta meta(&backend);
+  ASSERT_TRUE(meta.Save("max_term_us", 1).ok());
+  backend.PowerCut(TailDamage::kClean);  // dead: every append now fails
+  // Not durable => not visible, and the caller is told so.
+  EXPECT_FALSE(meta.Save("max_term_us", 2).ok());
+  EXPECT_EQ(meta.Load("max_term_us").value_or(0), 1);
+  EXPECT_FALSE(meta.Erase("max_term_us").ok());
+  EXPECT_TRUE(meta.Load("max_term_us").has_value());
+  EXPECT_FALSE(meta.ErasePrefix("max_").ok());
+  EXPECT_TRUE(meta.Load("max_term_us").has_value());
+}
+
 TEST(DurableMetaTest, CompactFoldsJournal) {
   MemoryBackend backend;
   DurableMeta meta(&backend);
@@ -228,6 +242,43 @@ TEST(JournalBackendTest, CorruptRecordDroppedOnReplay) {
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].key, "committed");
   EXPECT_EQ(journal.stats().corrupt_dropped, 1u);
+}
+
+TEST(JournalBackendTest, MidLogCorruptionRefusedOnReplay) {
+  // A crashed append can only damage the final frame. Damage in the MIDDLE
+  // of the log -- with intact acknowledged records after it -- is bit rot,
+  // and auto-truncating there would silently discard those records. Replay
+  // must refuse and surface the error instead.
+  ScratchDir dir("journal_midrot");
+  {
+    JournalBackend journal(dir.path());
+    ASSERT_TRUE(journal.Open().ok());
+    ASSERT_TRUE(journal.Append({"k0", 0, false}).ok());
+    ASSERT_TRUE(journal.Append({"k1", 1, false}).ok());
+    ASSERT_TRUE(journal.Append({"k2", 2, false}).ok());
+  }
+  const std::string path = dir.path() + "/journal";
+  const uint64_t size = FileSize(path);
+  ASSERT_EQ(size % 3, 0u);  // three identically-sized frames
+  {
+    // Flip one payload byte of the middle record on disk.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    std::streamoff at = static_cast<std::streamoff>(size / 3 + 8);
+    f.seekg(at);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte ^= 0x40;
+    f.seekp(at);
+    f.write(&byte, 1);
+  }
+  JournalBackend reopened(dir.path());
+  ASSERT_TRUE(reopened.Open().ok());
+  Status replayed = reopened.Replay([](const MetaRecord&) {});
+  EXPECT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.code(), ErrorCode::kCorrupt);
+  // Nothing was truncated: every acknowledged byte is still on disk.
+  EXPECT_EQ(FileSize(path), size);
 }
 
 TEST(JournalBackendTest, CompactionIsAtomicAndAbortedTmpIgnored) {
