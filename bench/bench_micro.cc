@@ -13,11 +13,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/shard_bench.h"
 #include "bench/sweep_runner.h"
 #include "src/core/lease_table.h"
 #include "src/net/sim_network.h"
@@ -275,7 +278,7 @@ uint64_t SweepSignature(const std::vector<WorkloadReport>& reports) {
 // measures pool overhead honestly instead of forcing two threads to fight
 // over one CPU.
 void MeasureSweep(double* serial_s, double* parallel_s, size_t* threads,
-                  size_t* points, bool* identical) {
+                  size_t* points, bool* identical, bool* degraded) {
   const std::vector<size_t> counts = {5, 10, 20, 40};
   const Duration kMeasure = Duration::Seconds(12000);
   auto point = [&counts, kMeasure](size_t i) {
@@ -318,6 +321,16 @@ void MeasureSweep(double* serial_s, double* parallel_s, size_t* threads,
   *threads = pool.threads();
   *points = counts.size();
   *identical = SweepSignature(serial_reports) == SweepSignature(pool_reports);
+  // A one-thread pool cannot measure parallelism: the "speedup" it records
+  // is pool overhead (historically reported as a meaningless 1.01x). Flag
+  // it loudly instead of letting the number masquerade as a scaling result.
+  *degraded = pool.threads() <= 1;
+  if (*degraded) {
+    std::fprintf(stderr,
+                 "bench_micro: sweep DEGRADED -- pool has 1 thread "
+                 "(hardware_concurrency or LEASES_SWEEP_THREADS); the "
+                 "recorded speedup is overhead, not parallel scaling\n");
+  }
 }
 
 // --- Protocol message-path metrics ---
@@ -436,7 +449,23 @@ int WriteBenchCore(const char* path) {
   size_t threads = 0;
   size_t points = 0;
   bool identical = false;
-  MeasureSweep(&serial_s, &parallel_s, &threads, &points, &identical);
+  bool sweep_degraded = false;
+  MeasureSweep(&serial_s, &parallel_s, &threads, &points, &identical,
+               &sweep_degraded);
+  long requested_threads = 0;
+  if (const char* env = std::getenv("LEASES_SWEEP_THREADS")) {
+    requested_threads = std::strtol(env, nullptr, 10);
+  }
+
+  // Shard-scaling row: the sharded grant plane's typed lease-op throughput
+  // at 1 and 8 shards (bench_shard runs the full sweep). Degraded on
+  // machines with fewer cores than shards, same semantics as the sweep.
+  size_t hw = std::thread::hardware_concurrency();
+  constexpr size_t kShardMax = 8;
+  ShardBenchResult shard1 = RunShardBenchBest(1, 256, 100, /*reps=*/2);
+  ShardBenchResult shard8 = RunShardBenchBest(kShardMax, 256, 100,
+                                              /*reps=*/2);
+  bool shard_degraded = hw < kShardMax;
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -445,7 +474,7 @@ int WriteBenchCore(const char* path) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 2,\n"
+               "  \"schema\": 3,\n"
                "  \"scheduler\": {\n"
                "    \"events\": %llu,\n"
                "    \"events_per_sec\": %.0f,\n"
@@ -468,10 +497,20 @@ int WriteBenchCore(const char* path) {
                "  \"sweep\": {\n"
                "    \"points\": %zu,\n"
                "    \"threads\": %zu,\n"
+               "    \"requested_threads\": %ld,\n"
                "    \"serial_wall_s\": %.3f,\n"
                "    \"parallel_wall_s\": %.3f,\n"
                "    \"speedup\": %.2f,\n"
-               "    \"results_identical\": %s\n"
+               "    \"results_identical\": %s,\n"
+               "    \"degraded\": %s\n"
+               "  },\n"
+               "  \"shard_scaling\": {\n"
+               "    \"hw_threads\": %zu,\n"
+               "    \"shards\": %zu,\n"
+               "    \"ops_per_sec_1shard\": %.0f,\n"
+               "    \"ops_per_sec_8shard\": %.0f,\n"
+               "    \"speedup\": %.2f,\n"
+               "    \"degraded\": %s\n"
                "  }\n"
                "}\n",
                static_cast<unsigned long long>(events), events_per_sec,
@@ -479,20 +518,34 @@ int WriteBenchCore(const char* path) {
                static_cast<unsigned long long>(pump_messages), pump_wire,
                pump_typed, pump_typed / pump_wire,
                static_cast<unsigned long long>(lease_ops), ops_wire,
-               ops_typed, ops_typed / ops_wire, points, threads, serial_s,
-               parallel_s, serial_s / parallel_s,
-               identical ? "true" : "false");
+               ops_typed, ops_typed / ops_wire, points, threads,
+               requested_threads, serial_s, parallel_s,
+               serial_s / parallel_s, identical ? "true" : "false",
+               sweep_degraded ? "true" : "false", hw, kShardMax,
+               shard1.ops_per_sec, shard8.ops_per_sec,
+               shard1.ops_per_sec > 0
+                   ? shard8.ops_per_sec / shard1.ops_per_sec
+                   : 0,
+               shard_degraded ? "true" : "false");
   std::fclose(f);
   std::printf("wrote %s: %.1fM events/s (%.1f ns/event), %.1fM mixed-horizon "
               "events/s, %.1fM sched+cancel ops/s\n"
               "  protocol: pump %.2fM -> %.2fM msgs/s (%.2fx typed), "
               "cluster %.0f -> %.0f lease ops/s (%.2fx typed)\n"
-              "  sweep %.2fs -> %.2fs (%zu threads, identical=%s)\n",
+              "  sweep %.2fs -> %.2fs (%zu threads, identical=%s%s)\n"
+              "  shards: %.2fM -> %.2fM ops/s at 1 -> %zu shards "
+              "(%.2fx%s)\n",
               path, events_per_sec / 1e6, 1e9 / events_per_sec,
               mixed_per_sec / 1e6, cancel_ops / 1e6, pump_wire / 1e6,
               pump_typed / 1e6, pump_typed / pump_wire, ops_wire, ops_typed,
               ops_typed / ops_wire, serial_s, parallel_s, threads,
-              identical ? "true" : "false");
+              identical ? "true" : "false",
+              sweep_degraded ? ", DEGRADED" : "", shard1.ops_per_sec / 1e6,
+              shard8.ops_per_sec / 1e6, kShardMax,
+              shard1.ops_per_sec > 0
+                  ? shard8.ops_per_sec / shard1.ops_per_sec
+                  : 0,
+              shard_degraded ? ", DEGRADED" : "");
   return identical ? 0 : 2;
 }
 

@@ -1,0 +1,111 @@
+// Shard-scaling sweep for the FileId-partitioned grant plane.
+//
+// Runs the typed cluster-lease-op workload (bench/shard_bench.h) at 1..8
+// shards and reports ops/s plus scaling efficiency against the single-shard
+// baseline. On a machine with fewer hardware threads than shards the sweep
+// still runs but is flagged "degraded": the shard threads time-slice one
+// core, so the efficiency column measures scheduling overhead, not scaling.
+//
+// Usage:
+//   bench_shard [--shards N] [--files N] [--ops N] [--json [path]]
+//
+// --shards runs one configuration instead of the sweep; --json writes
+// BENCH_SHARD.json (schema 1) for trend tracking.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/shard_bench.h"
+
+namespace leases {
+namespace {
+
+int Run(const std::vector<size_t>& shard_counts, size_t files, size_t ops,
+        const char* json_path) {
+  size_t hw = std::thread::hardware_concurrency();
+  size_t max_shards = 0;
+  for (size_t s : shard_counts) {
+    max_shards = s > max_shards ? s : max_shards;
+  }
+  // Feeders are near-idle (pre-built messages), so the requirement is one
+  // core per shard; anything less and the "parallel" shards time-slice.
+  bool degraded = hw < max_shards;
+
+  std::vector<ShardBenchResult> results;
+  for (size_t s : shard_counts) {
+    results.push_back(RunShardBenchBest(s, files, ops));
+  }
+  double base = results[0].ops_per_sec;
+
+  std::printf("shard scaling: %zu files x %zu ops/file, hw_threads=%zu%s\n",
+              files, ops, hw, degraded ? " [DEGRADED: shards > cores]" : "");
+  std::printf("%8s %14s %10s %12s\n", "shards", "ops/s", "speedup",
+              "efficiency");
+  for (const ShardBenchResult& r : results) {
+    double speedup = base > 0 ? r.ops_per_sec / base : 0;
+    std::printf("%8zu %14.0f %9.2fx %11.0f%%\n", r.shards, r.ops_per_sec,
+                speedup, 100.0 * speedup / static_cast<double>(r.shards));
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": 1,\n"
+                 "  \"files\": %zu,\n"
+                 "  \"ops_per_file\": %zu,\n"
+                 "  \"hw_threads\": %zu,\n"
+                 "  \"degraded\": %s,\n"
+                 "  \"points\": [\n",
+                 files, ops, hw, degraded ? "true" : "false");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ShardBenchResult& r = results[i];
+      double speedup = base > 0 ? r.ops_per_sec / base : 0;
+      std::fprintf(f,
+                   "    {\"shards\": %zu, \"ops\": %llu, "
+                   "\"ops_per_sec\": %.0f, \"speedup\": %.2f}%s\n",
+                   r.shards, static_cast<unsigned long long>(r.ops),
+                   r.ops_per_sec, speedup,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace leases
+
+int main(int argc, char** argv) {
+  std::vector<size_t> shard_counts = {1, 2, 4, 8};
+  size_t files = 512;
+  size_t ops = 400;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shard_counts = {static_cast<size_t>(std::atoi(argv[++i]))};
+    } else if (std::strcmp(argv[i], "--files") == 0 && i + 1 < argc) {
+      files = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_SHARD.json";
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--shards N] [--files N] [--ops N] "
+                   "[--json [path]]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  return leases::Run(shard_counts, files, ops, json_path);
+}

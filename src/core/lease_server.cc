@@ -95,7 +95,10 @@ LeaseServer::LeaseServer(NodeId id, FileStore* store, DurableMeta* meta,
     halted_ = true;
     LEASES_ERROR("server %u: boot counter not durable; halting", id_.value());
   }
-  next_write_seq_ = static_cast<uint64_t>(boot) << 32;
+  // The shard salt (0 on a plain server) keeps concurrent shards of one
+  // sharded server in disjoint seq ranges, for the same collision reason.
+  next_write_seq_ = (static_cast<uint64_t>(boot) << 32) |
+                    (static_cast<uint64_t>(params_.shard_seq_salt) << 26);
   // boot > 1 means a previous incarnation's durable state was recovered
   // (from the journal, when the meta store is backend-backed).
   if (boot > 1) {

@@ -88,6 +88,11 @@ struct ServerStats {
   uint64_t journal_corrupt_dropped = 0;   // bad-CRC records dropped
   uint64_t snapshot_compactions = 0;
   Duration replay_duration;           // wall time of the last replay
+
+  // --- Transport plane (filled in by the runtime harnesses from the UDP
+  // transport's NodeMessageStats; always zero in simulation, where loss is
+  // modelled in flight rather than at the sender). ---
+  uint64_t send_failures = 0;
 };
 
 class LeaseServer : public PacketHandler {

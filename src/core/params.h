@@ -59,6 +59,13 @@ struct ServerParams {
   // load instead, rejecting with kUnavailable; clients retry with jittered
   // exponential backoff (ClientParams::unavailable_backoff_base).
   size_t recovery_queue_limit = 1024;
+
+  // Sharded grant plane: shard index salted into bits [26,32) of the write
+  // sequence counter so concurrent shards of one server draw from disjoint
+  // seq ranges (clients key approval state by seq). 0 -- the plain-server
+  // value -- leaves the sequence layout exactly as before. Bounds: at most
+  // 64 shards, at most 2^26 writes per shard per incarnation.
+  uint32_t shard_seq_salt = 0;
 };
 
 struct ClientParams {

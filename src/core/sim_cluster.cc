@@ -39,11 +39,44 @@ SimCluster::SimCluster(ClusterOptions options)
 
   server_id_ = NodeId(1);
   server_node_ = MakeRig(server_id_, options_.server_clock, nullptr);
-  server_ = std::make_unique<LeaseServer>(
-      server_id_, &store_, &meta_, server_node_.transport,
-      server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
-      options_.server, &oracle_);
-  network_->ReplaceHandler(server_id_, server_.get());
+  if (options_.num_shards > 1) {
+    // Sharded grant plane: one FileStore partition plus one recovery-metadata
+    // store per shard, all durable across server incarnations. The namespace
+    // store stays authoritative for ids and directory structure; its mirror
+    // hook replicates every touched record into the owning partition, where
+    // protocol traffic then commits.
+    LEASES_CHECK(options_.data_dir.empty());
+    for (size_t s = 0; s < options_.num_shards; ++s) {
+      shard_stores_.push_back(std::make_unique<FileStore>());
+      shard_storages_.push_back(std::make_unique<MemoryBackend>());
+      shard_metas_.push_back(
+          std::make_unique<DurableMeta>(shard_storages_.back().get()));
+      LEASES_CHECK(shard_metas_.back()->Reopen().ok());
+    }
+    store_.SetMirror([this](FileId file, const FileRecord* rec) {
+      FileStore& partition =
+          *shard_stores_[ShardIndexOf(file, options_.num_shards)];
+      if (rec != nullptr) {
+        partition.Adopt(*rec);
+      } else {
+        partition.Drop(file);
+      }
+    });
+    // Seed the partitions with whatever the namespace store already holds
+    // (at minimum the root directory).
+    for (FileId file : store_.AllFiles()) {
+      shard_stores_[ShardIndexOf(file, options_.num_shards)]->Adopt(
+          *store_.Find(file));
+    }
+    sharded_ = MakeShardedServer();
+    network_->ReplaceHandler(server_id_, sharded_.get());
+  } else {
+    server_ = std::make_unique<LeaseServer>(
+        server_id_, &store_, &meta_, server_node_.transport,
+        server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
+        options_.server, &oracle_);
+    network_->ReplaceHandler(server_id_, server_.get());
+  }
 
   client_nodes_.reserve(options_.num_clients);
   clients_.reserve(options_.num_clients);
@@ -54,8 +87,28 @@ SimCluster::SimCluster(ClusterOptions options)
     client_nodes_.push_back(MakeRig(client_id(i), model, nullptr));
     clients_.push_back(MakeClient(i));
     network_->ReplaceHandler(client_id(i), clients_.back().get());
-    server_->RegisterClient(client_id(i));
+    if (sharded_ != nullptr) {
+      sharded_->RegisterClient(client_id(i));
+    } else {
+      server_->RegisterClient(client_id(i));
+    }
   }
+}
+
+std::unique_ptr<ShardedLeaseServer> SimCluster::MakeShardedServer() {
+  std::vector<ShardEnv> envs(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    envs[s].store = shard_stores_[s].get();
+    envs[s].meta = shard_metas_[s].get();
+    // One simulated host: shards share the node's clock, timer host,
+    // transport and term policy (single-threaded, so sharing is safe).
+    envs[s].clock = server_node_.clock.get();
+    envs[s].timers = server_node_.timers.get();
+    envs[s].transport = server_node_.transport;
+    envs[s].policy = policy_.get();
+  }
+  return std::make_unique<ShardedLeaseServer>(server_id_, std::move(envs),
+                                              options_.server, &oracle_);
 }
 
 SimCluster::~SimCluster() {
@@ -63,6 +116,7 @@ SimCluster::~SimCluster() {
   // rigs so cancellation sees live TimerHosts.
   clients_.clear();
   server_.reset();
+  sharded_.reset();
 }
 
 SimCluster::NodeRig SimCluster::MakeRig(NodeId id, ClockModel model,
@@ -102,23 +156,41 @@ SimClock& SimCluster::client_clock(size_t i) {
 }
 
 void SimCluster::CrashServer(TailDamage damage) {
-  LEASES_CHECK(server_ != nullptr);
-  server_.reset();  // volatile lease state dies with the process
+  LEASES_CHECK(ServerUp());
+  server_.reset();   // volatile lease state dies with the process
+  sharded_.reset();  // (all shards at once: they are one process)
   // Power-cut the storage plane: acknowledged records survive, and any
   // damage lands on the un-acknowledged tail only (the server persists
   // before it replies, so nothing a client saw can be lost).
-  storage_->PowerCut(damage);
+  if (!shard_storages_.empty()) {
+    for (auto& storage : shard_storages_) {
+      storage->PowerCut(damage);
+    }
+  } else {
+    storage_->PowerCut(damage);
+  }
   network_->ReplaceHandler(server_id_, nullptr);
   network_->SetNodeUp(server_id_, false);
 }
 
 void SimCluster::RestartServer() {
-  LEASES_CHECK(server_ == nullptr);
+  LEASES_CHECK(!ServerUp());
   network_->SetNodeUp(server_id_, true);
   // Real recovery: replay the journal into the meta cache, repairing any
   // tail damage from the crash. Committed writes and the persisted maximum
   // term survive; the new incarnation honours pre-crash leases by holding
   // writes for that term.
+  if (options_.num_shards > 1) {
+    for (auto& meta : shard_metas_) {
+      LEASES_CHECK(meta->Reopen().ok());
+    }
+    sharded_ = MakeShardedServer();
+    network_->ReplaceHandler(server_id_, sharded_.get());
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      sharded_->RegisterClient(client_id(i));
+    }
+    return;
+  }
   LEASES_CHECK(meta_.Reopen().ok());
   server_ = std::make_unique<LeaseServer>(
       server_id_, &store_, &meta_, server_node_.transport,

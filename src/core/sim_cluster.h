@@ -19,6 +19,7 @@
 #include "src/core/lease_server.h"
 #include "src/core/oracle.h"
 #include "src/core/params.h"
+#include "src/core/sharded_lease_server.h"
 #include "src/core/term_policy.h"
 #include "src/fs/file_store.h"
 #include "src/net/sim_network.h"
@@ -42,6 +43,14 @@ struct ClusterOptions {
   // (JournalBackend) under this directory instead of the in-memory backend;
   // a cluster constructed over a previously-used directory recovers from it.
   std::string data_dir;
+  // Sharded grant plane: with > 1 the server is a ShardedLeaseServer whose
+  // state is partitioned by FileId across this many shards (shard_router.h),
+  // each with its own FileStore partition and recovery metadata. With 1 the
+  // cluster builds the exact single-server object graph it always has, so
+  // deterministic digests are bit-identical to the unsharded build.
+  // Incompatible with data_dir (sharded sim metadata uses per-shard memory
+  // backends) and with server.installed_optimization.
+  size_t num_shards = 1;
 };
 
 class SimCluster {
@@ -58,7 +67,15 @@ class SimCluster {
   Oracle& oracle() { return oracle_; }
   TermPolicy& policy() { return *policy_; }
 
+  // Plain-server accessor; only valid when num_shards == 1.
   LeaseServer& server() { return *server_; }
+  // Sharded-server accessor; only valid when num_shards > 1.
+  ShardedLeaseServer& sharded_server() { return *sharded_; }
+  bool sharded() const { return options_.num_shards > 1; }
+  // Merged counters regardless of mode.
+  ServerStats server_stats() const {
+    return sharded_ != nullptr ? sharded_->stats() : server_->stats();
+  }
   // The durable recovery metadata (shared across server incarnations);
   // tests inspect the boot counter and max-term record through it.
   DurableMeta& meta() { return meta_; }
@@ -79,7 +96,7 @@ class SimCluster {
   // on restart). Volatile lease state dies either way.
   void CrashServer(TailDamage damage = TailDamage::kClean);
   void RestartServer();
-  bool ServerUp() const { return server_ != nullptr; }
+  bool ServerUp() const { return server_ != nullptr || sharded_ != nullptr; }
   void CrashClient(size_t i);
   void RestartClient(size_t i);
   bool ClientUp(size_t i) const {
@@ -111,6 +128,7 @@ class SimCluster {
 
   NodeRig MakeRig(NodeId id, ClockModel model, PacketHandler* handler);
   std::unique_ptr<CacheClient> MakeClient(size_t i);
+  std::unique_ptr<ShardedLeaseServer> MakeShardedServer();
 
   ClusterOptions options_;
   Simulator sim_;
@@ -124,6 +142,14 @@ class SimCluster {
   NodeId server_id_;
   NodeRig server_node_;
   std::unique_ptr<LeaseServer> server_;
+
+  // Sharded mode only. Partition stores and per-shard recovery metadata are
+  // durable: they outlive server incarnations (CrashServer/RestartServer),
+  // exactly like store_/meta_ do for the plain server.
+  std::vector<std::unique_ptr<FileStore>> shard_stores_;
+  std::vector<std::unique_ptr<StorageBackend>> shard_storages_;
+  std::vector<std::unique_ptr<DurableMeta>> shard_metas_;
+  std::unique_ptr<ShardedLeaseServer> sharded_;
 
   std::vector<NodeRig> client_nodes_;
   std::vector<std::unique_ptr<CacheClient>> clients_;

@@ -24,6 +24,37 @@ FileStore::FileStore() {
   covers_[files_[root_].cover].push_back(root_);
 }
 
+void FileStore::Mirror(FileId file) const {
+  if (mirror_) {
+    auto it = files_.find(file);
+    mirror_(file, it == files_.end() ? nullptr : &it->second);
+  }
+}
+
+void FileStore::Adopt(const FileRecord& rec) {
+  auto it = files_.find(rec.id);
+  if (it != files_.end() && it->second.cover != rec.cover) {
+    auto& members = covers_[it->second.cover];
+    members.erase(std::remove(members.begin(), members.end(), rec.id),
+                  members.end());
+    covers_[rec.cover].push_back(rec.id);
+  } else if (it == files_.end()) {
+    covers_[rec.cover].push_back(rec.id);
+  }
+  files_[rec.id] = rec;
+}
+
+void FileStore::Drop(FileId file) {
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return;
+  }
+  auto& members = covers_[it->second.cover];
+  members.erase(std::remove(members.begin(), members.end(), file),
+                members.end());
+  files_.erase(it);
+}
+
 FileRecord& FileStore::MutableRecord(FileId file) {
   auto it = files_.find(file);
   LEASES_CHECK(it != files_.end());
@@ -86,6 +117,8 @@ Result<FileId> FileStore::Create(FileId dir, const std::string& name,
 
   entries.push_back(DirEntry{name, id, mode, cls});
   StoreDirEntries(parent, entries);
+  Mirror(id);
+  Mirror(dir);
   return id;
 }
 
@@ -142,6 +175,8 @@ Status FileStore::Rename(FileId dir, const std::string& from,
       e.name = to;
       MutableRecord(e.file).name = to;
       StoreDirEntries(parent, entries);
+      Mirror(e.file);
+      Mirror(dir);
       return Status::Ok();
     }
   }
@@ -173,6 +208,8 @@ Status FileStore::Remove(FileId dir, const std::string& name, NodeId who) {
       files_.erase(victim);
       entries.erase(e);
       StoreDirEntries(parent, entries);
+      Mirror(victim);  // record gone: mirrors with a null rec
+      Mirror(dir);
       return Status::Ok();
     }
   }
@@ -248,6 +285,7 @@ Result<uint64_t> FileStore::Apply(FileId file, std::vector<uint8_t> data,
   }
   rec.data = std::move(data);
   rec.version++;
+  Mirror(file);
   return rec.version;
 }
 
@@ -272,7 +310,9 @@ Status FileStore::Chmod(FileId file, uint32_t mode, NodeId who) {
       }
     }
     StoreDirEntries(parent, entries);
+    Mirror(rec.parent);
   }
+  Mirror(file);
   return Status::Ok();
 }
 
@@ -303,6 +343,7 @@ Status FileStore::CoverDirectory(FileId dir) {
         old_members.end());
     rec.cover = key;
     covers_[key].push_back(e.file);
+    Mirror(e.file);
   }
   return Status::Ok();
 }

@@ -22,6 +22,7 @@
 #define SRC_FS_FILE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -98,6 +99,28 @@ class FileStore {
   // Deterministic iteration order (by id) for tests and snapshots.
   std::vector<FileId> AllFiles() const;
 
+  // --- Shard partitioning (sharded grant plane) ---
+  //
+  // A sharded server keeps one FileStore per shard, holding exactly the
+  // records whose FileId hashes to it. Namespace mutations still run against
+  // a single namespace store (the id allocator and directory data live
+  // there); the mirror hook replicates each touched record into the owning
+  // shard's partition via Adopt/Drop. Protocol data writes then commit in
+  // the shard partitions only.
+
+  // Invoked after every namespace/data mutation with the touched FileId;
+  // `rec` is null when the file was removed. Replaces any previous hook.
+  using MirrorHook = std::function<void(FileId, const FileRecord* rec)>;
+  void SetMirror(MirrorHook hook) { mirror_ = std::move(hook); }
+
+  // Upserts a record copied from the namespace store, keeping the cover
+  // index consistent; ids_ never runs on partition stores, so records keep
+  // the globally-unique ids the namespace store assigned.
+  void Adopt(const FileRecord& rec);
+  // Removes a mirrored record (no directory bookkeeping -- the namespace
+  // store already did it).
+  void Drop(FileId file);
+
   // Total bytes a full snapshot of committed state would occupy; used by the
   // storage-overhead accounting tests.
   size_t ApproxBytes() const;
@@ -108,12 +131,14 @@ class FileStore {
   void StoreDirEntries(FileRecord& dir, const std::vector<DirEntry>& entries);
   bool CanWrite(const FileRecord& rec, NodeId who) const;
   bool CanRead(const FileRecord& rec, NodeId who) const;
+  void Mirror(FileId file) const;
   static LeaseKey PrivateKey(FileId file) { return LeaseKey(file.value()); }
 
   IdGenerator<FileId> ids_;
   std::map<FileId, FileRecord> files_;
   std::unordered_map<LeaseKey, std::vector<FileId>> covers_;
   FileId root_;
+  MirrorHook mirror_;
 };
 
 // Durable key-value record: the server's persistent storage for

@@ -22,6 +22,12 @@ struct NodeMessageStats {
   uint64_t dropped_burst = 0;      // lost in a Gilbert-Elliott bad state
   uint64_t duplicated = 0;         // extra copies injected by the fault plane
   uint64_t delayed = 0;            // deliveries given extra reorder jitter
+  // Local send-side failures: ::sendto/::sendmmsg errors, partial datagram
+  // writes, or sends to an unregistered peer. Zero in simulation (SimNetwork
+  // models loss as in-flight drops, not send failures); on the UDP runtime a
+  // persistently non-zero value means ENOBUFS-style local overload that the
+  // protocol otherwise mistakes for wire loss.
+  uint64_t send_failures = 0;
 
   uint64_t TotalSent() const {
     return sent[0] + sent[1] + sent[2];

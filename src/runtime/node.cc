@@ -115,6 +115,9 @@ void RuntimeServer::WithServer(std::function<void(LeaseServer&)> fn) {
 ServerStats RuntimeServer::stats() {
   ServerStats out;
   WithServer([&out](LeaseServer& server) { out = server.stats(); });
+  // Transport plane: local send failures are invisible to the protocol (it
+  // reads them as wire loss), so surface them alongside the server counters.
+  out.send_failures = transport_->stats().send_failures;
   return out;
 }
 

@@ -8,8 +8,11 @@
 #ifndef SRC_RUNTIME_UDP_TRANSPORT_H_
 #define SRC_RUNTIME_UDP_TRANSPORT_H_
 
+#include <netinet/in.h>
+
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -23,10 +26,13 @@
 
 namespace leases {
 
+class UdpBatchSender;
+
 class UdpTransport : public Transport {
  public:
   // `handler` is invoked on `loop`'s thread for each datagram; it may be
-  // null until SetHandler is called.
+  // null until SetHandler is called. `loop` may be null when the owner uses
+  // SetRawHandler (shard-engine dispatch) instead of loop delivery.
   UdpTransport(NodeId self, EventLoop* loop, PacketHandler* handler);
   ~UdpTransport() override;
 
@@ -40,6 +46,15 @@ class UdpTransport : public Transport {
 
   uint16_t port() const { return port_; }
   void SetHandler(PacketHandler* handler) { recv_state_->handler = handler; }
+
+  // Shard-engine dispatch: when set, every datagram is handed to `handler`
+  // *on the receiver thread* (sender id + class + raw payload) instead of
+  // being posted to the EventLoop. The handler decodes and routes to the
+  // owning shard's queue; run-to-completion then happens on the shard
+  // thread. Must be set before Start().
+  using RawHandler = std::function<void(NodeId from, MessageClass cls,
+                                        std::span<const uint8_t> payload)>;
+  void SetRawHandler(RawHandler handler) { raw_handler_ = std::move(handler); }
 
   // Registers where a peer lives; must be called before sending to it.
   void AddPeer(NodeId peer, uint16_t port);
@@ -60,9 +75,15 @@ class UdpTransport : public Transport {
   NodeMessageStats stats() const;
 
  private:
+  friend class UdpBatchSender;
+
   void ReceiverThread();
   void SendFrame(NodeId dst, MessageClass cls,
                  const std::vector<uint8_t>& frame);
+  // Resolves a peer's loopback address; false (and one counted send failure)
+  // when the peer was never registered.
+  bool ResolvePeer(NodeId dst, struct sockaddr_in* addr);
+  void CountSendFailure();
   static std::vector<uint8_t> BuildFrame(NodeId sender, MessageClass cls,
                                          const std::vector<uint8_t>& payload);
   // Writes [sender u32][class u8] into the reusable send frame; the caller
@@ -84,6 +105,7 @@ class UdpTransport : public Transport {
 
   NodeId self_;
   EventLoop* loop_;
+  RawHandler raw_handler_;  // set before Start(); receiver thread only
   std::shared_ptr<ReceiveState> recv_state_;
   // fd_mu_ serializes sendto against close: EventLoop callbacks may still be
   // sending replies while the owner tears the transport down. recvfrom needs
@@ -103,6 +125,57 @@ class UdpTransport : public Transport {
   // or stats readers.
   std::mutex send_mu_;
   std::vector<uint8_t> send_frame_;
+};
+
+// Per-shard outbound batcher: a Transport that queues encoded frames and
+// puts them on the wire with one ::sendmmsg per flush instead of one
+// ::sendto per reply. NOT thread-safe -- each shard thread owns exactly
+// one, so the encode scratch buffers are uncontended (the shared
+// UdpTransport::Send path takes send_mu_ on every call, which would
+// serialize the shards again).
+//
+// The owner must call Flush() at its batch boundary (the shard loop's idle
+// hook); sends also self-flush at capacity. Frame buffers are retained
+// across flushes, so a steady-state shard allocates nothing to send.
+class UdpBatchSender : public Transport {
+ public:
+  // Batches up to `max_batch` frames per sendmmsg (kernel caps at UIO_MAXIOV;
+  // modest batches keep per-flush latency low).
+  explicit UdpBatchSender(UdpTransport* transport, size_t max_batch = 32);
+
+  UdpBatchSender(const UdpBatchSender&) = delete;
+  UdpBatchSender& operator=(const UdpBatchSender&) = delete;
+
+  NodeId local_node() const override { return transport_->local_node(); }
+  void Send(NodeId dst, MessageClass cls, std::vector<uint8_t> bytes) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 std::vector<uint8_t> bytes) override;
+  void Send(NodeId dst, MessageClass cls, Packet packet) override;
+  void Multicast(std::span<const NodeId> dst, MessageClass cls,
+                 Packet packet) override;
+
+  void Flush();
+  size_t pending() const { return pending_; }
+
+ private:
+  // One queued datagram: destination plus its encoded frame.
+  struct Slot {
+    struct sockaddr_in addr;
+    std::vector<uint8_t> frame;
+  };
+
+  // Returns the slot to encode into (flushes first when full), or null when
+  // the destination is unregistered (counted as a send failure).
+  Slot* NextSlot(NodeId dst);
+  void WriteHeader(std::vector<uint8_t>* frame, MessageClass cls);
+  void CountSent(MessageClass cls);
+  // Queues a copy of `scratch_` (an already-framed datagram) per recipient.
+  void QueueScratchTo(std::span<const NodeId> dst);
+
+  UdpTransport* transport_;
+  std::vector<Slot> slots_;
+  size_t pending_ = 0;
+  std::vector<uint8_t> scratch_;  // multicast encode-once buffer
 };
 
 }  // namespace leases

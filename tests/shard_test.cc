@@ -1,0 +1,249 @@
+// Sharded grant plane: routing invariants and the sharded-vs-single-shard
+// differential -- the same seeded workload must produce identical
+// oracle-checked protocol outcomes whether the server runs as one
+// LeaseServer or as N FileId-partitioned shards.
+#include <gtest/gtest.h>
+
+#include "src/core/shard_router.h"
+#include "src/core/sharded_lease_server.h"
+#include "src/workload/poisson_driver.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+// --- Router unit tests ---
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero) {
+  Packet read = ReadRequest{RequestId(7), FileId(12345)};
+  ShardRoute route = RouteServerPacket(read, 1);
+  EXPECT_EQ(route.kind, ShardRouteKind::kSingle);
+  EXPECT_EQ(route.shard, 0u);
+}
+
+TEST(ShardRouterTest, AllMessagesForOneFileAgreeOnTheShard) {
+  // The routing invariant: every message touching file F lands on the same
+  // shard, whatever the message type.
+  for (uint64_t f = 1; f < 200; ++f) {
+    for (size_t shards : {2u, 4u, 7u, 8u}) {
+      size_t expect = ShardIndexOf(FileId(f), shards);
+      Packet read = ReadRequest{RequestId(1), FileId(f)};
+      Packet write = WriteRequest{RequestId(2), FileId(f)};
+      Packet approve = ApproveReply{77, FileId(f)};
+      Packet extend =
+          ExtendRequest{RequestId(3), {ExtendItem{FileId(f), 1}}};
+      Packet rel = Relinquish{{LeaseKey(f)}};  // private-cover invariant
+      for (const Packet* p : {&read, &write, &approve, &extend, &rel}) {
+        ShardRoute route = RouteServerPacket(*p, shards);
+        EXPECT_EQ(route.kind, ShardRouteKind::kSingle);
+        EXPECT_EQ(route.shard, expect) << "file " << f << " shards " << shards;
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, MixedBatchesAreSplit) {
+  // Find two files on different shards of 4.
+  FileId a(1);
+  FileId b(2);
+  while (ShardIndexOf(b, 4) == ShardIndexOf(a, 4)) {
+    b = FileId(b.value() + 1);
+  }
+  Packet extend = ExtendRequest{
+      RequestId(9), {ExtendItem{a, 1}, ExtendItem{b, 1}}};
+  EXPECT_EQ(RouteServerPacket(extend, 4).kind, ShardRouteKind::kSplit);
+  Packet rel = Relinquish{{LeaseKey(a.value()), LeaseKey(b.value())}};
+  EXPECT_EQ(RouteServerPacket(rel, 4).kind, ShardRouteKind::kSplit);
+  // Same batches on one shard stay single.
+  Packet same = ExtendRequest{
+      RequestId(9), {ExtendItem{a, 1}, ExtendItem{a, 2}}};
+  EXPECT_EQ(RouteServerPacket(same, 4).kind, ShardRouteKind::kSingle);
+}
+
+TEST(ShardRouterTest, SequentialIdsSpreadAcrossShards) {
+  // CreatePath hands out sequential ids; the mix must spread them instead of
+  // striping whole ranges onto one shard.
+  constexpr size_t kShards = 8;
+  size_t counts[kShards] = {};
+  constexpr uint64_t kFiles = 4096;
+  for (uint64_t f = 1; f <= kFiles; ++f) {
+    ++counts[ShardIndexOf(FileId(f), kShards)];
+  }
+  for (size_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], kFiles / kShards / 2) << "shard " << s;
+    EXPECT_LT(counts[s], kFiles / kShards * 2) << "shard " << s;
+  }
+}
+
+// --- Sharded cluster end-to-end ---
+
+TEST(ShardedClusterTest, BasicReadWriteAcrossShards) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 3, 1);
+  options.num_shards = 4;
+  SimCluster cluster(options);
+  ASSERT_TRUE(cluster.sharded());
+
+  // Enough files to hit several shards.
+  std::vector<FileId> files;
+  for (int i = 0; i < 8; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/d/f" + std::to_string(i), FileClass::kNormal, Bytes("v0")));
+  }
+  for (FileId f : files) {
+    auto read = cluster.SyncRead(0, f);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(Text(read.value().data), "v0");
+  }
+  for (size_t i = 0; i < files.size(); ++i) {
+    auto write = cluster.SyncWrite(1, files[i], Bytes("v1"));
+    ASSERT_TRUE(write.ok()) << "file " << i;
+  }
+  for (FileId f : files) {
+    auto read = cluster.SyncRead(2, f);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(Text(read.value().data), "v1");
+  }
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+
+  ServerStats stats = cluster.server_stats();
+  EXPECT_EQ(stats.writes_committed, files.size());
+  // The workload really did exercise more than one shard.
+  size_t active_shards = 0;
+  for (size_t s = 0; s < cluster.sharded_server().num_shards(); ++s) {
+    const ServerStats& shard = cluster.sharded_server().shard(s).stats();
+    active_shards += (shard.reads_served + shard.writes_committed) > 0;
+  }
+  EXPECT_GT(active_shards, 1u);
+}
+
+TEST(ShardedClusterTest, CrossShardBatchedExtendMergesOneReply) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(2), 2, 3);
+  options.num_shards = 8;
+  options.client.batch_extensions = true;
+  SimCluster cluster(options);
+
+  std::vector<FileId> files;
+  for (int i = 0; i < 12; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/g/f" + std::to_string(i), FileClass::kNormal, Bytes("x")));
+  }
+  // Client 0 holds leases over files on many shards...
+  for (FileId f : files) {
+    ASSERT_TRUE(cluster.SyncRead(0, f).ok());
+  }
+  // ...lets them lapse, then one read triggers a batched extension that
+  // spans shards; it must complete (i.e. the merged reply reached the
+  // client) and refresh every lease.
+  cluster.RunFor(Duration::Seconds(3));
+  auto read = cluster.SyncRead(0, files[0]);
+  ASSERT_TRUE(read.ok());
+  cluster.RunFor(Duration::Seconds(1));
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+
+  ServerStats stats = cluster.server_stats();
+  EXPECT_GE(stats.extension_items, files.size());
+}
+
+TEST(ShardedClusterTest, ShardedCrashRecoveryHoldsWrites) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 3, 5);
+  options.num_shards = 4;
+  SimCluster cluster(options);
+  FileId file =
+      *cluster.store().CreatePath("/r/f", FileClass::kNormal, Bytes("a"));
+  ASSERT_TRUE(cluster.SyncRead(0, file).ok());
+  ASSERT_TRUE(cluster.SyncRead(1, file).ok());
+
+  cluster.CrashServer();
+  cluster.RunFor(Duration::Seconds(1));
+  cluster.RestartServer();
+
+  // The owning shard recovered its max-term record, so the write waits out
+  // the possible outstanding leases instead of clobbering them.
+  auto write = cluster.SyncWrite(2, file, Bytes("b"), Duration::Seconds(60));
+  ASSERT_TRUE(write.ok());
+  ServerStats stats = cluster.server_stats();
+  EXPECT_GT(stats.recovery_window, Duration::Zero());
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+
+  auto read = cluster.SyncRead(0, file, Duration::Seconds(60));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(Text(read.value().data), "b");
+}
+
+// --- The differential: sharded vs plain, same seed, same workload ---
+
+struct DifferentialOutcome {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t failures = 0;
+  uint64_t oracle_violations = 0;
+  // Mode-invariant counters (extension_requests is deliberately excluded:
+  // a split extend counts once per shard it touches).
+  uint64_t reads_served = 0;
+  uint64_t not_modified = 0;
+  uint64_t extension_items = 0;
+  uint64_t leases_granted = 0;
+  uint64_t writes_received = 0;
+  uint64_t writes_committed = 0;
+  uint64_t relinquishes = 0;
+  // Final committed state of every group file.
+  std::vector<std::pair<uint64_t, std::string>> final_files;
+
+  bool operator==(const DifferentialOutcome&) const = default;
+};
+
+DifferentialOutcome RunWorkload(size_t num_shards, uint64_t seed) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 12,
+                                               seed);
+  options.num_shards = num_shards;
+  SimCluster cluster(options);
+  PoissonOptions poisson;
+  poisson.sharing = 4;
+  poisson.seed = seed;
+  poisson.measure = Duration::Seconds(300);
+  PoissonDriver driver(&cluster, poisson);
+  driver.Setup();
+  WorkloadReport report = driver.Run();
+
+  DifferentialOutcome out;
+  out.reads = report.reads;
+  out.writes = report.writes;
+  out.failures = report.failures;
+  out.oracle_violations = cluster.oracle().violations();
+  ServerStats stats = cluster.server_stats();
+  out.reads_served = stats.reads_served;
+  out.not_modified = stats.not_modified_replies;
+  out.extension_items = stats.extension_items;
+  out.leases_granted = stats.leases_granted;
+  out.writes_received = stats.writes_received;
+  out.writes_committed = stats.writes_committed;
+  out.relinquishes = stats.relinquishes;
+  for (FileId f : cluster.store().AllFiles()) {
+    const FileRecord* rec = cluster.sharded()
+                                ? cluster.sharded_server().FindRecord(f)
+                                : cluster.store().Find(f);
+    out.final_files.emplace_back(rec->version, Text(rec->data));
+  }
+  return out;
+}
+
+TEST(ShardDifferentialTest, ShardedMatchesPlainServerExactly) {
+  for (uint64_t seed : {11u, 42u}) {
+    DifferentialOutcome plain = RunWorkload(1, seed);
+    ASSERT_EQ(plain.oracle_violations, 0u);
+    ASSERT_EQ(plain.failures, 0u);
+    for (size_t shards : {2u, 8u}) {
+      DifferentialOutcome sharded = RunWorkload(shards, seed);
+      EXPECT_EQ(plain, sharded) << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(ShardDifferentialTest, ShardedRunIsDeterministic) {
+  DifferentialOutcome a = RunWorkload(4, 77);
+  DifferentialOutcome b = RunWorkload(4, 77);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace leases

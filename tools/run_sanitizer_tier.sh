@@ -33,10 +33,14 @@ fi
 
 # The sanitizer-relevant surface: the allocation-free scheduler, the typed
 # message fast path + pooled buffers, the codec the conformance mode leans
-# on, and the durable storage plane (raw-fd journal I/O plus the crash-point
-# matrix, which ASan checks for leaks/overflows across injected crashes).
+# on, the durable storage plane (raw-fd journal I/O plus the crash-point
+# matrix, which ASan checks for leaks/overflows across injected crashes),
+# and the sharded grant plane -- shard_test covers the routing/split logic,
+# shard_concurrency_test hammers the shard threads, SPSC rings and batched
+# UDP senders, which is exactly the surface TSan exists to check.
 targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
-         runtime_test event_loop_test storage_test journal_crash_test)
+         runtime_test event_loop_test storage_test journal_crash_test
+         shard_test shard_concurrency_test)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
