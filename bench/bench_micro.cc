@@ -23,9 +23,11 @@
 #include "bench/shard_bench.h"
 #include "bench/sweep_runner.h"
 #include "src/core/lease_table.h"
+#include "src/core/swarm_cluster.h"
 #include "src/net/sim_network.h"
 #include "src/core/sim_cluster.h"
 #include "src/fs/file_store.h"
+#include "src/metrics/mem_probe.h"
 #include "src/proto/messages.h"
 #include "src/sim/simulator.h"
 #include "src/workload/v_config.h"
@@ -428,7 +430,34 @@ double MeasureLeaseOpsPerSec(bool force_wire, uint64_t* ops) {
   return static_cast<double>(*ops) / elapsed;
 }
 
+// Measured steady-state memory of one simulated swarm client: peak-RSS
+// delta across building and exercising a 200k-member installed-lease swarm,
+// divided by the member count. Must run before any other measurement so the
+// process high-water mark is attributable to the swarm, not a sweep.
+size_t MeasureBytesPerClient(uint32_t* clients_out) {
+  const uint32_t kClients = 200'000;
+  *clients_out = kClients;
+  size_t before = PeakRssBytes();
+  if (before == 0) {
+    return 0;  // probe unavailable on this platform
+  }
+  SwarmClusterOptions options;
+  options.num_members = kClients;
+  options.num_servers = 2;
+  options.net.proc_time = Duration::Micros(10);
+  options.swarm.read_period = Duration::Seconds(10);
+  SwarmCluster cluster(options);
+  // Long enough for every member to fetch, hold a lease and be renewed by
+  // multicast: the steady state the budget is defined over.
+  cluster.RunFor(Duration::Seconds(30));
+  size_t after = PeakRssBytes();
+  return after > before ? (after - before) / kClients : 0;
+}
+
 int WriteBenchCore(const char* path) {
+  uint32_t mem_clients = 0;
+  size_t bytes_per_client = MeasureBytesPerClient(&mem_clients);
+
   uint64_t events = 0;
   uint64_t mixed_events = 0;
   double events_per_sec = MeasureChainEventsPerSec(&events);
@@ -474,7 +503,11 @@ int WriteBenchCore(const char* path) {
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 3,\n"
+               "  \"schema\": 4,\n"
+               "  \"memory\": {\n"
+               "    \"swarm_clients\": %u,\n"
+               "    \"bytes_per_client\": %zu\n"
+               "  },\n"
                "  \"scheduler\": {\n"
                "    \"events\": %llu,\n"
                "    \"events_per_sec\": %.0f,\n"
@@ -513,6 +546,7 @@ int WriteBenchCore(const char* path) {
                "    \"degraded\": %s\n"
                "  }\n"
                "}\n",
+               mem_clients, bytes_per_client,
                static_cast<unsigned long long>(events), events_per_sec,
                1e9 / events_per_sec, mixed_per_sec, cancel_ops,
                static_cast<unsigned long long>(pump_messages), pump_wire,
@@ -528,6 +562,8 @@ int WriteBenchCore(const char* path) {
                    : 0,
                shard_degraded ? "true" : "false");
   std::fclose(f);
+  std::printf("  memory: %zu bytes/client over %u swarm clients\n",
+              bytes_per_client, mem_clients);
   std::printf("wrote %s: %.1fM events/s (%.1f ns/event), %.1fM mixed-horizon "
               "events/s, %.1fM sched+cancel ops/s\n"
               "  protocol: pump %.2fM -> %.2fM msgs/s (%.2fx typed), "

@@ -1,0 +1,449 @@
+// bench_swarm: the million-client scaling bench.
+//
+// Sweeps the swarm harness from 1k to 100k simulated clients (plus a 1M
+// smoke point) under three consistency planes and writes BENCH_SWARM.json:
+//
+//  - installed: the paper's §4/§5 design -- shared files under directory
+//    cover keys, renewed for the whole population by one periodic server
+//    multicast to the group address. The headline claim: server grant-plane
+//    load and multicast traffic stay ~flat as the client count grows 1000x.
+//  - plain: per-file leases, every member re-fetches at expiry. Server
+//    load grows linearly with N (the no-multicast lease baseline).
+//  - zeroterm: no caching at all, every read is a server round trip (the
+//    paper's "no lease" column; load is exactly proportional to N).
+//
+// The memory claim is measured, not computed: peak-RSS delta across the
+// largest installed run divided by the client count must come in under the
+// 256-byte budget (mem_probe.h).
+//
+// A thundering-herd scenario partitions the whole swarm for longer than the
+// lease term, writes behind its back, heals, and checks that (a) the grant
+// queue's admission control sheds the reconnection flood within its bound,
+// (b) jittered client backoff drains it, and (c) the oracle scores zero
+// consistency violations end to end.
+//
+// `--smoke` runs a 10k-client subset with the same assertions in bounded
+// wall time; the `swarm` ctest label runs it in CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/swarm_cluster.h"
+#include "src/metrics/mem_probe.h"
+
+// Sanitizer builds blow up peak RSS with shadow memory and redzones (~10x),
+// so the per-client RSS figure measures the instrumentation, not the swarm
+// arrays. Detect them at compile time and report the number without gating
+// acceptance on it; the array-accounting bound in swarm_test still applies.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LEASES_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define LEASES_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef LEASES_BENCH_SANITIZED
+#define LEASES_BENCH_SANITIZED 0
+#endif
+
+namespace leases {
+namespace {
+
+struct SweepRow {
+  std::string mode;
+  uint32_t clients = 0;
+  uint32_t servers = 0;
+  double sim_seconds = 0;
+  // Paper metric: messages handled (sent or received) by all servers per
+  // simulated second, measured after warmup.
+  double server_msgs_per_sec = 0;
+  double multicasts_per_sec = 0;
+  uint64_t reads = 0;
+  double local_fraction = 0;
+  uint64_t remote_fetches = 0;
+  uint64_t violations = 0;
+  size_t approx_bytes_per_client = 0;
+  size_t rss_bytes_per_client = 0;  // zero when not measured on this row
+};
+
+SwarmClusterOptions BaseOptions(const std::string& mode, uint32_t clients) {
+  SwarmClusterOptions o;
+  o.num_members = clients;
+  o.num_servers = 4;
+  o.files_per_server = 4;
+  // The default 1 ms per-message CPU would cap a server at ~1k msgs/s and
+  // mask the linear growth of the baselines; 10 us keeps every point far
+  // from CPU saturation so the message counts speak for themselves.
+  o.net.proc_time = Duration::Micros(10);
+  o.term = Duration::Seconds(20);
+  o.multicast_period = Duration::Seconds(2);
+  o.swarm.read_period = Duration::Seconds(5);
+  if (mode == "plain") {
+    o.installed = false;
+  } else if (mode == "zeroterm") {
+    o.installed = false;
+    o.zero_term = true;
+  }
+  return o;
+}
+
+SweepRow MeasurePoint(const std::string& mode, uint32_t clients,
+                      Duration warmup, Duration measure, bool measure_rss) {
+  size_t rss_before = measure_rss ? PeakRssBytes() : 0;
+  SwarmClusterOptions options = BaseOptions(mode, clients);
+  SwarmCluster cluster(options);
+
+  cluster.RunFor(warmup);
+  cluster.network().ResetStats();
+  SwarmStats swarm_before = cluster.swarm().stats();
+  uint64_t multicasts_before = cluster.MergedServerStats().installed_multicasts;
+
+  cluster.RunFor(measure);
+
+  SweepRow row;
+  row.mode = mode;
+  row.clients = clients;
+  row.servers = options.num_servers;
+  row.sim_seconds = measure.ToMicros() * 1e-6;
+  row.server_msgs_per_sec = cluster.TotalServerHandled() / row.sim_seconds;
+  row.multicasts_per_sec =
+      (cluster.MergedServerStats().installed_multicasts - multicasts_before) /
+      row.sim_seconds;
+  const SwarmStats& after = cluster.swarm().stats();
+  row.reads = after.reads - swarm_before.reads;
+  row.local_fraction =
+      row.reads > 0
+          ? static_cast<double>(after.local_reads - swarm_before.local_reads) /
+                row.reads
+          : 0;
+  row.remote_fetches = after.remote_fetches - swarm_before.remote_fetches;
+  row.violations = cluster.TotalViolations();
+  row.approx_bytes_per_client = cluster.swarm().ApproxBytesPerMember();
+  if (measure_rss) {
+    size_t rss_after = PeakRssBytes();
+    if (rss_after > rss_before && clients > 0) {
+      row.rss_bytes_per_client = (rss_after - rss_before) / clients;
+    }
+  }
+  return row;
+}
+
+struct HerdResult {
+  uint32_t clients = 0;
+  size_t grant_queue_limit = 0;
+  uint64_t grants_shed = 0;
+  uint64_t grant_backlog_peak = 0;
+  uint64_t unavailable_backoffs = 0;
+  uint64_t suspects_marked = 0;
+  uint64_t violations = 0;
+  bool write_acked = false;
+  bool swarm_recovered = false;
+  bool ok = false;
+};
+
+// Partition the whole swarm past the lease term, write behind its back,
+// heal, and let admission control + jittered backoff absorb the stampede.
+HerdResult RunHerd(uint32_t clients) {
+  SwarmClusterOptions options = BaseOptions("installed", clients);
+  options.num_servers = 2;
+  // Sized so the post-heal revalidation flood (the population's in-flight
+  // retransmits land within one request_timeout of the heal) genuinely
+  // exceeds the drain rate: shedding MUST happen, and backoff must still
+  // converge the population afterwards.
+  options.server.grant_queue_limit = 512;
+  options.server.grant_drain_rate = 1000.0;
+  // An installed write is deferred until the advertised window drains
+  // (up to a full term); the writer must keep retransmitting past it.
+  options.writer.max_retries = 20;
+  SwarmCluster cluster(options);
+
+  // Warm: every member acquires data and a renewing lease.
+  cluster.RunFor(Duration::Seconds(30));
+
+  cluster.PartitionSwarm(true);
+  cluster.RunFor(Duration::Seconds(5));
+
+  // Write while the swarm is dark. The installed write drops the cover key
+  // from the multicast and waits out the advertised window, so the ack --
+  // which raises the oracle's read floor -- arrives only after every
+  // member-held lease has provably lapsed.
+  std::optional<Result<WriteResult>> write_done;
+  cluster.writer(0).Write(
+      cluster.homes()[0].file, std::vector<uint8_t>{1, 2, 3},
+      [&write_done](Result<WriteResult> r) { write_done = std::move(r); });
+
+  // Hold the partition past the 20 s term: every lease lapses.
+  cluster.RunFor(Duration::Seconds(25));
+  cluster.PartitionSwarm(false);
+
+  // The heal: renewals mark lapsed members suspect, the whole population
+  // revalidates, the grant queue sheds the spike, backoff drains it.
+  cluster.RunFor(Duration::Seconds(60));
+
+  SwarmStats sstats = cluster.swarm().stats();
+  uint64_t local_before = sstats.local_reads;
+  cluster.RunFor(Duration::Seconds(10));
+
+  HerdResult result;
+  result.clients = clients;
+  result.grant_queue_limit = options.server.grant_queue_limit;
+  ServerStats server = cluster.MergedServerStats();
+  result.grants_shed = server.grants_shed;
+  result.grant_backlog_peak = server.grant_backlog_peak;
+  result.unavailable_backoffs = cluster.swarm().stats().unavailable_backoffs;
+  result.suspects_marked = cluster.swarm().stats().suspects_marked;
+  result.violations = cluster.TotalViolations();
+  result.write_acked = write_done.has_value() && write_done->ok();
+  // Recovered = the population is serving locally again after the storm.
+  result.swarm_recovered =
+      cluster.swarm().stats().local_reads - local_before > clients / 2;
+  result.ok = result.violations == 0 && result.write_acked &&
+              result.grants_shed > 0 &&
+              result.grant_backlog_peak <= result.grant_queue_limit &&
+              result.swarm_recovered;
+  return result;
+}
+
+void PrintRow(const SweepRow& row) {
+  std::printf(
+      "  %-9s %8u clients: %10.1f server msgs/s, %5.2f multicasts/s, "
+      "local %.3f, fetches %llu, violations %llu, %zu B/client (array)%s\n",
+      row.mode.c_str(), row.clients, row.server_msgs_per_sec,
+      row.multicasts_per_sec, row.local_fraction,
+      static_cast<unsigned long long>(row.remote_fetches),
+      static_cast<unsigned long long>(row.violations),
+      row.approx_bytes_per_client,
+      row.rss_bytes_per_client > 0
+          ? (", " + std::to_string(row.rss_bytes_per_client) + " B/client RSS")
+                .c_str()
+          : "");
+}
+
+void WriteRowJson(std::FILE* f, const SweepRow& row, bool last) {
+  std::fprintf(
+      f,
+      "    {\"mode\": \"%s\", \"clients\": %u, \"servers\": %u, "
+      "\"sim_seconds\": %.0f, \"server_msgs_per_sec\": %.1f, "
+      "\"multicasts_per_sec\": %.2f, \"reads\": %llu, "
+      "\"local_fraction\": %.4f, \"remote_fetches\": %llu, "
+      "\"violations\": %llu, \"approx_bytes_per_client\": %zu, "
+      "\"rss_bytes_per_client\": %zu}%s\n",
+      row.mode.c_str(), row.clients, row.servers, row.sim_seconds,
+      row.server_msgs_per_sec, row.multicasts_per_sec,
+      static_cast<unsigned long long>(row.reads), row.local_fraction,
+      static_cast<unsigned long long>(row.remote_fetches),
+      static_cast<unsigned long long>(row.violations),
+      row.approx_bytes_per_client, row.rss_bytes_per_client,
+      last ? "" : ",");
+}
+
+const SweepRow* FindRow(const std::vector<SweepRow>& rows,
+                        const std::string& mode, uint32_t clients) {
+  for (const SweepRow& row : rows) {
+    if (row.mode == mode && row.clients == clients) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+int RunBench(bool smoke, const char* json_path) {
+  const Duration warmup = Duration::Seconds(30);
+  const Duration measure = smoke ? Duration::Seconds(60)
+                                 : Duration::Seconds(120);
+  std::vector<uint32_t> sizes =
+      smoke ? std::vector<uint32_t>{1000, 10000}
+            : std::vector<uint32_t>{1000, 10000, 100000};
+  uint32_t largest = sizes.back();
+
+  std::vector<SweepRow> rows;
+  // The RSS probe uses the peak high-water mark, which never decreases, so
+  // the single measured row must be the largest allocation of the whole
+  // process: run it first.
+  std::printf("bench_swarm%s: sweeping %zu sizes x 3 modes\n",
+              smoke ? " --smoke" : "", sizes.size());
+  rows.push_back(MeasurePoint("installed", largest, warmup, measure,
+                              /*measure_rss=*/true));
+  PrintRow(rows.back());
+  for (uint32_t clients : sizes) {
+    for (const char* mode : {"installed", "plain", "zeroterm"}) {
+      if (clients == largest && std::strcmp(mode, "installed") == 0) {
+        continue;  // already measured (first, for the RSS probe)
+      }
+      rows.push_back(MeasurePoint(mode, clients, warmup, measure,
+                                  /*measure_rss=*/false));
+      PrintRow(rows.back());
+    }
+  }
+
+  // 1M smoke: the installed plane finishes a million-client run in bounded
+  // time. Longer read period keeps host wall time proportional to events,
+  // not clients.
+  std::optional<SweepRow> million;
+  if (!smoke) {
+    SwarmClusterOptions options = BaseOptions("installed", 1'000'000);
+    options.swarm.read_period = Duration::Seconds(20);
+    SwarmCluster cluster(options);
+    size_t rss_before = PeakRssBytes();  // sweep peak already includes 100k
+    cluster.RunFor(Duration::Seconds(40));
+    cluster.network().ResetStats();
+    uint64_t multicasts_before =
+        cluster.MergedServerStats().installed_multicasts;
+    cluster.RunFor(Duration::Seconds(60));
+    SweepRow row;
+    row.mode = "installed-1m";
+    row.clients = 1'000'000;
+    row.servers = options.num_servers;
+    row.sim_seconds = 60;
+    row.server_msgs_per_sec = cluster.TotalServerHandled() / 60.0;
+    row.multicasts_per_sec =
+        (cluster.MergedServerStats().installed_multicasts -
+         multicasts_before) /
+        60.0;
+    row.reads = cluster.swarm().stats().reads;
+    row.local_fraction =
+        row.reads > 0 ? static_cast<double>(cluster.swarm().stats().local_reads) /
+                            row.reads
+                      : 0;
+    row.violations = cluster.TotalViolations();
+    row.approx_bytes_per_client = cluster.swarm().ApproxBytesPerMember();
+    size_t rss_after = PeakRssBytes();
+    if (rss_after > rss_before) {
+      row.rss_bytes_per_client = (rss_after - rss_before) / row.clients;
+    }
+    million = row;
+    PrintRow(row);
+  }
+
+  HerdResult herd = RunHerd(smoke ? 10'000 : 20'000);
+  std::printf(
+      "  herd      %8u clients: shed %llu, backlog peak %llu (limit %zu), "
+      "backoffs %llu, suspects %llu, violations %llu, recovered=%s -> %s\n",
+      herd.clients, static_cast<unsigned long long>(herd.grants_shed),
+      static_cast<unsigned long long>(herd.grant_backlog_peak),
+      herd.grant_queue_limit,
+      static_cast<unsigned long long>(herd.unavailable_backoffs),
+      static_cast<unsigned long long>(herd.suspects_marked),
+      static_cast<unsigned long long>(herd.violations),
+      herd.swarm_recovered ? "yes" : "no", herd.ok ? "OK" : "FAIL");
+
+  // Acceptance: installed server load within 2x across the sweep while the
+  // zero-term baseline grows with N (>= half the client ratio, i.e.
+  // genuinely linear); zero violations anywhere.
+  const SweepRow* installed_small = FindRow(rows, "installed", sizes.front());
+  const SweepRow* installed_large = FindRow(rows, "installed", largest);
+  const SweepRow* zero_small = FindRow(rows, "zeroterm", sizes.front());
+  const SweepRow* zero_large = FindRow(rows, "zeroterm", largest);
+  double client_ratio = static_cast<double>(largest) / sizes.front();
+  double installed_ratio =
+      installed_large->server_msgs_per_sec /
+      std::max(installed_small->server_msgs_per_sec, 1.0);
+  double zero_ratio = zero_large->server_msgs_per_sec /
+                      std::max(zero_small->server_msgs_per_sec, 1.0);
+  bool flat_ok = installed_ratio <= 2.0;
+  bool linear_ok = zero_ratio >= client_ratio / 2.0;
+  uint64_t total_violations = herd.violations;
+  for (const SweepRow& row : rows) {
+    total_violations += row.violations;
+  }
+  if (million.has_value()) {
+    total_violations += million->violations;
+  }
+  // Headline memory figure: the first row's probe is the clean one (it is
+  // the first large allocation of the process, so the peak delta is fully
+  // attributable); the 1M row's delta is only a cross-check, polluted by
+  // the sweep's own high-water mark.
+  size_t measured_rss = rows.front().rss_bytes_per_client;
+  if (measured_rss == 0 && million.has_value()) {
+    measured_rss = million->rss_bytes_per_client;
+  }
+  bool memory_ok = LEASES_BENCH_SANITIZED
+                       ? true
+                       : (measured_rss > 0 && measured_rss <= 256);
+  bool ok = flat_ok && linear_ok && herd.ok && total_violations == 0 &&
+            memory_ok;
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": 1,\n  \"smoke\": %s,\n  \"sweep\": [\n",
+               smoke ? "true" : "false");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    WriteRowJson(f, rows[i], i + 1 == rows.size() && !million.has_value());
+  }
+  if (million.has_value()) {
+    WriteRowJson(f, *million, true);
+  }
+  std::fprintf(
+      f,
+      "  ],\n"
+      "  \"scaling\": {\n"
+      "    \"client_ratio\": %.0f,\n"
+      "    \"installed_load_ratio\": %.3f,\n"
+      "    \"zeroterm_load_ratio\": %.3f,\n"
+      "    \"installed_flat_within_2x\": %s,\n"
+      "    \"zeroterm_linear\": %s\n"
+      "  },\n"
+      "  \"memory\": {\n"
+      "    \"rss_bytes_per_client\": %zu,\n"
+      "    \"budget_bytes\": 256,\n"
+      "    \"sanitized_build\": %s,\n"
+      "    \"within_budget\": %s\n"
+      "  },\n"
+      "  \"herd\": {\n"
+      "    \"clients\": %u,\n"
+      "    \"grant_queue_limit\": %zu,\n"
+      "    \"grants_shed\": %llu,\n"
+      "    \"grant_backlog_peak\": %llu,\n"
+      "    \"unavailable_backoffs\": %llu,\n"
+      "    \"suspects_marked\": %llu,\n"
+      "    \"violations\": %llu,\n"
+      "    \"write_acked\": %s,\n"
+      "    \"swarm_recovered\": %s,\n"
+      "    \"ok\": %s\n"
+      "  },\n"
+      "  \"ok\": %s\n"
+      "}\n",
+      client_ratio, installed_ratio, zero_ratio, flat_ok ? "true" : "false",
+      linear_ok ? "true" : "false", measured_rss,
+      LEASES_BENCH_SANITIZED ? "true" : "false",
+      memory_ok ? "true" : "false", herd.clients, herd.grant_queue_limit,
+      static_cast<unsigned long long>(herd.grants_shed),
+      static_cast<unsigned long long>(herd.grant_backlog_peak),
+      static_cast<unsigned long long>(herd.unavailable_backoffs),
+      static_cast<unsigned long long>(herd.suspects_marked),
+      static_cast<unsigned long long>(herd.violations),
+      herd.write_acked ? "true" : "false",
+      herd.swarm_recovered ? "true" : "false", herd.ok ? "true" : "false",
+      ok ? "true" : "false");
+  std::fclose(f);
+  std::printf(
+      "wrote %s: installed %.2fx vs zeroterm %.0fx over a %.0fx client "
+      "sweep; %zu B/client RSS%s; herd %s -> %s\n",
+      json_path, installed_ratio, zero_ratio, client_ratio, measured_rss,
+      LEASES_BENCH_SANITIZED ? " (sanitized build, budget not gated)" : "",
+      herd.ok ? "ok" : "FAIL", ok ? "OK" : "FAIL");
+  return ok ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace leases
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  const char* json_path = "BENCH_SWARM.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  return leases::RunBench(smoke, json_path);
+}

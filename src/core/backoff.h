@@ -1,0 +1,57 @@
+// Deterministic jittered delays shared by the retry and extension paths.
+//
+// Everything here is a pure function of its arguments: no RNG stream is
+// consumed, so enabling jitter on one node cannot shift the fault plane or
+// the loss draws of a deterministic simulation. The mixer is the
+// splitmix64 finalizer, which spreads consecutive (salt, n) pairs across
+// the full 64-bit range.
+#ifndef SRC_CORE_BACKOFF_H_
+#define SRC_CORE_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+
+namespace leases {
+
+// splitmix64 finalizer over a salted sequence position.
+inline uint64_t JitterHash(uint64_t salt, uint64_t n) {
+  uint64_t h = salt + 0x9e3779b97f4a7c15ULL * (n + 1);
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+// Exponential backoff with +/-25% deterministic jitter: base doubled per
+// retry up to cap, then jittered by a hash of (salt, retries) so a fleet
+// of clients shedding kUnavailable does not stampede back in lockstep.
+inline Duration JitteredBackoff(Duration base, Duration cap, int retries,
+                                uint64_t salt) {
+  int64_t delay = base.ToMicros();
+  for (int i = 0; i < retries && delay < cap.ToMicros(); ++i) delay *= 2;
+  if (delay > cap.ToMicros()) delay = cap.ToMicros();
+  int64_t spread = delay / 4;
+  if (spread > 0) {
+    uint64_t h = JitterHash(salt, static_cast<uint64_t>(retries));
+    delay += static_cast<int64_t>(h % static_cast<uint64_t>(2 * spread + 1)) -
+             spread;
+  }
+  if (delay < 1) delay = 1;
+  return Duration::Micros(delay);
+}
+
+// Symmetric jitter in [-spread, +spread] for timer de-synchronization.
+inline Duration SymmetricJitter(Duration spread, uint64_t salt, uint64_t n) {
+  int64_t s = spread.ToMicros();
+  if (s <= 0) return Duration::Zero();
+  uint64_t h = JitterHash(salt, n);
+  return Duration::Micros(
+      static_cast<int64_t>(h % static_cast<uint64_t>(2 * s + 1)) - s);
+}
+
+}  // namespace leases
+
+#endif  // SRC_CORE_BACKOFF_H_

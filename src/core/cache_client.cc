@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/logging.h"
 #include "src/common/path.h"
+#include "src/core/backoff.h"
 #include "src/fs/dir_codec.h"
 
 namespace leases {
@@ -300,6 +301,21 @@ void CacheClient::OnReadReply(const ReadReply& m) {
   if (it == fetches_.end() || it->second.is_extend) {
     return;  // duplicate or late reply
   }
+  if (m.status == ErrorCode::kUnavailable &&
+      it->second.retries < params_.max_retries) {
+    // The grant-plane admission control shed this read. Retry the same
+    // request id after a jittered exponential backoff, exactly like the
+    // recovering-server write path in OnWriteReply.
+    PendingFetch& fetch = it->second;
+    if (fetch.timer.valid()) {
+      timers_->CancelTimer(fetch.timer);
+    }
+    ++stats_.unavailable_retries;
+    fetch.timer = timers_->ScheduleAfter(
+        UnavailableBackoff(fetch.retries, m.req.value()),
+        [this, req = m.req]() { ResendFetch(req); });
+    return;
+  }
   PendingFetch fetch = std::move(it->second);
   fetches_.erase(it);
   if (fetch.timer.valid()) {
@@ -351,6 +367,24 @@ void CacheClient::OnReadReply(const ReadReply& m) {
 void CacheClient::OnExtendReply(const ExtendReply& m) {
   auto it = fetches_.find(m.req);
   if (it == fetches_.end() || !it->second.is_extend) {
+    return;
+  }
+  bool all_unavailable = !m.items.empty();
+  for (const ExtendReplyItem& item : m.items) {
+    all_unavailable &= item.status == ErrorCode::kUnavailable;
+  }
+  if (all_unavailable && it->second.retries < params_.max_retries) {
+    // A shed extension: the server rejected the whole batch under
+    // admission control without touching lease state. Back off and retry
+    // rather than erasing cached entries that are merely un-extended.
+    PendingFetch& fetch = it->second;
+    if (fetch.timer.valid()) {
+      timers_->CancelTimer(fetch.timer);
+    }
+    ++stats_.unavailable_retries;
+    fetch.timer = timers_->ScheduleAfter(
+        UnavailableBackoff(fetch.retries, m.req.value()),
+        [this, req = m.req]() { ResendFetch(req); });
     return;
   }
   PendingFetch fetch = std::move(it->second);
@@ -536,28 +570,11 @@ void CacheClient::ResendWrite(RequestId req) {
 }
 
 Duration CacheClient::UnavailableBackoff(int retries, uint64_t salt) const {
-  int64_t base = params_.unavailable_backoff_base.ToMicros();
-  int64_t cap = params_.unavailable_backoff_max.ToMicros();
-  int shift = retries < 20 ? retries : 20;  // avoid undefined huge shifts
-  int64_t delay = base << shift;
-  if (delay > cap || delay <= 0) {
-    delay = cap;
-  }
   // +/-25% jitter from a splitmix-style hash of (request id, attempt): no
   // RNG stream is consumed, so simulations stay bit-reproducible, yet
   // concurrent clients (distinct request ids) decorrelate.
-  uint64_t h = salt + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(retries + 1);
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  int64_t spread = delay / 4;
-  if (spread > 0) {
-    delay += static_cast<int64_t>(h % (2 * static_cast<uint64_t>(spread) + 1)) -
-             spread;
-  }
-  return Duration::Micros(delay);
+  return JitteredBackoff(params_.unavailable_backoff_base,
+                         params_.unavailable_backoff_max, retries, salt);
 }
 
 void CacheClient::OnWriteReply(const WriteReply& m) {
@@ -795,6 +812,17 @@ void CacheClient::MaybeScheduleAnticipation() {
   Duration period = params_.anticipation_lead / 2;
   if (period < Duration::Millis(100)) {
     period = Duration::Millis(100);
+  }
+  if (params_.extension_jitter > Duration::Zero()) {
+    // De-synchronize extension timers across the fleet: offset each tick
+    // by a deterministic hash of (client id, tick counter). Clients booted
+    // in lockstep would otherwise extend in lockstep forever.
+    period += SymmetricJitter(params_.extension_jitter,
+                              0x736a6974746572ULL ^ id_.value(),
+                              ++anticipation_seq_);
+    if (period < Duration::Millis(50)) {
+      period = Duration::Millis(50);
+    }
   }
   anticipation_timer_ =
       timers_->ScheduleAfter(period, [this]() { AnticipationTick(); });

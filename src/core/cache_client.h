@@ -304,6 +304,8 @@ class CacheClient : public PacketHandler {
   std::map<uint64_t, std::pair<FileId, LeaseKey>> deferred_approvals_;
 
   TimerId anticipation_timer_;
+  // Tick counter salting the deterministic extension-jitter hash.
+  uint64_t anticipation_seq_ = 0;
   ClientStats stats_;
 };
 

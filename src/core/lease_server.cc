@@ -190,6 +190,14 @@ void LeaseServer::OnReadRequest(NodeId from, const ReadRequest& m) {
   reply.req = m.req;
   reply.file = m.file;
 
+  if (!AdmitGrantWork()) {
+    // Admission control: the grant queue is full, shed instead of buffering
+    // without bound. kUnavailable is retryable -- the client backs off.
+    reply.status = ErrorCode::kUnavailable;
+    SendTo(from, MessageClass::kData, reply);
+    return;
+  }
+
   const FileRecord* rec = store_->Find(m.file);
   if (rec == nullptr) {
     reply.status = ErrorCode::kNotFound;
@@ -222,6 +230,19 @@ void LeaseServer::OnExtendRequest(NodeId from, const ExtendRequest& m) {
   ExtendReply reply;
   reply.req = m.req;
   reply.items.reserve(m.items.size());
+  if (!AdmitGrantWork()) {
+    // Shed the whole batch without touching lease state; every item comes
+    // back kUnavailable so the client retries after backoff instead of
+    // dropping its cached entries.
+    for (const ExtendItem& item : m.items) {
+      ExtendReplyItem out;
+      out.file = item.file;
+      out.status = ErrorCode::kUnavailable;
+      reply.items.push_back(std::move(out));
+    }
+    SendTo(from, MessageClass::kConsistency, reply);
+    return;
+  }
   TimePoint now = clock_->Now();
   for (const ExtendItem& item : m.items) {
     ++stats_.extension_items;
@@ -816,14 +837,63 @@ void LeaseServer::InstalledMulticastTick() {
       [this]() { InstalledMulticastTick(); });
 }
 
+// --- Admission control ---
+
+bool LeaseServer::AdmitGrantWork() {
+  if (params_.grant_queue_limit == 0) {
+    return true;
+  }
+  TimePoint now = clock_->Now();
+  if (grant_drain_last_ == TimePoint()) {
+    grant_drain_last_ = now;
+  }
+  // Leaky bucket: backlog drains continuously at grant_drain_rate, each
+  // admitted request adds one unit. Shedding starts only once a full
+  // queue's worth of un-drained work has accumulated.
+  double drained = (now - grant_drain_last_).ToMicros() * 1e-6 *
+                   params_.grant_drain_rate;
+  grant_backlog_ -= drained;
+  if (grant_backlog_ < 0.0) {
+    grant_backlog_ = 0.0;
+  }
+  grant_drain_last_ = now;
+  if (grant_backlog_ + 1.0 > static_cast<double>(params_.grant_queue_limit)) {
+    ++stats_.grants_shed;
+    return false;
+  }
+  grant_backlog_ += 1.0;
+  uint64_t depth = static_cast<uint64_t>(grant_backlog_);
+  if (depth > stats_.grant_backlog_peak) {
+    stats_.grant_backlog_peak = depth;
+  }
+  return true;
+}
+
 // --- Plumbing ---
 
 void LeaseServer::RegisterClient(NodeId client) { RememberClient(client); }
 
-void LeaseServer::RememberClient(NodeId from) {
-  if (from.valid() && from != id_) {
-    clients_.insert(from);
+void LeaseServer::SetClientGroup(NodeId group, NodeId base, uint32_t count) {
+  group_addr_ = group;
+  group_base_ = base;
+  group_count_ = count;
+  if (count > 0) {
+    RememberClient(group);
   }
+}
+
+void LeaseServer::RememberClient(NodeId from) {
+  if (!from.valid() || from == id_) {
+    return;
+  }
+  if (group_count_ > 0 && from.value() >= group_base_.value() &&
+      from.value() - group_base_.value() < group_count_) {
+    // A swarm member: it is already covered by the group address, and
+    // inserting each of a million members here is exactly the per-client
+    // state the installed-file design exists to avoid.
+    return;
+  }
+  clients_.insert(from);
 }
 
 void LeaseServer::SendTo(NodeId to, MessageClass cls, Packet packet) {

@@ -70,6 +70,10 @@ struct ServerStats {
   uint64_t installed_multicasts = 0;
   uint64_t recovery_held_writes = 0;
   uint64_t recovery_shed_writes = 0;  // rejected kUnavailable at the limit
+
+  // --- Grant-plane admission control (zero when disabled) ---
+  uint64_t grants_shed = 0;        // reads/extends rejected kUnavailable
+  uint64_t grant_backlog_peak = 0; // high-water mark of the modeled queue
   Duration recovery_window;
   uint64_t recovered_lease_records = 0;
 
@@ -120,6 +124,14 @@ class LeaseServer : public PacketHandler {
   // Pre-registers a client for installed-file multicasts (clients are also
   // learned from their first request).
   void RegisterClient(NodeId client);
+
+  // Declares that NodeIds [base, base+count) are swarm members reachable
+  // through the single multicast group address `group`: the server records
+  // `group` once in its client set and never adds the members themselves,
+  // so a million-client swarm costs zero per-client server state -- the
+  // paper's multicast-group addressing for installed-file extension (§5).
+  // Unicast replies to individual members are unaffected.
+  void SetClientGroup(NodeId group, NodeId base, uint32_t count);
 
   const ServerStats& stats() const {
     RefreshDurabilityStats();
@@ -219,6 +231,12 @@ class LeaseServer : public PacketHandler {
   void InstalledMulticastTick();
   bool IsInstalledKey(LeaseKey key) const;
 
+  // --- Admission control ---
+  // Charges one unit of grant-plane work against the leaky-bucket backlog.
+  // False when the queue is full: the caller sheds the request with
+  // kUnavailable. Always true when grant_queue_limit == 0.
+  bool AdmitGrantWork();
+
   // Both entry points (decoded bytes and the typed fast path) funnel here.
   void DispatchPacket(NodeId from, const Packet& packet);
 
@@ -243,8 +261,17 @@ class LeaseServer : public PacketHandler {
 
   LeaseTable table_;
   std::set<NodeId> clients_;
+  // Swarm member range folded into one multicast group address (count == 0
+  // when unset). Members are never inserted into clients_.
+  NodeId group_addr_;
+  NodeId group_base_;
+  uint32_t group_count_ = 0;
   std::unordered_map<LeaseKey, InstalledKeyState> installed_keys_;
   TimerId installed_timer_;
+
+  // Leaky-bucket grant queue (see ServerParams::grant_queue_limit).
+  double grant_backlog_ = 0.0;
+  TimePoint grant_drain_last_;
 
   uint64_t next_write_seq_ = 0;
   std::map<uint64_t, PendingWrite> pending_;

@@ -7,6 +7,12 @@
 // dispatches Open/Read/Write to the per-server CacheClient, V-style. Each
 // mounted CacheClient keeps its own leases with its own server; consistency
 // composes because every datum has exactly one primary site.
+//
+// The routing core is a template over the mounted endpoint type: the
+// interactive plane mounts CacheClients (the MountRouter alias below), and
+// the swarm plane reuses the same longest-prefix table to shard a
+// million-client namespace across servers (BasicMountRouter<SwarmHome> in
+// swarm_cluster.h) -- one routing invariant for both.
 #ifndef SRC_CORE_MOUNT_ROUTER_H_
 #define SRC_CORE_MOUNT_ROUTER_H_
 
@@ -27,24 +33,49 @@ struct MountFile {
   bool valid() const { return client != nullptr && file.valid(); }
 };
 
-class MountRouter {
+// Longest-prefix mount table mapping absolute paths to an endpoint of type
+// `Client` plus the path relative to its mount point.
+template <typename Client>
+class BasicMountRouter {
  public:
   // Mounts `client` (bound to some server) at `prefix` ("/" allowed as the
   // root mount; otherwise no trailing slash, e.g. "/usr"). Longest prefix
-  // wins at resolution. The client must outlive the router.
-  void Mount(const std::string& prefix, CacheClient* client) {
-    mounts_.push_back(MountPoint{NormalizePrefix(prefix), client});
+  // wins at resolution. The client must outlive the router. Mounting an
+  // already-mounted prefix replaces its endpoint (a mount-table edit).
+  void Mount(const std::string& prefix, Client* client) {
+    std::string normalized = NormalizePrefix(prefix);
+    for (MountPoint& mount : mounts_) {
+      if (mount.prefix == normalized) {
+        mount.client = client;
+        return;
+      }
+    }
+    mounts_.push_back(MountPoint{std::move(normalized), client});
     std::sort(mounts_.begin(), mounts_.end(),
               [](const MountPoint& a, const MountPoint& b) {
                 return a.prefix.size() > b.prefix.size();
               });
   }
 
+  // Removes the mount at `prefix`; false when nothing was mounted there.
+  // Paths previously served by it fall through to the next-longest cover
+  // (or fail with kNotFound).
+  bool Unmount(const std::string& prefix) {
+    std::string normalized = NormalizePrefix(prefix);
+    for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
+      if (it->prefix == normalized) {
+        mounts_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   size_t mount_count() const { return mounts_.size(); }
 
   // Resolves which mount serves `path` and the path relative to it.
   struct Resolution {
-    CacheClient* client = nullptr;
+    Client* client = nullptr;
     std::string relative_path;
   };
   Result<Resolution> Route(const std::string& path) const {
@@ -64,7 +95,7 @@ class MountRouter {
   }
 
   // Open through the owning mount; the callback receives a MountFile usable
-  // with Read/Write below.
+  // with Read/Write below. Only instantiated for CacheClient-like endpoints.
   using MountOpenCallback =
       std::function<void(Result<std::pair<MountFile, OpenResult>>)>;
   void Open(const std::string& path, MountOpenCallback cb) const {
@@ -73,7 +104,7 @@ class MountRouter {
       cb(route.error());
       return;
     }
-    CacheClient* client = route->client;
+    Client* client = route->client;
     client->Open(route->relative_path,
                  [client, cb = std::move(cb)](Result<OpenResult> r) {
                    if (!r.ok()) {
@@ -95,7 +126,7 @@ class MountRouter {
  private:
   struct MountPoint {
     std::string prefix;  // "" for the root mount
-    CacheClient* client;
+    Client* client;
   };
 
   static std::string NormalizePrefix(const std::string& prefix) {
@@ -122,6 +153,8 @@ class MountRouter {
 
   std::vector<MountPoint> mounts_;
 };
+
+using MountRouter = BasicMountRouter<CacheClient>;
 
 }  // namespace leases
 

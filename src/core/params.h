@@ -66,6 +66,16 @@ struct ServerParams {
   // value -- leaves the sequence layout exactly as before. Bounds: at most
   // 64 shards, at most 2^26 writes per shard per incarnation.
   uint32_t shard_seq_salt = 0;
+
+  // --- Grant-plane admission control ---
+  // Bounded grant queue modeled as a leaky bucket over read/extend
+  // arrivals: each admitted request adds one unit of backlog, drained at
+  // grant_drain_rate units per second. When admitting one more request
+  // would push the backlog past grant_queue_limit, the request is shed
+  // with kUnavailable instead and the client retries with jittered
+  // exponential backoff. 0 disables admission control (default).
+  size_t grant_queue_limit = 0;
+  double grant_drain_rate = 10000.0;
 };
 
 struct ClientParams {
@@ -85,6 +95,14 @@ struct ClientParams {
   // (Section 4 option; costs server load when idle -- the A4 ablation).
   bool anticipatory_extension = false;
   Duration anticipation_lead = Duration::Seconds(1);
+
+  // De-synchronizes anticipatory extension timers across a fleet: each
+  // anticipation tick is offset by a value in [-extension_jitter,
+  // +extension_jitter] derived deterministically from the client id and a
+  // per-client tick counter (no RNG stream is consumed, so zero-jitter
+  // digests are unchanged). Without it, clients booted together extend in
+  // lockstep forever -- a synchronized extension storm every lead/2.
+  Duration extension_jitter = Duration::Zero();
 
   // Request retransmission (lost datagrams / crashed server).
   Duration request_timeout = Duration::Seconds(2);

@@ -233,6 +233,9 @@ void MergeServerStats(ServerStats* into, const ServerStats& from) {
   into->installed_multicasts += from.installed_multicasts;
   into->recovery_held_writes += from.recovery_held_writes;
   into->recovery_shed_writes += from.recovery_shed_writes;
+  into->grants_shed += from.grants_shed;
+  into->grant_backlog_peak =
+      std::max(into->grant_backlog_peak, from.grant_backlog_peak);
   into->recovery_window = std::max(into->recovery_window,
                                    from.recovery_window);
   into->recovered_lease_records += from.recovered_lease_records;

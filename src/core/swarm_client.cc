@@ -1,0 +1,350 @@
+#include "src/core/swarm_client.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/core/backoff.h"
+
+namespace leases {
+namespace {
+
+// Salt for the per-member kUnavailable backoff jitter; mixed with the
+// member index so shed cohorts de-synchronize instead of re-colliding.
+constexpr uint64_t kSwarmBackoffSalt = 0x737761726d626bULL;  // "swarmbk"
+
+}  // namespace
+
+SwarmClientArray::SwarmClientArray(Simulator* sim, SimNetwork* net,
+                                   NodeId group_addr, NodeId base,
+                                   uint32_t count,
+                                   std::vector<SwarmHome> homes,
+                                   SwarmParams params)
+    : sim_(sim),
+      net_(net),
+      base_(base),
+      count_(count),
+      homes_(std::move(homes)),
+      params_(params) {
+  LEASES_CHECK(!homes_.empty());
+  LEASES_CHECK(params_.read_buckets > 0);
+  expiry_.resize(count_);
+  version_.assign(count_, 0);
+  flags_.assign(count_, 0);
+  slot_of_.assign(count_, kNone);
+  net_->AttachSwarm(group_addr, base_, count_, this);
+}
+
+void SwarmClientArray::Start() {
+  uint32_t buckets = std::min(params_.read_buckets, std::max(count_, 1u));
+  int64_t period_us = params_.read_period.ToMicros();
+  for (uint32_t b = 0; b < buckets; ++b) {
+    // Phase-staggered first fire: bucket b at (b+1)/B of a period, so the
+    // population's reads spread over a full period from the start.
+    Duration phase = Duration::Micros(period_us * (b + 1) / buckets);
+    sim_->ScheduleAfter(phase, [this, b] { BucketTick(b); });
+  }
+  // Remember the (possibly clamped) bucket count for the tick stride.
+  params_.read_buckets = buckets;
+}
+
+void SwarmClientArray::BucketTick(uint32_t bucket) {
+  for (uint32_t i = bucket; i < count_; i += params_.read_buckets) {
+    DoRead(i);
+  }
+  sim_->ScheduleAfter(params_.read_period, [this, bucket] { BucketTick(bucket); });
+}
+
+bool SwarmClientArray::HasValidLease(uint32_t member) const {
+  return expiry_[member] > sim_->Now();
+}
+
+void SwarmClientArray::DoRead(uint32_t member) {
+  ++stats_.reads;
+  if (slot_of_[member] != kNone) {
+    // A fetch is already in flight; this read rides on it.
+    ++stats_.coalesced_reads;
+    return;
+  }
+  if ((flags_[member] & kHasData) != 0 && (flags_[member] & kSuspect) == 0 &&
+      HasValidLease(member)) {
+    ++stats_.local_reads;
+    const SwarmHome& home = home_of(member);
+    if (home.oracle != nullptr) {
+      Oracle::ReadToken token =
+          home.oracle->BeginRead(home.file, member_id(member));
+      home.oracle->EndRead(token, version_[member]);
+    }
+    return;
+  }
+  StartFetch(member);
+}
+
+void SwarmClientArray::StartFetch(uint32_t member) {
+  ++stats_.remote_fetches;
+  uint32_t slot = AllocSlot(member);
+  PendingSlot& s = slots_[slot];
+  const SwarmHome& home = home_of(member);
+  if (home.oracle != nullptr) {
+    s.token = home.oracle->BeginRead(home.file, member_id(member));
+  }
+  s.sent_at = sim_->Now();
+  SendFetch(slot);
+}
+
+void SwarmClientArray::SendFetch(uint32_t slot) {
+  PendingSlot& s = slots_[slot];
+  const SwarmHome& home = home_of(s.member);
+  ReadRequest req;
+  req.req = SlotReq(slot);
+  req.file = home.file;
+  req.have_version = (flags_[s.member] & kHasData) != 0 ? version_[s.member] : 0;
+  s.sent_at = sim_->Now();
+  net_->SwarmSend(member_id(s.member), home.server, MessageClass::kData, req);
+  uint32_t generation = s.generation;
+  s.retry_timer = sim_->ScheduleAfter(
+      params_.request_timeout,
+      [this, slot, generation] { RetryFire(slot, generation); });
+}
+
+void SwarmClientArray::RetryFire(uint32_t slot, uint32_t generation) {
+  if (slot >= slots_.size() || slots_[slot].generation != generation ||
+      slots_[slot].member == kNone) {
+    return;  // stale timer: the fetch completed and the slot was recycled
+  }
+  PendingSlot& s = slots_[slot];
+  if (s.retries >= params_.max_retries) {
+    // Abandon: the read never completed, so the oracle token is simply
+    // dropped (an unfinished read scores nothing). The next bucket tick
+    // starts a fresh fetch.
+    ++stats_.timeouts;
+    FreeSlot(slot);
+    return;
+  }
+  ++s.retries;
+  ++stats_.retransmits;
+  SendFetch(slot);
+}
+
+uint32_t SwarmClientArray::ResolveSlot(RequestId req, uint32_t member) const {
+  uint32_t slot = static_cast<uint32_t>(req.value() & 0xffffffffu);
+  uint32_t generation = static_cast<uint32_t>(req.value() >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation ||
+      slots_[slot].member != member) {
+    return kNone;
+  }
+  return slot;
+}
+
+void SwarmClientArray::HandleSwarmPacket(uint32_t member, NodeId from,
+                                         MessageClass cls,
+                                         const Packet& packet) {
+  (void)cls;
+  if (const auto* read = std::get_if<ReadReply>(&packet)) {
+    uint32_t slot = ResolveSlot(read->req, member);
+    if (slot != kNone) {
+      OnReadReply(member, slot, *read);
+    }
+    return;
+  }
+  if (const auto* approve = std::get_if<ApproveRequest>(&packet)) {
+    OnApprove(member, from, *approve);
+    return;
+  }
+  if (const auto* extend = std::get_if<InstalledExtend>(&packet)) {
+    // A unicast renewal (server configured without the group address);
+    // treat it as a multicast that reached exactly this member.
+    struct One : DeliveryFilter {
+      uint32_t who;
+      explicit One(uint32_t w) : who(w) {}
+      bool DeliveredTo(uint32_t m) const override { return m == who; }
+    } just_me(member);
+    ApplyInstalledExtend(from, *extend, just_me);
+    return;
+  }
+  // LeaseGrant announcements and anything else are ignored: swarm members
+  // only ever read, and their lease state comes from replies and renewals.
+}
+
+void SwarmClientArray::OnReadReply(uint32_t member, uint32_t slot,
+                                   const ReadReply& m) {
+  PendingSlot& s = slots_[slot];
+  if (m.status == ErrorCode::kUnavailable) {
+    // Admission-control shed. Back off with deterministic per-member
+    // jitter and retry within the same retry budget.
+    if (s.retries >= params_.max_retries) {
+      ++stats_.timeouts;
+      FreeSlot(slot);
+      return;
+    }
+    if (s.retry_timer.valid()) {
+      sim_->Cancel(s.retry_timer);
+    }
+    ++stats_.unavailable_backoffs;
+    ++s.retries;
+    uint32_t generation = s.generation;
+    Duration wait = JitteredBackoff(params_.unavailable_backoff_base,
+                                    params_.unavailable_backoff_max, s.retries,
+                                    kSwarmBackoffSalt ^ member);
+    s.retry_timer = sim_->ScheduleAfter(wait, [this, slot, generation] {
+      // Reuse the retransmit path, but without charging the retry twice.
+      if (slot < slots_.size() && slots_[slot].generation == generation &&
+          slots_[slot].member != kNone) {
+        SendFetch(slot);
+      }
+    });
+    return;
+  }
+  if (s.retry_timer.valid()) {
+    sim_->Cancel(s.retry_timer);
+  }
+  if (m.status != ErrorCode::kOk) {
+    ++stats_.failed_reads;
+    FreeSlot(slot);
+    return;
+  }
+  if (m.version >= version_[member]) {
+    version_[member] = m.version;
+    flags_[member] |= kHasData;
+    flags_[member] &= static_cast<uint8_t>(~kSuspect);
+  }
+  // Client-side lease shortening, exactly the CacheClient rule: the usable
+  // term is what the server granted minus the transit allowance and the
+  // safety epsilon, and never extends past sent_at + term - epsilon (the
+  // pessimistic bound when the reply lingered in the network).
+  Duration usable =
+      m.lease.term - params_.transit_allowance - params_.epsilon;
+  if (usable > Duration::Zero()) {
+    TimePoint by_now = sim_->Now() + usable;
+    TimePoint by_send = s.sent_at + m.lease.term - params_.epsilon;
+    TimePoint granted = std::min(by_now, by_send);
+    expiry_[member] = std::max(expiry_[member], granted);
+  }
+  const SwarmHome& home = home_of(member);
+  if (home.oracle != nullptr) {
+    home.oracle->EndRead(s.token, m.version);
+  }
+  FreeSlot(slot);
+}
+
+void SwarmClientArray::OnApprove(uint32_t member, NodeId from,
+                                 const ApproveRequest& m) {
+  // A writer wants in: invalidate our copy and approve immediately,
+  // relinquishing the key so the server stops calling back this member.
+  ++stats_.invalidations;
+  flags_[member] &= static_cast<uint8_t>(~kHasData);
+  expiry_[member] = TimePoint();
+  ApproveReply reply;
+  reply.write_seq = m.write_seq;
+  reply.file = m.file;
+  reply.relinquish_key = true;
+  net_->SwarmSend(member_id(member), from, MessageClass::kConsistency, reply);
+}
+
+void SwarmClientArray::HandleSwarmMulticast(NodeId from, MessageClass cls,
+                                            const Packet& packet,
+                                            const DeliveryFilter& filter) {
+  (void)cls;
+  if (const auto* extend = std::get_if<InstalledExtend>(&packet)) {
+    ++stats_.multicasts_seen;
+    ApplyInstalledExtend(from, *extend, filter);
+  }
+  // Group-addressed traffic other than renewals is ignored.
+}
+
+void SwarmClientArray::ApplyInstalledExtend(NodeId from,
+                                            const InstalledExtend& m,
+                                            const DeliveryFilter& filter) {
+  // Usable term after client-side shortening; the multicast carries no
+  // request timestamp, so only the arrival-relative bound applies.
+  Duration usable = m.term - params_.transit_allowance - params_.epsilon;
+  if (usable <= Duration::Zero()) {
+    return;
+  }
+  TimePoint now = sim_->Now();
+  TimePoint renewed = now + usable;
+  size_t num_homes = homes_.size();
+  for (size_t h = 0; h < num_homes; ++h) {
+    const SwarmHome& home = homes_[h];
+    if (home.server != from) {
+      continue;
+    }
+    // The advert covers this cohort only if the shared file's cover key is
+    // listed; a write in progress drops the key from the multicast and the
+    // cohort's leases simply run out (the §4 write path).
+    bool covered = false;
+    for (const LeaseKey& key : m.keys) {
+      if (key == home.cover) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      continue;
+    }
+    // Renew every member of this cohort the multicast reached, one pass.
+    for (uint32_t i = static_cast<uint32_t>(h); i < count_;
+         i += static_cast<uint32_t>(num_homes)) {
+      if (!filter.DeliveredTo(i)) {
+        continue;
+      }
+      if (expiry_[i] <= now && (flags_[i] & kHasData) != 0) {
+        // The old lease lapsed before this renewal arrived: a write may
+        // have slipped into the gap unseen, so the copy must be
+        // revalidated against the server before the next local serve.
+        flags_[i] |= kSuspect;
+        ++stats_.suspects_marked;
+      }
+      expiry_[i] = std::max(expiry_[i], renewed);
+      ++stats_.renewals;
+    }
+  }
+}
+
+uint32_t SwarmClientArray::AllocSlot(uint32_t member) {
+  uint32_t slot;
+  if (free_slot_ != kNone) {
+    slot = free_slot_;
+    free_slot_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  PendingSlot& s = slots_[slot];
+  s.member = member;
+  s.next_free = kNone;
+  s.generation = next_generation_++;
+  s.retries = 0;
+  s.retry_timer = EventId();
+  slot_of_[member] = slot;
+  ++pending_count_;
+  return slot;
+}
+
+void SwarmClientArray::FreeSlot(uint32_t slot) {
+  PendingSlot& s = slots_[slot];
+  if (s.retry_timer.valid()) {
+    sim_->Cancel(s.retry_timer);
+    s.retry_timer = EventId();
+  }
+  slot_of_[s.member] = kNone;
+  s.member = kNone;
+  s.generation = 0;  // invalidates any in-flight replies and timers
+  s.next_free = free_slot_;
+  free_slot_ = slot;
+  --pending_count_;
+}
+
+size_t SwarmClientArray::ApproxBytesPerMember() const {
+  if (count_ == 0) {
+    return 0;
+  }
+  size_t bytes = expiry_.capacity() * sizeof(TimePoint) +
+                 version_.capacity() * sizeof(uint64_t) +
+                 flags_.capacity() * sizeof(uint8_t) +
+                 slot_of_.capacity() * sizeof(uint32_t) +
+                 slots_.capacity() * sizeof(PendingSlot) +
+                 homes_.capacity() * sizeof(SwarmHome);
+  return bytes / count_;
+}
+
+}  // namespace leases

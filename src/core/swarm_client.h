@@ -1,0 +1,191 @@
+// SwarmClientArray: a memory-lean array of simulated read-mostly clients.
+//
+// The paper's §5 sizing argument ("a large distributed system... the number
+// of caches sharing a file can be large") only bites at scale, and scale is
+// exactly what a full CacheClient per simulated host cannot give: each one
+// carries maps, timers, a transport and per-op allocations. This class
+// packs N read-only cache sites into struct-of-arrays state -- a handful of
+// bytes per member, one pooled pending-op slot per *in-flight* fetch, and a
+// fixed number of self-rescheduling bucket events driving the whole
+// population -- so a single simulation hosts 10^6 clients.
+//
+// Protocol-wise each member is an honest lease holder:
+//  - reads serve locally only under a valid, non-suspect lease; otherwise a
+//    ReadRequest (with have_version for not-modified replies) fetches from
+//    the member's home server, lease expiry shortened by the transit
+//    allowance and epsilon exactly like CacheClient;
+//  - the server's §4 installed-file multicast renews the whole cohort in
+//    one delivery (SwarmReceiver::HandleSwarmMulticast); a renewal that
+//    arrives after the old lease lapsed marks the member *suspect* -- a
+//    write could have slipped into the gap -- forcing revalidation before
+//    the next local read;
+//  - kUnavailable (admission-control shed, §"swarm scale" DESIGN 7.6) backs
+//    off with deterministic per-member jitter and retries;
+//  - ApproveRequest invalidates and answers with relinquish_key, so writers
+//    are never blocked on a silent million-member cohort.
+//
+// Every read is scored by the consistency Oracle of the member's home.
+#ifndef SRC_CORE_SWARM_CLIENT_H_
+#define SRC_CORE_SWARM_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/core/oracle.h"
+#include "src/net/sim_network.h"
+#include "src/proto/messages.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+// One shard of the swarm namespace: the server a cohort of members fetches
+// from, the file they share, and the oracle that scores their reads. Member
+// i is bound to homes[i % homes.size()], so cohorts interleave across
+// servers and a group multicast from any one server renews exactly its own
+// cohort.
+struct SwarmHome {
+  NodeId server;
+  FileId file;
+  LeaseKey cover;          // the key the server advertises for `file`
+  Oracle* oracle = nullptr;
+};
+
+struct SwarmParams {
+  // How often each member issues a read (spread across read_buckets
+  // phase-staggered ticks so the population never fires in lockstep).
+  Duration read_period = Duration::Seconds(5);
+  uint32_t read_buckets = 128;
+  // Client-side lease shortening, mirroring ClientParams.
+  Duration transit_allowance = Duration::Millis(3);
+  Duration epsilon = Duration::Millis(100);
+  // Fetch retransmission and kUnavailable backoff.
+  Duration request_timeout = Duration::Seconds(2);
+  int max_retries = 8;
+  Duration unavailable_backoff_base = Duration::Millis(200);
+  Duration unavailable_backoff_max = Duration::Seconds(3);
+};
+
+struct SwarmStats {
+  uint64_t reads = 0;            // read attempts issued by the driver
+  uint64_t local_reads = 0;      // served under a valid lease, no message
+  uint64_t remote_fetches = 0;   // ReadRequests started
+  uint64_t coalesced_reads = 0;  // driver tick while a fetch was in flight
+  uint64_t renewals = 0;         // member-lease renewals via multicast
+  uint64_t multicasts_seen = 0;  // group multicast deliveries handled
+  uint64_t suspects_marked = 0;  // lapsed-renewal revalidation marks
+  uint64_t invalidations = 0;    // ApproveRequest-driven drops
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;         // fetches abandoned after max_retries
+  uint64_t unavailable_backoffs = 0;
+  uint64_t failed_reads = 0;     // non-retryable error replies
+};
+
+class SwarmClientArray : public SwarmReceiver {
+ public:
+  // Attaches itself to `net` as the swarm group [base, base+count) behind
+  // `group_addr`. `homes` must be non-empty; all raw pointers outlive this.
+  SwarmClientArray(Simulator* sim, SimNetwork* net, NodeId group_addr,
+                   NodeId base, uint32_t count, std::vector<SwarmHome> homes,
+                   SwarmParams params);
+
+  SwarmClientArray(const SwarmClientArray&) = delete;
+  SwarmClientArray& operator=(const SwarmClientArray&) = delete;
+
+  // Begins the bucketed read schedule; bucket b first fires after
+  // (b+1)/read_buckets of a read_period, then every read_period.
+  void Start();
+
+  // One read attempt for one member (the bucket driver calls this; tests
+  // may too).
+  void DoRead(uint32_t member);
+
+  uint32_t member_count() const { return count_; }
+  NodeId member_id(uint32_t i) const { return NodeId(base_.value() + i); }
+  const SwarmHome& home_of(uint32_t member) const {
+    return homes_[member % homes_.size()];
+  }
+
+  bool HasValidLease(uint32_t member) const;
+  bool IsSuspect(uint32_t member) const {
+    return (flags_[member] & kSuspect) != 0;
+  }
+  uint64_t version_of(uint32_t member) const { return version_[member]; }
+  size_t pending_fetches() const { return pending_count_; }
+
+  // Steady-state footprint this array holds per member: the SoA vectors
+  // plus the pooled slot capacity, by *capacity* so reserve slop is
+  // charged. (The oracle's per-(reader,file) session map is outside and
+  // measured by the bench via RSS.)
+  size_t ApproxBytesPerMember() const;
+
+  const SwarmStats& stats() const { return stats_; }
+
+  // SwarmReceiver:
+  void HandleSwarmPacket(uint32_t member, NodeId from, MessageClass cls,
+                         const Packet& packet) override;
+  void HandleSwarmMulticast(NodeId from, MessageClass cls,
+                            const Packet& packet,
+                            const DeliveryFilter& filter) override;
+
+ private:
+  static constexpr uint32_t kNone = 0xffffffffu;
+  static constexpr uint8_t kHasData = 1;  // member holds (notional) contents
+  static constexpr uint8_t kSuspect = 2;  // revalidate before local serve
+
+  // One in-flight fetch. Slots are pooled and recycled through a free
+  // list; the request id on the wire is (generation << 32) | slot, so
+  // replies route back without any map and a stale reply (slot recycled)
+  // fails the generation check.
+  struct PendingSlot {
+    Oracle::ReadToken token;
+    TimePoint sent_at;
+    EventId retry_timer;
+    uint32_t member = kNone;
+    uint32_t next_free = kNone;
+    uint32_t generation = 0;
+    uint16_t retries = 0;
+  };
+
+  void BucketTick(uint32_t bucket);
+  void StartFetch(uint32_t member);
+  void SendFetch(uint32_t slot);
+  // Retransmit path: resend or, past max_retries, abandon the fetch.
+  void RetryFire(uint32_t slot, uint32_t generation);
+  void OnReadReply(uint32_t member, uint32_t slot, const ReadReply& m);
+  void OnApprove(uint32_t member, NodeId from, const ApproveRequest& m);
+  void ApplyInstalledExtend(NodeId from, const InstalledExtend& m,
+                            const DeliveryFilter& filter);
+
+  uint32_t AllocSlot(uint32_t member);
+  void FreeSlot(uint32_t slot);
+  RequestId SlotReq(uint32_t slot) const {
+    return RequestId((uint64_t{slots_[slot].generation} << 32) | slot);
+  }
+  // Resolves a reply's request id to a live slot; kNone when stale.
+  uint32_t ResolveSlot(RequestId req, uint32_t member) const;
+
+  Simulator* sim_;
+  SimNetwork* net_;
+  NodeId base_;
+  uint32_t count_;
+  std::vector<SwarmHome> homes_;
+  SwarmParams params_;
+  SwarmStats stats_;
+
+  // Struct-of-arrays member state -- the whole per-member budget.
+  std::vector<TimePoint> expiry_;   // lease expiry (client clock == sim time)
+  std::vector<uint64_t> version_;   // newest version observed
+  std::vector<uint8_t> flags_;      // kHasData | kSuspect
+  std::vector<uint32_t> slot_of_;   // pending slot index, kNone if idle
+
+  std::vector<PendingSlot> slots_;
+  uint32_t free_slot_ = kNone;
+  size_t pending_count_ = 0;
+  uint32_t next_generation_ = 1;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_SWARM_CLIENT_H_

@@ -1,0 +1,198 @@
+#include "src/core/swarm_cluster.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/sharded_lease_server.h"  // MergeServerStats
+
+namespace leases {
+namespace {
+
+std::vector<uint8_t> TextBytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+}  // namespace
+
+SwarmCluster::SwarmCluster(SwarmClusterOptions options)
+    : options_(std::move(options)) {
+  LEASES_CHECK(options_.num_servers > 0);
+  LEASES_CHECK(options_.files_per_server > 0);
+  network_ = std::make_unique<SimNetwork>(&sim_, options_.net);
+
+  // Per-server planes. shards_ is reserved up front: the shard router holds
+  // raw pointers into it.
+  uint32_t servers = options_.num_servers;
+  stores_.reserve(servers);
+  metas_.reserve(servers);
+  policies_.reserve(servers);
+  oracles_.reserve(servers);
+  server_rigs_.reserve(servers);
+  writer_rigs_.reserve(servers);
+  servers_.reserve(servers);
+  writers_.reserve(servers);
+  shards_.reserve(servers);
+
+  ServerParams server_params = options_.server;
+  server_params.installed_optimization = options_.installed;
+  server_params.installed_term = options_.term;
+  server_params.installed_multicast_period = options_.multicast_period;
+
+  for (uint32_t k = 0; k < servers; ++k) {
+    stores_.push_back(std::make_unique<FileStore>());
+    metas_.push_back(std::make_unique<DurableMeta>());
+    if (options_.zero_term) {
+      policies_.push_back(ZeroTermPolicy());
+    } else {
+      policies_.push_back(std::make_unique<FixedTermPolicy>(options_.term));
+    }
+    oracles_.push_back(std::make_unique<Oracle>(&sim_));
+
+    FileStore& store = *stores_.back();
+    for (uint32_t j = 0; j < options_.files_per_server; ++j) {
+      Result<FileId> created = store.CreatePath(
+          "/swarm/f" + std::to_string(j),
+          options_.installed ? FileClass::kInstalled : FileClass::kNormal,
+          TextBytes("s" + std::to_string(k) + "f" + std::to_string(j)));
+      LEASES_CHECK(created.ok());
+    }
+
+    server_rigs_.push_back(MakeRig(server_id(k)));
+    Rig& srig = server_rigs_.back();
+    servers_.push_back(std::make_unique<LeaseServer>(
+        server_id(k), stores_.back().get(), metas_.back().get(),
+        srig.transport, srig.clock.get(), srig.timers.get(),
+        policies_.back().get(), server_params, oracles_.back().get()));
+    network_->ReplaceHandler(server_id(k), servers_.back().get());
+
+    if (options_.installed) {
+      Result<FileId> dir = store.Resolve("/swarm");
+      LEASES_CHECK(dir.ok());
+      LEASES_CHECK(servers_.back()->InstallDirectory(*dir).ok());
+    }
+
+    writer_rigs_.push_back(MakeRig(writer_id(k)));
+    Rig& wrig = writer_rigs_.back();
+    writers_.push_back(std::make_unique<CacheClient>(
+        writer_id(k), server_id(k), store.root(), wrig.transport,
+        wrig.clock.get(), wrig.timers.get(), options_.writer,
+        oracles_.back().get(),
+        static_cast<uint64_t>(writer_id(k).value()) << 16));
+    network_->ReplaceHandler(writer_id(k), writers_.back().get());
+    servers_.back()->RegisterClient(writer_id(k));
+
+    // One contiguous swarm range shared by every server: members of
+    // server k's cohorts are known to it only as the group address.
+    servers_.back()->SetClientGroup(group_addr(), member_base(),
+                                    options_.num_members);
+
+    // Both planes mount the same prefix: the interactive router resolves
+    // it to the writer client, the shard router to the server's store.
+    std::string prefix = "/s" + std::to_string(k);
+    router_.Mount(prefix, writers_.back().get());
+    shards_.push_back(
+        SwarmShard{server_id(k), &store, oracles_.back().get()});
+    shard_router_.Mount(prefix, &shards_.back());
+  }
+
+  // Build the member homes by routing the sharded namespace, exactly as a
+  // workstation would resolve the path: longest-prefix mount, then the
+  // shard's own store resolves the remainder.
+  uint32_t num_homes = servers * options_.files_per_server;
+  homes_.reserve(num_homes);
+  for (uint32_t h = 0; h < num_homes; ++h) {
+    Result<BasicMountRouter<SwarmShard>::Resolution> route =
+        shard_router_.Route(home_path(h));
+    LEASES_CHECK(route.ok());
+    SwarmShard* shard = route->client;
+    Result<FileId> file = shard->store->Resolve(route->relative_path);
+    LEASES_CHECK(file.ok());
+    homes_.push_back(SwarmHome{shard->server, *file,
+                               shard->store->CoverOf(*file), shard->oracle});
+  }
+
+  swarm_ = std::make_unique<SwarmClientArray>(
+      &sim_, network_.get(), group_addr(), member_base(),
+      options_.num_members, homes_, options_.swarm);
+  swarm_->Start();
+}
+
+SwarmCluster::~SwarmCluster() {
+  // Protocol objects hold timers into the simulator; drop them before the
+  // rigs so cancellation sees live TimerHosts.
+  swarm_.reset();
+  writers_.clear();
+  servers_.clear();
+}
+
+SwarmCluster::Rig SwarmCluster::MakeRig(NodeId id) {
+  Rig rig;
+  rig.clock = std::make_unique<SimClock>(&sim_, ClockModel::Perfect());
+  rig.timers = std::make_unique<SimTimerHost>(&sim_, rig.clock.get());
+  rig.transport = network_->AttachNode(id, nullptr);
+  return rig;
+}
+
+std::string SwarmCluster::home_path(size_t h) const {
+  // Consecutive homes interleave across servers, so member cohorts
+  // (member % num_homes) spread evenly over the shard set.
+  size_t k = h % options_.num_servers;
+  size_t j = h / options_.num_servers;
+  return "/s" + std::to_string(k) + "/swarm/f" + std::to_string(j);
+}
+
+Result<WriteResult> SwarmCluster::SyncWriteHome(size_t h,
+                                                std::vector<uint8_t> data,
+                                                Duration timeout) {
+  LEASES_CHECK(h < homes_.size());
+  size_t k = h % options_.num_servers;
+  std::optional<Result<WriteResult>> done;
+  writers_[k]->Write(homes_[h].file, std::move(data),
+                     [&done](Result<WriteResult> r) { done = std::move(r); });
+  TimePoint deadline = sim_.Now() + timeout;
+  while (!done.has_value() && sim_.Now() < deadline) {
+    if (!sim_.Step()) {
+      break;
+    }
+  }
+  if (!done.has_value()) {
+    return Error{ErrorCode::kTimeout, "swarm write did not complete"};
+  }
+  return std::move(*done);
+}
+
+void SwarmCluster::PartitionSwarm(bool blocked) {
+  network_->SetSwarmPartitioned(group_addr(), 0, options_.num_members,
+                                blocked);
+}
+
+void SwarmCluster::PartitionMembers(uint32_t lo, uint32_t hi, bool blocked) {
+  network_->SetSwarmPartitioned(group_addr(), lo, hi, blocked);
+}
+
+uint64_t SwarmCluster::TotalViolations() const {
+  uint64_t total = 0;
+  for (const auto& oracle : oracles_) {
+    total += oracle->violations();
+  }
+  return total;
+}
+
+uint64_t SwarmCluster::TotalServerHandled() const {
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < options_.num_servers; ++k) {
+    total += network_->stats(server_id(k)).Handled();
+  }
+  return total;
+}
+
+ServerStats SwarmCluster::MergedServerStats() const {
+  ServerStats out;
+  for (const auto& server : servers_) {
+    MergeServerStats(&out, server->stats());
+  }
+  return out;
+}
+
+}  // namespace leases

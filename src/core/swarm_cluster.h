@@ -1,0 +1,157 @@
+// SwarmCluster: the million-client simulation harness.
+//
+// M lease servers, one interactive writer CacheClient per server, and one
+// SwarmClientArray hosting N read-mostly members behind a single multicast
+// group address. The swarm namespace is sharded across the servers through
+// the same longest-prefix mount table the interactive plane uses
+// (BasicMountRouter): each server's tree is mounted at "/s<k>", member
+// cohort paths resolve through the router to a (server, file, cover key,
+// oracle) home, and writers route their mutations the same way -- one
+// routing invariant for both planes.
+//
+// Three consistency planes, selected by options:
+//  - installed (default): shared files are FileClass::kInstalled under one
+//    directory cover per server; the server's periodic multicast renews the
+//    whole swarm in one delivery (the paper's §4/§5 scaling argument);
+//  - plain leases: per-file covers, members extend by re-fetching when
+//    their lease runs out;
+//  - zero-term baseline: no caching, every read is a server round trip
+//    (the paper's "no lease" column -- server load grows linearly with N).
+#ifndef SRC_CORE_SWARM_CLUSTER_H_
+#define SRC_CORE_SWARM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/clock/sim_clock.h"
+#include "src/clock/sim_timer_host.h"
+#include "src/core/cache_client.h"
+#include "src/core/lease_server.h"
+#include "src/core/mount_router.h"
+#include "src/core/oracle.h"
+#include "src/core/params.h"
+#include "src/core/swarm_client.h"
+#include "src/core/term_policy.h"
+#include "src/fs/file_store.h"
+#include "src/net/sim_network.h"
+#include "src/sim/simulator.h"
+
+namespace leases {
+
+struct SwarmClusterOptions {
+  uint32_t num_members = 1000;
+  uint32_t num_servers = 1;
+  // Shared installed files per server; member i's home is
+  // homes[i % (num_servers * files_per_server)], so cohorts interleave
+  // across servers.
+  uint32_t files_per_server = 4;
+  // Installed-file multicast renewal on (the scaling plane). When off,
+  // members hold plain per-file leases and re-fetch at expiry.
+  bool installed = true;
+  // Zero-term baseline: leases are never granted, every read goes remote.
+  bool zero_term = false;
+  Duration term = Duration::Seconds(20);
+  Duration multicast_period = Duration::Seconds(2);
+  NetworkParams net;
+  ServerParams server;
+  ClientParams writer;
+  SwarmParams swarm;
+};
+
+// One server's shard of the swarm namespace, as mounted in the shard
+// router: everything needed to turn a relative path into a SwarmHome.
+struct SwarmShard {
+  NodeId server;
+  FileStore* store = nullptr;
+  Oracle* oracle = nullptr;
+};
+
+class SwarmCluster {
+ public:
+  explicit SwarmCluster(SwarmClusterOptions options);
+  ~SwarmCluster();
+
+  SwarmCluster(const SwarmCluster&) = delete;
+  SwarmCluster& operator=(const SwarmCluster&) = delete;
+
+  Simulator& sim() { return sim_; }
+  SimNetwork& network() { return *network_; }
+  SwarmClientArray& swarm() { return *swarm_; }
+
+  size_t num_servers() const { return options_.num_servers; }
+  NodeId server_id(size_t k) const {
+    return NodeId(1 + static_cast<uint32_t>(k));
+  }
+  NodeId writer_id(size_t k) const {
+    return NodeId(1001 + static_cast<uint32_t>(k));
+  }
+  NodeId group_addr() const { return NodeId(4999); }
+  NodeId member_base() const { return NodeId(5000); }
+
+  LeaseServer& server(size_t k) { return *servers_[k]; }
+  FileStore& store(size_t k) { return *stores_[k]; }
+  Oracle& oracle(size_t k) { return *oracles_[k]; }
+  CacheClient& writer(size_t k) { return *writers_[k]; }
+
+  // Interactive plane: "/s<k>" -> writer k's CacheClient.
+  MountRouter& router() { return router_; }
+  // Swarm plane: "/s<k>" -> server k's shard (used to build the homes).
+  BasicMountRouter<SwarmShard>& shard_router() { return shard_router_; }
+
+  const std::vector<SwarmHome>& homes() const { return homes_; }
+  // The absolute path of home h in the sharded namespace.
+  std::string home_path(size_t h) const;
+
+  // Writes through home h's server's writer client, running the simulator
+  // until the write completes (or `timeout` of simulated time passes).
+  Result<WriteResult> SyncWriteHome(size_t h, std::vector<uint8_t> data,
+                                    Duration timeout = Duration::Seconds(120));
+
+  // Partitions the entire member range from the network (or heals it);
+  // the herd scenario partitions, waits out the term, and heals.
+  void PartitionSwarm(bool blocked);
+  void PartitionMembers(uint32_t lo, uint32_t hi, bool blocked);
+
+  void RunFor(Duration d) { sim_.RunFor(d); }
+
+  // Aggregates for the bench: oracle violations and server grant-plane
+  // message load summed over every server.
+  uint64_t TotalViolations() const;
+  uint64_t TotalServerHandled() const;
+  ServerStats MergedServerStats() const;
+
+ private:
+  struct Rig {
+    std::unique_ptr<SimClock> clock;
+    std::unique_ptr<SimTimerHost> timers;
+    SimTransport* transport = nullptr;  // owned by the network
+  };
+
+  Rig MakeRig(NodeId id);
+
+  SwarmClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<SimNetwork> network_;
+
+  // Per-server planes (index k). Metas are in-memory: the swarm harness
+  // benches steady-state load, not crash recovery.
+  std::vector<std::unique_ptr<FileStore>> stores_;
+  std::vector<std::unique_ptr<DurableMeta>> metas_;
+  std::vector<std::unique_ptr<TermPolicy>> policies_;
+  std::vector<std::unique_ptr<Oracle>> oracles_;
+  std::vector<Rig> server_rigs_;
+  std::vector<Rig> writer_rigs_;
+  std::vector<std::unique_ptr<LeaseServer>> servers_;
+  std::vector<std::unique_ptr<CacheClient>> writers_;
+  std::vector<SwarmShard> shards_;
+
+  MountRouter router_;
+  BasicMountRouter<SwarmShard> shard_router_;
+  std::vector<SwarmHome> homes_;
+  std::unique_ptr<SwarmClientArray> swarm_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_SWARM_CLUSTER_H_

@@ -1,0 +1,38 @@
+#include "src/metrics/mem_probe.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace leases {
+namespace {
+
+// Scans /proc/self/status for `field` ("VmRSS:" / "VmHWM:"), reported by
+// the kernel in kB. Returns 0 when the file or field is missing.
+size_t ReadStatusField(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  size_t kb = 0;
+  char line[256];
+  size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + field_len, "%llu", &value) == 1) {
+        kb = static_cast<size_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadStatusField("VmRSS:"); }
+
+size_t PeakRssBytes() { return ReadStatusField("VmHWM:"); }
+
+}  // namespace leases

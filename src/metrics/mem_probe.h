@@ -1,0 +1,28 @@
+// Process-memory probe for the scale benches.
+//
+// The swarm bench's headline claim ("≤ N bytes of steady-state memory per
+// simulated client") is only honest if it is *measured*, not computed from
+// sizeof: allocator slop, map nodes and vector growth all live outside any
+// struct. These helpers read the kernel's own accounting from
+// /proc/self/status -- VmRSS (current resident set) and VmHWM (peak) -- so
+// a bench can snapshot before and after building a million-member swarm
+// and report the delta per client.
+#ifndef SRC_METRICS_MEM_PROBE_H_
+#define SRC_METRICS_MEM_PROBE_H_
+
+#include <cstddef>
+
+namespace leases {
+
+// Current resident set size in bytes (VmRSS); 0 when the probe is
+// unavailable (non-Linux or unreadable procfs).
+size_t CurrentRssBytes();
+
+// Peak resident set size in bytes (VmHWM); 0 when unavailable. Note the
+// high-water mark never decreases, so deltas are only meaningful across a
+// phase that grows memory (measure ascending sweeps).
+size_t PeakRssBytes();
+
+}  // namespace leases
+
+#endif  // SRC_METRICS_MEM_PROBE_H_

@@ -111,6 +111,9 @@ void SimNetwork::ResetStats() {
   for (auto& [id, node] : nodes_) {
     node.stats.Reset();
   }
+  for (auto& g : swarms_) {
+    g->stats.Reset();
+  }
 }
 
 uint64_t SimNetwork::TotalHandled() const {
@@ -118,7 +121,143 @@ uint64_t SimNetwork::TotalHandled() const {
   for (const auto& [id, node] : nodes_) {
     total += node.stats.Handled();
   }
+  for (const auto& g : swarms_) {
+    total += g->stats.Handled();
+  }
   return total;
+}
+
+// --- Swarm groups ---
+
+void SimNetwork::AttachSwarm(NodeId group_addr, NodeId base, uint32_t count,
+                             SwarmReceiver* receiver) {
+  LEASES_CHECK(group_addr.valid());
+  LEASES_CHECK(base.valid());
+  LEASES_CHECK(count > 0);
+  LEASES_CHECK(receiver != nullptr);
+  LEASES_CHECK(FindNode(group_addr) == nullptr);
+  LEASES_CHECK(FindSwarm(group_addr) == nullptr);
+  LEASES_CHECK(FindSwarm(base) == nullptr);
+  LEASES_CHECK(FindSwarm(NodeId(base.value() + count - 1)) == nullptr);
+  auto group = std::make_unique<SwarmGroup>();
+  group->addr = group_addr;
+  group->base = base;
+  group->count = count;
+  group->receiver = receiver;
+  group->partitioned.assign((count + 63) / 64, 0);
+  swarms_.push_back(std::move(group));
+}
+
+void SimNetwork::SetSwarmPartitioned(NodeId group_addr, uint32_t lo,
+                                     uint32_t hi, bool blocked) {
+  SwarmGroup* g = FindSwarmByAddr(group_addr);
+  LEASES_CHECK(g != nullptr);
+  LEASES_CHECK(lo <= hi && hi <= g->count);
+  for (uint32_t m = lo; m < hi; ++m) {
+    uint64_t& word = g->partitioned[m >> 6];
+    uint64_t bit = uint64_t{1} << (m & 63);
+    if (blocked && (word & bit) == 0) {
+      word |= bit;
+      ++g->partitioned_count;
+    } else if (!blocked && (word & bit) != 0) {
+      word &= ~bit;
+      --g->partitioned_count;
+    }
+  }
+}
+
+const NodeMessageStats& SimNetwork::swarm_stats(NodeId group_addr) const {
+  const SwarmGroup* g = FindSwarmByAddr(group_addr);
+  LEASES_CHECK(g != nullptr);
+  return g->stats;
+}
+
+void SimNetwork::SwarmSend(NodeId member, NodeId dst, MessageClass cls,
+                           Packet packet) {
+  SwarmGroup* g = FindSwarmByMember(member);
+  LEASES_CHECK(g != nullptr);
+  uint32_t idx = member.value() - g->base.value();
+  if (g->IsPartitioned(idx)) {
+    g->stats.dropped_partition++;
+    return;
+  }
+  g->stats.sent[static_cast<int>(cls)]++;
+  if (tracer_) {
+    tracer_buf_.clear();
+    EncodePacketInto(packet, &tracer_buf_);
+    tracer_(member, dst, cls, tracer_buf_);
+  }
+  if (ArePartitioned(member, dst)) {
+    g->stats.dropped_partition++;
+    return;
+  }
+  if (params_.loss_prob > 0 && rng_.NextBernoulli(params_.loss_prob)) {
+    g->stats.dropped_loss++;
+    return;
+  }
+  Node* receiver = FindNode(dst);
+  if (receiver == nullptr) {
+    return;  // member-to-member traffic is not modeled
+  }
+  if (conformance_) {
+    conf_buf_.clear();
+    EncodePacketInto(packet, &conf_buf_);
+    std::optional<Packet> decoded = DecodePacket(conf_buf_);
+    LEASES_CHECK(decoded.has_value());
+    LEASES_CHECK(EncodePacket(*decoded) == conf_buf_);
+    packet = std::move(*decoded);
+  }
+  TypedMessage* msg = AcquireTyped();
+  msg->packet = std::move(packet);
+  msg->src = member;
+  msg->cls = cls;
+  msg->targets.clear();
+  msg->refs = 1;
+  Delivery del{dst, receiver->epoch};
+  // Member send CPU is not modeled: the wire starts now. The receiver's
+  // m_proc charge in StartReceiveTyped is unchanged, so server-side load
+  // and serialization stay exact.
+  sim_->ScheduleAt(sim_->Now() + params_.prop_delay, [this, msg, del]() {
+    StartReceiveTyped(msg, del);
+    ReleaseTyped(msg);
+  });
+}
+
+bool SimNetwork::DeliverToSwarm(NodeId src, NodeId dst, MessageClass cls,
+                                const Packet& packet) {
+  SwarmGroup* g = FindSwarmByAddr(dst);
+  if (g != nullptr) {
+    // Group-address multicast: counted and handled once for the whole
+    // range; the filter tells the receiver which members it reached.
+    uint32_t delivered = g->count - g->partitioned_count;
+    if (delivered == 0 || g->receiver == nullptr) {
+      g->stats.dropped_down++;
+      return true;
+    }
+    g->stats.received[static_cast<int>(cls)] += delivered;
+    struct Filter : SwarmReceiver::DeliveryFilter {
+      const SwarmGroup* group = nullptr;
+      bool DeliveredTo(uint32_t member) const override {
+        return !group->IsPartitioned(member);
+      }
+    };
+    Filter filter;
+    filter.group = g;
+    g->receiver->HandleSwarmMulticast(src, cls, packet, filter);
+    return true;
+  }
+  g = FindSwarmByMember(dst);
+  if (g == nullptr) {
+    return false;
+  }
+  uint32_t member = dst.value() - g->base.value();
+  if (g->IsPartitioned(member) || g->receiver == nullptr) {
+    g->stats.dropped_down++;
+    return true;
+  }
+  g->stats.received[static_cast<int>(cls)]++;
+  g->receiver->HandleSwarmPacket(member, src, cls, packet);
+  return true;
 }
 
 TimePoint SimNetwork::ChargeCpu(Node& node, TimePoint at) {
@@ -215,10 +354,11 @@ void SimNetwork::SendInternal(NodeId src, std::span<const NodeId> dst,
       continue;
     }
     Node* receiver = FindNode(d);
-    if (receiver == nullptr) {
+    if (receiver == nullptr && FindSwarm(d) == nullptr) {
       continue;
     }
-    Delivery del{d, receiver->epoch};
+    // Swarm destinations (group address or member) have no crash epoch.
+    Delivery del{d, receiver != nullptr ? receiver->epoch : 0};
     if (params_.faults.Enabled()) {
       FaultDecision fd = DecideFaults(*sender);
       if (fd.drop) {
@@ -269,11 +409,17 @@ void SimNetwork::StartReceive(NodeId src, Delivery to, MessageClass cls,
                               const std::shared_ptr<std::vector<uint8_t>>&
                                   bytes) {
   Node* node = FindNode(to.dst);
-  if (node == nullptr || node->epoch != to.epoch || !node->up ||
-      node->handler == nullptr) {
-    if (node != nullptr) {
-      node->stats.dropped_down++;
+  if (node == nullptr) {
+    // Swarm-addressed wire delivery: decode and hand the packet to the
+    // group receiver at wire arrival (members pay no receive m_proc).
+    std::optional<Packet> packet = DecodePacket(*bytes);
+    if (packet.has_value()) {
+      DeliverToSwarm(src, to.dst, cls, *packet);
     }
+    return;
+  }
+  if (node->epoch != to.epoch || !node->up || node->handler == nullptr) {
+    node->stats.dropped_down++;
     return;
   }
   // Receive-side processing serializes on the node's CPU; the handler
@@ -362,10 +508,11 @@ void SimNetwork::SendTyped(NodeId src, std::span<const NodeId> dst,
       continue;
     }
     Node* receiver = FindNode(d);
-    if (receiver == nullptr) {
+    if (receiver == nullptr && FindSwarm(d) == nullptr) {
       continue;
     }
-    Delivery del{d, receiver->epoch};
+    // Swarm destinations (group address or member) have no crash epoch.
+    Delivery del{d, receiver != nullptr ? receiver->epoch : 0};
     if (params_.faults.Enabled()) {
       // Same draw order as the byte path, so typed-vs-wire equivalence
       // holds with the fault plane on.
@@ -418,11 +565,14 @@ void SimNetwork::SendTyped(NodeId src, std::span<const NodeId> dst,
 
 void SimNetwork::StartReceiveTyped(TypedMessage* msg, Delivery to) {
   Node* node = FindNode(to.dst);
-  if (node == nullptr || node->epoch != to.epoch || !node->up ||
-      node->handler == nullptr) {
-    if (node != nullptr) {
-      node->stats.dropped_down++;
-    }
+  if (node == nullptr) {
+    // Swarm-addressed delivery: the shared immutable packet goes to the
+    // group receiver at wire arrival (members pay no receive m_proc).
+    DeliverToSwarm(msg->src, to.dst, msg->cls, msg->packet);
+    return;
+  }
+  if (node->epoch != to.epoch || !node->up || node->handler == nullptr) {
+    node->stats.dropped_down++;
     return;
   }
   // Receive-side processing serializes on the node's CPU, exactly as in
@@ -438,6 +588,42 @@ void SimNetwork::StartReceiveTyped(TypedMessage* msg, Delivery to) {
     }
     ReleaseTyped(msg);
   });
+}
+
+SimNetwork::SwarmGroup* SimNetwork::FindSwarmByAddr(NodeId id) {
+  for (auto& g : swarms_) {
+    if (g->addr == id) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+const SimNetwork::SwarmGroup* SimNetwork::FindSwarmByAddr(NodeId id) const {
+  for (const auto& g : swarms_) {
+    if (g->addr == id) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+SimNetwork::SwarmGroup* SimNetwork::FindSwarmByMember(NodeId id) {
+  for (auto& g : swarms_) {
+    if (g->ContainsMember(id)) {
+      return g.get();
+    }
+  }
+  return nullptr;
+}
+
+SimNetwork::SwarmGroup* SimNetwork::FindSwarm(NodeId id) {
+  for (auto& g : swarms_) {
+    if (g->addr == id || g->ContainsMember(id)) {
+      return g.get();
+    }
+  }
+  return nullptr;
 }
 
 SimNetwork::Node* SimNetwork::FindNode(NodeId id) {

@@ -80,6 +80,29 @@ struct NetworkParams {
 
 class SimNetwork;
 
+// Receiver for a swarm group (see SimNetwork::AttachSwarm): one object
+// stands in for a contiguous range of member NodeIds. Unicast deliveries
+// arrive per member; a multicast to the group *address* arrives exactly
+// once, with a filter saying which members it reached -- the receiver
+// applies it to all of them in one pass, so a million-member renewal costs
+// one event and zero per-recipient copies.
+class SwarmReceiver {
+ public:
+  virtual ~SwarmReceiver() = default;
+
+  class DeliveryFilter {
+   public:
+    virtual ~DeliveryFilter() = default;
+    virtual bool DeliveredTo(uint32_t member) const = 0;
+  };
+
+  virtual void HandleSwarmPacket(uint32_t member, NodeId from,
+                                 MessageClass cls, const Packet& packet) = 0;
+  virtual void HandleSwarmMulticast(NodeId from, MessageClass cls,
+                                    const Packet& packet,
+                                    const DeliveryFilter& filter) = 0;
+};
+
 // Transport endpoint bound to one simulated node.
 class SimTransport : public Transport {
  public:
@@ -135,6 +158,34 @@ class SimNetwork {
   // Partitions `island` from every other attached node (or heals it).
   void IsolateNode(NodeId island, bool blocked);
   bool ArePartitioned(NodeId a, NodeId b) const;
+
+  // --- Swarm groups ---
+  // Attaches `count` swarm members occupying NodeIds [base, base+count),
+  // collectively addressable through the single multicast group address
+  // `group_addr` (the paper's §5 multicast group). The whole range costs
+  // one receiver object, one aggregate stats block and one partition
+  // bitmap -- no per-member Node, transport or handler -- which is what
+  // lets a simulation host 10^6 clients. Simplifications relative to full
+  // nodes, by design: member CPU time is not modeled (server-side charges
+  // are unchanged), members have no crash epoch (use the partition bitmap),
+  // and the fault plane applies only when the sender is a regular node.
+  // The id range must not collide with attached nodes or other groups.
+  void AttachSwarm(NodeId group_addr, NodeId base, uint32_t count,
+                   SwarmReceiver* receiver);
+
+  // Send entry point for swarm members (they own no SimTransport). `dst`
+  // must be a regular attached node; pairwise partitions against the
+  // member's own NodeId and the member partition bitmap both apply.
+  void SwarmSend(NodeId member, NodeId dst, MessageClass cls, Packet packet);
+
+  // Partitions members [lo, hi) of the group from the entire network (or
+  // heals them): their sends are dropped at the source and deliveries --
+  // including their share of group multicasts -- are dropped at arrival.
+  void SetSwarmPartitioned(NodeId group_addr, uint32_t lo, uint32_t hi,
+                           bool blocked);
+
+  // Aggregate stats over all members of the group.
+  const NodeMessageStats& swarm_stats(NodeId group_addr) const;
 
   void set_loss_prob(double p) {
     params_.loss_prob = p;
@@ -244,6 +295,36 @@ class SimNetwork {
   TypedMessage* AcquireTyped();
   void ReleaseTyped(TypedMessage* msg);
 
+  // One attached swarm group (see AttachSwarm).
+  struct SwarmGroup {
+    NodeId addr;
+    NodeId base;
+    uint32_t count = 0;
+    SwarmReceiver* receiver = nullptr;
+    uint32_t partitioned_count = 0;
+    std::vector<uint64_t> partitioned;  // one bit per member
+    NodeMessageStats stats;
+
+    bool IsPartitioned(uint32_t member) const {
+      return (partitioned[member >> 6] >> (member & 63)) & 1;
+    }
+    bool ContainsMember(NodeId id) const {
+      return count > 0 && id.value() >= base.value() &&
+             id.value() - base.value() < count;
+    }
+  };
+
+  SwarmGroup* FindSwarmByAddr(NodeId id);
+  const SwarmGroup* FindSwarmByAddr(NodeId id) const;
+  SwarmGroup* FindSwarmByMember(NodeId id);
+  // Either the group address or a member id resolves to the group.
+  SwarmGroup* FindSwarm(NodeId id);
+  // Hands a packet addressed to a group address (multicast, delivered once)
+  // or a member (unicast) to the swarm receiver. False when `dst` is not
+  // swarm-addressed at all.
+  bool DeliverToSwarm(NodeId src, NodeId dst, MessageClass cls,
+                      const Packet& packet);
+
   Node* FindNode(NodeId id);
   const Node* FindNode(NodeId id) const;
 
@@ -260,6 +341,7 @@ class SimNetwork {
   bool burst_bad_ = false;
   Tracer tracer_;
   std::unordered_map<NodeId, Node> nodes_;
+  std::vector<std::unique_ptr<SwarmGroup>> swarms_;
   std::set<std::pair<NodeId, NodeId>> partitions_;
 
   bool force_wire_ = false;

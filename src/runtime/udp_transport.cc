@@ -303,13 +303,47 @@ void UdpTransport::ReceiverThread() {
 
 NodeMessageStats UdpTransport::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  NodeMessageStats merged = stats_;
+  for (const std::atomic<uint64_t>* counters : batch_counters_) {
+    for (int cls = 0; cls < kNumMessageClasses; ++cls) {
+      merged.sent[cls] += counters[cls].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void UdpTransport::RegisterBatchCounters(
+    const std::atomic<uint64_t>* counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_counters_.push_back(counters);
+}
+
+void UdpTransport::UnregisterBatchCounters(
+    const std::atomic<uint64_t>* counters) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = batch_counters_.begin(); it != batch_counters_.end(); ++it) {
+    if (*it == counters) {
+      // Fold the departing sender's totals into the transport's own
+      // counters so stats() never goes backwards.
+      for (int cls = 0; cls < kNumMessageClasses; ++cls) {
+        stats_.sent[cls] += counters[cls].load(std::memory_order_relaxed);
+      }
+      batch_counters_.erase(it);
+      return;
+    }
+  }
 }
 
 // --- UdpBatchSender ---
 
 UdpBatchSender::UdpBatchSender(UdpTransport* transport, size_t max_batch)
-    : transport_(transport), slots_(max_batch) {}
+    : transport_(transport), slots_(max_batch) {
+  transport_->RegisterBatchCounters(sent_);
+}
+
+UdpBatchSender::~UdpBatchSender() {
+  transport_->UnregisterBatchCounters(sent_);
+}
 
 UdpBatchSender::Slot* UdpBatchSender::NextSlot(NodeId dst) {
   if (pending_ == slots_.size()) {
@@ -335,8 +369,10 @@ void UdpBatchSender::WriteHeader(std::vector<uint8_t>* frame,
 }
 
 void UdpBatchSender::CountSent(MessageClass cls) {
-  std::lock_guard<std::mutex> lock(transport_->mu_);
-  transport_->stats_.sent[static_cast<int>(cls)]++;
+  // Hot path: shard-local relaxed increment. The old implementation locked
+  // the shared transport mutex per queued datagram, serializing every
+  // shard's send path on one lock under load.
+  sent_[static_cast<int>(cls)].fetch_add(1, std::memory_order_relaxed);
 }
 
 void UdpBatchSender::QueueScratchTo(std::span<const NodeId> dst) {

@@ -72,10 +72,19 @@ class UdpTransport : public Transport {
   void Multicast(std::span<const NodeId> dst, MessageClass cls,
                  Packet packet) override;
 
+  // Merges the transport's own counters with every live batch sender's
+  // local counters (see UdpBatchSender): reads pay the aggregation, sends
+  // stay lock-free.
   NodeMessageStats stats() const;
 
  private:
   friend class UdpBatchSender;
+
+  // Batch senders count their sends into shard-local atomic arrays instead
+  // of taking mu_ per datagram; the transport keeps pointers to them so
+  // stats() can merge. Registration is rare (sender construction).
+  void RegisterBatchCounters(const std::atomic<uint64_t>* counters);
+  void UnregisterBatchCounters(const std::atomic<uint64_t>* counters);
 
   void ReceiverThread();
   void SendFrame(NodeId dst, MessageClass cls,
@@ -119,6 +128,8 @@ class UdpTransport : public Transport {
   mutable std::mutex mu_;
   std::unordered_map<NodeId, uint16_t> peers_;
   NodeMessageStats stats_;
+  // Live batch senders' per-class sent counters, merged by stats().
+  std::vector<const std::atomic<uint64_t>*> batch_counters_;
 
   // Scratch frame for the typed send path; its capacity persists across
   // sends. Guarded by its own mutex so encoding does not hold up AddPeer
@@ -142,6 +153,8 @@ class UdpBatchSender : public Transport {
   // Batches up to `max_batch` frames per sendmmsg (kernel caps at UIO_MAXIOV;
   // modest batches keep per-flush latency low).
   explicit UdpBatchSender(UdpTransport* transport, size_t max_batch = 32);
+  // Must be destroyed before `transport` (it unregisters its counters).
+  ~UdpBatchSender() override;
 
   UdpBatchSender(const UdpBatchSender&) = delete;
   UdpBatchSender& operator=(const UdpBatchSender&) = delete;
@@ -176,6 +189,11 @@ class UdpBatchSender : public Transport {
   std::vector<Slot> slots_;
   size_t pending_ = 0;
   std::vector<uint8_t> scratch_;  // multicast encode-once buffer
+  // Sends counted shard-locally (relaxed: only this shard writes; readers
+  // tolerate a momentarily stale merge in UdpTransport::stats()). Replaces
+  // a per-send lock of the transport mutex, which serialized all shards on
+  // one cache line under load.
+  std::atomic<uint64_t> sent_[kNumMessageClasses] = {};
 };
 
 }  // namespace leases

@@ -42,6 +42,7 @@ class ChaosRun {
     ClusterOptions cluster_options;
     cluster_options.num_clients = options_.num_clients;
     cluster_options.term = options_.term;
+    cluster_options.client = options_.client;
     cluster_options.net.seed = options_.seed;
     cluster_options.net.loss_prob = options_.loss;
     cluster_options.net.faults = BaselineFaults(options_);

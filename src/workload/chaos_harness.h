@@ -34,6 +34,11 @@ struct ChaosOptions {
   // Mean per-client operation rate (Poisson arrivals).
   double ops_per_sec = 60.0;
 
+  // Client-cache tuning forwarded to the cluster verbatim. The default
+  // value reproduces historical digests bit-for-bit; the jitter-pin test
+  // flips extension_jitter here and asserts the digest moves only then.
+  ClientParams client;
+
   // Baseline fault-plane rates, active for the whole run (a kRates plan
   // event overrides them until quiesce restores the baseline).
   double loss = 0.01;

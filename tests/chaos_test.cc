@@ -368,5 +368,53 @@ TEST(ChaosHarnessTest, ZeroFaultRatesStayDeterministic) {
   EXPECT_EQ(a.ops_failed, 0u);  // nothing to fail without faults
 }
 
+// --- Extension-jitter determinism pin -------------------------------------
+
+// The de-synchronized extension scheduling (ClientParams::extension_jitter)
+// derives each tick's offset from a hash of (client id, tick counter) and
+// consumes no RNG stream, so it must be invisible until actually enabled:
+// zero-fault digests stay bit-identical with the parameter at its default
+// and with jitter set but anticipation off. Once anticipation is on, the
+// jitter moves the extension traffic through the server's processing queue
+// and the (time-mixed) trace digest must change -- while remaining
+// deterministic per configuration.
+TEST(ChaosHarnessTest, ExtensionJitterChangesDigestsOnlyWhenEnabled) {
+  auto zero_fault = []() {
+    ChaosOptions options = SmokeOptions(9);
+    options.loss = 0.0;
+    options.dup = 0.0;
+    options.reorder = 0.0;
+    options.burst = 0.0;
+    options.random_plan = false;
+    options.num_clients = 8;
+    options.total_ops = 1500;
+    options.ops_per_sec = 80.0;
+    options.term = Duration::Seconds(3);
+    return options;
+  };
+
+  ChaosReport base = RunChaos(zero_fault());
+  EXPECT_EQ(base.violations, 0u);
+
+  // Jitter without anticipatory extension is inert: no timer consults it.
+  ChaosOptions inert = zero_fault();
+  inert.client.extension_jitter = Duration::Millis(400);
+  EXPECT_EQ(RunChaos(inert).digest, base.digest);
+
+  ChaosOptions anticipate = zero_fault();
+  anticipate.client.anticipatory_extension = true;
+  anticipate.client.anticipation_lead = Duration::Seconds(1);
+  ChaosReport lockstep = RunChaos(anticipate);
+  EXPECT_EQ(RunChaos(anticipate).digest, lockstep.digest);
+
+  ChaosOptions jittered = anticipate;
+  jittered.client.extension_jitter = Duration::Millis(400);
+  ChaosReport moved = RunChaos(jittered);
+  EXPECT_EQ(RunChaos(jittered).digest, moved.digest);
+  EXPECT_NE(moved.digest, lockstep.digest);
+  EXPECT_EQ(lockstep.violations, 0u);
+  EXPECT_EQ(moved.violations, 0u);
+}
+
 }  // namespace
 }  // namespace leases

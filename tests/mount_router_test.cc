@@ -6,12 +6,16 @@
 
 #include <memory>
 #include <optional>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "src/clock/sim_clock.h"
 #include "src/clock/sim_timer_host.h"
 #include "src/core/lease_server.h"
 #include "src/core/mount_router.h"
 #include "src/core/oracle.h"
+#include "src/core/swarm_cluster.h"
 #include "src/core/term_policy.h"
 #include "src/net/sim_network.h"
 
@@ -191,6 +195,94 @@ TEST(MountRouterTest, TwoServersEndToEnd) {
   EXPECT_EQ(world.home.server->stats().writes_received, 0u);
   EXPECT_EQ(world.home_oracle.violations(), 0u);
   EXPECT_EQ(world.usr_oracle.violations(), 0u);
+}
+
+TEST(MountRouterTest, MountTableEditReroutesAndUnmountFallsThrough) {
+  BasicMountRouter<int> router;
+  int a = 0, b = 0, c = 0;
+  router.Mount("/", &a);
+  router.Mount("/usr", &b);
+  ASSERT_EQ(router.Route("/usr/bin/cc")->client, &b);
+
+  // Re-mounting a mounted prefix is a mount-table edit, not a new entry:
+  // covered paths move to the new endpoint, everything else stays put.
+  router.Mount("/usr", &c);
+  EXPECT_EQ(router.mount_count(), 2u);
+  EXPECT_EQ(router.Route("/usr/bin/cc")->client, &c);
+  EXPECT_EQ(router.Route("/home/me")->client, &a);
+
+  // Unmounting falls through to the next-longest cover...
+  EXPECT_TRUE(router.Unmount("/usr"));
+  EXPECT_EQ(router.Route("/usr/bin/cc")->client, &a);
+  EXPECT_FALSE(router.Unmount("/usr"));
+  // ...and removing the root leaves the path uncovered.
+  EXPECT_TRUE(router.Unmount("/"));
+  EXPECT_EQ(router.Route("/usr/bin/cc").code(), ErrorCode::kNotFound);
+}
+
+TEST(MountRouterTest, RoutingIsStableAndInsertionOrderIndependent) {
+  // A swarm-style shard table: /s0../s7 plus a root catch-all, built in
+  // two different insertion orders. Longest-prefix resolution must not
+  // depend on mount order, and repeated routes must not drift.
+  int shard[8];
+  int root = 0;
+  BasicMountRouter<int> forward;
+  BasicMountRouter<int> reverse;
+  forward.Mount("/", &root);
+  for (int k = 0; k < 8; ++k) {
+    forward.Mount("/s" + std::to_string(k), &shard[k]);
+  }
+  for (int k = 7; k >= 0; --k) {
+    reverse.Mount("/s" + std::to_string(k), &shard[k]);
+  }
+  reverse.Mount("/", &root);
+
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 4; ++j) {
+      std::string path =
+          "/s" + std::to_string(k) + "/swarm/f" + std::to_string(j);
+      auto first = forward.Route(path);
+      ASSERT_TRUE(first.ok());
+      EXPECT_EQ(first->client, &shard[k]) << path;
+      auto again = forward.Route(path);
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->client, first->client) << path;
+      EXPECT_EQ(again->relative_path, first->relative_path) << path;
+      auto mirrored = reverse.Route(path);
+      ASSERT_TRUE(mirrored.ok());
+      EXPECT_EQ(mirrored->client, first->client) << path;
+    }
+  }
+  // "/s12" shares characters with "/s1" but is not under it.
+  EXPECT_EQ(forward.Route("/s12/swarm/f0")->client, &root);
+}
+
+TEST(MountRouterTest, SwarmNamespaceServesEachFileFromExactlyOneServer) {
+  SwarmClusterOptions options;
+  options.num_members = 64;
+  options.num_servers = 4;
+  options.files_per_server = 4;
+  SwarmCluster cluster(options);
+
+  // Every home path resolves through the shard router to the one server
+  // that actually stores the file, and no (server, file) pair repeats: a
+  // datum has exactly one primary site.
+  std::set<std::pair<uint32_t, uint64_t>> served_by;
+  for (size_t h = 0; h < cluster.homes().size(); ++h) {
+    const SwarmHome& home = cluster.homes()[h];
+    auto route = cluster.shard_router().Route(cluster.home_path(h));
+    ASSERT_TRUE(route.ok()) << cluster.home_path(h);
+    EXPECT_EQ(route->client->server, home.server);
+    Result<FileId> resolved = route->client->store->Resolve(
+        route->relative_path);
+    ASSERT_TRUE(resolved.ok()) << cluster.home_path(h);
+    EXPECT_EQ(*resolved, home.file);
+    EXPECT_TRUE(
+        served_by.insert({home.server.value(), home.file.value()}).second)
+        << cluster.home_path(h) << " served twice";
+  }
+  EXPECT_EQ(served_by.size(),
+            size_t{options.num_servers} * options.files_per_server);
 }
 
 TEST(MountRouterTest, UncachedMountFailsGracefully) {

@@ -15,6 +15,7 @@
 #include "src/core/shard_router.h"
 #include "src/runtime/node.h"
 #include "src/runtime/sharded_node.h"
+#include "src/runtime/udp_transport.h"
 
 namespace leases {
 namespace {
@@ -168,6 +169,86 @@ TEST(ShardConcurrency, CrossShardBatchedExtendOverUdp) {
 
   client.Stop();
   server.Stop();
+}
+
+// Regression for the per-send stats mutex removal: UdpBatchSender counts
+// sends into shard-local atomics and UdpTransport::stats() merges them --
+// live senders by reading their counters, destroyed senders by the fold in
+// UnregisterBatchCounters. N shard threads hammering their own batchers
+// must yield *exact* merged totals, stats() must be safe to read mid-storm
+// (this test runs under TSan in the sanitizer tier), and the merged view
+// must never go backwards.
+TEST(ShardConcurrency, BatchSenderStatsMergeIsExactUnderContention) {
+  constexpr size_t kThreads = 8;
+  constexpr int kSendsPerThreadPerClass = 2000;
+
+  UdpTransport sink(NodeId(9), nullptr, nullptr);
+  sink.SetRawHandler([](NodeId, MessageClass, std::span<const uint8_t>) {});
+  ASSERT_TRUE(sink.Start().ok());
+  UdpTransport transport(NodeId(10), nullptr, nullptr);
+  transport.SetRawHandler([](NodeId, MessageClass, std::span<const uint8_t>) {});
+  ASSERT_TRUE(transport.Start().ok());
+  transport.AddPeer(NodeId(9), sink.port());
+
+  const NodeMessageStats before = transport.stats();
+
+  // One batcher per shard thread, all counting against the same transport.
+  std::vector<std::unique_ptr<UdpBatchSender>> batchers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    batchers.push_back(std::make_unique<UdpBatchSender>(&transport));
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> regressions{0};
+  std::thread reader([&]() {
+    uint64_t prev = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      uint64_t now = transport.stats().TotalSent();
+      if (now < prev) {
+        regressions.fetch_add(1, std::memory_order_relaxed);
+      }
+      prev = now;
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      UdpBatchSender& batcher = *batchers[t];
+      for (int i = 0; i < kSendsPerThreadPerClass; ++i) {
+        batcher.Send(NodeId(9), MessageClass::kData, B("d"));
+        batcher.Send(NodeId(9), MessageClass::kConsistency, B("c"));
+      }
+      batcher.Flush();
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Destroy half the batchers so the final merge combines folded totals
+  // (transport-side) with live shard-local counters.
+  for (size_t t = 0; t < kThreads; t += 2) {
+    batchers[t].reset();
+  }
+
+  const NodeMessageStats after = transport.stats();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const uint64_t expected = kThreads * uint64_t{kSendsPerThreadPerClass};
+  EXPECT_EQ(after.sent[static_cast<int>(MessageClass::kData)] -
+                before.sent[static_cast<int>(MessageClass::kData)],
+            expected);
+  EXPECT_EQ(after.sent[static_cast<int>(MessageClass::kConsistency)] -
+                before.sent[static_cast<int>(MessageClass::kConsistency)],
+            expected);
+  EXPECT_EQ(after.send_failures, before.send_failures);
+  EXPECT_EQ(regressions.load(), 0u);
+
+  batchers.clear();
+  transport.Stop();
+  sink.Stop();
 }
 
 }  // namespace

@@ -37,14 +37,17 @@ fi
 # matrix, which ASan checks for leaks/overflows across injected crashes),
 # and the sharded grant plane -- shard_test covers the routing/split logic,
 # shard_concurrency_test hammers the shard threads, SPSC rings and batched
-# UDP senders, which is exactly the surface TSan exists to check.
+# UDP senders (including the lock-free per-shard send counters stats() has
+# to merge mid-storm), which is exactly the surface TSan exists to check.
+# swarm_test drives the million-client swarm plane's SoA clients, multicast
+# renewal and admission control through ASan for lifetime/indexing bugs.
 targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
          runtime_test event_loop_test storage_test journal_crash_test
-         shard_test shard_concurrency_test)
+         shard_test shard_concurrency_test swarm_test)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
-  --target "${targets[@]}" leases_chaos
+  --target "${targets[@]}" leases_chaos bench_swarm
 # Run the binaries directly rather than through ctest: the tier builds only
 # a subset of targets, and gtest discovery would flag the rest as NOT_BUILT.
 for t in "${targets[@]}"; do
@@ -56,4 +59,10 @@ done
 # storage pass additionally power-cuts servers with journal tail damage.
 echo "=== $preset: leases_chaos --smoke ==="
 "build-$preset/tools/leases_chaos" --smoke
-echo "$preset tier: ${#targets[@]} test binaries + chaos smoke clean"
+# The swarm smoke sweeps 10k simulated clients through the installed-lease
+# multicast plane plus the thundering-herd backpressure scenario -- bounded
+# wall time, and its acceptance checks (flat load, zero violations) double
+# as a sanitizer-clean pass over the whole swarm hot path.
+echo "=== $preset: bench_swarm --smoke ==="
+"build-$preset/bench/bench_swarm" --smoke --json "build-$preset/BENCH_SWARM.smoke.json"
+echo "$preset tier: ${#targets[@]} test binaries + chaos and swarm smokes clean"
