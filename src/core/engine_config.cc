@@ -1,0 +1,86 @@
+#include "src/core/engine_config.h"
+
+namespace leases {
+
+namespace {
+
+Status Invalid(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+
+}  // namespace
+
+Status EngineConfig::Validate() const {
+  if (num_shards == 0) {
+    return Invalid("num_shards must be >= 1");
+  }
+  if (num_shards > 64) {
+    // ServerParams::shard_seq_salt packs the shard index into 6 bits of the
+    // write-seq layout.
+    return Invalid("num_shards must be <= 64 (write-seq salt is 6 bits)");
+  }
+  if (replica.num_replicas > 7) {
+    return Invalid("replica.num_replicas must be <= 7 (3-5 recommended)");
+  }
+  if (num_shards > 1) {
+    if (server.installed_optimization) {
+      return Invalid(
+          "installed_optimization is incompatible with num_shards > 1: a "
+          "directory cover key spans files owned by different shards, "
+          "breaking the key==file routing invariant");
+    }
+    if (!data_dir.empty()) {
+      return Invalid(
+          "data_dir is incompatible with num_shards > 1: sharded recovery "
+          "metadata lives in per-shard memory backends");
+    }
+    if (replica.num_replicas > 0) {
+      return Invalid(
+          "the replicated authority plane wraps the plain engine only; "
+          "combine it with num_shards == 1");
+    }
+  }
+  if (replica.num_replicas > 0) {
+    if (server.persist_lease_records) {
+      return Invalid(
+          "persist_lease_records is a single-node recovery strategy; the "
+          "replicated authority reconstructs grant bounds from the quorum "
+          "instead");
+    }
+    if (server.installed_optimization) {
+      return Invalid(
+          "installed_optimization is not supported under the replicated "
+          "authority: installed cover windows are advertised per "
+          "incarnation and do not transfer across failover");
+    }
+    if (!data_dir.empty()) {
+      return Invalid(
+          "data_dir is incompatible with replication: authority acquisition "
+          "is diskless (PaxosLease), replicas keep per-node memory "
+          "metadata");
+    }
+    if (replica.authority_term <= Duration::Zero()) {
+      return Invalid("replica.authority_term must be positive");
+    }
+    if (replica.renew_interval <= Duration::Zero() ||
+        replica.renew_interval * 2 > replica.authority_term) {
+      return Invalid(
+          "replica.renew_interval must be positive and at most half the "
+          "authority term (a lost renewal round must not force step-down)");
+    }
+    if (replica.suspect_timeout < replica.renew_interval * 2) {
+      return Invalid(
+          "replica.suspect_timeout must cover at least two renewal "
+          "intervals, or standbys duel the live holder");
+    }
+    if (replica.acquire_retry <= Duration::Zero()) {
+      return Invalid("replica.acquire_retry must be positive");
+    }
+    if (replica.epsilon < Duration::Zero()) {
+      return Invalid("replica.epsilon must be non-negative");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace leases

@@ -1,0 +1,88 @@
+// EngineConfig: the one layered configuration for every server shape.
+//
+// Historically each server variant grew its own ad-hoc config surface:
+// ServerParams for the protocol knobs, ClusterOptions for the sim harness,
+// and loose (id, params, term, shards) argument lists in the runtime. This
+// header collapses them: EngineConfig carries the protocol params plus the
+// plane selectors (shards, replicas, journal directory), and Validate()
+// rejects every unsupported combination with a descriptive Status at
+// construction time instead of a crash (or silent misbehavior) mid-run.
+// ClusterOptions derives from it, so the sim harness, the runtime nodes and
+// the MakeServerEngine factory all speak the same configuration type.
+#ifndef SRC_CORE_ENGINE_CONFIG_H_
+#define SRC_CORE_ENGINE_CONFIG_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+#include "src/core/params.h"
+
+namespace leases {
+
+// Replicated authority plane knobs (see src/replica/authority.h). The
+// defaults trade ~5x client-extension traffic for failover in a couple of
+// authority terms instead of the max-granted-term recovery wait.
+struct ReplicaParams {
+  // Number of authority replicas. 0 (the default) means no replication
+  // plane: the factory builds the plain (or sharded) engine. 1 builds a
+  // ReplicatedLeaseAuthority degenerate to a transparent shell around the
+  // plain server -- no authority messages, no grant capping, single-node
+  // recovery semantics, bit-identical digests (the differential test pins
+  // this). 2-7 run PaxosLease-style quorum acquisition; 3-5 recommended.
+  size_t num_replicas = 0;
+
+  // Authority-lease term. Client grants are capped so they never outlive
+  // the holder's quorum-confirmed authority lease; shorter terms mean
+  // faster failover and more frequent client extensions.
+  Duration authority_term = Duration::Millis(1500);
+
+  // Holder renewal cadence; several renewals must fit in one term so a
+  // single lost renewal round does not force a step-down.
+  Duration renew_interval = Duration::Millis(400);
+
+  // A standby suspects the holder after this long without observing a
+  // valid renewal at its own acceptor, and starts acquiring.
+  Duration suspect_timeout = Duration::Millis(1300);
+
+  // Base retry pacing for an acquiring proposer (deterministically
+  // jittered per replica index so contenders de-synchronize).
+  Duration acquire_retry = Duration::Millis(200);
+
+  // Clock-uncertainty inflation applied to every inherited-bound
+  // comparison (terms travel as durations; only bounded drift is assumed).
+  Duration epsilon = Duration::Millis(100);
+};
+
+struct EngineConfig {
+  // Protocol-level knobs, shared by every shape.
+  ServerParams server;
+
+  // Default lease term when the environment supplies no TermPolicy.
+  Duration term = Duration::Seconds(10);
+
+  // Sharded grant plane (src/core/sharded_lease_server.h); 1 = plain.
+  size_t num_shards = 1;
+
+  // Replicated authority plane (src/replica/authority.h).
+  ReplicaParams replica;
+
+  // On-disk recovery journal directory (plain single-node engine only; the
+  // sharded sim plane uses per-shard memory backends and the replica plane
+  // is deliberately diskless on the acquire path).
+  std::string data_dir;
+
+  // Rejects unsupported combinations with a descriptive status:
+  //   * installed_optimization with num_shards > 1 (directory cover keys
+  //     break the key==file shard routing invariant);
+  //   * num_shards > 1 with data_dir or with replication;
+  //   * replication with persist_lease_records / installed_optimization /
+  //     data_dir (the quorum replaces single-node durable recovery);
+  //   * nonsensical shard/replica counts and replica timing knobs.
+  Status Validate() const;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CORE_ENGINE_CONFIG_H_

@@ -10,8 +10,8 @@
 namespace leases {
 namespace {
 
-constexpr const char* kMaxTermKey = "max_term_us";
-constexpr const char* kBootCountKey = "boot_count";
+constexpr const char* kMaxTermKey = kMaxTermMetaKey;
+constexpr const char* kBootCountKey = kBootCountMetaKey;
 constexpr const char* kLeaseRecordPrefix = "lease/";
 
 std::string LeaseRecordKey(LeaseKey key, NodeId node) {

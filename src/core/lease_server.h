@@ -97,7 +97,21 @@ struct ServerStats {
   // transport's NodeMessageStats; always zero in simulation, where loss is
   // modelled in flight rather than at the sender). ---
   uint64_t send_failures = 0;
+
+  // --- Replicated authority plane (src/replica; zero everywhere else) ---
+  uint64_t authority_rounds = 0;        // acquisition rounds started
+  uint64_t authority_acquisitions = 0;  // takeovers completed on this node
+  uint64_t authority_renewals = 0;      // quorum-confirmed lease renewals
+  uint64_t authority_stepdowns = 0;     // confirmation lapsed; stopped serving
 };
+
+// Durable-metadata keys of the server's recovery record. Exposed so the
+// replicated authority (src/replica/authority.cc) can seed the recovery
+// window (with the quorum-inherited grant bound) and the boot counter (with
+// the monotonic quorum ballot, keeping write-seq ranges disjoint across
+// failovers) before constructing an embedded LeaseServer.
+inline constexpr const char kMaxTermMetaKey[] = "max_term_us";
+inline constexpr const char kBootCountMetaKey[] = "boot_count";
 
 class LeaseServer : public PacketHandler {
  public:

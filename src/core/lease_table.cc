@@ -106,6 +106,16 @@ TimePoint LeaseTable::MaxExpiry(LeaseKey key, TimePoint now) const {
   return max;
 }
 
+TimePoint LeaseTable::GlobalMaxExpiry(TimePoint now) const {
+  TimePoint max = now;
+  for (const auto& [key, holders] : keys_) {
+    for (const LeaseHolder& h : holders) {
+      max = std::max(max, h.expiry);
+    }
+  }
+  return max;
+}
+
 bool LeaseTable::Holds(LeaseKey key, NodeId node, TimePoint now) const {
   auto it = keys_.find(key);
   if (it == keys_.end()) {

@@ -54,6 +54,11 @@ class LeaseTable {
   // the paper's bound on how long a write can be delayed.
   TimePoint MaxExpiry(LeaseKey key, TimePoint now) const;
 
+  // Latest expiry among every holder of every key, or `now` if none -- the
+  // outstanding-grant horizon a replicated authority reports to its quorum.
+  // O(records); called at renewal cadence, never on the grant hot path.
+  TimePoint GlobalMaxExpiry(TimePoint now) const;
+
   bool Holds(LeaseKey key, NodeId node, TimePoint now) const;
   size_t ActiveHolderCount(LeaseKey key, TimePoint now) const;
   size_t KeyCount() const { return keys_.size(); }

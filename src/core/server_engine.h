@@ -1,0 +1,111 @@
+// ServerEngine: one construction and lifecycle API for every server shape.
+//
+// The codebase grew three server variants -- the plain LeaseServer, the
+// FileId-sharded ShardedLeaseServer, and the replicated authority
+// (src/replica/authority.h) -- each historically built through its own
+// bespoke code path in SimCluster, the runtime nodes and the benches.
+// MakeServerEngine collapses those paths: callers describe *what* they want
+// in an EngineConfig, supply the environment (stores, transports, clocks,
+// timers) in an EngineEnv, and get back an engine they Start/Stop/Recover
+// uniformly. Invalid configurations fail here, at construction, with a
+// descriptive Status.
+//
+// Lifecycle contract:
+//   * Start()   constructs the protocol state machine(s) and begins
+//               serving; grant timers arm inside.
+//   * Stop()    models a crash: volatile lease state dies with it. A
+//               stopped engine drops every packet.
+//   * Recover() replays durable state (journal replay via DurableMeta::
+//               Reopen) and must precede the Start() of a restart.
+// This maps one-to-one onto the crash injection the harnesses do
+// (SimCluster::CrashServer/RestartServer, chaos kCrashServer ops).
+#ifndef SRC_CORE_SERVER_ENGINE_H_
+#define SRC_CORE_SERVER_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/engine_config.h"
+#include "src/core/lease_server.h"
+#include "src/core/sharded_lease_server.h"
+
+namespace leases {
+
+class ReplicaNode;
+
+// Everything an engine needs from its host. Plain engines use the scalar
+// fields; sharded engines use `shards`; replicated engines additionally use
+// the replica block. Pointers must outlive the engine (and, for the durable
+// pieces, survive its Stop/Recover/Start cycles).
+struct EngineEnv {
+  // Client-facing address the engine serves on. For a replicated engine
+  // this is the *virtual* (VIP) address shared by all replicas.
+  NodeId id;
+  FileStore* store = nullptr;
+  DurableMeta* meta = nullptr;
+  Transport* transport = nullptr;
+  Clock* clock = nullptr;
+  TimerHost* timers = nullptr;
+  TermPolicy* policy = nullptr;
+  Oracle* oracle = nullptr;  // may be null
+
+  // Sharded engine: one environment per shard; size must equal
+  // config.num_shards when > 1.
+  std::vector<ShardEnv> shards;
+
+  // Replicated engine (config.replica.num_replicas > 0): this node's slot
+  // in `peers` (the full replica address list, one entry per replica), and
+  // a transport bound to the virtual serving address. `transport` above is
+  // the replica's own address, used for authority traffic. `on_takeover`
+  // fires on the node that just acquired the authority lease -- the host
+  // re-points the virtual address at it (the sim's stand-in for a VIP/ARP
+  // move).
+  size_t replica_index = 0;
+  std::vector<NodeId> peers;
+  Transport* serve_transport = nullptr;
+  std::function<void(NodeId holder_addr)> on_takeover;
+  // Host's assertion that this replica has never participated in an
+  // authority round (fresh cluster, empty state). When false -- the safe
+  // default -- a starting replica stays silent for one authority term plus
+  // drift before voting, so promises made by a lost incarnation cannot be
+  // contradicted. A replica restarted in-object (Stop/Recover/Start on the
+  // same engine) always warms up regardless of this flag.
+  bool replica_cold_boot = false;
+};
+
+class ServerEngine : public PacketHandler {
+ public:
+  ~ServerEngine() override = default;
+
+  virtual Status Start() = 0;
+  virtual void Stop() = 0;
+  virtual Status Recover() = 0;
+  virtual bool running() const = 0;
+
+  virtual ServerStats stats() const = 0;
+  virtual NodeId id() const = 0;
+
+  // Pre-registers a client for installed-file multicasts. Forwarded when
+  // running; engines do not replay registrations across Start cycles (the
+  // host decides -- matching the historical per-variant restart behavior).
+  virtual void RegisterClient(NodeId client) = 0;
+
+  // Shape introspection for tests and harnesses; null when the engine (or
+  // its current role, for a replica that is not the holder) is not that
+  // shape.
+  virtual LeaseServer* plain() { return nullptr; }
+  virtual ShardedLeaseServer* sharded() { return nullptr; }
+  virtual ReplicaNode* replica() { return nullptr; }
+};
+
+// Builds the engine `config` describes over `env`. Fails with
+// kInvalidArgument (from EngineConfig::Validate or env checks) instead of
+// crashing on unsupported combinations. The engine is returned stopped;
+// call Start().
+Result<std::unique_ptr<ServerEngine>> MakeServerEngine(
+    const EngineConfig& config, EngineEnv env);
+
+}  // namespace leases
+
+#endif  // SRC_CORE_SERVER_ENGINE_H_

@@ -39,13 +39,41 @@ SimCluster::SimCluster(ClusterOptions options)
 
   server_id_ = NodeId(1);
   server_node_ = MakeRig(server_id_, options_.server_clock, nullptr);
+  if (options_.replica.num_replicas > 0) {
+    BuildReplicas();
+  } else {
+    BuildEngine();
+  }
+
+  client_nodes_.reserve(options_.num_clients);
+  clients_.reserve(options_.num_clients);
+  for (size_t i = 0; i < options_.num_clients; ++i) {
+    ClockModel model = i < options_.client_clocks.size()
+                           ? options_.client_clocks[i]
+                           : ClockModel::Perfect();
+    client_nodes_.push_back(MakeRig(client_id(i), model, nullptr));
+    clients_.push_back(MakeClient(i));
+    network_->ReplaceHandler(client_id(i), clients_.back().get());
+    if (engine_ != nullptr) {
+      engine_->RegisterClient(client_id(i));
+    } else {
+      for (auto& replica : replicas_) {
+        replica->RegisterClient(client_id(i));
+      }
+    }
+  }
+}
+
+void SimCluster::BuildEngine() {
+  EngineEnv env;
+  env.id = server_id_;
+  env.oracle = &oracle_;
   if (options_.num_shards > 1) {
-    // Sharded grant plane: one FileStore partition plus one recovery-metadata
-    // store per shard, all durable across server incarnations. The namespace
-    // store stays authoritative for ids and directory structure; its mirror
-    // hook replicates every touched record into the owning partition, where
-    // protocol traffic then commits.
-    LEASES_CHECK(options_.data_dir.empty());
+    // Sharded grant plane: one FileStore partition plus one recovery-
+    // metadata store per shard, all durable across server incarnations. The
+    // namespace store stays authoritative for ids and directory structure;
+    // its mirror hook replicates every touched record into the owning
+    // partition, where protocol traffic then commits.
     for (size_t s = 0; s < options_.num_shards; ++s) {
       shard_stores_.push_back(std::make_unique<FileStore>());
       shard_storages_.push_back(std::make_unique<MemoryBackend>());
@@ -68,55 +96,105 @@ SimCluster::SimCluster(ClusterOptions options)
       shard_stores_[ShardIndexOf(file, options_.num_shards)]->Adopt(
           *store_.Find(file));
     }
-    sharded_ = MakeShardedServer();
-    network_->ReplaceHandler(server_id_, sharded_.get());
-  } else {
-    server_ = std::make_unique<LeaseServer>(
-        server_id_, &store_, &meta_, server_node_.transport,
-        server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
-        options_.server, &oracle_);
-    network_->ReplaceHandler(server_id_, server_.get());
-  }
-
-  client_nodes_.reserve(options_.num_clients);
-  clients_.reserve(options_.num_clients);
-  for (size_t i = 0; i < options_.num_clients; ++i) {
-    ClockModel model = i < options_.client_clocks.size()
-                           ? options_.client_clocks[i]
-                           : ClockModel::Perfect();
-    client_nodes_.push_back(MakeRig(client_id(i), model, nullptr));
-    clients_.push_back(MakeClient(i));
-    network_->ReplaceHandler(client_id(i), clients_.back().get());
-    if (sharded_ != nullptr) {
-      sharded_->RegisterClient(client_id(i));
-    } else {
-      server_->RegisterClient(client_id(i));
+    env.shards.resize(options_.num_shards);
+    for (size_t s = 0; s < options_.num_shards; ++s) {
+      env.shards[s].store = shard_stores_[s].get();
+      env.shards[s].meta = shard_metas_[s].get();
+      // One simulated host: shards share the node's clock, timer host,
+      // transport and term policy (single-threaded, so sharing is safe).
+      env.shards[s].clock = server_node_.clock.get();
+      env.shards[s].timers = server_node_.timers.get();
+      env.shards[s].transport = server_node_.transport;
+      env.shards[s].policy = policy_.get();
     }
+  } else {
+    env.store = &store_;
+    env.meta = &meta_;
+    env.transport = server_node_.transport;
+    env.clock = server_node_.clock.get();
+    env.timers = server_node_.timers.get();
+    env.policy = policy_.get();
   }
+  Result<std::unique_ptr<ServerEngine>> engine =
+      MakeServerEngine(options_, std::move(env));
+  LEASES_CHECK(engine.ok());
+  engine_ = std::move(*engine);
+  LEASES_CHECK(engine_->Start().ok());
+  network_->ReplaceHandler(server_id_, engine_.get());
 }
 
-std::unique_ptr<ShardedLeaseServer> SimCluster::MakeShardedServer() {
-  std::vector<ShardEnv> envs(options_.num_shards);
-  for (size_t s = 0; s < options_.num_shards; ++s) {
-    envs[s].store = shard_stores_[s].get();
-    envs[s].meta = shard_metas_[s].get();
-    // One simulated host: shards share the node's clock, timer host,
-    // transport and term policy (single-threaded, so sharing is safe).
-    envs[s].clock = server_node_.clock.get();
-    envs[s].timers = server_node_.timers.get();
-    envs[s].transport = server_node_.transport;
-    envs[s].policy = policy_.get();
+void SimCluster::BuildReplicas() {
+  const size_t n = options_.replica.num_replicas;
+  std::vector<NodeId> peers;
+  if (n == 1) {
+    // Degenerate shell: the one replica *is* the server node -- same rig,
+    // same metadata, no authority plane. Digest-identical to plain mode.
+    peers.push_back(server_id_);
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      ClockModel model = r < options_.replica_clocks.size()
+                             ? options_.replica_clocks[r]
+                             : ClockModel::Perfect();
+      replica_nodes_.push_back(MakeRig(replica_id(r), model, nullptr));
+      if (r == 0) {
+        // Replica 0 persists through the cluster meta_/storage_ so the
+        // power-cut fault machinery reaches it.
+        replica_storages_.push_back(nullptr);
+        replica_metas_.push_back(nullptr);
+      } else {
+        replica_storages_.push_back(std::make_unique<MemoryBackend>());
+        replica_metas_.push_back(
+            std::make_unique<DurableMeta>(replica_storages_.back().get()));
+        LEASES_CHECK(replica_metas_.back()->Reopen().ok());
+      }
+      peers.push_back(replica_id(r));
+    }
   }
-  return std::make_unique<ShardedLeaseServer>(server_id_, std::move(envs),
-                                              options_.server, &oracle_);
+  replicas_.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    EngineEnv env;
+    env.id = server_id_;
+    env.store = &store_;
+    env.oracle = &oracle_;
+    env.policy = policy_.get();
+    env.serve_transport = server_node_.transport;
+    env.replica_index = r;
+    env.peers = peers;
+    env.replica_cold_boot = true;  // replicated clusters start fresh
+    env.on_takeover = [this, r](NodeId) {
+      last_holder_ = static_cast<int>(r);
+      network_->ReplaceHandler(server_id_, replicas_[r].get());
+    };
+    if (n == 1) {
+      env.meta = &meta_;
+      env.transport = server_node_.transport;
+      env.clock = server_node_.clock.get();
+      env.timers = server_node_.timers.get();
+    } else {
+      env.meta = r == 0 ? &meta_ : replica_metas_[r].get();
+      env.transport = replica_nodes_[r].transport;
+      env.clock = replica_nodes_[r].clock.get();
+      env.timers = replica_nodes_[r].timers.get();
+    }
+    Result<std::unique_ptr<ServerEngine>> engine =
+        MakeServerEngine(options_, std::move(env));
+    LEASES_CHECK(engine.ok());
+    replicas_.push_back(std::move(*engine));
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (n > 1) {
+      network_->ReplaceHandler(replica_id(r), replicas_[r].get());
+    }
+    LEASES_CHECK(replicas_[r]->Start().ok());
+  }
 }
 
 SimCluster::~SimCluster() {
   // Protocol objects hold timers into the simulator; destroy them before the
   // rigs so cancellation sees live TimerHosts.
   clients_.clear();
-  server_.reset();
-  sharded_.reset();
+  engine_.reset();
+  replicas_.clear();
 }
 
 SimCluster::NodeRig SimCluster::MakeRig(NodeId id, ClockModel model,
@@ -141,6 +219,36 @@ std::unique_ptr<CacheClient> SimCluster::MakeClient(size_t i) {
       rig.timers.get(), options_.client, &oracle_, incarnation);
 }
 
+LeaseServer& SimCluster::server() {
+  LeaseServer* plain = nullptr;
+  if (engine_ != nullptr) {
+    plain = engine_->plain();
+  } else {
+    int h = holder_index();
+    if (h >= 0) {
+      plain = replicas_[h]->plain();
+    }
+  }
+  LEASES_CHECK(plain != nullptr);
+  return *plain;
+}
+
+ShardedLeaseServer& SimCluster::sharded_server() {
+  LEASES_CHECK(engine_ != nullptr && engine_->sharded() != nullptr);
+  return *engine_->sharded();
+}
+
+ServerStats SimCluster::server_stats() const {
+  if (engine_ != nullptr) {
+    return engine_->stats();
+  }
+  ServerStats out;
+  for (const auto& replica : replicas_) {
+    MergeServerStats(&out, replica->stats());
+  }
+  return out;
+}
+
 CacheClient& SimCluster::client(size_t i) {
   LEASES_CHECK(i < clients_.size() && clients_[i] != nullptr);
   return *clients_[i];
@@ -155,10 +263,126 @@ SimClock& SimCluster::client_clock(size_t i) {
   return *client_nodes_[i].clock;
 }
 
+NodeId SimCluster::replica_id(size_t r) const {
+  if (options_.replica.num_replicas == 1) {
+    return server_id_;
+  }
+  return NodeId(static_cast<uint32_t>(900 + r));
+}
+
+ReplicaNode& SimCluster::replica(size_t r) {
+  LEASES_CHECK(r < replicas_.size());
+  ReplicaNode* node = replicas_[r]->replica();
+  LEASES_CHECK(node != nullptr);
+  return *node;
+}
+
+SimClock& SimCluster::replica_clock(size_t r) {
+  if (replicas_.size() == 1) {
+    return *server_node_.clock;
+  }
+  LEASES_CHECK(r < replica_nodes_.size());
+  return *replica_nodes_[r].clock;
+}
+
+int SimCluster::holder_index() const {
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    const ReplicaNode* node =
+        const_cast<ServerEngine*>(replicas_[r].get())->replica();
+    if (replicas_[r]->running() && node != nullptr && node->is_holder()) {
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
+bool SimCluster::AnyReplicaDown() const {
+  for (const auto& replica : replicas_) {
+    if (!replica->running()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SimCluster::ServerUp() const {
+  if (engine_ != nullptr) {
+    return engine_->running();
+  }
+  for (const auto& replica : replicas_) {
+    if (replica->running()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SimCluster::CrashReplica(size_t r, TailDamage damage) {
+  LEASES_CHECK(r < replicas_.size());
+  LEASES_CHECK(replicas_[r]->running());
+  replicas_[r]->Stop();
+  if (r == 0) {
+    storage_->PowerCut(damage);
+  } else {
+    replica_storages_[r]->PowerCut(damage);
+  }
+  if (replicas_.size() > 1) {
+    network_->ReplaceHandler(replica_id(r), nullptr);
+    network_->SetNodeUp(replica_id(r), false);
+    if (last_holder_ == static_cast<int>(r)) {
+      // The virtual address pointed at the dead holder; client traffic
+      // drops until a standby takes over and re-points it.
+      network_->ReplaceHandler(server_id_, nullptr);
+    }
+  } else {
+    network_->ReplaceHandler(server_id_, nullptr);
+    network_->SetNodeUp(server_id_, false);
+  }
+}
+
+void SimCluster::RestartReplica(size_t r) {
+  LEASES_CHECK(r < replicas_.size());
+  LEASES_CHECK(!replicas_[r]->running());
+  if (replicas_.size() > 1) {
+    network_->SetNodeUp(replica_id(r), true);
+    network_->ReplaceHandler(replica_id(r), replicas_[r].get());
+  } else {
+    network_->SetNodeUp(server_id_, true);
+  }
+  LEASES_CHECK(replicas_[r]->Recover().ok());
+  LEASES_CHECK(replicas_[r]->Start().ok());
+}
+
+void SimCluster::PartitionReplica(size_t r, bool partitioned) {
+  LEASES_CHECK(replicas_.size() > 1 && r < replicas_.size());
+  for (size_t s = 0; s < replicas_.size(); ++s) {
+    if (s != r) {
+      network_->SetPartitioned(replica_id(r), replica_id(s), partitioned);
+    }
+  }
+}
+
 void SimCluster::CrashServer(TailDamage damage) {
   LEASES_CHECK(ServerUp());
-  server_.reset();   // volatile lease state dies with the process
-  sharded_.reset();  // (all shards at once: they are one process)
+  if (!replicas_.empty()) {
+    int target = holder_index();
+    if (target < 0) {
+      target = last_holder_;
+    }
+    if (!replicas_[static_cast<size_t>(target)]->running()) {
+      // The remembered holder is already down (e.g. crashed while no
+      // successor had won yet); fell any running replica instead.
+      for (size_t r = 0; r < replicas_.size(); ++r) {
+        if (replicas_[r]->running()) {
+          target = static_cast<int>(r);
+          break;
+        }
+      }
+    }
+    CrashReplica(static_cast<size_t>(target), damage);
+    return;
+  }
+  engine_->Stop();  // volatile lease state dies with the process
   // Power-cut the storage plane: acknowledged records survive, and any
   // damage lands on the un-acknowledged tail only (the server persists
   // before it replies, so nothing a client saw can be lost).
@@ -174,29 +398,31 @@ void SimCluster::CrashServer(TailDamage damage) {
 }
 
 void SimCluster::RestartServer() {
+  if (!replicas_.empty()) {
+    for (size_t r = 0; r < replicas_.size(); ++r) {
+      if (!replicas_[r]->running()) {
+        RestartReplica(r);
+      }
+    }
+    return;
+  }
   LEASES_CHECK(!ServerUp());
   network_->SetNodeUp(server_id_, true);
   // Real recovery: replay the journal into the meta cache, repairing any
   // tail damage from the crash. Committed writes and the persisted maximum
   // term survive; the new incarnation honours pre-crash leases by holding
   // writes for that term.
-  if (options_.num_shards > 1) {
-    for (auto& meta : shard_metas_) {
-      LEASES_CHECK(meta->Reopen().ok());
-    }
-    sharded_ = MakeShardedServer();
-    network_->ReplaceHandler(server_id_, sharded_.get());
+  LEASES_CHECK(engine_->Recover().ok());
+  LEASES_CHECK(engine_->Start().ok());
+  network_->ReplaceHandler(server_id_, engine_.get());
+  if (sharded()) {
+    // The sharded restart path has always re-registered the client set;
+    // the plain path has always not (clients re-announce via traffic).
+    // Preserved as-is so deterministic digests are unchanged.
     for (size_t i = 0; i < clients_.size(); ++i) {
-      sharded_->RegisterClient(client_id(i));
+      engine_->RegisterClient(client_id(i));
     }
-    return;
   }
-  LEASES_CHECK(meta_.Reopen().ok());
-  server_ = std::make_unique<LeaseServer>(
-      server_id_, &store_, &meta_, server_node_.transport,
-      server_node_.clock.get(), server_node_.timers.get(), policy_.get(),
-      options_.server, &oracle_);
-  network_->ReplaceHandler(server_id_, server_.get());
 }
 
 void SimCluster::CrashClient(size_t i) {

@@ -1,4 +1,4 @@
-// SimCluster: one lease server plus N client caches wired onto the
+// SimCluster: one lease service plus N client caches wired onto the
 // simulated network, with per-host clocks, fault injection and synchronous
 // convenience wrappers.
 //
@@ -6,6 +6,15 @@
 // regenerate the paper's figures, and the simulation examples. All protocol
 // objects run on the single Simulator; determinism is total for a given
 // seed.
+//
+// The service side is built through the ServerEngine factory: the same
+// ClusterOptions (an EngineConfig) selects the plain server, the
+// FileId-sharded server, or the replicated lease authority. In replicated
+// mode the cluster runs one ReplicaNode per authority replica on its own
+// simulated host (NodeId 900+r, its own clock model), plus a virtual
+// serving address (NodeId 1) that every client talks to; the on_takeover
+// hook re-points the virtual address at the current holder -- the sim's
+// stand-in for a VIP/ARP move.
 #ifndef SRC_CORE_SIM_CLUSTER_H_
 #define SRC_CORE_SIM_CLUSTER_H_
 
@@ -19,38 +28,29 @@
 #include "src/core/lease_server.h"
 #include "src/core/oracle.h"
 #include "src/core/params.h"
+#include "src/core/server_engine.h"
 #include "src/core/sharded_lease_server.h"
 #include "src/core/term_policy.h"
 #include "src/fs/file_store.h"
 #include "src/net/sim_network.h"
+#include "src/replica/authority.h"
 #include "src/sim/simulator.h"
 
 namespace leases {
 
-struct ClusterOptions {
+// The engine selection (ServerParams, term, shards, replicas, data_dir)
+// lives in the EngineConfig base; the cluster adds the sim-only knobs.
+struct ClusterOptions : EngineConfig {
   size_t num_clients = 4;
   NetworkParams net;
-  ServerParams server;
   ClientParams client;
-  // Default lease term when no policy factory is given.
-  Duration term = Duration::Seconds(10);
   // Optional custom policy (e.g. AdaptiveTermPolicy); overrides `term`.
   std::function<std::unique_ptr<TermPolicy>()> make_policy;
   ClockModel server_clock = ClockModel::Perfect();
   // Per-client clock model; clients beyond the vector get perfect clocks.
   std::vector<ClockModel> client_clocks;
-  // When set, the server's recovery metadata lives in an on-disk journal
-  // (JournalBackend) under this directory instead of the in-memory backend;
-  // a cluster constructed over a previously-used directory recovers from it.
-  std::string data_dir;
-  // Sharded grant plane: with > 1 the server is a ShardedLeaseServer whose
-  // state is partitioned by FileId across this many shards (shard_router.h),
-  // each with its own FileStore partition and recovery metadata. With 1 the
-  // cluster builds the exact single-server object graph it always has, so
-  // deterministic digests are bit-identical to the unsharded build.
-  // Incompatible with data_dir (sharded sim metadata uses per-shard memory
-  // backends) and with server.installed_optimization.
-  size_t num_shards = 1;
+  // Per-replica clock model (replicated mode); defaults to perfect.
+  std::vector<ClockModel> replica_clocks;
 };
 
 class SimCluster {
@@ -67,17 +67,21 @@ class SimCluster {
   Oracle& oracle() { return oracle_; }
   TermPolicy& policy() { return *policy_; }
 
-  // Plain-server accessor; only valid when num_shards == 1.
-  LeaseServer& server() { return *server_; }
-  // Sharded-server accessor; only valid when num_shards > 1.
-  ShardedLeaseServer& sharded_server() { return *sharded_; }
+  // The engine behind the service (plain and sharded modes).
+  ServerEngine& engine() { return *engine_; }
+  // Plain-server accessor; valid when an (unsharded) server is up -- in
+  // replicated mode it resolves to the current holder's serving plane.
+  LeaseServer& server();
+  // Sharded-server accessor; only valid when num_shards > 1 and up.
+  ShardedLeaseServer& sharded_server();
   bool sharded() const { return options_.num_shards > 1; }
-  // Merged counters regardless of mode.
-  ServerStats server_stats() const {
-    return sharded_ != nullptr ? sharded_->stats() : server_->stats();
-  }
+  bool replicated() const { return options_.replica.num_replicas > 0; }
+  // Merged counters regardless of mode (replicated: summed over replicas,
+  // so authority counters from every node are visible).
+  ServerStats server_stats() const;
   // The durable recovery metadata (shared across server incarnations);
-  // tests inspect the boot counter and max-term record through it.
+  // tests inspect the boot counter and max-term record through it. In
+  // replicated mode this is replica 0's metadata.
   DurableMeta& meta() { return meta_; }
   // The backend behind meta() (JournalBackend when data_dir is set, else
   // MemoryBackend); tests arm crash points on it through this.
@@ -90,13 +94,35 @@ class SimCluster {
   SimClock& server_clock() { return *server_node_.clock; }
   SimClock& client_clock(size_t i);
 
+  // --- Replicated authority (replica.num_replicas > 0) ---
+  size_t num_replicas() const { return replicas_.size(); }
+  // Authority-plane address of replica r (the virtual address for n == 1).
+  NodeId replica_id(size_t r) const;
+  ReplicaNode& replica(size_t r);
+  SimClock& replica_clock(size_t r);
+  // Index of the current authority holder, or -1 while none.
+  int holder_index() const;
+  // True when at least one replica is crashed (RestartServer revives them).
+  bool AnyReplicaDown() const;
+  void CrashReplica(size_t r, TailDamage damage = TailDamage::kClean);
+  void RestartReplica(size_t r);
+  // Cuts (or heals) replica r's authority traffic to every other replica.
+  // Client traffic to the virtual address is unaffected: the interesting
+  // window where an isolated holder keeps serving until it steps down is
+  // exactly what this models.
+  void PartitionReplica(size_t r, bool partitioned);
+
   // --- Fault injection ---
   // Kills the server process; `damage` additionally power-cuts the storage
   // backend, wounding the un-acknowledged journal tail (recovery repairs it
-  // on restart). Volatile lease state dies either way.
+  // on restart). Volatile lease state dies either way. In replicated mode
+  // this crashes the current holder (the most recent one if none is
+  // confirmed right now).
   void CrashServer(TailDamage damage = TailDamage::kClean);
+  // Restarts the crashed server; in replicated mode, restarts every downed
+  // replica.
   void RestartServer();
-  bool ServerUp() const { return server_ != nullptr || sharded_ != nullptr; }
+  bool ServerUp() const;
   void CrashClient(size_t i);
   void RestartClient(size_t i);
   bool ClientUp(size_t i) const {
@@ -128,7 +154,8 @@ class SimCluster {
 
   NodeRig MakeRig(NodeId id, ClockModel model, PacketHandler* handler);
   std::unique_ptr<CacheClient> MakeClient(size_t i);
-  std::unique_ptr<ShardedLeaseServer> MakeShardedServer();
+  void BuildEngine();
+  void BuildReplicas();
 
   ClusterOptions options_;
   Simulator sim_;
@@ -140,8 +167,8 @@ class SimCluster {
   std::unique_ptr<TermPolicy> policy_;
 
   NodeId server_id_;
-  NodeRig server_node_;
-  std::unique_ptr<LeaseServer> server_;
+  NodeRig server_node_;  // the (virtual, in replicated mode) serving host
+  std::unique_ptr<ServerEngine> engine_;  // plain and sharded modes
 
   // Sharded mode only. Partition stores and per-shard recovery metadata are
   // durable: they outlive server incarnations (CrashServer/RestartServer),
@@ -149,7 +176,17 @@ class SimCluster {
   std::vector<std::unique_ptr<FileStore>> shard_stores_;
   std::vector<std::unique_ptr<StorageBackend>> shard_storages_;
   std::vector<std::unique_ptr<DurableMeta>> shard_metas_;
-  std::unique_ptr<ShardedLeaseServer> sharded_;
+
+  // Replicated mode only. Replica 0 persists through the cluster's
+  // meta_/storage_ (so power-cut fault injection reaches it); replicas 1+
+  // own their metadata. All share the cluster FileStore: the replicas
+  // front one durable file service, they replicate the *authority to
+  // serve*, not the data plane.
+  std::vector<NodeRig> replica_nodes_;  // empty when num_replicas == 1
+  std::vector<std::unique_ptr<StorageBackend>> replica_storages_;
+  std::vector<std::unique_ptr<DurableMeta>> replica_metas_;
+  std::vector<std::unique_ptr<ServerEngine>> replicas_;
+  int last_holder_ = 0;
 
   std::vector<NodeRig> client_nodes_;
   std::vector<std::unique_ptr<CacheClient>> clients_;

@@ -102,6 +102,32 @@ void EncodeBody(Writer& w, const InstalledExtend& m) {
 void EncodeBody(Writer& w, const Ping& m) { w.WriteId(m.req); }
 void EncodeBody(Writer& w, const Pong& m) { w.WriteId(m.req); }
 
+void EncodeBody(Writer& w, const AuthorityPrepare& m) {
+  w.WriteU64(m.ballot);
+}
+
+void EncodeBody(Writer& w, const AuthorityPromise& m) {
+  w.WriteU64(m.ballot);
+  w.WriteBool(m.ok);
+  w.WriteU64(m.promised);
+  w.WriteU32(m.holder);
+  w.WriteDuration(m.holder_remaining);
+  w.WriteDuration(m.bound_remaining);
+}
+
+void EncodeBody(Writer& w, const AuthorityPropose& m) {
+  w.WriteU64(m.ballot);
+  w.WriteU32(m.owner);
+  w.WriteDuration(m.term);
+  w.WriteDuration(m.grant_horizon);
+}
+
+void EncodeBody(Writer& w, const AuthorityAccept& m) {
+  w.WriteU64(m.ballot);
+  w.WriteBool(m.ok);
+  w.WriteU64(m.promised);
+}
+
 MsgType TypeOf(const Packet& packet) {
   struct Visitor {
     MsgType operator()(const ReadRequest&) { return MsgType::kReadRequest; }
@@ -120,6 +146,18 @@ MsgType TypeOf(const Packet& packet) {
     }
     MsgType operator()(const Ping&) { return MsgType::kPing; }
     MsgType operator()(const Pong&) { return MsgType::kPong; }
+    MsgType operator()(const AuthorityPrepare&) {
+      return MsgType::kAuthorityPrepare;
+    }
+    MsgType operator()(const AuthorityPromise&) {
+      return MsgType::kAuthorityPromise;
+    }
+    MsgType operator()(const AuthorityPropose&) {
+      return MsgType::kAuthorityPropose;
+    }
+    MsgType operator()(const AuthorityAccept&) {
+      return MsgType::kAuthorityAccept;
+    }
   };
   return std::visit(Visitor{}, packet);
 }
@@ -256,6 +294,36 @@ std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
       m.req = r.ReadId<RequestId>();
       return Packet(m);
     }
+    case MsgType::kAuthorityPrepare: {
+      AuthorityPrepare m;
+      m.ballot = r.ReadU64();
+      return Packet(m);
+    }
+    case MsgType::kAuthorityPromise: {
+      AuthorityPromise m;
+      m.ballot = r.ReadU64();
+      m.ok = r.ReadBool();
+      m.promised = r.ReadU64();
+      m.holder = r.ReadU32();
+      m.holder_remaining = r.ReadDuration();
+      m.bound_remaining = r.ReadDuration();
+      return Packet(m);
+    }
+    case MsgType::kAuthorityPropose: {
+      AuthorityPropose m;
+      m.ballot = r.ReadU64();
+      m.owner = r.ReadU32();
+      m.term = r.ReadDuration();
+      m.grant_horizon = r.ReadDuration();
+      return Packet(m);
+    }
+    case MsgType::kAuthorityAccept: {
+      AuthorityAccept m;
+      m.ballot = r.ReadU64();
+      m.ok = r.ReadBool();
+      m.promised = r.ReadU64();
+      return Packet(m);
+    }
   }
   return std::nullopt;
 }
@@ -329,6 +397,14 @@ std::string PacketName(const Packet& packet) {
       return "Ping";
     case MsgType::kPong:
       return "Pong";
+    case MsgType::kAuthorityPrepare:
+      return "AuthorityPrepare";
+    case MsgType::kAuthorityPromise:
+      return "AuthorityPromise";
+    case MsgType::kAuthorityPropose:
+      return "AuthorityPropose";
+    case MsgType::kAuthorityAccept:
+      return "AuthorityAccept";
   }
   return "?";
 }

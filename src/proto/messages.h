@@ -50,6 +50,12 @@ enum class MsgType : uint8_t {
   kApproveReply = 8,
   kRelinquish = 9,
   kInstalledExtend = 10,
+  // Replicated authority plane (src/replica): PaxosLease-style acquisition
+  // of the *server* lease -- who is the grant authority.
+  kAuthorityPrepare = 20,
+  kAuthorityPromise = 21,
+  kAuthorityPropose = 22,
+  kAuthorityAccept = 23,
   kPing = 100,
   kPong = 101,
 };
@@ -172,10 +178,53 @@ struct Pong {
   RequestId req;
 };
 
+// --- Replicated authority plane (src/replica/authority.*) ---
+//
+// PaxosLease-style diskless acquisition of the authority lease. Like client
+// leases, authority terms and inheritance bounds travel as *remaining
+// durations*, never absolute times, so only bounded drift is assumed.
+
+// Proposer -> acceptors: phase 1, claim ballot `ballot`.
+struct AuthorityPrepare {
+  uint64_t ballot = 0;
+};
+
+// Acceptor -> proposer: phase 1 answer. With ok, reports any unexpired
+// accepted authority lease plus the acceptor's client-grant inheritance
+// bound (how long a new holder must hold writes to outlast every grant the
+// previous holder could have issued).
+struct AuthorityPromise {
+  uint64_t ballot = 0;  // echoed prepare ballot
+  bool ok = false;      // false: already promised `promised` >= ballot
+  uint64_t promised = 0;
+  uint32_t holder = 0;  // accepted authority owner; 0 = none unexpired
+  Duration holder_remaining;  // remaining accepted authority lease
+  Duration bound_remaining;   // remaining inheritance bound
+};
+
+// Proposer -> acceptors: phase 2, acquire or renew the authority lease.
+// `grant_horizon` piggybacks the owner's actual outstanding client-grant
+// horizon (max remaining client-lease expiry) so acceptors track the
+// inheritance bound without durable state.
+struct AuthorityPropose {
+  uint64_t ballot = 0;
+  uint32_t owner = 0;
+  Duration term;           // authority lease term, measured from receipt
+  Duration grant_horizon;  // outstanding client-grant horizon at the owner
+};
+
+// Acceptor -> proposer: phase 2 answer.
+struct AuthorityAccept {
+  uint64_t ballot = 0;
+  bool ok = false;
+  uint64_t promised = 0;  // on !ok: the ballot that outbid this one
+};
+
 using Packet =
     std::variant<ReadRequest, ReadReply, WriteRequest, WriteReply,
                  ExtendRequest, ExtendReply, ApproveRequest, ApproveReply,
-                 Relinquish, InstalledExtend, Ping, Pong>;
+                 Relinquish, InstalledExtend, Ping, Pong, AuthorityPrepare,
+                 AuthorityPromise, AuthorityPropose, AuthorityAccept>;
 
 // Serializes a packet (1-byte type tag + body).
 std::vector<uint8_t> EncodePacket(const Packet& packet);

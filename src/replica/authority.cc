@@ -1,0 +1,573 @@
+#include "src/replica/authority.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/backoff.h"
+
+namespace leases {
+
+namespace {
+
+// Ballots are (round << 8) | (replica_index + 1): unique per proposer
+// within a round, totally ordered across rounds, and -- because every
+// phase-2 round bumps the round -- strictly greater than any ballot a
+// previous holder ever confirmed. The serving plane's boot counter is
+// seeded from the winning ballot, so write sequence numbers from
+// successive holders never collide.
+constexpr uint64_t kBallotIndexBits = 8;
+
+uint64_t MakeBallot(uint64_t round, size_t replica_index) {
+  return (round << kBallotIndexBits) | (static_cast<uint64_t>(replica_index) + 1);
+}
+
+uint64_t RoundOf(uint64_t ballot) { return ballot >> kBallotIndexBits; }
+
+}  // namespace
+
+ReplicaNode::ReplicaNode(const EngineConfig& config, EngineEnv env)
+    : config_(config), env_(std::move(env)), n_(config.replica.num_replicas) {
+  LEASES_CHECK(n_ >= 1);
+  LEASES_CHECK(env_.peers.size() == n_);
+  LEASES_CHECK(env_.replica_index < n_);
+  for (size_t i = 0; i < env_.peers.size(); ++i) {
+    if (i != env_.replica_index) {
+      others_.push_back(env_.peers[i]);
+    }
+  }
+}
+
+ReplicaNode::~ReplicaNode() {
+  if (started_) {
+    Stop();
+  }
+}
+
+Status ReplicaNode::Start() {
+  LEASES_CHECK(!started_);
+  started_ = true;
+  TimePoint now = Now();
+
+  // Volatile authority state: a (re)start forgets everything, like a
+  // PaxosLease acceptor losing its memory in a crash.
+  promised_ = 0;
+  accepted_ballot_ = 0;
+  accepted_owner_ = 0;
+  accepted_expiry_ = TimePoint::Epoch();
+  horizon_expiry_ = TimePoint::Epoch();
+  role_ = Role::kFollower;
+  phase_ = 0;
+  votes_.clear();
+  round_bound_ = Duration::Zero();
+  round_blocked_ = Duration::Zero();
+  confirmed_expiry_ = TimePoint::Epoch();
+  last_holder_seen_ = now;
+  block_until_ = TimePoint::Epoch();
+
+  if (n_ == 1) {
+    // Degenerate shell: the plain server, nothing else. No authority
+    // messages, no capping, no warm-up -- behavior is bit-identical to the
+    // unreplicated engine.
+    ever_started_ = true;
+    return StartServing();
+  }
+
+  // A replica that may have voted in a lost incarnation stays silent for a
+  // full authority term plus drift, so nothing it promised before the
+  // crash can be contradicted after it.
+  bool must_warm = ever_started_ || !env_.replica_cold_boot;
+  warm_until_ = must_warm
+                    ? now + config_.replica.authority_term +
+                          config_.replica.epsilon * 2
+                    : now;
+  seed_boot_ = !must_warm && env_.replica_index == 0;
+  ever_started_ = true;
+  ArmTick(Duration::Zero());
+  return Status::Ok();
+}
+
+void ReplicaNode::Stop() {
+  LEASES_CHECK(started_);
+  started_ = false;
+  if (tick_timer_ != TimerId()) {
+    env_.timers->CancelTimer(tick_timer_);
+    tick_timer_ = TimerId();
+  }
+  if (stepdown_timer_ != TimerId()) {
+    env_.timers->CancelTimer(stepdown_timer_);
+    stepdown_timer_ = TimerId();
+  }
+  // A crash loses the serving incarnation and its counters, exactly like
+  // the plain server's crash model. The authority_* counters live on the
+  // engine object so harnesses can count takeovers across injected faults.
+  if (serving_ != nullptr && serving_->running()) {
+    serving_->Stop();
+  }
+  serving_.reset();
+  capped_policy_.reset();
+  accumulated_ = ServerStats{};
+  role_ = Role::kFollower;
+  phase_ = 0;
+}
+
+Status ReplicaNode::Recover() { return env_.meta->Reopen(); }
+
+ServerStats ReplicaNode::stats() const {
+  ServerStats out = accumulated_;
+  if (serving_ != nullptr) {
+    MergeServerStats(&out, serving_->stats());
+  }
+  out.authority_rounds += authority_rounds_;
+  out.authority_acquisitions += authority_acquisitions_;
+  out.authority_renewals += authority_renewals_;
+  out.authority_stepdowns += authority_stepdowns_;
+  return out;
+}
+
+void ReplicaNode::RegisterClient(NodeId client) {
+  clients_.insert(client);
+  if (serving_ != nullptr) {
+    serving_->RegisterClient(client);
+  }
+}
+
+Duration ReplicaNode::confirmed_remaining() const {
+  if (role_ != Role::kHolder) {
+    return Duration::Zero();
+  }
+  TimePoint now = env_.clock->Now();
+  return confirmed_expiry_ > now ? confirmed_expiry_ - now : Duration::Zero();
+}
+
+// --------------------------------------------------------------------
+// Serving plane
+// --------------------------------------------------------------------
+
+Status ReplicaNode::StartServing() {
+  EngineConfig sub = config_;
+  sub.replica.num_replicas = 0;
+
+  EngineEnv sub_env;
+  sub_env.id = env_.id;
+  sub_env.store = env_.store;
+  sub_env.meta = env_.meta;
+  sub_env.transport = env_.serve_transport;
+  sub_env.clock = env_.clock;
+  sub_env.timers = env_.timers;
+  sub_env.oracle = env_.oracle;
+  if (n_ == 1) {
+    sub_env.policy = env_.policy;
+  } else {
+    capped_policy_ = std::make_unique<CappedTermPolicy>(
+        env_.policy, [this]() -> Duration {
+          if (role_ != Role::kHolder) {
+            return Duration::Zero();
+          }
+          TimePoint limit = confirmed_expiry_ - config_.replica.epsilon;
+          TimePoint now = env_.clock->Now();
+          return limit > now ? limit - now : Duration::Zero();
+        });
+    sub_env.policy = capped_policy_.get();
+  }
+
+  Result<std::unique_ptr<ServerEngine>> engine =
+      MakeServerEngine(sub, std::move(sub_env));
+  if (!engine.ok()) {
+    capped_policy_.reset();
+    return Status(engine.error().code, engine.error().message);
+  }
+  serving_ = std::move(*engine);
+  Status started = serving_->Start();
+  if (!started.ok()) {
+    serving_.reset();
+    capped_policy_.reset();
+    return started;
+  }
+  if (n_ > 1) {
+    // A successor inherits the installed-multicast client set; the n == 1
+    // shell matches the plain server's restart behavior instead (no
+    // replay -- clients re-announce through traffic).
+    for (NodeId client : clients_) {
+      serving_->RegisterClient(client);
+    }
+  }
+  if (env_.on_takeover) {
+    env_.on_takeover(self_addr());
+  }
+  return Status::Ok();
+}
+
+void ReplicaNode::Takeover() {
+  // Seed the plain server's existing crash-recovery machinery with the
+  // quorum-inherited grant bound: the embedded LeaseServer then defers
+  // write approvals for `inherited_bound_` -- the replicated replacement
+  // for waiting out the durable max granted term.
+  inherited_bound_ = round_bound_ + config_.replica.epsilon;
+  if (!env_.meta->Save(kMaxTermMetaKey, inherited_bound_.ToMicros()).ok()) {
+    role_ = Role::kFollower;
+    return;
+  }
+  // The winning ballot becomes the boot-counter floor, so the embedded
+  // server's write sequence range is disjoint from every previous holder's.
+  int64_t boot = env_.meta->Load(kBootCountMetaKey).value_or(0);
+  if (static_cast<int64_t>(ballot_) > boot &&
+      !env_.meta->Save(kBootCountMetaKey, static_cast<int64_t>(ballot_))
+           .ok()) {
+    role_ = Role::kFollower;
+    return;
+  }
+  role_ = Role::kHolder;
+  if (!StartServing().ok()) {
+    role_ = Role::kFollower;
+    return;
+  }
+  ++authority_acquisitions_;
+}
+
+void ReplicaNode::StepDown(bool count) {
+  if (serving_ != nullptr) {
+    AccumulateServingStats();
+    if (serving_->running()) {
+      serving_->Stop();
+    }
+    serving_.reset();
+    capped_policy_.reset();
+  }
+  if (count) {
+    ++authority_stepdowns_;
+  }
+  role_ = Role::kFollower;
+  phase_ = 0;
+  last_holder_seen_ = Now();
+}
+
+void ReplicaNode::AccumulateServingStats() {
+  MergeServerStats(&accumulated_, serving_->stats());
+}
+
+// --------------------------------------------------------------------
+// Proposer
+// --------------------------------------------------------------------
+
+void ReplicaNode::ArmTick(Duration delay) {
+  if (tick_timer_ != TimerId()) {
+    env_.timers->CancelTimer(tick_timer_);
+  }
+  tick_timer_ = env_.timers->ScheduleAfter(delay, [this] {
+    tick_timer_ = TimerId();
+    Tick();
+  });
+}
+
+Duration ReplicaNode::SuspectDelay() {
+  // Staggered by replica index (lower indexes move first) and jittered so
+  // simultaneous contenders de-synchronize without a shared RNG stream.
+  Duration base = config_.replica.suspect_timeout +
+                  config_.replica.acquire_retry * env_.replica_index;
+  return base + SymmetricJitter(config_.replica.acquire_retry / 2,
+                                self_addr().value(), ++jitter_seq_);
+}
+
+void ReplicaNode::Tick() {
+  if (!started_) {
+    return;
+  }
+  TimePoint now = Now();
+  Duration next = config_.replica.acquire_retry;
+  switch (role_) {
+    case Role::kHolder: {
+      // Renewal: a fresh phase-2 round on a fresh (higher) ballot. Stale
+      // accepts from the previous round carry the old ballot and cannot
+      // contaminate this round's quorum.
+      round_ = std::max(round_, observed_round_) + 1;
+      ballot_ = MakeBallot(round_, env_.replica_index);
+      BeginPropose();
+      next = config_.replica.renew_interval;
+      break;
+    }
+    case Role::kAcquiring: {
+      // The in-flight round stalled (lost datagrams, unreachable quorum):
+      // run a fresh one.
+      StartAcquisition();
+      next = config_.replica.acquire_retry +
+             SymmetricJitter(config_.replica.acquire_retry / 2,
+                             self_addr().value(), ++jitter_seq_);
+      break;
+    }
+    case Role::kFollower: {
+      if (now < warm_until_) {
+        next = warm_until_ - now;
+        break;
+      }
+      if (seed_boot_) {
+        // Replica 0 of a brand-new cluster: no holder can exist, acquire
+        // immediately instead of sitting out a suspect timeout.
+        seed_boot_ = false;
+        StartAcquisition();
+        break;
+      }
+      TimePoint due = last_holder_seen_ + SuspectDelay();
+      due = std::max(due, block_until_);
+      if (now >= due) {
+        StartAcquisition();
+      } else {
+        next = due - now;
+      }
+      break;
+    }
+  }
+  ArmTick(next);
+}
+
+void ReplicaNode::StartAcquisition() {
+  role_ = Role::kAcquiring;
+  ++authority_rounds_;
+  round_ = std::max(round_, observed_round_) + 1;
+  ballot_ = MakeBallot(round_, env_.replica_index);
+  phase_ = 1;
+  votes_.clear();
+  round_bound_ = Duration::Zero();
+  round_blocked_ = Duration::Zero();
+  round_anchor_ = Now();
+  AuthorityPrepare prepare{ballot_};
+  BroadcastAuth(Packet(prepare));
+  if (AcceptorReady()) {
+    // Self-vote without a network hop.
+    OnPromise(self_addr(), AcceptPrepare(prepare));
+  }
+}
+
+void ReplicaNode::BeginPropose() {
+  phase_ = 2;
+  votes_.clear();
+  // The authority term is anchored at this send: acceptors grant from
+  // receipt (later than the anchor), so a quorum of accepts proves the
+  // lease lives until at least anchor + term on every voter's clock.
+  round_anchor_ = Now();
+  AuthorityPropose propose{ballot_, static_cast<uint32_t>(self_addr().value()),
+                           config_.replica.authority_term,
+                           ServingGrantHorizon()};
+  BroadcastAuth(Packet(propose));
+  if (AcceptorReady()) {
+    OnAccept(self_addr(), AcceptPropose(self_addr(), propose));
+  }
+}
+
+Duration ReplicaNode::ServingGrantHorizon() {
+  // The outstanding-grant horizon piggybacked on every propose: the latest
+  // expiry among grants this holder has outstanding, as a duration from
+  // now. Acceptors fold it into the bound they report to a successor.
+  if (serving_ == nullptr || serving_->plain() == nullptr) {
+    return Duration::Zero();
+  }
+  TimePoint now = Now();
+  return serving_->plain()->lease_table().GlobalMaxExpiry(now) - now;
+}
+
+void ReplicaNode::ObserveBallot(uint64_t ballot) {
+  observed_round_ = std::max(observed_round_, RoundOf(ballot));
+}
+
+void ReplicaNode::OnPromise(NodeId from, const AuthorityPromise& m) {
+  if (phase_ != 1 || role_ != Role::kAcquiring || m.ballot != ballot_) {
+    return;
+  }
+  if (!m.ok) {
+    ObserveBallot(m.promised);
+    return;  // outbid; the tick retries on a higher round
+  }
+  if (m.holder != 0 &&
+      m.holder != static_cast<uint32_t>(self_addr().value())) {
+    round_blocked_ = std::max(round_blocked_, m.holder_remaining);
+  }
+  round_bound_ = std::max(round_bound_, m.bound_remaining);
+  votes_.insert(static_cast<uint32_t>(from.value()));
+  if (votes_.size() < Quorum()) {
+    return;
+  }
+  if (round_blocked_ > Duration::Zero()) {
+    // Another holder's authority lease is still live at some voter: stand
+    // down and re-check once it can have expired everywhere.
+    role_ = Role::kFollower;
+    phase_ = 0;
+    block_until_ = Now() + round_blocked_ + config_.replica.epsilon;
+    return;
+  }
+  BeginPropose();
+}
+
+void ReplicaNode::OnAccept(NodeId from, const AuthorityAccept& m) {
+  if (phase_ != 2 || m.ballot != ballot_) {
+    return;
+  }
+  if (!m.ok) {
+    ObserveBallot(m.promised);
+    return;  // a holder keeps serving until the step-down check fires
+  }
+  votes_.insert(static_cast<uint32_t>(from.value()));
+  if (votes_.size() < Quorum()) {
+    return;
+  }
+  phase_ = 0;
+  confirmed_expiry_ = round_anchor_ + config_.replica.authority_term;
+  ArmStepDownCheck();
+  if (role_ == Role::kHolder) {
+    ++authority_renewals_;
+  } else {
+    Takeover();
+  }
+}
+
+void ReplicaNode::ArmStepDownCheck() {
+  if (stepdown_timer_ != TimerId()) {
+    env_.timers->CancelTimer(stepdown_timer_);
+  }
+  TimePoint now = Now();
+  TimePoint deadline = confirmed_expiry_ - config_.replica.epsilon;
+  Duration delay = deadline > now ? deadline - now : Duration::Zero();
+  stepdown_timer_ = env_.timers->ScheduleAfter(delay, [this] {
+    stepdown_timer_ = TimerId();
+    if (role_ != Role::kHolder) {
+      return;
+    }
+    TimePoint t = Now();
+    if (t >= confirmed_expiry_ - config_.replica.epsilon) {
+      // Could not re-confirm a quorum before the confirmed lease runs
+      // out: destroy the serving engine *before* a successor can win, so
+      // no stale grant or write approval escapes.
+      StepDown(/*count=*/true);
+    } else {
+      ArmStepDownCheck();  // a renewal moved the horizon forward
+    }
+  });
+}
+
+// --------------------------------------------------------------------
+// Acceptor
+// --------------------------------------------------------------------
+
+bool ReplicaNode::AcceptorReady() const { return Now() >= warm_until_; }
+
+AuthorityPromise ReplicaNode::AcceptPrepare(const AuthorityPrepare& m) {
+  TimePoint now = Now();
+  AuthorityPromise reply;
+  reply.ballot = m.ballot;
+  if (m.ballot >= promised_) {
+    promised_ = m.ballot;
+    reply.ok = true;
+  } else {
+    reply.ok = false;
+  }
+  reply.promised = promised_;
+  if (accepted_owner_ != 0 && accepted_expiry_ > now) {
+    reply.holder = accepted_owner_;
+    reply.holder_remaining = accepted_expiry_ - now;
+  }
+  // The bound a successor must honour: the accepted authority lease's
+  // (epsilon-inflated) expiry, or the holder's last reported grant
+  // horizon, whichever is later. Reported as a remaining duration -- the
+  // receiver adds its own epsilon; no clock comparison crosses nodes.
+  TimePoint bound = std::max(accepted_expiry_, horizon_expiry_);
+  reply.bound_remaining = bound > now ? bound - now : Duration::Zero();
+  return reply;
+}
+
+AuthorityAccept ReplicaNode::AcceptPropose(NodeId from,
+                                           const AuthorityPropose& m) {
+  TimePoint now = Now();
+  AuthorityAccept reply;
+  reply.ballot = m.ballot;
+  bool lease_free = accepted_owner_ == 0 || accepted_expiry_ <= now ||
+                    accepted_owner_ == m.owner;
+  if (m.ballot >= promised_ && lease_free) {
+    promised_ = m.ballot;
+    accepted_ballot_ = m.ballot;
+    accepted_owner_ = m.owner;
+    accepted_expiry_ = now + m.term + config_.replica.epsilon;
+    // Replace, not max: any horizon report is a sound cover for the
+    // grants outstanding at its receipt, and newer is tighter.
+    horizon_expiry_ = now + m.grant_horizon;
+    last_holder_seen_ = now;
+    reply.ok = true;
+    if (m.owner != static_cast<uint32_t>(self_addr().value()) &&
+        role_ == Role::kAcquiring) {
+      // Someone else holds a confirmed-enough lease; abandon this round.
+      role_ = Role::kFollower;
+      phase_ = 0;
+    }
+  } else {
+    reply.ok = false;
+    reply.promised = promised_;
+    if (accepted_owner_ != 0 && accepted_owner_ == m.owner &&
+        accepted_expiry_ > now) {
+      last_holder_seen_ = now;  // refused on ballot, but the holder lives
+    }
+  }
+  (void)from;
+  return reply;
+}
+
+// --------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------
+
+void ReplicaNode::SendAuth(NodeId to, Packet packet) {
+  env_.transport->Send(to, MessageClass::kControl, std::move(packet));
+}
+
+void ReplicaNode::BroadcastAuth(Packet packet) {
+  if (others_.empty()) {
+    return;
+  }
+  env_.transport->Multicast(std::span<const NodeId>(others_),
+                            MessageClass::kControl, std::move(packet));
+}
+
+void ReplicaNode::HandlePacket(NodeId from, MessageClass cls,
+                               std::span<const uint8_t> bytes) {
+  std::optional<Packet> packet = DecodePacket(bytes);
+  if (!packet) {
+    return;  // malformed datagrams are dropped, as everywhere else
+  }
+  HandleTyped(from, cls, *packet);
+}
+
+void ReplicaNode::HandleTyped(NodeId from, MessageClass cls,
+                              const Packet& packet) {
+  if (!started_) {
+    return;
+  }
+  if (const auto* prepare = std::get_if<AuthorityPrepare>(&packet)) {
+    if (n_ > 1 && AcceptorReady()) {
+      SendAuth(from, Packet(AcceptPrepare(*prepare)));
+    }
+    return;  // warming acceptors stay silent
+  }
+  if (const auto* propose = std::get_if<AuthorityPropose>(&packet)) {
+    if (n_ > 1 && AcceptorReady()) {
+      SendAuth(from, Packet(AcceptPropose(from, *propose)));
+    }
+    return;
+  }
+  if (const auto* promise = std::get_if<AuthorityPromise>(&packet)) {
+    if (n_ > 1) {
+      OnPromise(from, *promise);
+    }
+    return;
+  }
+  if (const auto* accept = std::get_if<AuthorityAccept>(&packet)) {
+    if (n_ > 1) {
+      OnAccept(from, *accept);
+    }
+    return;
+  }
+  // Client lease traffic: only the holder's serving engine answers;
+  // everyone else drops and the client retransmits until the virtual
+  // address points at the new holder.
+  if (serving_ != nullptr) {
+    serving_->HandleTyped(from, cls, packet);
+  }
+}
+
+}  // namespace leases

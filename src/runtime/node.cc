@@ -44,10 +44,18 @@ class Waiter {
 
 }  // namespace
 
-RuntimeServer::RuntimeServer(NodeId id, ServerParams params, Duration term)
+RuntimeServer::RuntimeServer(NodeId id, EngineConfig config)
     : id_(id),
-      params_(params),
-      policy_(std::make_unique<FixedTermPolicy>(term)) {}
+      config_(std::move(config)),
+      policy_(std::make_unique<FixedTermPolicy>(config_.term)) {}
+
+RuntimeServer::RuntimeServer(NodeId id, ServerParams params, Duration term)
+    : RuntimeServer(id, [&] {
+        EngineConfig config;
+        config.server = params;
+        config.term = term;
+        return config;
+      }()) {}
 
 RuntimeServer::~RuntimeServer() { Stop(); }
 
@@ -81,12 +89,27 @@ Status RuntimeServer::StartInternal(uint16_t port) {
   // until faults are configured); delayed re-sends run on the loop.
   faulty_ =
       std::make_unique<FaultInjectingTransport>(transport_.get(), loop_.get());
-  loop_->RunSync([this]() {
-    server_ = std::make_unique<LeaseServer>(
-        id_, &store_, &meta_, faulty_.get(), &clock_, loop_.get(),
-        policy_.get(), params_, /*oracle=*/nullptr);
-  });
-  transport_->SetHandler(server_.get());
+  EngineEnv env;
+  env.id = id_;
+  env.store = &store_;
+  env.meta = &meta_;
+  env.transport = faulty_.get();
+  env.clock = &clock_;
+  env.timers = loop_.get();
+  env.policy = policy_.get();
+  auto engine = MakeServerEngine(config_, std::move(env));
+  if (!engine.ok()) {
+    return Status(engine.error().code, engine.error().message);
+  }
+  engine_ = std::move(engine.value());
+  // Engine start (LeaseServer construction, timer arming) runs on the loop
+  // thread, preserving the single-threaded protocol model.
+  Status serving;
+  loop_->RunSync([this, &serving]() { serving = engine_->Start(); });
+  if (!serving.ok()) {
+    return serving;
+  }
+  transport_->SetHandler(engine_.get());
   return Status::Ok();
 }
 
@@ -95,21 +118,21 @@ void RuntimeServer::Stop() {
     transport_->SetHandler(nullptr);
     transport_->Stop();
   }
-  if (loop_ != nullptr && server_ != nullptr) {
-    loop_->RunSync([this]() { server_.reset(); });
+  if (loop_ != nullptr && engine_ != nullptr) {
+    loop_->RunSync([this]() { engine_.reset(); });
   }
   if (loop_ != nullptr) {
     loop_->Stop();
   }
-  server_.reset();
+  engine_.reset();
   faulty_.reset();  // after Stop: no more loop callbacks into the decorator
   transport_.reset();
   loop_.reset();
 }
 
 void RuntimeServer::WithServer(std::function<void(LeaseServer&)> fn) {
-  LEASES_CHECK(loop_ != nullptr && server_ != nullptr);
-  loop_->RunSync([this, &fn]() { fn(*server_); });
+  LEASES_CHECK(loop_ != nullptr && engine_ != nullptr);
+  loop_->RunSync([this, &fn]() { fn(*engine_->plain()); });
 }
 
 ServerStats RuntimeServer::stats() {

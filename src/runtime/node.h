@@ -12,7 +12,7 @@
 
 #include "src/clock/system_clock.h"
 #include "src/core/cache_client.h"
-#include "src/core/lease_server.h"
+#include "src/core/server_engine.h"
 #include "src/core/term_policy.h"
 #include "src/fs/file_store.h"
 #include "src/net/faulty_transport.h"
@@ -23,7 +23,11 @@ namespace leases {
 
 class RuntimeServer {
  public:
-  // `policy` may be null (defaults to a fixed `term`).
+  // The full configuration surface; the engine shape (plain only -- sharded
+  // runs under ShardedRuntimeServer, replicated under RuntimeReplicaServer)
+  // is validated by MakeServerEngine at Start.
+  RuntimeServer(NodeId id, EngineConfig config);
+  // Historical shim: plain server with a fixed `term`.
   RuntimeServer(NodeId id, ServerParams params, Duration term);
   ~RuntimeServer();
 
@@ -44,6 +48,8 @@ class RuntimeServer {
   FileStore& store() { return store_; }
   // Runs `fn` on the protocol thread against the live server.
   void WithServer(std::function<void(LeaseServer&)> fn);
+  // The engine shell (valid between Start and Stop).
+  ServerEngine& engine() { return *engine_; }
   ServerStats stats();
 
   // Fault-injection decorator the server sends through; a passthrough until
@@ -54,7 +60,7 @@ class RuntimeServer {
   Status StartInternal(uint16_t port);
 
   NodeId id_;
-  ServerParams params_;
+  EngineConfig config_;
   FileStore store_;
   // Set only by the durable Start overload; meta_ journals through it and
   // must be destroyed first (declaration order keeps the backend alive).
@@ -65,7 +71,7 @@ class RuntimeServer {
   std::unique_ptr<EventLoop> loop_;
   std::unique_ptr<UdpTransport> transport_;
   std::unique_ptr<FaultInjectingTransport> faulty_;
-  std::unique_ptr<LeaseServer> server_;
+  std::unique_ptr<ServerEngine> engine_;
 };
 
 class RuntimeClient {

@@ -1,0 +1,110 @@
+// RuntimeReplicaServer: one replica of the replicated lease authority on
+// real UDP sockets.
+//
+// Each replica binds TWO sockets sharing one event loop:
+//   * the authority socket, bound to the replica's own address
+//     (ReplicaAddr(index)), carrying the PaxosLease prepare/promise/
+//     propose/accept traffic between replicas;
+//   * the serving socket, bound to the *virtual* server identity every
+//     replica shares, carrying client lease traffic. Only the current
+//     authority holder answers on it (standbys drop client datagrams,
+//     which the client protocol reads as loss and repairs by retry).
+//
+// There is no real VIP on localhost, so the ARP/VIP move a deployment
+// would do at takeover is modeled by the client re-pointing its peer
+// table for the virtual NodeId at the new holder's serving port
+// (UdpTransport::AddPeer overwrites). The on-takeover callback is the
+// hook where a deployment would trigger that move.
+//
+// The replica is deliberately diskless: its DurableMeta lives over the
+// in-process memory backend, and safety across process loss comes from
+// the acceptor warm-up window, not from the journal (see
+// src/replica/authority.h).
+#ifndef SRC_RUNTIME_REPLICA_NODE_H_
+#define SRC_RUNTIME_REPLICA_NODE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/clock/system_clock.h"
+#include "src/core/server_engine.h"
+#include "src/replica/authority.h"
+#include "src/runtime/event_loop.h"
+#include "src/runtime/udp_transport.h"
+
+namespace leases {
+
+class RuntimeReplicaServer {
+ public:
+  // The authority-plane address of replica `index`; kept out of the small
+  // NodeId range clients and servers use.
+  static NodeId ReplicaAddr(size_t index) {
+    return NodeId(900 + static_cast<uint32_t>(index));
+  }
+
+  // `virtual_id` is the serving identity shared by all replicas;
+  // `config.replica.num_replicas` must be >= 1 and `replica_index` in range.
+  RuntimeReplicaServer(NodeId virtual_id, size_t replica_index,
+                       EngineConfig config);
+  ~RuntimeReplicaServer();
+
+  RuntimeReplicaServer(const RuntimeReplicaServer&) = delete;
+  RuntimeReplicaServer& operator=(const RuntimeReplicaServer&) = delete;
+
+  // Binds both sockets and starts the authority state machine. `cold_boot`
+  // is the host's assertion that this replica never participated in an
+  // authority round (fresh cluster); when false the replica warms up for
+  // one authority term before voting.
+  Status Start(bool cold_boot, uint16_t serve_port = 0,
+               uint16_t authority_port = 0);
+  void Stop();
+
+  uint16_t serve_port() const { return serve_transport_->port(); }
+  uint16_t authority_port() const { return authority_transport_->port(); }
+  size_t replica_index() const { return index_; }
+
+  // Peer wiring (after every replica's Start, before traffic matters).
+  void AddReplicaPeer(size_t index, uint16_t authority_port);
+  // Registers a client's address on the serving socket so invalidation
+  // callbacks and multicasts reach it from *this* replica if it becomes
+  // the holder.
+  void AddClientPeer(NodeId client, uint16_t port);
+  // Pre-registers the client with the authority so a takeover replays it
+  // into the new serving engine.
+  void RegisterClient(NodeId client);
+
+  // Fires on the protocol thread when this replica acquires the authority
+  // lease -- the deployment's cue to move the virtual address here. Set
+  // before Start.
+  void OnTakeover(std::function<void(size_t replica_index)> fn) {
+    takeover_cb_ = std::move(fn);
+  }
+
+  // Snapshots taken on the protocol thread.
+  bool is_holder();
+  Duration last_inherited_bound();
+  ServerStats stats();
+
+  // Pre-start namespace setup. Replica stores are independent copies (the
+  // lease plane replicates authority, not file data); seed them
+  // identically.
+  FileStore& store() { return store_; }
+
+ private:
+  NodeId virtual_id_;
+  size_t index_;
+  EngineConfig config_;
+  FileStore store_;
+  DurableMeta meta_;  // memory-backed: the replica plane is diskless
+  SystemClock clock_;
+  std::unique_ptr<TermPolicy> policy_;
+  std::function<void(size_t)> takeover_cb_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<UdpTransport> authority_transport_;
+  std::unique_ptr<UdpTransport> serve_transport_;
+  std::unique_ptr<ServerEngine> engine_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_RUNTIME_REPLICA_NODE_H_

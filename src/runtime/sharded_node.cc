@@ -6,11 +6,20 @@
 
 namespace leases {
 
+ShardedRuntimeServer::ShardedRuntimeServer(NodeId id, EngineConfig config)
+    : id_(id), config_(std::move(config)) {
+  LEASES_CHECK(config_.num_shards >= 1);
+}
+
 ShardedRuntimeServer::ShardedRuntimeServer(NodeId id, ServerParams params,
                                            Duration term, size_t num_shards)
-    : id_(id), params_(params), term_(term), num_shards_(num_shards) {
-  LEASES_CHECK(num_shards >= 1);
-}
+    : ShardedRuntimeServer(id, [&] {
+        EngineConfig config;
+        config.server = params;
+        config.term = term;
+        config.num_shards = num_shards;
+        return config;
+      }()) {}
 
 ShardedRuntimeServer::~ShardedRuntimeServer() { Stop(); }
 
@@ -19,13 +28,14 @@ Status ShardedRuntimeServer::Start(uint16_t port) {
   // the shard queues.
   transport_ = std::make_unique<UdpTransport>(id_, nullptr, nullptr);
 
-  std::vector<ShardEnv> envs(num_shards_);
+  const size_t num_shards = config_.num_shards;
+  std::vector<ShardEnv> envs(num_shards);
   rigs_.clear();
-  rigs_.reserve(num_shards_);
-  for (size_t i = 0; i < num_shards_; ++i) {
+  rigs_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
     auto rig = std::make_unique<ShardRig>();
     rig->loop = std::make_unique<ShardLoop>();
-    rig->policy = std::make_unique<FixedTermPolicy>(term_);
+    rig->policy = std::make_unique<FixedTermPolicy>(config_.term);
     rig->sender = std::make_unique<UdpBatchSender>(transport_.get());
     envs[i].store = &rig->store;
     envs[i].meta = &rig->meta;
@@ -40,14 +50,27 @@ Status ShardedRuntimeServer::Start(uint16_t port) {
   // is single-threaded and therefore safe: constructor-scheduled timers land
   // in the still-unstarted timer queues, and thread creation below
   // happens-after all of it.
-  sharded_ = std::make_unique<ShardedLeaseServer>(id_, std::move(envs),
-                                                  params_, /*oracle=*/nullptr);
+  EngineEnv env;
+  env.id = id_;
+  env.shards = std::move(envs);
+  auto engine = MakeServerEngine(config_, std::move(env));
+  if (!engine.ok()) {
+    rigs_.clear();
+    transport_.reset();
+    return Status(engine.error().code, engine.error().message);
+  }
+  engine_ = std::move(engine.value());
+  Status serving = engine_->Start();
+  if (!serving.ok()) {
+    return serving;
+  }
+  sharded_ = engine_->sharded();
   store_.SetMirror([this](FileId file, const FileRecord* rec) {
     sharded_->MirrorRecord(file, rec);
   });
   sharded_->AdoptAll(store_);
 
-  for (size_t i = 0; i < num_shards_; ++i) {
+  for (size_t i = 0; i < num_shards; ++i) {
     ShardRig* rig = rigs_[i].get();
     rig->loop->Start(
         [this, i](const ShardInbound& msg) {
@@ -89,7 +112,8 @@ void ShardedRuntimeServer::Stop() {
   // All threads are joined: tearing the protocol objects down from here is
   // single-threaded again (LeaseServer destructors cancel timers against
   // the now-quiescent loops).
-  sharded_.reset();
+  engine_.reset();
+  sharded_ = nullptr;
   store_.SetMirror(nullptr);
   rigs_.clear();
   transport_.reset();
@@ -97,6 +121,9 @@ void ShardedRuntimeServer::Stop() {
 
 ServerStats ShardedRuntimeServer::stats() {
   ServerStats out;
+  if (sharded_ == nullptr) {
+    return out;
+  }
   for (size_t i = 0; i < rigs_.size(); ++i) {
     // Snapshot on the shard's own thread: LeaseServer::stats() touches
     // mutable server state and must not race the message path.

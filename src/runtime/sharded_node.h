@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "src/clock/system_clock.h"
-#include "src/core/sharded_lease_server.h"
+#include "src/core/server_engine.h"
 #include "src/core/term_policy.h"
 #include "src/fs/file_store.h"
 #include "src/runtime/shard_loop.h"
@@ -31,6 +31,11 @@ namespace leases {
 
 class ShardedRuntimeServer {
  public:
+  // Full configuration surface; config.num_shards selects the shard count
+  // and MakeServerEngine validates the combination at Start (the historical
+  // LEASES_CHECK death on installed_optimization+shards is now a Status).
+  ShardedRuntimeServer(NodeId id, EngineConfig config);
+  // Historical shim.
   ShardedRuntimeServer(NodeId id, ServerParams params, Duration term,
                        size_t num_shards);
   ~ShardedRuntimeServer();
@@ -51,7 +56,7 @@ class ShardedRuntimeServer {
   // partitions are authoritative and this store must not be touched.
   FileStore& store() { return store_; }
 
-  size_t num_shards() const { return num_shards_; }
+  size_t num_shards() const { return config_.num_shards; }
 
   // Merged per-shard counters, snapshotted on each shard's own thread, plus
   // the transport's local send failures.
@@ -77,14 +82,15 @@ class ShardedRuntimeServer {
   };
 
   NodeId id_;
-  ServerParams params_;
-  Duration term_;
-  size_t num_shards_;
+  EngineConfig config_;
   FileStore store_;  // namespace store; partitions are seeded from it
   SystemClock clock_;
   std::unique_ptr<UdpTransport> transport_;
   std::vector<std::unique_ptr<ShardRig>> rigs_;
-  std::unique_ptr<ShardedLeaseServer> sharded_;
+  // The factory-built engine shell; sharded_ is its introspection pointer
+  // (the routing fast path keeps the concrete type).
+  std::unique_ptr<ServerEngine> engine_;
+  ShardedLeaseServer* sharded_ = nullptr;
   std::atomic<uint64_t> dropped_{0};
 };
 

@@ -43,6 +43,8 @@ class ChaosRun {
     cluster_options.num_clients = options_.num_clients;
     cluster_options.term = options_.term;
     cluster_options.client = options_.client;
+    cluster_options.replica.num_replicas = options_.num_replicas;
+    cluster_options.replica_clocks = options_.replica_clocks;
     cluster_options.net.seed = options_.seed;
     cluster_options.net.loss_prob = options_.loss;
     cluster_options.net.faults = BaselineFaults(options_);
@@ -64,6 +66,11 @@ class ChaosRun {
     Simulator& sim = cluster_->sim();
     for (const FaultEvent& ev : plan_.events) {
       sim.ScheduleAfter(ev.at, [this, ev]() { Apply(ev); });
+    }
+    if (cluster_->num_replicas() > 1 &&
+        options_.partition_holder_at > Duration::Zero()) {
+      sim.ScheduleAfter(options_.partition_holder_at,
+                        [this]() { IsolateHolder(); });
     }
     // Quiesce: once the plan has played out, heal everything and restore the
     // baseline so the remaining ops can drain and complete.
@@ -94,12 +101,17 @@ class ChaosRun {
     report.sim_time = sim.Now() - start;
     report.hit_time_cap = !Finished() && sim.Now() >= cap;
     if (cluster_->ServerUp()) {  // quiesce restarts it; belt and braces
-      const ServerStats& s = cluster_->server().stats();
+      // Merged across shards/replicas; identical to the plain server's own
+      // stats in the single-engine shapes.
+      ServerStats s = cluster_->server_stats();
       report.journal_appends = s.journal_appends;
       report.journal_replays = s.journal_replays;
       report.journal_truncated_tails = s.journal_truncated_tails;
       report.journal_corrupt_dropped = s.journal_corrupt_dropped;
       report.recovery_shed_writes = s.recovery_shed_writes;
+      report.authority_acquisitions = s.authority_acquisitions;
+      report.authority_stepdowns = s.authority_stepdowns;
+      report.recovery_window = s.recovery_window;
     }
     for (size_t i = 0; i < options_.num_clients; ++i) {
       if (cluster_->ClientUp(i)) {
@@ -121,7 +133,10 @@ class ChaosRun {
         }
         break;
       case FaultOp::kRestartServer:
-        if (!cluster_->ServerUp()) {
+        // Replicated: ServerUp() is "any replica running", so gate on a
+        // downed replica instead; RestartServer revives every one of them.
+        if (cluster_->num_replicas() > 1 ? cluster_->AnyReplicaDown()
+                                         : !cluster_->ServerUp()) {
           cluster_->RestartServer();
         }
         break;
@@ -186,6 +201,24 @@ class ChaosRun {
          static_cast<uint64_t>(ev.at.ToMicros()));
   }
 
+  // Replicated runs only: partition whichever replica holds the authority
+  // lease away from its peers. Its outstanding grants stay live at clients
+  // until it steps down -- the window deferred inheritance must cover.
+  void IsolateHolder() {
+    int holder = cluster_->holder_index();
+    if (holder < 0) {
+      return;  // mid-election; the crash/partition already in flight wins
+    }
+    size_t target = static_cast<size_t>(holder);
+    cluster_->PartitionReplica(target, true);
+    Note("isolate-holder", target, 0, 0);
+    cluster_->sim().ScheduleAfter(options_.partition_holder_span,
+                                  [this, target]() {
+                                    cluster_->PartitionReplica(target, false);
+                                    Note("heal-holder", target, 0, 0);
+                                  });
+  }
+
   void Quiesce() {
     for (size_t i = 0; i < options_.num_clients; ++i) {
       cluster_->PartitionClient(i, false);
@@ -194,7 +227,15 @@ class ChaosRun {
         cluster_->RestartClient(i);
       }
     }
-    if (!cluster_->ServerUp()) {
+    if (cluster_->num_replicas() > 1) {
+      for (size_t r = 0; r < cluster_->num_replicas(); ++r) {
+        cluster_->PartitionReplica(r, false);
+        cluster_->replica_clock(r).SetModel(ClockModel::Perfect());
+      }
+      if (cluster_->AnyReplicaDown()) {
+        cluster_->RestartServer();
+      }
+    } else if (!cluster_->ServerUp()) {
       cluster_->RestartServer();
     }
     cluster_->network().set_loss_prob(options_.loss);

@@ -46,6 +46,19 @@ struct ChaosOptions {
   double reorder = 0.01;
   double burst = 0.0;
 
+  // Replicated authority plane: 0 keeps the historical single server,
+  // n > 1 runs the soak against n authority replicas (crash-server plan
+  // events then fell the current holder, restart-server revives every
+  // downed replica). Optional per-replica clock models ride along.
+  size_t num_replicas = 0;
+  std::vector<ClockModel> replica_clocks;
+  // Scripted holder isolation (replicated runs only): at `at`, partition
+  // whichever replica currently holds the authority lease from its peers
+  // for `span` (its grants keep flowing to clients until it steps down --
+  // the modeled danger window), then heal. Zero `at` disables.
+  Duration partition_holder_at = Duration::Zero();
+  Duration partition_holder_span = Duration::Seconds(3);
+
   // When true (and `plan` is empty), a RandomFaultPlan drawn from the seed
   // is layered on top of the baseline rates.
   bool random_plan = true;
@@ -78,6 +91,14 @@ struct ChaosReport {
   uint64_t journal_corrupt_dropped = 0;
   uint64_t recovery_shed_writes = 0;
   uint64_t unavailable_retries = 0;  // summed over surviving clients
+
+  // Replicated-authority counters (zero for single-server runs): election
+  // activity plus the merged write-hold window -- for a replicated run the
+  // inherited grant bound the successors imposed instead of the
+  // max-granted-term recovery wait.
+  uint64_t authority_acquisitions = 0;
+  uint64_t authority_stepdowns = 0;
+  Duration recovery_window = Duration::Zero();
 };
 
 // Runs one soak to completion. Deterministic per options.

@@ -1,0 +1,154 @@
+// EngineConfig validation and the MakeServerEngine factory: unsupported
+// configurations must fail with a descriptive Status at construction time,
+// and every supported shape must come up through the one factory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/sim_cluster.h"
+#include "src/workload/v_config.h"
+
+namespace leases {
+namespace {
+
+bool RejectedWith(const EngineConfig& config, const std::string& needle) {
+  Status status = config.Validate();
+  if (status.ok()) {
+    return false;
+  }
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  return status.error().message.find(needle) != std::string::npos;
+}
+
+TEST(EngineConfigTest, DefaultsValidate) {
+  EngineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_shards = 8;
+  EXPECT_TRUE(config.Validate().ok());
+  config.num_shards = 1;
+  config.replica.num_replicas = 3;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// The historical wart: a sharded server with installed_optimization used to
+// die on a LEASES_CHECK deep in the constructor. The factory now refuses
+// up front, with a message saying *why*.
+TEST(EngineConfigTest, InstalledOptimizationWithShardsIsRejectedNotFatal) {
+  EngineConfig config;
+  config.num_shards = 4;
+  config.server.installed_optimization = true;
+  EXPECT_TRUE(RejectedWith(config, "key==file routing invariant"));
+}
+
+TEST(EngineConfigTest, ShardIncompatibilities) {
+  EngineConfig config;
+  config.num_shards = 0;
+  EXPECT_TRUE(RejectedWith(config, ">= 1"));
+  config.num_shards = 65;
+  EXPECT_TRUE(RejectedWith(config, "6 bits"));
+  config.num_shards = 4;
+  config.data_dir = "/tmp/x";
+  EXPECT_TRUE(RejectedWith(config, "per-shard memory backends"));
+  config.data_dir.clear();
+  config.replica.num_replicas = 3;
+  EXPECT_TRUE(RejectedWith(config, "num_shards == 1"));
+}
+
+TEST(EngineConfigTest, ReplicaIncompatibilities) {
+  EngineConfig config;
+  config.replica.num_replicas = 8;
+  EXPECT_TRUE(RejectedWith(config, "<= 7"));
+  config.replica.num_replicas = 3;
+  config.server.persist_lease_records = true;
+  EXPECT_TRUE(RejectedWith(config, "single-node recovery"));
+  config.server.persist_lease_records = false;
+  config.server.installed_optimization = true;
+  EXPECT_TRUE(RejectedWith(config, "do not transfer across failover"));
+  config.server.installed_optimization = false;
+  config.data_dir = "/tmp/x";
+  EXPECT_TRUE(RejectedWith(config, "diskless"));
+  config.data_dir.clear();
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(EngineConfigTest, ReplicaTimingKnobsValidated) {
+  EngineConfig config;
+  config.replica.num_replicas = 3;
+  config.replica.renew_interval = config.replica.authority_term;
+  EXPECT_TRUE(RejectedWith(config, "at most half"));
+  config.replica.renew_interval = Duration::Millis(400);
+  config.replica.suspect_timeout = Duration::Millis(100);
+  EXPECT_TRUE(RejectedWith(config, "two renewal intervals"));
+  config.replica.suspect_timeout = Duration::Millis(1300);
+  config.replica.acquire_retry = Duration::Zero();
+  EXPECT_TRUE(RejectedWith(config, "acquire_retry"));
+}
+
+TEST(EngineFactoryTest, RejectsEnvShapeMismatches) {
+  EngineConfig config;
+  config.num_shards = 4;
+  EngineEnv env;  // no shard environments supplied
+  auto sharded = MakeServerEngine(config, std::move(env));
+  EXPECT_FALSE(sharded.ok());
+  EXPECT_EQ(sharded.code(), ErrorCode::kInvalidArgument);
+
+  EngineConfig rconfig;
+  rconfig.replica.num_replicas = 3;
+  EngineEnv renv;  // no peers, no serve transport
+  auto replicated = MakeServerEngine(rconfig, std::move(renv));
+  EXPECT_FALSE(replicated.ok());
+  EXPECT_EQ(replicated.code(), ErrorCode::kInvalidArgument);
+
+  EngineEnv penv;  // plain engine with a null environment
+  auto plain = MakeServerEngine(EngineConfig{}, std::move(penv));
+  EXPECT_FALSE(plain.ok());
+  EXPECT_EQ(plain.code(), ErrorCode::kInvalidArgument);
+}
+
+// Every cluster shape comes up through the same factory and serves.
+TEST(EngineFactoryTest, AllShapesServeThroughTheFactory) {
+  struct Case {
+    size_t shards;
+    size_t replicas;
+  };
+  for (Case c : {Case{1, 0}, Case{4, 0}, Case{1, 1}, Case{1, 3}}) {
+    ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 2, 1);
+    options.num_shards = c.shards;
+    options.replica.num_replicas = c.replicas;
+    SimCluster cluster(options);
+    FileId f = *cluster.store().CreatePath("/x", FileClass::kNormal,
+                                           Bytes("v0"));
+    auto read = cluster.SyncRead(0, f);
+    ASSERT_TRUE(read.ok()) << "shards=" << c.shards
+                           << " replicas=" << c.replicas;
+    EXPECT_EQ(Text(read.value().data), "v0");
+    ASSERT_TRUE(cluster.SyncWrite(1, f, Bytes("v1")).ok());
+    EXPECT_EQ(cluster.oracle().violations(), 0u);
+    EXPECT_EQ(cluster.server_stats().writes_committed, 1u);
+  }
+}
+
+// Stop/Recover/Start through the engine interface is the crash/restart
+// cycle every harness uses; the plain engine must preserve the recovery
+// window semantics underneath it.
+TEST(EngineFactoryTest, EngineLifecycleDrivesRecovery) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 2, 1);
+  SimCluster cluster(options);
+  FileId f = *cluster.store().CreatePath("/x", FileClass::kNormal,
+                                         Bytes("v0"));
+  ASSERT_TRUE(cluster.SyncRead(0, f).ok());  // a live grant to honour
+  EXPECT_TRUE(cluster.engine().running());
+  cluster.CrashServer();
+  EXPECT_FALSE(cluster.engine().running());
+  cluster.RestartServer();
+  EXPECT_TRUE(cluster.engine().running());
+  // The restarted engine holds writes for the persisted max term.
+  TimePoint before = cluster.sim().Now();
+  ASSERT_TRUE(cluster.SyncWrite(1, f, Bytes("v1")).ok());
+  EXPECT_GT((cluster.sim().Now() - before).ToSeconds(), 1.0);
+  EXPECT_GT(cluster.server_stats().recovery_window.ToMicros(), 0);
+  EXPECT_EQ(cluster.oracle().violations(), 0u);
+}
+
+}  // namespace
+}  // namespace leases

@@ -202,7 +202,7 @@ std::vector<LeaseKey> RandomKeys(Rng& rng, size_t max_n) {
   return keys;
 }
 
-// One random packet of each of the 12 wire types, index-selected so the
+// One random packet of each of the 16 wire types, index-selected so the
 // test provably covers the whole variant.
 Packet RandomPacket(Rng& rng, size_t type_index) {
   switch (type_index) {
@@ -273,14 +273,40 @@ Packet RandomPacket(Rng& rng, size_t type_index) {
           RandomKeys(rng, 8)};
     case 10:
       return Ping{RequestId(rng.NextU64())};
-    default:
+    case 11:
       return Pong{RequestId(rng.NextU64())};
+    case 12:
+      return AuthorityPrepare{rng.NextU64()};
+    case 13: {
+      AuthorityPromise m;
+      m.ballot = rng.NextU64();
+      m.ok = rng.NextBernoulli(0.5);
+      m.promised = rng.NextU64();
+      m.holder = static_cast<uint32_t>(rng.NextU64());
+      m.holder_remaining =
+          Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      m.bound_remaining =
+          Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      return m;
+    }
+    case 14: {
+      AuthorityPropose m;
+      m.ballot = rng.NextU64();
+      m.owner = static_cast<uint32_t>(rng.NextU64());
+      m.term = Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      m.grant_horizon =
+          Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      return m;
+    }
+    default:
+      return AuthorityAccept{rng.NextU64(), rng.NextBernoulli(0.5),
+                             rng.NextU64()};
   }
 }
 
 TEST(ProtoTest, RandomizedRoundTripCoversEveryType) {
   constexpr size_t kNumTypes = std::variant_size_v<Packet>;
-  static_assert(kNumTypes == 12, "update RandomPacket for new types");
+  static_assert(kNumTypes == 16, "update RandomPacket for new types");
   Rng rng(77);
   for (int trial = 0; trial < 200; ++trial) {
     for (size_t type = 0; type < kNumTypes; ++type) {
@@ -321,9 +347,11 @@ TEST(ProtoTest, RandomGarbageNeverCrashesTheDecoder) {
     for (auto& b : garbage) {
       b = static_cast<uint8_t>(rng.NextU64());
     }
-    // Valid-looking type bytes make the body decoder work hardest.
+    // Valid-looking type bytes make the body decoder work hardest (tags
+    // 1-10 and the authority plane's 20-23).
     if (!garbage.empty()) {
-      garbage[0] = static_cast<uint8_t>(rng.NextBounded(12) + 1);
+      uint64_t pick = rng.NextBounded(14);
+      garbage[0] = static_cast<uint8_t>(pick < 10 ? pick + 1 : pick + 10);
     }
     (void)DecodePacket(garbage);  // must not crash or overread
   }

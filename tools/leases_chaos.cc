@@ -42,6 +42,9 @@ ChaosOptions OptionsFromFlags(const Flags& flags) {
   options.random_plan = !flags.GetBool("no-plan", false);
   options.collect_trace = flags.GetBool("trace", false);
   options.plan_options.allow_storage_fault = flags.GetBool("storage", false);
+  options.num_replicas = static_cast<size_t>(flags.GetInt("replicas", 0));
+  options.partition_holder_at =
+      Duration::Seconds(flags.GetDouble("isolate-holder-at", 0.0));
   return options;
 }
 
@@ -74,6 +77,14 @@ void PrintReport(const ChaosOptions& options, const ChaosReport& report) {
   // is a real crash recovery.
   if (report.journal_replays > 1) {
     std::printf("  storage: %s\n", storage.Summary().c_str());
+  }
+  if (options.num_replicas > 1) {
+    std::printf("  authority: acquisitions=%llu stepdowns=%llu "
+                "write_hold=%.3fs (term %.1fs)\n",
+                static_cast<unsigned long long>(report.authority_acquisitions),
+                static_cast<unsigned long long>(report.authority_stepdowns),
+                report.recovery_window.ToSeconds(),
+                options.term.ToSeconds());
   }
   if (report.hit_time_cap) {
     std::printf("  WARNING: hit simulated-time cap before all ops drained\n");
@@ -165,6 +176,60 @@ int RunSmoke() {
   }
   std::printf("smoke ok: storage-fault digest stable 0x%016llx\n",
               static_cast<unsigned long long>(c.digest));
+
+  // Replicated-authority pass: three replicas under drifting clocks take a
+  // holder crash at 1.5 s and a holder isolation at 8 s. The acceptance
+  // bar: zero violations, at least the three expected acquisitions (seed,
+  // post-crash, post-isolation), and a failover write hold far below the
+  // 10 s max-granted-term wait a single server would impose.
+  ChaosOptions replicated;
+  replicated.num_clients = 4;
+  replicated.total_ops = 900;
+  replicated.num_files = 6;
+  replicated.ops_per_sec = 20.0;
+  replicated.dup = 0.02;
+  replicated.reorder = 0.02;
+  replicated.num_replicas = 3;
+  replicated.replica_clocks = {ClockModel::Drifting(1.0004),
+                               ClockModel::Drifting(0.9996),
+                               ClockModel::Skewed(Duration::Millis(40))};
+  replicated.random_plan = false;
+  replicated.plan = FaultPlan::Parse(
+                        "@1.500000 crash-server;@6.000000 restart-server")
+                        .value();
+  replicated.partition_holder_at = Duration::Seconds(8);
+  for (uint64_t seed : {5ULL, 11ULL}) {
+    replicated.seed = seed;
+    int rc = RunOne(replicated);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  replicated.seed = 11;
+  ChaosReport e = RunChaos(replicated);
+  ChaosReport f = RunChaos(replicated);
+  if (e.digest != f.digest) {
+    std::printf(
+        "SMOKE FAIL: replicated seed diverged (0x%016llx vs 0x%016llx)\n",
+        static_cast<unsigned long long>(e.digest),
+        static_cast<unsigned long long>(f.digest));
+    return 1;
+  }
+  if (e.authority_acquisitions < 3) {
+    std::printf("SMOKE FAIL: expected >= 3 authority acquisitions, saw %llu\n",
+                static_cast<unsigned long long>(e.authority_acquisitions));
+    return 1;
+  }
+  if (e.recovery_window.ToSeconds() > replicated.term.ToSeconds() * 0.5) {
+    std::printf(
+        "SMOKE FAIL: failover write hold %.3fs not << max granted term %.1fs\n",
+        e.recovery_window.ToSeconds(), replicated.term.ToSeconds());
+    return 1;
+  }
+  std::printf("smoke ok: replicated failover digest stable 0x%016llx "
+              "(write hold %.3fs vs %.1fs term)\n",
+              static_cast<unsigned long long>(e.digest),
+              e.recovery_window.ToSeconds(), replicated.term.ToSeconds());
   return 0;
 }
 
@@ -179,7 +244,8 @@ int Run(int argc, char** argv) {
         "                    [--files n] [--term s] [--rate ops/s]\n"
         "                    [--write_fraction f] [--loss p] [--dup p]\n"
         "                    [--reorder p] [--burst p] [--plan \"...\"]\n"
-        "                    [--no-plan] [--storage] [--trace] [--smoke]\n");
+        "                    [--no-plan] [--storage] [--trace] [--smoke]\n"
+        "                    [--replicas n] [--isolate-holder-at s]\n");
     return 0;
   }
   if (flags.Has("log")) {

@@ -41,9 +41,14 @@ fi
 # to merge mid-storm), which is exactly the surface TSan exists to check.
 # swarm_test drives the million-client swarm plane's SoA clients, multicast
 # renewal and admission control through ASan for lifetime/indexing bugs.
+# The replica tier (engine_test, replica_test, runtime_replica_test) covers
+# the factory lifecycle, the PaxosLease authority state machine across
+# crash/partition/drift soaks, and the two-socket runtime failover rig --
+# real threads under TSan, serving-engine churn under ASan.
 targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
          runtime_test event_loop_test storage_test journal_crash_test
-         shard_test shard_concurrency_test swarm_test)
+         shard_test shard_concurrency_test swarm_test
+         engine_test replica_test runtime_replica_test)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
