@@ -1,0 +1,152 @@
+#include "src/clock/clock_error_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leases {
+
+namespace {
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+}  // namespace
+
+void ClockErrorEstimator::Reanchor(NodeState& s, int64_t remote,
+                                   TimePoint local) const {
+  s.anchor_remote = s.mid_remote = s.last_remote = remote;
+  s.anchor_local = s.mid_local = s.last_local = local;
+  s.measured_rate = 1.0;
+  s.has_rate = false;
+  s.bound = Clamp(options_.prior_bound, options_.floor_bound,
+                  options_.ceiling_bound);
+  s.bound_at = local;
+}
+
+void ClockErrorEstimator::OnSample(NodeId node, int64_t remote_clock_us,
+                                   TimePoint local_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    if (nodes_.size() >= options_.max_nodes) return;
+    NodeState s;
+    Reanchor(s, remote_clock_us, local_now);
+    it = nodes_.emplace(node, s).first;
+    return;
+  }
+  NodeState& s = it->second;
+  // Local time moving backwards means *our* clock was rebased (e.g. a
+  // replica failover changed whose clock feeds the estimator); a long gap
+  // means the old anchor tells us nothing about the node's current rate.
+  // Either way the pair history is useless: start over at the prior.
+  if (local_now < s.last_local ||
+      local_now - s.last_local > options_.reset_gap) {
+    Reanchor(s, remote_clock_us, local_now);
+    return;
+  }
+  s.last_remote = remote_clock_us;
+  s.last_local = local_now;
+
+  // Forgiveness: evidence-gated exponential decay of the retained worst
+  // bound. It only runs here -- on the read path silence never lowers a
+  // bound, it raises it (staleness growth in BoundAt).
+  double decayed = s.bound;
+  if (local_now > s.bound_at) {
+    double dt_s = (local_now - s.bound_at).ToSeconds();
+    decayed = options_.floor_bound +
+              (s.bound - options_.floor_bound) *
+                  std::exp2(-dt_s / options_.forgive_half_life.ToSeconds());
+  }
+
+  Duration window = local_now - s.anchor_local;
+  if (window >= options_.min_window) {
+    double window_us = static_cast<double>(window.ToMicros());
+    s.measured_rate =
+        static_cast<double>(remote_clock_us - s.anchor_remote) / window_us;
+    // Each stamp is displaced by at most noise_bound, so the rate derived
+    // from a pair carries at most 2*noise_bound/window of error.
+    double noise =
+        2.0 * static_cast<double>(options_.noise_bound.ToMicros()) / window_us;
+    double inst = Clamp(std::abs(s.measured_rate - 1.0) + noise,
+                        options_.floor_bound, options_.ceiling_bound);
+    s.has_rate = true;
+    s.bound = std::max(inst, decayed);
+  } else {
+    s.bound = decayed;
+  }
+  s.bound_at = local_now;
+
+  // Slide the two-anchor window: `mid` trails by roughly half a window and
+  // becomes the anchor when the anchor ages out, keeping the effective
+  // window within [max_window/2, max_window] under steady traffic.
+  if (local_now - s.anchor_local >= options_.max_window) {
+    s.anchor_remote = s.mid_remote;
+    s.anchor_local = s.mid_local;
+    s.mid_remote = remote_clock_us;
+    s.mid_local = local_now;
+  } else if (local_now - s.mid_local >= options_.max_window / 2) {
+    s.mid_remote = remote_clock_us;
+    s.mid_local = local_now;
+  }
+}
+
+double ClockErrorEstimator::BoundAt(const NodeState& s, TimePoint now) const {
+  double b = s.bound;
+  TimePoint fresh_until = s.last_local + options_.stale_grace;
+  if (now > fresh_until) {
+    b += options_.stale_growth_per_sec * (now - fresh_until).ToSeconds();
+  }
+  return Clamp(b, options_.floor_bound, options_.ceiling_bound);
+}
+
+double ClockErrorEstimator::DriftBound(NodeId node, TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    return Clamp(options_.prior_bound, options_.floor_bound,
+                 options_.ceiling_bound);
+  }
+  return BoundAt(it->second, now);
+}
+
+double ClockErrorEstimator::WorstBound(TimePoint now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double worst = nodes_.empty() ? Clamp(options_.prior_bound,
+                                        options_.floor_bound,
+                                        options_.ceiling_bound)
+                                : 0.0;
+  for (const auto& [node, s] : nodes_) {
+    worst = std::max(worst, BoundAt(s, now));
+  }
+  return worst;
+}
+
+Duration ClockErrorEstimator::EpsilonBound(Duration horizon,
+                                           TimePoint now) const {
+  if (horizon <= Duration::Zero()) return options_.noise_bound;
+  if (horizon.IsInfinite()) return Duration::Infinite();
+  double drift_us =
+      WorstBound(now) * static_cast<double>(horizon.ToMicros());
+  return Duration::Micros(static_cast<int64_t>(drift_us)) +
+         options_.noise_bound;
+}
+
+size_t ClockErrorEstimator::tracked_nodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+ClockErrorEstimator::NodeView ClockErrorEstimator::View(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  NodeView v;
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return v;
+  const NodeState& s = it->second;
+  v.known = true;
+  v.has_rate = s.has_rate;
+  v.measured_rate = s.measured_rate;
+  v.bound = s.bound;
+  v.last_sample = s.last_local;
+  return v;
+}
+
+}  // namespace leases

@@ -1,0 +1,136 @@
+// Measured clock-error bounds from existing request traffic.
+//
+// Section 5 makes lease consistency conditional on a bounded clock error
+// epsilon, but a bound that is merely *assumed* is a liability: real drift
+// beyond the constant silently voids the safety argument. This estimator
+// turns the assumption into a measurement. Clients stamp read/extend
+// requests with their local clock (an estimation-only field -- no remote
+// clock value ever feeds protocol arithmetic), and the server derives a
+// conservative per-client bound on |d(remote)/d(local) - 1| from how the
+// stamps advance against its own clock:
+//
+//   * two samples (remote_i, local_i), (remote_j, local_j) spanning window
+//     W = local_j - local_i give a measured relative rate
+//     r = (remote_j - remote_i) / W;
+//   * each stamp is displaced by at most `noise_bound` of one-way transit +
+//     queueing, so the rate estimate carries error <= 2*noise_bound / W;
+//   * the reported bound is |r - 1| + 2*noise_bound/W, never below
+//     `floor_bound` (crystal tolerance; nothing measures below it) and
+//     clamped at `ceiling_bound` (beyond that, sync is simply "blown").
+//
+// The bound is deliberately asymmetric in time: it locks ON to worse sync
+// immediately (a fresh sample showing drift raises the bound at once) but
+// forgives slowly (an excursion keeps dominating for `forgive_half_life`
+// after it ends, decaying exponentially toward the new measurement). Nodes
+// that stop sending samples have their bound grown toward the ceiling at
+// `stale_growth_per_sec` -- silence is not evidence of health.
+//
+// Unknown nodes get `prior_bound`: conservative enough that a client's very
+// first grants stay short until its clock has demonstrated itself.
+#ifndef SRC_CLOCK_CLOCK_ERROR_ESTIMATOR_H_
+#define SRC_CLOCK_CLOCK_ERROR_ESTIMATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace leases {
+
+struct ClockErrorEstimatorOptions {
+  // Upper bound on one-way transit + queueing displacement of a stamp.
+  // Mirrors ClientParams::transit_allowance.
+  Duration noise_bound = Duration::Millis(3);
+  // Shortest sample pair window a rate estimate may be derived from; below
+  // this the noise term dominates and the estimate is garbage.
+  Duration min_window = Duration::Millis(500);
+  // Rate estimates use the oldest retained sample no older than this. A
+  // short window tracks drift *changes* quickly (a ramp step is visible
+  // within one window) at the cost of a higher noise floor.
+  Duration max_window = Duration::Seconds(6);
+  // A gap this long between samples abandons the old anchor entirely: the
+  // node re-enters at the prior, as if never seen.
+  Duration reset_gap = Duration::Seconds(30);
+  // Assumed |rate - 1| for nodes with no (or not yet enough) samples.
+  double prior_bound = 5e-3;
+  // Residual uncertainty floor (typical crystal tolerance ~50 ppm).
+  double floor_bound = 50e-6;
+  // Bounds are clamped here; at this magnitude sync is considered blown.
+  double ceiling_bound = 0.25;
+  // Bound growth per second of sample silence (toward the ceiling). The
+  // grace covers the ordinary cadence of a healthy client's remote
+  // requests -- gaps well past it mean the node has really gone quiet and
+  // its bound should no longer be trusted at face value.
+  Duration stale_grace = Duration::Seconds(5);
+  double stale_growth_per_sec = 0.005;
+  // Half-life of the exponential decay from a past worst-case measurement
+  // toward the current one. Raising is instant; forgiving takes this long.
+  Duration forgive_half_life = Duration::Seconds(5);
+  // Per-node state cap; beyond it new nodes are reported at the prior.
+  size_t max_nodes = 65536;
+};
+
+class ClockErrorEstimator {
+ public:
+  ClockErrorEstimator() = default;
+  explicit ClockErrorEstimator(const ClockErrorEstimatorOptions& options)
+      : options_(options) {}
+
+  // Feed one stamped request: `remote_clock_us` is `node`'s local clock at
+  // send time, `local_now` the estimator's clock at receipt. Thread-safe.
+  void OnSample(NodeId node, int64_t remote_clock_us, TimePoint local_now);
+
+  // Conservative bound on |d(remote)/d(local) - 1| for `node` at `now`,
+  // staleness-inflated. Unknown nodes report `prior_bound`.
+  double DriftBound(NodeId node, TimePoint now) const;
+
+  // Worst DriftBound over every tracked node (`prior_bound` if none).
+  double WorstBound(TimePoint now) const;
+
+  // Clock error the worst tracked node can accumulate over `horizon`,
+  // including per-sample stamp noise. This is a measured epsilon(t).
+  Duration EpsilonBound(Duration horizon, TimePoint now) const;
+
+  size_t tracked_nodes() const;
+
+  // Introspection for tests.
+  struct NodeView {
+    bool known = false;
+    bool has_rate = false;       // enough window to have measured a rate
+    double measured_rate = 1.0;  // last measured d(remote)/d(local)
+    double bound = 0.0;          // DriftBound at last sample time
+    TimePoint last_sample;
+  };
+  NodeView View(NodeId node) const;
+
+  const ClockErrorEstimatorOptions& options() const { return options_; }
+
+ private:
+  struct NodeState {
+    int64_t anchor_remote = 0;  // oldest retained sample
+    TimePoint anchor_local;
+    int64_t mid_remote = 0;  // candidate next anchor, ~half a window back
+    TimePoint mid_local;
+    int64_t last_remote = 0;  // most recent sample
+    TimePoint last_local;
+    double measured_rate = 1.0;
+    double bound;          // decayed worst measured bound (sans staleness)
+    TimePoint bound_at;    // when `bound` was last recomputed
+    bool has_rate = false;
+  };
+
+  // Bound at `now` given state `s`, applying forgiveness decay and
+  // staleness growth. Pure.
+  double BoundAt(const NodeState& s, TimePoint now) const;
+  void Reanchor(NodeState& s, int64_t remote, TimePoint local) const;
+
+  ClockErrorEstimatorOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+};
+
+}  // namespace leases
+
+#endif  // SRC_CLOCK_CLOCK_ERROR_ESTIMATOR_H_

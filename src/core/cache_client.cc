@@ -1,6 +1,7 @@
 #include "src/core/cache_client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -195,7 +196,7 @@ void CacheClient::StartFetch(FileId file, ReadWaiter waiter) {
   fetch_for_file_.emplace(file, req);
   ++stats_.remote_fetches;
   fetches_.emplace(req, std::move(fetch));
-  SendToServer(MessageClass::kData, ReadRequest{req, file, 0});
+  SendToServer(MessageClass::kData, ReadRequest{req, file, 0, ClockStampUs()});
   ArmFetchTimer(req);
 }
 
@@ -215,6 +216,14 @@ std::vector<ExtendItem> CacheClient::CollectExtensionItems(FileId focus) {
       continue;
     }
     if (file != focus && fetch_for_file_.count(file) > 0) {
+      continue;
+    }
+    if (file != focus && KeyContended(entry.key)) {
+      // Dynamic self-invalidation: a cover key we keep approving writes on
+      // is cheaper to drop than to renew -- stop carrying it in batched
+      // extensions and let the lease lapse. The read path revalidates on
+      // the next access, exactly as if the lease had expired naturally.
+      ++stats_.contention_skipped_items;
       continue;
     }
     items.push_back(ExtendItem{file, entry.version});
@@ -242,7 +251,7 @@ void CacheClient::StartExtension(FileId focus, ReadWaiter waiter) {
   }
   ++stats_.extend_requests;
   stats_.extend_items += fetch.items.size();
-  ExtendRequest request{req, fetch.items};
+  ExtendRequest request{req, fetch.items, ClockStampUs()};
   fetches_.emplace(req, std::move(fetch));
   SendToServer(MessageClass::kConsistency, std::move(request));
   ArmFetchTimer(req);
@@ -272,10 +281,12 @@ void CacheClient::ResendFetch(RequestId req) {
   ++fetch.retries;
   ++stats_.retransmits;
   if (fetch.is_extend) {
-    SendToServer(MessageClass::kConsistency, ExtendRequest{req, fetch.items});
+    SendToServer(MessageClass::kConsistency,
+                 ExtendRequest{req, fetch.items, ClockStampUs()});
   } else {
     SendToServer(MessageClass::kData,
-                 ReadRequest{req, fetch.file, fetch.have_version});
+                 ReadRequest{req, fetch.file, fetch.have_version,
+                             ClockStampUs()});
   }
   ArmFetchTimer(req);
 }
@@ -704,6 +715,9 @@ void CacheClient::OnApproveRequest(const ApproveRequest& m) {
 void CacheClient::SendApproval(uint64_t seq, FileId file, LeaseKey key) {
   LEASES_DEBUG("client %u: approve seq=%llu file=%llu", id_.value(),
                (unsigned long long)seq, (unsigned long long)file.value());
+  // Every approval we serve is evidence the key is write-contended; the
+  // decayed score steers future extension and lease-acceptance decisions.
+  NoteContention(key);
   // Granting approval invalidates the local copy (Section 2).
   if (cache_.erase(file) > 0) {
     ++stats_.invalidations;
@@ -776,6 +790,20 @@ void CacheClient::AcceptLease(const LeaseGrant& grant, FileId validated,
     // the server granted it, up to transit_allowance ago, and our clock may
     // disagree by up to epsilon over the term.
     Duration tc = grant.term - params_.transit_allowance - params_.epsilon;
+    if (params_.dynamic_self_invalidation) {
+      // Dynamic self-invalidation: under observed write contention, hold
+      // the grant for less than the server offered. A shorter effective
+      // term means fewer approval round trips charged to writers, at the
+      // cost of revalidating sooner -- the right trade when writes
+      // dominate. The server-side expiry is untouched, so this is always
+      // safe: we only ever treat the lease as MORE expired than it is.
+      double score = ContentionScore(grant.key);
+      if (score > 0.1) {
+        tc = Duration::Micros(static_cast<int64_t>(
+            static_cast<double>(tc.ToMicros()) / (1.0 + score)));
+        ++stats_.contention_shortened_leases;
+      }
+    }
     if (tc <= Duration::Zero()) {
       return;  // grants never shorten an existing lease
     }
@@ -803,6 +831,56 @@ void CacheClient::AcceptLease(const LeaseGrant& grant, FileId validated,
 bool CacheClient::LeaseValid(LeaseKey key) const {
   auto it = lease_expiry_.find(key);
   return it != lease_expiry_.end() && it->second > clock_->Now();
+}
+
+// --- Dynamic self-invalidation ---
+
+uint64_t CacheClient::ClockStampUs() const {
+  return static_cast<uint64_t>(clock_->Now().ToMicros());
+}
+
+double CacheClient::DecayedScore(const Contention& c, TimePoint now) const {
+  int64_t half_life_us = params_.contention_half_life.ToMicros();
+  if (half_life_us <= 0) {
+    return 0.0;  // non-positive half-life: contention is forgotten instantly
+  }
+  if (now <= c.updated) {
+    return c.score;
+  }
+  double half_lives = static_cast<double>((now - c.updated).ToMicros()) /
+                      static_cast<double>(half_life_us);
+  double score = c.score * std::exp2(-half_lives);
+  return score < 1e-3 ? 0.0 : score;
+}
+
+void CacheClient::NoteContention(LeaseKey key) {
+  if (!params_.dynamic_self_invalidation || !key.valid()) {
+    return;
+  }
+  TimePoint now = clock_->Now();
+  auto it = contention_.find(key);
+  if (it == contention_.end()) {
+    contention_.emplace(key, Contention{1.0, now});
+    return;
+  }
+  it->second.score = DecayedScore(it->second, now) + 1.0;
+  it->second.updated = now;
+}
+
+double CacheClient::ContentionScore(LeaseKey key) const {
+  if (!params_.dynamic_self_invalidation) {
+    return 0.0;
+  }
+  auto it = contention_.find(key);
+  if (it == contention_.end()) {
+    return 0.0;
+  }
+  return DecayedScore(it->second, clock_->Now());
+}
+
+bool CacheClient::KeyContended(LeaseKey key) const {
+  return params_.dynamic_self_invalidation &&
+         ContentionScore(key) >= params_.contention_threshold;
 }
 
 void CacheClient::MaybeScheduleAnticipation() {
@@ -838,6 +916,9 @@ void CacheClient::AnticipationTick() {
     }
     if (fetch_for_file_.count(file) > 0) {
       continue;
+    }
+    if (KeyContended(entry.key)) {
+      continue;  // write-contended: let the lease lapse rather than renew
     }
     auto lease = lease_expiry_.find(entry.key);
     if (lease == lease_expiry_.end() || lease->second <= horizon) {

@@ -103,6 +103,12 @@ struct ClientStats {
   // Writes the recovering server shed with kUnavailable, retried after a
   // jittered exponential backoff rather than failed.
   uint64_t unavailable_retries = 0;
+
+  // Dynamic self-invalidation (ClientParams::dynamic_self_invalidation):
+  // extension items not sent because the cover key was write-contended, and
+  // grants whose locally-effective term was shortened by contention.
+  uint64_t contention_skipped_items = 0;
+  uint64_t contention_shortened_leases = 0;
 };
 
 class CacheClient : public PacketHandler {
@@ -266,6 +272,22 @@ class CacheClient : public PacketHandler {
   void MaybeScheduleAnticipation();
   void AnticipationTick();
 
+  // --- Dynamic self-invalidation ---
+  // One contention point per approval callback served for `key`,
+  // exponentially decayed (ClientParams::contention_half_life). No-ops
+  // unless params_.dynamic_self_invalidation.
+  void NoteContention(LeaseKey key);
+  // Current decayed score; 0 for untracked keys or when disabled.
+  double ContentionScore(LeaseKey key) const;
+  // True when the key is hot enough that extensions should stop carrying
+  // it (score >= contention_threshold).
+  bool KeyContended(LeaseKey key) const;
+  // Local clock in microseconds for request stamping (0 stays "absent").
+  uint64_t ClockStampUs() const;
+
+  struct Contention;
+  double DecayedScore(const Contention& c, TimePoint now) const;
+
   void StepOpen(std::shared_ptr<OpenState> state);
 
   // Enforces params_.max_cached_files by evicting the least-recently
@@ -306,6 +328,14 @@ class CacheClient : public PacketHandler {
   TimerId anticipation_timer_;
   // Tick counter salting the deterministic extension-jitter hash.
   uint64_t anticipation_seq_ = 0;
+
+  // Dynamic self-invalidation: decayed per-cover-key contention scores.
+  struct Contention {
+    double score = 0.0;
+    TimePoint updated;
+  };
+  std::unordered_map<LeaseKey, Contention> contention_;
+
   ClientStats stats_;
 };
 

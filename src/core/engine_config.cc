@@ -11,6 +11,14 @@ Status Invalid(std::string message) {
 }  // namespace
 
 Status EngineConfig::Validate() const {
+  if (epsilon < Duration::Zero()) {
+    return Invalid("epsilon must be non-negative");
+  }
+  if (epsilon >= term && term > Duration::Zero()) {
+    return Invalid(
+        "epsilon must be smaller than the lease term: clients shorten every "
+        "received term by it, so epsilon >= term grants nothing");
+  }
   if (num_shards == 0) {
     return Invalid("num_shards must be >= 1");
   }
@@ -75,9 +83,6 @@ Status EngineConfig::Validate() const {
     }
     if (replica.acquire_retry <= Duration::Zero()) {
       return Invalid("replica.acquire_retry must be positive");
-    }
-    if (replica.epsilon < Duration::Zero()) {
-      return Invalid("replica.epsilon must be non-negative");
     }
   }
   return Status::Ok();

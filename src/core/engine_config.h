@@ -49,10 +49,6 @@ struct ReplicaParams {
   // Base retry pacing for an acquiring proposer (deterministically
   // jittered per replica index so contenders de-synchronize).
   Duration acquire_retry = Duration::Millis(200);
-
-  // Clock-uncertainty inflation applied to every inherited-bound
-  // comparison (terms travel as durations; only bounded drift is assumed).
-  Duration epsilon = Duration::Millis(100);
 };
 
 struct EngineConfig {
@@ -61,6 +57,15 @@ struct EngineConfig {
 
   // Default lease term when the environment supplies no TermPolicy.
   Duration term = Duration::Seconds(10);
+
+  // The authoritative clock-uncertainty allowance epsilon (Section 5):
+  // clients shorten every received term by it, uncertainty-aware policies
+  // size grants so measured drift stays within it, and the replicated
+  // authority inflates every inherited-bound comparison by it. Formerly
+  // duplicated across ServerParams, ClientParams and ReplicaParams;
+  // ClientParams::epsilon remains (clients are built from ClientParams
+  // alone) but must agree -- ClusterOptions::Validate() enforces that.
+  Duration epsilon = Duration::Millis(100);
 
   // Sharded grant plane (src/core/sharded_lease_server.h); 1 = plain.
   size_t num_shards = 1;

@@ -54,7 +54,9 @@ std::optional<double> KeyedValue(std::istringstream& in, const char* key) {
 Duration FaultPlan::End() const {
   Duration end = Duration::Zero();
   for (const FaultEvent& ev : events) {
-    Duration t = ev.at + (ev.op == FaultOp::kDrift ? ev.span : Duration::Zero());
+    bool has_span =
+        ev.op == FaultOp::kDrift || ev.op == FaultOp::kDriftServer;
+    Duration t = ev.at + (has_span ? ev.span : Duration::Zero());
     end = std::max(end, t);
   }
   return end;
@@ -103,6 +105,11 @@ std::string FaultPlan::ToLine() const {
       case FaultOp::kStorage:
         out += std::string("storage-crash mode=") +
                (ev.mode == 1 ? "torn" : ev.mode == 2 ? "corrupt" : "clean");
+        break;
+      case FaultOp::kDriftServer:
+        out += "drift-server " + std::to_string(ev.target) +
+               " rate=" + FormatRate(ev.rate) +
+               " span=" + FormatSeconds(ev.span);
         break;
     }
   }
@@ -166,8 +173,8 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
       ev.dup = *dup;
       ev.reorder = *reorder;
       ev.burst = *burst;
-    } else if (op == "drift") {
-      ev.op = FaultOp::kDrift;
+    } else if (op == "drift" || op == "drift-server") {
+      ev.op = op == "drift" ? FaultOp::kDrift : FaultOp::kDriftServer;
       if (!(in >> ev.target)) {
         return std::nullopt;
       }
@@ -205,7 +212,15 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
 FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
   FaultPlan plan;
   // Build the menu of disruption kinds this draw may use.
-  enum Kind { kServer, kClient, kPart, kRateStorm, kClock, kStorageCut };
+  enum Kind {
+    kServer,
+    kClient,
+    kPart,
+    kRateStorm,
+    kClock,
+    kStorageCut,
+    kServerClock,
+  };
   std::vector<Kind> menu = {kPart, kRateStorm};
   if (options.allow_server_crash) {
     menu.push_back(kServer);
@@ -220,6 +235,11 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
     // Appended last so draws for pre-existing seeds (which never set this)
     // are untouched.
     menu.push_back(kStorageCut);
+  }
+  if (options.allow_server_drift) {
+    // Also appended behind its off-by-default gate: same seed-stability
+    // argument as storage faults.
+    menu.push_back(kServerClock);
   }
   size_t disruptions = 1 + rng.NextBounded(options.max_disruptions);
   for (size_t i = 0; i < disruptions; ++i) {
@@ -294,6 +314,14 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
         plan.events.push_back(back);
         break;
       }
+      case kServerClock: {
+        ev.op = FaultOp::kDriftServer;
+        ev.target = 0;
+        ev.rate = 1.0 + options.drift_magnitude * (2.0 * rng.NextDouble() - 1.0);
+        ev.span = std::min(options.drift_span_max, span);
+        plan.events.push_back(ev);
+        break;
+      }
     }
   }
   // Stable sort keeps generation order for simultaneous events, so plans are
@@ -302,6 +330,41 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
                    [](const FaultEvent& a, const FaultEvent& b) {
                      return a.at < b.at;
                    });
+  return plan;
+}
+
+FaultPlan DriftRampPlan(const DriftRampOptions& options) {
+  FaultPlan plan;
+  double magnitude = options.start_magnitude;
+  Duration at = options.start_at;
+  int holds_left = std::max(options.hold_spans, 0);
+  // Multiplicative sweep; last step pinned at end_magnitude, then held
+  // there for hold_spans more spans. The iteration cap guards against
+  // step_factor <= 1 misconfiguration.
+  for (int step = 0; step < 96; ++step) {
+    double m = std::min(magnitude, options.end_magnitude);
+    FaultEvent client;
+    client.at = at;
+    client.op = FaultOp::kDrift;
+    client.target = options.target;
+    client.rate = 1.0 - m;  // client slow: local expiry outlives the server's
+    client.span = options.step_span;
+    plan.events.push_back(client);
+    if (options.server) {
+      FaultEvent server = client;
+      server.op = FaultOp::kDriftServer;
+      server.rate = 1.0 + m;  // server fast: the same dangerous direction
+      plan.events.push_back(server);
+    }
+    if (m >= options.end_magnitude) {
+      if (holds_left-- <= 0) {
+        break;
+      }
+    } else {
+      magnitude *= options.step_factor;
+    }
+    at = at + options.step_span;
+  }
   return plan;
 }
 

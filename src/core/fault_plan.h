@@ -38,6 +38,9 @@ enum class FaultOp : uint8_t {
   kDrift,          // client `target` clock runs at `rate` for `span`
   kStorage,        // power-cut the server, damaging the journal tail per
                    //   `mode`; pairs with kRestartServer for recovery
+  kDriftServer,    // server clock runs at `rate` for `span`; `target` is the
+                   //   replica index when the cluster is replicated, ignored
+                   //   (0) for a single authority
 };
 
 struct FaultEvent {
@@ -93,11 +96,40 @@ struct RandomPlanOptions {
   // must repair. Off by default so plans drawn for pre-existing seeds stay
   // byte-identical; storage soaks opt in (leases_chaos --storage).
   bool allow_storage_fault = false;
+  // Server-side drift excursions (kDriftServer), bounded exactly like
+  // client drift. Off by default for the same seed-stability reason; the
+  // clock-health soak opts in (leases_chaos --clock).
+  bool allow_server_drift = false;
 };
 
 // Draws a coherent random plan (every crash gets a restart, every partition
 // a heal, both inside the horizon) from `rng`; deterministic per seed.
 FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options);
+
+// A drift RAMP: |rate-1| starts at start_magnitude and multiplies by
+// step_factor every step_span until it reaches end_magnitude (the last step
+// is pinned there). Clients run slow (rate 1-m) and, when `server` is set,
+// the server runs fast (rate 1+m) -- both directions are "dangerous": the
+// client's local expiry outlives the server's. A measured-epsilon policy
+// must track the ramp and shorten (ultimately zero) its terms; a fixed
+// epsilon smaller than the accumulated divergence will violate. Ramps are
+// the honest stressor: a sudden large constant drift defeats ANY term-ahead
+// policy, because bounds are estimated from past samples.
+struct DriftRampOptions {
+  uint32_t target = 0;       // client index, and replica index when `server`
+  bool server = false;       // also ramp the server clock (opposite sign)
+  double start_magnitude = 0.001;
+  double end_magnitude = 0.05;
+  double step_factor = 1.5;
+  Duration step_span = Duration::Seconds(6);
+  Duration start_at = Duration::Seconds(2);
+  // Extra step_spans dwelling at end_magnitude once the ramp tops out. The
+  // proof soaks use this: the interesting regime is the plateau, where a
+  // fixed-epsilon policy rides full lease cycles at peak drift (and keeps
+  // violating) while a measured-bound policy sits in degraded mode.
+  int hold_spans = 3;
+};
+FaultPlan DriftRampPlan(const DriftRampOptions& options);
 
 }  // namespace leases
 

@@ -186,6 +186,13 @@ void LeaseServer::DispatchPacket(NodeId from, const Packet& packet) {
 // --- Reads and extensions ---
 
 void LeaseServer::OnReadRequest(NodeId from, const ReadRequest& m) {
+  if (m.clock_us != 0) {
+    // Estimation-only clock stamp: feeds the policy's drift estimator
+    // before any term is sized for this request.
+    ++stats_.clock_samples;
+    policy_->OnClockSample(from, static_cast<int64_t>(m.clock_us),
+                           clock_->Now());
+  }
   ReadReply reply;
   reply.req = m.req;
   reply.file = m.file;
@@ -227,6 +234,11 @@ void LeaseServer::OnReadRequest(NodeId from, const ReadRequest& m) {
 
 void LeaseServer::OnExtendRequest(NodeId from, const ExtendRequest& m) {
   ++stats_.extension_requests;
+  if (m.clock_us != 0) {
+    ++stats_.clock_samples;
+    policy_->OnClockSample(from, static_cast<int64_t>(m.clock_us),
+                           clock_->Now());
+  }
   ExtendReply reply;
   reply.req = m.req;
   reply.items.reserve(m.items.size());

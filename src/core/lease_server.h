@@ -52,6 +52,8 @@ struct ServerStats {
   uint64_t extension_items = 0;
   uint64_t leases_granted = 0;
   uint64_t zero_term_grants = 0;
+  // Requests carrying a client clock stamp, fed to the policy's estimator.
+  uint64_t clock_samples = 0;
 
   uint64_t writes_received = 0;
   uint64_t writes_committed = 0;

@@ -13,10 +13,6 @@
 namespace leases {
 
 struct ServerParams {
-  // Allowance for clock skew/drift used by the adaptive policy when sizing
-  // terms for distant clients (Section 4).
-  Duration epsilon = Duration::Millis(100);
-
   // Approvals are multicast to all leaseholders ("one multicast request plus
   // S-1 approvals, for a total of S messages"). With false, approvals are
   // requested by unicast, costing 2(S-1) messages (footnote 6) -- the A2
@@ -83,6 +79,13 @@ struct ClientParams {
   // transit_allowance + epsilon before use: t_c = t_s - (m_prop + 2*m_proc)
   // - epsilon (Section 3.1). transit_allowance must upper-bound one-way
   // delivery time; epsilon bounds clock uncertainty over a term.
+  //
+  // EngineConfig::epsilon is the authoritative allowance for a cluster:
+  // server-side policies (UncertaintyAwareTermPolicy) and the replicated
+  // authority read it from there, and ClusterOptions::Validate() rejects a
+  // client epsilon that disagrees with the engine's. This field exists
+  // because clients are built from ClientParams alone and must shorten by
+  // the same value the server sized the grant for.
   Duration transit_allowance = Duration::Millis(3);
   Duration epsilon = Duration::Millis(100);
 
@@ -135,6 +138,23 @@ struct ClientParams {
   // after write_back_delay, on lease-approval callbacks, or on Flush().
   bool write_back = false;
   Duration write_back_delay = Duration::Millis(500);
+
+  // --- Dynamic self-invalidation (clock-health plane) ---
+  // Under observed write contention a lease is a liability: every remote
+  // write pays an approval round-trip to this client, and the client pays
+  // extension traffic to keep a datum it keeps losing. When enabled, the
+  // client tracks an exponentially-decayed per-cover-key contention score
+  // (one point per approval callback served, halved every
+  // contention_half_life) and sheds hot keys itself: scores at or above
+  // contention_threshold drop the key from batched and anticipatory
+  // extensions (the lease lapses instead of being renewed), and any
+  // nonzero score shortens the locally-effective term of a fresh grant by
+  // 1/(1+score) -- so conflict storms shed extension and approval load
+  // before the server's policy has to. Off by default: behavior and
+  // message flow are bit-identical to builds without the feature.
+  bool dynamic_self_invalidation = false;
+  double contention_threshold = 2.0;
+  Duration contention_half_life = Duration::Seconds(10);
 };
 
 }  // namespace leases

@@ -50,6 +50,14 @@ struct EngineEnv {
   TermPolicy* policy = nullptr;
   Oracle* oracle = nullptr;  // may be null
 
+  // Optional clock-health source: returns a measured epsilon bound -- the
+  // clock error the worst-synced tracked node can accumulate over the
+  // given horizon (see ClockErrorEstimator::EpsilonBound). The replicated
+  // authority composes max(config.epsilon, epsilon_bound(authority_term))
+  // into its bound arithmetic, so a measured degradation widens the safety
+  // margins. Null means the configured constant stands alone.
+  std::function<Duration(Duration horizon)> epsilon_bound;
+
   // Sharded engine: one environment per shard; size must equal
   // config.num_shards when > 1.
   std::vector<ShardEnv> shards;

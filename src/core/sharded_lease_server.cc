@@ -218,6 +218,7 @@ void MergeServerStats(ServerStats* into, const ServerStats& from) {
   into->extension_items += from.extension_items;
   into->leases_granted += from.leases_granted;
   into->zero_term_grants += from.zero_term_grants;
+  into->clock_samples += from.clock_samples;
   into->writes_received += from.writes_received;
   into->writes_committed += from.writes_committed;
   into->writes_immediate += from.writes_immediate;

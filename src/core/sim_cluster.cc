@@ -16,8 +16,33 @@ std::string Text(const std::vector<uint8_t>& b) {
   return std::string(b.begin(), b.end());
 }
 
+Status ClusterOptions::Validate() const {
+  Status base = EngineConfig::Validate();
+  if (!base.ok()) return base;
+  if (client.epsilon != epsilon) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "client.epsilon must equal the engine epsilon: the client "
+                  "shortens every term by its copy, the server sizes grants "
+                  "against the authoritative EngineConfig::epsilon -- a "
+                  "mismatch silently re-opens the Section 5 safety argument");
+  }
+  if (client.transit_allowance < Duration::Zero()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "client.transit_allowance must be non-negative");
+  }
+  return Status::Ok();
+}
+
 SimCluster::SimCluster(ClusterOptions options)
     : options_(std::move(options)), oracle_(&sim_) {
+  {
+    Status valid = options_.Validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr, "ClusterOptions::Validate: %s\n",
+                   valid.ToString().c_str());
+    }
+    LEASES_CHECK(valid.ok());
+  }
   if (options_.data_dir.empty()) {
     // Deterministic sim default: the record vector plays the platter.
     storage_ = std::make_unique<MemoryBackend>();
@@ -35,6 +60,14 @@ SimCluster::SimCluster(ClusterOptions options)
     policy_ = options_.make_policy();
   } else {
     policy_ = std::make_unique<FixedTermPolicy>(options_.term);
+  }
+  if (options_.uncertainty_terms) {
+    UncertaintyAwareTermPolicy::Options uopts = options_.uncertainty;
+    uopts.epsilon = options_.epsilon;  // one authoritative source
+    auto wrapped = std::make_unique<UncertaintyAwareTermPolicy>(
+        std::move(policy_), uopts);
+    clock_health_ = wrapped.get();
+    policy_ = std::move(wrapped);
   }
 
   server_id_ = NodeId(1);
@@ -157,6 +190,11 @@ void SimCluster::BuildReplicas() {
     env.store = &store_;
     env.oracle = &oracle_;
     env.policy = policy_.get();
+    if (clock_health_ != nullptr) {
+      env.epsilon_bound = [health = clock_health_](Duration horizon) {
+        return health->EpsilonBound(horizon);
+      };
+    }
     env.serve_transport = server_node_.transport;
     env.replica_index = r;
     env.peers = peers;

@@ -46,11 +46,25 @@ struct ClusterOptions : EngineConfig {
   ClientParams client;
   // Optional custom policy (e.g. AdaptiveTermPolicy); overrides `term`.
   std::function<std::unique_ptr<TermPolicy>()> make_policy;
+  // Clock-health plane: wrap the policy (make_policy's product, or the
+  // default FixedTermPolicy(term)) in an UncertaintyAwareTermPolicy fed by
+  // the clock stamps on read/extend requests. Grants are then capped by
+  // each client's measured drift bound and degrade to zero-term when sync
+  // is blown; in replicated mode the authority additionally composes the
+  // measured epsilon bound into its safety margins. `uncertainty.epsilon`
+  // is overwritten with the authoritative EngineConfig::epsilon.
+  bool uncertainty_terms = false;
+  UncertaintyAwareTermPolicy::Options uncertainty;
   ClockModel server_clock = ClockModel::Perfect();
   // Per-client clock model; clients beyond the vector get perfect clocks.
   std::vector<ClockModel> client_clocks;
   // Per-replica clock model (replicated mode); defaults to perfect.
   std::vector<ClockModel> replica_clocks;
+
+  // EngineConfig::Validate() plus the cluster-level consistency checks:
+  // the client-side shortening epsilon must equal the engine's
+  // authoritative epsilon (one source of truth for Section 5's allowance).
+  Status Validate() const;
 };
 
 class SimCluster {
@@ -66,6 +80,9 @@ class SimCluster {
   FileStore& store() { return store_; }
   Oracle& oracle() { return oracle_; }
   TermPolicy& policy() { return *policy_; }
+  // The uncertainty wrapper when options.uncertainty_terms is set, else
+  // null. (policy() returns the wrapper itself in that mode.)
+  UncertaintyAwareTermPolicy* clock_health() { return clock_health_; }
 
   // The engine behind the service (plain and sharded modes).
   ServerEngine& engine() { return *engine_; }
@@ -165,6 +182,7 @@ class SimCluster {
   DurableMeta meta_;
   Oracle oracle_;
   std::unique_ptr<TermPolicy> policy_;
+  UncertaintyAwareTermPolicy* clock_health_ = nullptr;  // into policy_
 
   NodeId server_id_;
   NodeRig server_node_;  // the (virtual, in replicated mode) serving host

@@ -7,6 +7,7 @@ namespace leases {
 
 void TermPolicy::OnRead(FileId, TimePoint) {}
 void TermPolicy::OnWrite(FileId, size_t, TimePoint) {}
+void TermPolicy::OnClockSample(NodeId, int64_t, TimePoint) {}
 
 AdaptiveTermPolicy::FileStats& AdaptiveTermPolicy::StatsFor(FileId file) {
   auto it = files_.find(file);
@@ -89,6 +90,58 @@ double AdaptiveTermPolicy::EstimatedWriteRate(FileId file) const {
 double AdaptiveTermPolicy::EstimatedSharing(FileId file) const {
   const FileStats* s = FindStats(file);
   return s == nullptr ? 1.0 : s->sharing;
+}
+
+void UncertaintyAwareTermPolicy::OnRead(FileId file, TimePoint now) {
+  now_us_.store(now.ToMicros(), std::memory_order_relaxed);
+  inner_->OnRead(file, now);
+}
+
+void UncertaintyAwareTermPolicy::OnWrite(FileId file, size_t holders_at_write,
+                                         TimePoint now) {
+  now_us_.store(now.ToMicros(), std::memory_order_relaxed);
+  inner_->OnWrite(file, holders_at_write, now);
+}
+
+void UncertaintyAwareTermPolicy::OnClockSample(NodeId client,
+                                               int64_t remote_clock_us,
+                                               TimePoint now) {
+  now_us_.store(now.ToMicros(), std::memory_order_relaxed);
+  estimator_.OnSample(client, remote_clock_us, now);
+  inner_->OnClockSample(client, remote_clock_us, now);
+}
+
+Duration UncertaintyAwareTermPolicy::CapFor(NodeId client) const {
+  double bound = estimator_.DriftBound(client, NowApprox());
+  // bound * cap * headroom <= epsilon.
+  double cap_us = static_cast<double>(options_.epsilon.ToMicros()) /
+                  (options_.headroom * std::max(bound, 1e-9));
+  if (cap_us >= static_cast<double>(Duration::Infinite().ToMicros())) {
+    return Duration::Infinite();
+  }
+  return Duration::Micros(static_cast<int64_t>(cap_us));
+}
+
+Duration UncertaintyAwareTermPolicy::EpsilonBound(Duration horizon) const {
+  return estimator_.EpsilonBound(horizon, NowApprox());
+}
+
+Duration UncertaintyAwareTermPolicy::TermFor(FileId file, FileClass cls,
+                                             NodeId client) {
+  Duration term = inner_->TermFor(file, cls, client);
+  if (term <= Duration::Zero()) return term;
+  Duration cap = CapFor(client);
+  if (cap < options_.min_useful_term) {
+    // Sync with this client is blown (or never demonstrated and now
+    // stale): serve, but stop promising the future.
+    degraded_zero_grants_.fetch_add(1, std::memory_order_relaxed);
+    return Duration::Zero();
+  }
+  if (term > cap) {
+    capped_grants_.fetch_add(1, std::memory_order_relaxed);
+    return cap;
+  }
+  return term;
 }
 
 double AdaptiveTermPolicy::Alpha(FileId file) const {

@@ -14,9 +14,12 @@
 #ifndef SRC_CORE_TERM_POLICY_H_
 #define SRC_CORE_TERM_POLICY_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 
+#include "src/clock/clock_error_estimator.h"
 #include "src/common/ids.h"
 #include "src/common/time.h"
 #include "src/proto/messages.h"
@@ -34,6 +37,13 @@ class TermPolicy {
   // access characteristics. Defaults are no-ops.
   virtual void OnRead(FileId file, TimePoint now);
   virtual void OnWrite(FileId file, size_t holders_at_write, TimePoint now);
+
+  // Clock sample hook: `remote_clock_us` is `client`'s local clock reading
+  // stamped on a read/extend request, `now` the server clock at receipt.
+  // Estimation-only -- the value never enters protocol arithmetic, it only
+  // feeds clock-health estimation. Default is a no-op.
+  virtual void OnClockSample(NodeId client, int64_t remote_clock_us,
+                             TimePoint now);
 };
 
 class FixedTermPolicy : public TermPolicy {
@@ -138,6 +148,94 @@ class AdaptiveTermPolicy : public TermPolicy {
 
   Options options_;
   std::unordered_map<FileId, FileStats> files_;
+};
+
+// Clock-health decorator (the Section 5 discipline, measured instead of
+// assumed): every grant from the wrapped policy is capped so that the
+// requesting client's *measured* drift bound cannot accumulate more than
+// the configured epsilon over the lease, with `headroom` of slack for the
+// estimator's reaction lag:
+//
+//   bound * cap * headroom <= epsilon   =>   cap = epsilon/(headroom*bound)
+//
+// The resulting degradation ladder:
+//   * tight sync (bound near the floor)  -> cap in the hundreds of seconds;
+//     the inner policy's term passes through untouched -- long cheap leases;
+//   * degraded sync (measured drift)     -> cap shrinks with the bound;
+//     grants get shorter, extension traffic rises, correctness holds;
+//   * blown or lost sync (bound past epsilon/(headroom*min_useful_term))
+//     -> the cap is too small to be worth granting: zero-term degraded
+//     mode. The server keeps serving -- every read is checked, nothing is
+//     cached under a lease a bad clock could outlive.
+//
+// Grants made *before* drift appears are the reason for `headroom`: a lease
+// sized at the previous bound must stay inside epsilon even if drift then
+// worsens by up to `headroom`x before the estimator reacts (one sample
+// window). Drift ramps whose per-window growth stays under that factor --
+// i.e. physical clocks, not step discontinuities -- never produce a stale
+// read; see DriftRampOptions in fault_plan.h.
+//
+// Thread-safe for the sharded runtime: shards share one policy, so the
+// estimator locks internally and the cached server time is atomic. The
+// policy tracks time via the OnRead/OnWrite/OnClockSample hooks (the server
+// always invokes one of them, with the same `now`, before TermFor).
+class UncertaintyAwareTermPolicy : public TermPolicy {
+ public:
+  struct Options {
+    // Client-shortening allowance the cap must keep drift within. Threaded
+    // from the authoritative EngineConfig::epsilon by SimCluster.
+    Duration epsilon = Duration::Millis(100);
+    // Safety factor over the measured bound (see class comment).
+    double headroom = 2.5;
+    // Caps below this degrade to zero-term instead of thrashing on
+    // sub-second leases.
+    Duration min_useful_term = Duration::Seconds(1);
+    ClockErrorEstimatorOptions estimator;
+  };
+
+  UncertaintyAwareTermPolicy(std::unique_ptr<TermPolicy> inner,
+                             Options options)
+      : inner_(std::move(inner)), options_(options), estimator_(options.estimator) {}
+  explicit UncertaintyAwareTermPolicy(std::unique_ptr<TermPolicy> inner)
+      : UncertaintyAwareTermPolicy(std::move(inner), Options{}) {}
+
+  Duration TermFor(FileId file, FileClass cls, NodeId client) override;
+  void OnRead(FileId file, TimePoint now) override;
+  void OnWrite(FileId file, size_t holders_at_write, TimePoint now) override;
+  void OnClockSample(NodeId client, int64_t remote_clock_us,
+                     TimePoint now) override;
+
+  // Current term ceiling for `client` (Infinite when unconstrained).
+  Duration CapFor(NodeId client) const;
+  // Measured epsilon over `horizon` at the worst tracked bound; the
+  // replicated authority composes this with the configured constant.
+  Duration EpsilonBound(Duration horizon) const;
+
+  const ClockErrorEstimator& estimator() const { return estimator_; }
+  TermPolicy* inner() { return inner_.get(); }
+
+  // How often grants were shortened by the cap / degraded to zero-term.
+  uint64_t capped_grants() const {
+    return capped_grants_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded_zero_grants() const {
+    return degraded_zero_grants_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TimePoint NowApprox() const {
+    return TimePoint::FromMicros(now_us_.load(std::memory_order_relaxed));
+  }
+
+  std::unique_ptr<TermPolicy> inner_;
+  Options options_;
+  ClockErrorEstimator estimator_;
+  // Latest server time seen through any hook; TermFor has no `now`
+  // parameter, and every grant is preceded by a hook call with the grant's
+  // `now`, so this is exact on the grant path.
+  std::atomic<int64_t> now_us_{0};
+  std::atomic<uint64_t> capped_grants_{0};
+  std::atomic<uint64_t> degraded_zero_grants_{0};
 };
 
 }  // namespace leases

@@ -21,6 +21,7 @@ void EncodeBody(Writer& w, const ReadRequest& m) {
   w.WriteId(m.req);
   w.WriteId(m.file);
   w.WriteU64(m.have_version);
+  w.WriteU64(m.clock_us);
 }
 
 void EncodeBody(Writer& w, const ReadReply& m) {
@@ -41,6 +42,7 @@ void EncodeBody(Writer& w, const ExtendRequest& m) {
     w.WriteId(item.file);
     w.WriteU64(item.version);
   }
+  w.WriteU64(m.clock_us);
 }
 
 void EncodeBody(Writer& w, const ExtendReply& m) {
@@ -177,6 +179,7 @@ std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
       m.req = r.ReadId<RequestId>();
       m.file = r.ReadId<FileId>();
       m.have_version = r.ReadU64();
+      m.clock_us = r.ReadU64();
       return Packet(m);
     }
     case MsgType::kReadReply: {
@@ -222,6 +225,7 @@ std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
         item.version = r.ReadU64();
         m.items.push_back(item);
       }
+      m.clock_us = r.ReadU64();
       return Packet(std::move(m));
     }
     case MsgType::kExtendReply: {

@@ -85,6 +85,11 @@ struct ReadRequest {
   // Version already held by the cache, or 0. Lets the server reply
   // "not modified" without resending data.
   uint64_t have_version = 0;
+  // Sender's local clock (microseconds) at send time, or 0 if not stamped.
+  // Estimation-only: feeds the server's ClockErrorEstimator and never
+  // enters protocol arithmetic -- terms still travel as durations and no
+  // remote clock value is ever trusted (Section 5).
+  uint64_t clock_us = 0;
 };
 
 struct ReadReply {
@@ -106,6 +111,8 @@ struct ExtendItem {
 struct ExtendRequest {
   RequestId req;
   std::vector<ExtendItem> items;
+  // Sender's local clock at send time; see ReadRequest::clock_us.
+  uint64_t clock_us = 0;
 };
 
 struct ExtendReplyItem {

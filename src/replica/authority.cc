@@ -44,6 +44,14 @@ ReplicaNode::~ReplicaNode() {
   }
 }
 
+Duration ReplicaNode::Epsilon() const {
+  Duration eps = config_.epsilon;
+  if (env_.epsilon_bound) {
+    eps = std::max(eps, env_.epsilon_bound(config_.replica.authority_term));
+  }
+  return eps;
+}
+
 Status ReplicaNode::Start() {
   LEASES_CHECK(!started_);
   started_ = true;
@@ -79,7 +87,7 @@ Status ReplicaNode::Start() {
   bool must_warm = ever_started_ || !env_.replica_cold_boot;
   warm_until_ = must_warm
                     ? now + config_.replica.authority_term +
-                          config_.replica.epsilon * 2
+                          Epsilon() * 2
                     : now;
   seed_boot_ = !must_warm && env_.replica_index == 0;
   ever_started_ = true;
@@ -164,7 +172,7 @@ Status ReplicaNode::StartServing() {
           if (role_ != Role::kHolder) {
             return Duration::Zero();
           }
-          TimePoint limit = confirmed_expiry_ - config_.replica.epsilon;
+          TimePoint limit = confirmed_expiry_ - Epsilon();
           TimePoint now = env_.clock->Now();
           return limit > now ? limit - now : Duration::Zero();
         });
@@ -203,7 +211,7 @@ void ReplicaNode::Takeover() {
   // quorum-inherited grant bound: the embedded LeaseServer then defers
   // write approvals for `inherited_bound_` -- the replicated replacement
   // for waiting out the durable max granted term.
-  inherited_bound_ = round_bound_ + config_.replica.epsilon;
+  inherited_bound_ = round_bound_ + Epsilon();
   if (!env_.meta->Save(kMaxTermMetaKey, inherited_bound_.ToMicros()).ok()) {
     role_ = Role::kFollower;
     return;
@@ -391,7 +399,7 @@ void ReplicaNode::OnPromise(NodeId from, const AuthorityPromise& m) {
     // down and re-check once it can have expired everywhere.
     role_ = Role::kFollower;
     phase_ = 0;
-    block_until_ = Now() + round_blocked_ + config_.replica.epsilon;
+    block_until_ = Now() + round_blocked_ + Epsilon();
     return;
   }
   BeginPropose();
@@ -424,7 +432,7 @@ void ReplicaNode::ArmStepDownCheck() {
     env_.timers->CancelTimer(stepdown_timer_);
   }
   TimePoint now = Now();
-  TimePoint deadline = confirmed_expiry_ - config_.replica.epsilon;
+  TimePoint deadline = confirmed_expiry_ - Epsilon();
   Duration delay = deadline > now ? deadline - now : Duration::Zero();
   stepdown_timer_ = env_.timers->ScheduleAfter(delay, [this] {
     stepdown_timer_ = TimerId();
@@ -432,7 +440,7 @@ void ReplicaNode::ArmStepDownCheck() {
       return;
     }
     TimePoint t = Now();
-    if (t >= confirmed_expiry_ - config_.replica.epsilon) {
+    if (t >= confirmed_expiry_ - Epsilon()) {
       // Could not re-confirm a quorum before the confirmed lease runs
       // out: destroy the serving engine *before* a successor can win, so
       // no stale grant or write approval escapes.
@@ -484,7 +492,7 @@ AuthorityAccept ReplicaNode::AcceptPropose(NodeId from,
     promised_ = m.ballot;
     accepted_ballot_ = m.ballot;
     accepted_owner_ = m.owner;
-    accepted_expiry_ = now + m.term + config_.replica.epsilon;
+    accepted_expiry_ = now + m.term + Epsilon();
     // Replace, not max: any horizon report is a sound cover for the
     // grants outstanding at its receipt, and newer is tighter.
     horizon_expiry_ = now + m.grant_horizon;

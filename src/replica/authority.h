@@ -82,6 +82,10 @@ class CappedTermPolicy : public TermPolicy {
   void OnWrite(FileId file, size_t holders_at_write, TimePoint now) override {
     inner_->OnWrite(file, holders_at_write, now);
   }
+  void OnClockSample(NodeId client, int64_t remote_clock_us,
+                     TimePoint now) override {
+    inner_->OnClockSample(client, remote_clock_us, now);
+  }
 
  private:
   TermPolicy* inner_;
@@ -163,6 +167,12 @@ class ReplicaNode : public ServerEngine {
 
   // --- plumbing -------------------------------------------------------
   TimePoint Now() const { return env_.clock->Now(); }
+  // The clock-uncertainty inflation for authority-plane bound arithmetic:
+  // the configured constant, or the *measured* bound over an authority
+  // term when the environment wires a clock-health source and it reports
+  // worse than the constant. Sync degrading at a replica thus widens every
+  // safety margin instead of silently eating into it.
+  Duration Epsilon() const;
   size_t Quorum() const { return n_ / 2 + 1; }
   void SendAuth(NodeId to, Packet packet);
   void BroadcastAuth(Packet packet);

@@ -1,5 +1,6 @@
 #include "src/workload/chaos_harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -45,6 +46,8 @@ class ChaosRun {
     cluster_options.client = options_.client;
     cluster_options.replica.num_replicas = options_.num_replicas;
     cluster_options.replica_clocks = options_.replica_clocks;
+    cluster_options.uncertainty_terms = options_.uncertainty_terms;
+    cluster_options.uncertainty = options_.uncertainty;
     cluster_options.net.seed = options_.seed;
     cluster_options.net.loss_prob = options_.loss;
     cluster_options.net.faults = BaselineFaults(options_);
@@ -60,6 +63,8 @@ class ChaosRun {
     }
     busy_.assign(options_.num_clients, false);
     gen_.assign(options_.num_clients, 0);
+    client_drift_gen_.assign(options_.num_clients, 0);
+    server_drift_gen_.assign(std::max<size_t>(options_.num_replicas, 1), 0);
   }
 
   ChaosReport Run() {
@@ -112,11 +117,21 @@ class ChaosRun {
       report.authority_acquisitions = s.authority_acquisitions;
       report.authority_stepdowns = s.authority_stepdowns;
       report.recovery_window = s.recovery_window;
+      report.clock_samples = s.clock_samples;
+    }
+    if (cluster_->clock_health() != nullptr) {
+      report.uncertainty_capped_grants =
+          cluster_->clock_health()->capped_grants();
+      report.uncertainty_zero_grants =
+          cluster_->clock_health()->degraded_zero_grants();
     }
     for (size_t i = 0; i < options_.num_clients; ++i) {
       if (cluster_->ClientUp(i)) {
-        report.unavailable_retries +=
-            cluster_->client(i).stats().unavailable_retries;
+        const ClientStats& cs = cluster_->client(i).stats();
+        report.unavailable_retries += cs.unavailable_retries;
+        report.extend_requests += cs.extend_requests;
+        report.contention_skipped_items += cs.contention_skipped_items;
+        report.contention_shortened_leases += cs.contention_shortened_leases;
       }
     }
     return report;
@@ -179,12 +194,47 @@ class ChaosRun {
           cluster_->client_clock(ev.target)
               .SetModel(ClockModel::Drifting(ev.rate));
           uint32_t target = ev.target;
-          cluster_->sim().ScheduleAfter(ev.span, [this, target]() {
+          // The generation guard keeps this restore from clobbering a drift
+          // that started after us (ramp plans overlap excursions on one
+          // target by design; only the newest owns the restore).
+          uint64_t gen = ++client_drift_gen_[target];
+          cluster_->sim().ScheduleAfter(ev.span, [this, target, gen]() {
+            if (client_drift_gen_[target] != gen) {
+              return;
+            }
             cluster_->client_clock(target).SetModel(ClockModel::Perfect());
             Note("drift-end", target, 0, 0);
           });
         }
         break;
+      case FaultOp::kDriftServer: {
+        bool replicated = cluster_->num_replicas() > 1;
+        if (replicated && ev.target >= cluster_->num_replicas()) {
+          break;
+        }
+        uint32_t target = replicated ? ev.target : 0;
+        if (replicated) {
+          cluster_->replica_clock(target).SetModel(
+              ClockModel::Drifting(ev.rate));
+        } else {
+          cluster_->server_clock().SetModel(ClockModel::Drifting(ev.rate));
+        }
+        uint64_t gen = ++server_drift_gen_[target];
+        cluster_->sim().ScheduleAfter(
+            ev.span, [this, target, gen, replicated]() {
+              if (server_drift_gen_[target] != gen) {
+                return;
+              }
+              if (replicated) {
+                cluster_->replica_clock(target).SetModel(
+                    ClockModel::Perfect());
+              } else {
+                cluster_->server_clock().SetModel(ClockModel::Perfect());
+              }
+              Note("drift-server-end", target, 0, 0);
+            });
+        break;
+      }
       case FaultOp::kStorage:
         // Power cut: the server process dies AND the storage plane takes
         // tail damage that the restart's replay must repair. Damage only
@@ -223,9 +273,13 @@ class ChaosRun {
     for (size_t i = 0; i < options_.num_clients; ++i) {
       cluster_->PartitionClient(i, false);
       cluster_->client_clock(i).SetModel(ClockModel::Perfect());
+      ++client_drift_gen_[i];  // void pending restores; we just restored
       if (!cluster_->ClientUp(i)) {
         cluster_->RestartClient(i);
       }
+    }
+    for (uint64_t& gen : server_drift_gen_) {
+      ++gen;
     }
     if (cluster_->num_replicas() > 1) {
       for (size_t r = 0; r < cluster_->num_replicas(); ++r) {
@@ -235,8 +289,11 @@ class ChaosRun {
       if (cluster_->AnyReplicaDown()) {
         cluster_->RestartServer();
       }
-    } else if (!cluster_->ServerUp()) {
-      cluster_->RestartServer();
+    } else {
+      cluster_->server_clock().SetModel(ClockModel::Perfect());
+      if (!cluster_->ServerUp()) {
+        cluster_->RestartServer();
+      }
     }
     cluster_->network().set_loss_prob(options_.loss);
     cluster_->network().set_faults(BaselineFaults(options_));
@@ -357,6 +414,10 @@ class ChaosRun {
 
   std::vector<bool> busy_;
   std::vector<uint64_t> gen_;
+  // Per-target drift generations: a scheduled restore only fires if no newer
+  // excursion (or quiesce) superseded it.
+  std::vector<uint64_t> client_drift_gen_;
+  std::vector<uint64_t> server_drift_gen_;
   uint64_t issued_ = 0;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;

@@ -59,6 +59,13 @@ struct ChaosOptions {
   Duration partition_holder_at = Duration::Zero();
   Duration partition_holder_span = Duration::Seconds(3);
 
+  // Clock-health plane: wrap the server's term policy in
+  // UncertaintyAwareTermPolicy so terms shrink (ultimately to zero) as the
+  // measured drift bound degrades. `uncertainty.epsilon` is overwritten
+  // with the engine epsilon by the cluster; tune the rest here.
+  bool uncertainty_terms = false;
+  UncertaintyAwareTermPolicy::Options uncertainty;
+
   // When true (and `plan` is empty), a RandomFaultPlan drawn from the seed
   // is layered on top of the baseline rates.
   bool random_plan = true;
@@ -99,6 +106,17 @@ struct ChaosReport {
   uint64_t authority_acquisitions = 0;
   uint64_t authority_stepdowns = 0;
   Duration recovery_window = Duration::Zero();
+
+  // Clock-health plane. clock_samples counts stamped requests the server
+  // fed to the estimator; the uncertainty_* counters are zero unless
+  // uncertainty_terms was set. extend_requests (summed over surviving
+  // clients) is the load metric the adaptive-vs-fixed comparison uses.
+  uint64_t clock_samples = 0;
+  uint64_t uncertainty_capped_grants = 0;
+  uint64_t uncertainty_zero_grants = 0;
+  uint64_t extend_requests = 0;
+  uint64_t contention_skipped_items = 0;
+  uint64_t contention_shortened_leases = 0;
 };
 
 // Runs one soak to completion. Deterministic per options.

@@ -18,10 +18,12 @@ inline ClusterOptions MakeVClusterOptions(Duration term,
   options.net.proc_time = Duration::Millis(1);     // m_proc
   options.net.seed = seed;
   // Client-side shortening allowance: exactly m_prop + 2*m_proc, plus the
-  // clock-uncertainty epsilon of 100 ms (Table 1 / Section 3.1).
+  // clock-uncertainty epsilon of 100 ms (Table 1 / Section 3.1). The
+  // engine-level epsilon is the authoritative copy; the client one must
+  // agree (ClusterOptions::Validate()).
   options.client.transit_allowance = Duration::Micros(2500);
-  options.client.epsilon = Duration::Millis(100);
-  options.server.epsilon = Duration::Millis(100);
+  options.epsilon = Duration::Millis(100);
+  options.client.epsilon = options.epsilon;
   return options;
 }
 

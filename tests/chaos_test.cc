@@ -3,6 +3,7 @@
 // pinned regressions for the protocol bugs the chaos runner exposed.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ FaultPlan SampleOfEveryOp() {
   ev.target = 0;
   ev.rate = 1.005;
   ev.span = Duration::Seconds(2);
+  plan.events.push_back(ev);
+  ev.op = FaultOp::kDriftServer;
+  ev.at = Duration::Seconds(6.5);
+  ev.target = 0;
+  ev.rate = 1.02;
+  ev.span = Duration::Seconds(1);
   plan.events.push_back(ev);
   ev = FaultEvent{};
   ev.op = FaultOp::kStorage;
@@ -100,6 +107,89 @@ TEST(FaultPlanTest, StorageCrashTextFormIsCanonical) {
   EXPECT_EQ(plan->events[2].mode, 2u);
   EXPECT_EQ(plan->events[4].mode, 0u);
   EXPECT_EQ(FaultPlan::Parse(plan->ToLine())->ToLine(), plan->ToLine());
+}
+
+TEST(FaultPlanTest, DriftServerTextFormIsCanonical) {
+  // Byte-exact pin of the server-drift op's serialization: a failing soak
+  // prints `seed + plan line`, so this text form is a replay interface.
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.at = Duration::Seconds(1.5);
+  ev.op = FaultOp::kDriftServer;
+  ev.target = 2;
+  ev.rate = 1.015;
+  ev.span = Duration::Seconds(3);
+  plan.events.push_back(ev);
+  EXPECT_EQ(plan.ToLine(),
+            "@1.500000 drift-server 2 rate=1.015000 span=3.000000");
+  std::optional<FaultPlan> parsed = FaultPlan::Parse(plan.ToLine());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->events.size(), 1u);
+  EXPECT_EQ(parsed->events[0].op, FaultOp::kDriftServer);
+  EXPECT_EQ(parsed->events[0].target, 2u);
+  EXPECT_DOUBLE_EQ(parsed->events[0].rate, 1.015);
+  EXPECT_EQ(parsed->events[0].span, Duration::Seconds(3));
+  EXPECT_EQ(parsed->ToLine(), plan.ToLine());
+  // End() counts the server-drift restoration, like client drift.
+  EXPECT_EQ(plan.End(), Duration::Seconds(4.5));
+}
+
+TEST(FaultPlanTest, ServerDriftOnlyWhenOptedIn) {
+  RandomPlanOptions plain;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    for (const FaultEvent& ev : RandomFaultPlan(rng, plain).events) {
+      EXPECT_NE(ev.op, FaultOp::kDriftServer);
+    }
+  }
+  RandomPlanOptions drifty;
+  drifty.allow_server_drift = true;
+  int server_drifts = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    for (const FaultEvent& ev : RandomFaultPlan(rng, drifty).events) {
+      if (ev.op == FaultOp::kDriftServer) {
+        ++server_drifts;
+        EXPECT_LE(std::abs(ev.rate - 1.0), drifty.drift_magnitude + 1e-12);
+        EXPECT_LE(ev.span, drifty.drift_span_max);
+      }
+    }
+  }
+  EXPECT_GT(server_drifts, 0);
+}
+
+TEST(FaultPlanTest, DriftRampSweepsToEndMagnitude) {
+  DriftRampOptions ramp;
+  ramp.server = true;
+  FaultPlan plan = DriftRampPlan(ramp);
+  ASSERT_FALSE(plan.events.empty());
+  // Pairs of (client, server) steps; magnitudes multiply by step_factor and
+  // the final step is pinned exactly at end_magnitude.
+  ASSERT_EQ(plan.events.size() % 2, 0u);
+  double prev = 0.0;
+  int plateau_steps = 0;
+  for (size_t i = 0; i < plan.events.size(); i += 2) {
+    const FaultEvent& client = plan.events[i];
+    const FaultEvent& server = plan.events[i + 1];
+    EXPECT_EQ(client.op, FaultOp::kDrift);
+    EXPECT_EQ(server.op, FaultOp::kDriftServer);
+    EXPECT_EQ(client.at, server.at);
+    double m = 1.0 - client.rate;               // client runs slow
+    EXPECT_NEAR(server.rate, 1.0 + m, 1e-12);   // server runs fast
+    EXPECT_GE(m, prev);
+    EXPECT_LE(m, ramp.end_magnitude + 1e-12);
+    if (m >= ramp.end_magnitude - 1e-12) {
+      ++plateau_steps;
+    } else {
+      EXPECT_GT(m, prev);
+    }
+    prev = m;
+  }
+  EXPECT_NEAR(prev, ramp.end_magnitude, 1e-12);
+  // The ramp dwells at the top for hold_spans extra spans.
+  EXPECT_EQ(plateau_steps, ramp.hold_spans + 1);
+  // The ramp round-trips through the replay text form byte-exactly.
+  EXPECT_EQ(FaultPlan::Parse(plan.ToLine())->ToLine(), plan.ToLine());
 }
 
 TEST(FaultPlanTest, StorageFaultsOnlyWhenOptedIn) {

@@ -19,11 +19,12 @@ T RoundTrip(const T& message) {
 }
 
 TEST(ProtoTest, ReadRequestRoundTrip) {
-  ReadRequest m{RequestId(7), FileId(42), 13};
+  ReadRequest m{RequestId(7), FileId(42), 13, 987654321};
   ReadRequest out = RoundTrip(m);
   EXPECT_EQ(out.req, m.req);
   EXPECT_EQ(out.file, m.file);
   EXPECT_EQ(out.have_version, 13u);
+  EXPECT_EQ(out.clock_us, 987654321u);
 }
 
 TEST(ProtoTest, ReadReplyRoundTrip) {
@@ -74,10 +75,12 @@ TEST(ProtoTest, ExtendRequestRoundTrip) {
   for (uint64_t i = 1; i <= 50; ++i) {
     m.items.push_back(ExtendItem{FileId(i), i * 3});
   }
+  m.clock_us = 555666777;
   ExtendRequest out = RoundTrip(m);
   ASSERT_EQ(out.items.size(), 50u);
   EXPECT_EQ(out.items[49].file, FileId(50));
   EXPECT_EQ(out.items[49].version, 150u);
+  EXPECT_EQ(out.clock_us, 555666777u);
 }
 
 TEST(ProtoTest, ExtendReplyRoundTrip) {
@@ -208,7 +211,7 @@ Packet RandomPacket(Rng& rng, size_t type_index) {
   switch (type_index) {
     case 0:
       return ReadRequest{RequestId(rng.NextU64()), FileId(rng.NextU64()),
-                         rng.NextU64()};
+                         rng.NextU64(), rng.NextU64()};
     case 1: {
       ReadReply m;
       m.req = RequestId(rng.NextU64());
@@ -242,6 +245,7 @@ Packet RandomPacket(Rng& rng, size_t type_index) {
         item.file = FileId(rng.NextU64());
         item.version = rng.NextU64();
       }
+      m.clock_us = rng.NextU64();
       return m;
     }
     case 5: {

@@ -138,6 +138,57 @@ TEST(AdaptivePolicyTest, TermClampedToConfiguredRange) {
             Duration::Seconds(20));
 }
 
+TEST(AdaptivePolicyTest, ColdStartUsesConfiguredInitialRates) {
+  // Before any observation the EWMA seeds from the configured priors, both
+  // through the accessors and through Alpha/TermFor themselves.
+  AdaptiveTermPolicy::Options options;
+  options.initial_reads_per_sec = 4.0;
+  options.initial_writes_per_sec = 0.5;
+  AdaptiveTermPolicy policy(options);
+  EXPECT_DOUBLE_EQ(policy.EstimatedReadRate(FileId(9)), 4.0);
+  EXPECT_DOUBLE_EQ(policy.EstimatedWriteRate(FileId(9)), 0.5);
+  EXPECT_DOUBLE_EQ(policy.EstimatedSharing(FileId(9)), 1.0);
+  EXPECT_DOUBLE_EQ(policy.Alpha(FileId(9)), 2.0 * 4.0 / 0.5);
+  // A single observation must not collapse the estimate: the first event
+  // has no inter-arrival gap, so rates stay at the prior.
+  policy.OnRead(FileId(9), At(0));
+  policy.OnWrite(FileId(9), 1, At(0));
+  EXPECT_DOUBLE_EQ(policy.EstimatedReadRate(FileId(9)), 4.0);
+  EXPECT_DOUBLE_EQ(policy.EstimatedWriteRate(FileId(9)), 0.5);
+}
+
+TEST(AdaptivePolicyTest, AlphaAtExactlyOneStillYieldsZeroTerm) {
+  // The break-even boundary itself grants nothing: alpha <= 1 is the
+  // condition, not alpha < 1.
+  AdaptiveTermPolicy::Options options;
+  options.initial_reads_per_sec = 1.0;
+  options.initial_writes_per_sec = 2.0;  // alpha = 2*1/2 = 1 with S = 1
+  AdaptiveTermPolicy policy(options);
+  EXPECT_DOUBLE_EQ(policy.Alpha(FileId(1)), 1.0);
+  EXPECT_EQ(policy.TermFor(FileId(1), FileClass::kNormal, NodeId(2)),
+            Duration::Zero());
+}
+
+TEST(AdaptivePolicyTest, SharingDegreeTracksHoldersWithDecay) {
+  AdaptiveTermPolicy policy;
+  // One write observed with 10 holders: sharing moves a fifth of the way.
+  policy.OnWrite(FileId(1), 10, At(0));
+  EXPECT_NEAR(policy.EstimatedSharing(FileId(1)), 0.8 * 1.0 + 0.2 * 10.0,
+              1e-9);
+  // Subsequent unshared writes decay it geometrically back toward 1.
+  double prev = policy.EstimatedSharing(FileId(1));
+  for (int i = 1; i <= 20; ++i) {
+    policy.OnWrite(FileId(1), 1, At(i));
+    double cur = policy.EstimatedSharing(FileId(1));
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 1.0, 0.05);
+  // Zero holders counts as one (the writer itself holds the file).
+  policy.OnWrite(FileId(2), 0, At(0));
+  EXPECT_DOUBLE_EQ(policy.EstimatedSharing(FileId(2)), 1.0);
+}
+
 TEST(AnalyticModelTest, BreakEvenTermMatchesAlphaCondition) {
   // t_c > 1 / (R (alpha - 1)) is the Section 3.1 break-even bound.
   SystemParams params = SystemParams::VSystem(10);

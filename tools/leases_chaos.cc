@@ -11,10 +11,17 @@
 //   leases_chaos --storage --seed 3              # plans include power cuts
 //                                                # with journal tail damage
 //   leases_chaos --smoke                         # bounded CI self-check
+//   leases_chaos --clock --runs 10               # plans may drift the server
+//                                                # clock; terms come from the
+//                                                # measured drift bound
+//   leases_chaos --drift-ramp 6 --rate 5 --write_fraction 0.1
+//                                                # scripted all-client drift
+//                                                # ramp, 6 spans at peak
 //
 // On a violation the tool greedily minimizes the failing plan and prints a
 // `FAILING seed=N plan=...` line; re-running with that --seed and --plan
 // reproduces the run byte-exactly (same trace digest).
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -45,7 +52,34 @@ ChaosOptions OptionsFromFlags(const Flags& flags) {
   options.num_replicas = static_cast<size_t>(flags.GetInt("replicas", 0));
   options.partition_holder_at =
       Duration::Seconds(flags.GetDouble("isolate-holder-at", 0.0));
+  // Clock-health plane: --clock lets random plans drift the server's own
+  // clock and wraps the term policy in the measured-bound decorator (the
+  // combination the clock soak wants: drift happens, terms shrink to match).
+  bool clock = flags.GetBool("clock", false);
+  options.plan_options.allow_server_drift = clock;
+  options.uncertainty_terms = flags.GetBool("uncertainty", clock);
   return options;
+}
+
+// The drift-ramp plan the clock soak uses: every client ramps slow while
+// the server ramps fast, then both dwell at peak magnitude. Mirrors the
+// DriftRampChaosTest acceptance runs.
+FaultPlan AllClientDriftRamp(size_t num_clients, int hold_spans) {
+  FaultPlan plan;
+  for (uint32_t c = 0; c < num_clients; ++c) {
+    DriftRampOptions ramp;
+    ramp.target = c;
+    ramp.server = (c == 0);
+    ramp.hold_spans = hold_spans;
+    FaultPlan per_client = DriftRampPlan(ramp);
+    plan.events.insert(plan.events.end(), per_client.events.begin(),
+                       per_client.events.end());
+  }
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
 }
 
 void PrintReport(const ChaosOptions& options, const ChaosReport& report) {
@@ -85,6 +119,14 @@ void PrintReport(const ChaosOptions& options, const ChaosReport& report) {
                 static_cast<unsigned long long>(report.authority_stepdowns),
                 report.recovery_window.ToSeconds(),
                 options.term.ToSeconds());
+  }
+  if (options.uncertainty_terms) {
+    std::printf("  clock: samples=%llu capped=%llu zero=%llu extends=%llu\n",
+                static_cast<unsigned long long>(report.clock_samples),
+                static_cast<unsigned long long>(
+                    report.uncertainty_capped_grants),
+                static_cast<unsigned long long>(report.uncertainty_zero_grants),
+                static_cast<unsigned long long>(report.extend_requests));
   }
   if (report.hit_time_cap) {
     std::printf("  WARNING: hit simulated-time cap before all ops drained\n");
@@ -230,6 +272,50 @@ int RunSmoke() {
               "(write hold %.3fs vs %.1fs term)\n",
               static_cast<unsigned long long>(e.digest),
               e.recovery_window.ToSeconds(), replicated.term.ToSeconds());
+
+  // Clock-health pass: a bounded drift ramp (all clients slow, server
+  // fast, short dwell at peak) under the measured-bound term policy. The
+  // bar: zero violations, the degradation ladder actually engaged (capped
+  // and zero-term grants both nonzero), and a stable replay digest. Fresh
+  // seeds again so earlier pinned digests stay untouched.
+  ChaosOptions clocked;
+  clocked.num_clients = 4;
+  clocked.total_ops = 1600;
+  clocked.num_files = 8;
+  clocked.ops_per_sec = 5.0;
+  clocked.write_fraction = 0.1;
+  clocked.client.batch_extensions = false;
+  clocked.random_plan = false;
+  clocked.plan = AllClientDriftRamp(clocked.num_clients, /*hold_spans=*/2);
+  clocked.uncertainty_terms = true;
+  for (uint64_t seed : {9ULL, 31ULL}) {
+    clocked.seed = seed;
+    int rc = RunOne(clocked);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  clocked.seed = 31;
+  ChaosReport g = RunChaos(clocked);
+  ChaosReport h = RunChaos(clocked);
+  if (g.digest != h.digest) {
+    std::printf("SMOKE FAIL: clock seed diverged (0x%016llx vs 0x%016llx)\n",
+                static_cast<unsigned long long>(g.digest),
+                static_cast<unsigned long long>(h.digest));
+    return 1;
+  }
+  if (g.uncertainty_capped_grants == 0 || g.uncertainty_zero_grants == 0) {
+    std::printf("SMOKE FAIL: degradation ladder never engaged "
+                "(capped=%llu zero=%llu)\n",
+                static_cast<unsigned long long>(g.uncertainty_capped_grants),
+                static_cast<unsigned long long>(g.uncertainty_zero_grants));
+    return 1;
+  }
+  std::printf("smoke ok: drift-ramp digest stable 0x%016llx "
+              "(capped=%llu zero=%llu)\n",
+              static_cast<unsigned long long>(g.digest),
+              static_cast<unsigned long long>(g.uncertainty_capped_grants),
+              static_cast<unsigned long long>(g.uncertainty_zero_grants));
   return 0;
 }
 
@@ -245,7 +331,8 @@ int Run(int argc, char** argv) {
         "                    [--write_fraction f] [--loss p] [--dup p]\n"
         "                    [--reorder p] [--burst p] [--plan \"...\"]\n"
         "                    [--no-plan] [--storage] [--trace] [--smoke]\n"
-        "                    [--replicas n] [--isolate-holder-at s]\n");
+        "                    [--replicas n] [--isolate-holder-at s]\n"
+        "                    [--clock] [--uncertainty] [--drift-ramp n]\n");
     return 0;
   }
   if (flags.Has("log")) {
@@ -260,6 +347,15 @@ int Run(int argc, char** argv) {
   }
 
   ChaosOptions options = OptionsFromFlags(flags);
+  // --drift-ramp N: replace the random plan with the scripted all-client
+  // drift ramp, dwelling N hold spans at peak magnitude.
+  if (flags.Has("drift-ramp")) {
+    options.random_plan = false;
+    options.plan = AllClientDriftRamp(
+        options.num_clients,
+        static_cast<int>(flags.GetInt("drift-ramp", 3)));
+    options.uncertainty_terms = flags.GetBool("uncertainty", true);
+  }
   if (flags.Has("plan")) {
     std::optional<FaultPlan> plan = FaultPlan::Parse(flags.GetString("plan", ""));
     if (!plan.has_value()) {

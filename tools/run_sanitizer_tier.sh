@@ -45,10 +45,12 @@ fi
 # the factory lifecycle, the PaxosLease authority state machine across
 # crash/partition/drift soaks, and the two-socket runtime failover rig --
 # real threads under TSan, serving-engine churn under ASan.
+# clock_health_test exercises the clock-error estimator (internally locked,
+# shared across shard threads) and the drift-ramp acceptance soaks.
 targets=(scheduler_test sim_test net_test proto_test fastpath_alloc_test
          runtime_test event_loop_test storage_test journal_crash_test
          shard_test shard_concurrency_test swarm_test
-         engine_test replica_test runtime_replica_test)
+         engine_test replica_test runtime_replica_test clock_health_test)
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j"${LEASES_SANITIZER_JOBS:-$(nproc)}" \
@@ -64,6 +66,13 @@ done
 # storage pass additionally power-cuts servers with journal tail damage.
 echo "=== $preset: leases_chaos --smoke ==="
 "build-$preset/tools/leases_chaos" --smoke
+# Drift-ramp soak: every client clock ramps slow while the server ramps
+# fast, terms sized from the measured drift bound all the way down to
+# zero-term degraded mode. Exercises the estimator + uncertainty decorator
+# under the sanitizer at a scale the smoke's bounded pass doesn't reach.
+echo "=== $preset: leases_chaos --drift-ramp ==="
+"build-$preset/tools/leases_chaos" --drift-ramp 6 --clients 6 --ops 4000 \
+  --rate 5 --write_fraction 0.1
 # The swarm smoke sweeps 10k simulated clients through the installed-lease
 # multicast plane plus the thundering-herd backpressure scenario -- bounded
 # wall time, and its acceptance checks (flat load, zero violations) double
