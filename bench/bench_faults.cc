@@ -14,11 +14,13 @@
 //      the historical fixed term + constant epsilon (violates past the
 //      constant), the shortest safe constant term (correct but always
 //      paying short terms) and the measured-bound adaptive policy (correct
-//      at lower extension load).
+//      at lower extension load);
+//   9. standby reads: read availability through a holder crash with and
+//      without standby serving under the holder's delegated bound.
 //
-// `bench_faults --json [path]` additionally writes the failover-vs-recovery
-// and drift-sweep tables to BENCH_FAULTS.json (schema 2) for trend
-// tracking.
+// `bench_faults --json [path]` additionally writes the failover-vs-recovery,
+// drift-sweep and standby-read tables to BENCH_FAULTS.json (schema 3) for
+// trend tracking.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -454,8 +456,95 @@ std::vector<DriftRow> DriftSweepExperiment() {
   return rows;
 }
 
+// Experiment 9: read availability through a holder outage, with and
+// without standby reads. The reading client probes files it has never
+// cached (every probe must be answered by the serving plane) while the
+// authority holder is down; without standby serving every probe burns its
+// whole retry budget until the election completes, with it the surviving
+// standbys answer immediately under the delegated bound.
+struct StandbyRow {
+  int standby;                 // 0/1
+  uint64_t probes;             // read attempts during the 3 s outage window
+  uint64_t probes_ok;          // how many returned bytes
+  double first_ok_s;           // crash -> first successful read (-1: none)
+  uint64_t standby_served;     // reads answered by non-holder replicas
+  uint64_t violations;
+};
+
+StandbyRow MeasureStandbyReads(bool standby) {
+  ClusterOptions options = MakeVClusterOptions(Duration::Seconds(10), 2,
+                                               9000 + (standby ? 1 : 0));
+  options.replica.num_replicas = 3;
+  options.replica.standby_reads = standby;
+  // Probes self-resolve inside the outage window: two quick resends, then
+  // the client reports the timeout itself (a Sync timeout would leak a
+  // pending callback).
+  options.client.request_timeout = Duration::Millis(250);
+  options.client.max_retries = 2;
+  SimCluster cluster(options);
+  std::vector<FileId> files;
+  for (int i = 0; i < 40; ++i) {
+    files.push_back(*cluster.store().CreatePath(
+        "/f" + std::to_string(i), FileClass::kNormal, Bytes("v1")));
+  }
+  LEASES_CHECK(cluster.SyncRead(0, files[0]).ok());
+  cluster.RunFor(Duration::Seconds(2));  // renewals delegate the bound
+
+  cluster.CrashServer();
+  TimePoint crash = cluster.sim().Now();
+  StandbyRow row{};
+  row.standby = standby ? 1 : 0;
+  row.first_ok_s = -1.0;
+  size_t next = 1;
+  while (cluster.sim().Now() - crash < Duration::Seconds(3) &&
+         next < files.size()) {
+    auto read = cluster.SyncRead(1, files[next++], Duration::Seconds(10));
+    ++row.probes;
+    if (read.ok()) {
+      ++row.probes_ok;
+      if (row.first_ok_s < 0) {
+        row.first_ok_s = (cluster.sim().Now() - crash).ToSeconds();
+      }
+    }
+  }
+  // Let the election finish and confirm full service returns either way.
+  TimePoint deadline = cluster.sim().Now() + Duration::Seconds(30);
+  while (cluster.holder_index() < 0 && cluster.sim().Now() < deadline) {
+    cluster.RunFor(Duration::Millis(50));
+  }
+  LEASES_CHECK(cluster.holder_index() >= 0);
+  LEASES_CHECK(cluster.SyncRead(1, files[0]).ok());
+  row.standby_served = cluster.server_stats().standby_reads_served;
+  row.violations = cluster.oracle().violations();
+  return row;
+}
+
+std::vector<StandbyRow> StandbyReadExperiment() {
+  std::printf(
+      "\n9) standby reads: read availability through a 3 s holder outage\n"
+      "   (3 replicas; probes are uncached reads from a surviving client)\n");
+  SeriesTable table({"standby", "probes", "probes_ok", "first_ok_s",
+                     "standby_served", "violations"});
+  std::vector<StandbyRow> rows;
+  for (bool standby : {false, true}) {
+    StandbyRow row = MeasureStandbyReads(standby);
+    rows.push_back(row);
+    table.AddRow({static_cast<double>(row.standby),
+                  static_cast<double>(row.probes),
+                  static_cast<double>(row.probes_ok), row.first_ok_s,
+                  static_cast<double>(row.standby_served),
+                  static_cast<double>(row.violations)});
+  }
+  table.Print(stdout, 3);
+  std::printf("   (without standby serving, reads stall until the election\n"
+              "   completes; with it, the delegated expiry bound keeps them\n"
+              "   flowing -- writes wait for the new holder either way)\n");
+  return rows;
+}
+
 int WriteJson(const char* path, const std::vector<FailoverRow>& rows,
-              const std::vector<DriftRow>& drift_rows) {
+              const std::vector<DriftRow>& drift_rows,
+              const std::vector<StandbyRow>& standby_rows) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
@@ -463,7 +552,7 @@ int WriteJson(const char* path, const std::vector<FailoverRow>& rows,
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 2,\n"
+               "  \"schema\": 3,\n"
                "  \"replicas\": 3,\n"
                "  \"failover_vs_recovery\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
@@ -496,6 +585,19 @@ int WriteJson(const char* path, const std::vector<FailoverRow>& rows,
         static_cast<unsigned long long>(r.adaptive_zero_grants),
         i + 1 < drift_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"standby_read_availability\": [\n");
+  for (size_t i = 0; i < standby_rows.size(); ++i) {
+    const StandbyRow& r = standby_rows[i];
+    std::fprintf(f,
+                 "    {\"standby_reads\": %d, \"probes\": %llu, "
+                 "\"probes_ok\": %llu, \"first_ok_s\": %.3f, "
+                 "\"standby_served\": %llu, \"violations\": %llu}%s\n",
+                 r.standby, static_cast<unsigned long long>(r.probes),
+                 static_cast<unsigned long long>(r.probes_ok), r.first_ok_s,
+                 static_cast<unsigned long long>(r.standby_served),
+                 static_cast<unsigned long long>(r.violations),
+                 i + 1 < standby_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -512,6 +614,7 @@ void Run() {
   PowerCutExperiment();
   FailoverExperiment();
   DriftSweepExperiment();
+  StandbyReadExperiment();
 }
 
 }  // namespace
@@ -524,7 +627,8 @@ int main(int argc, char** argv) {
                              ? argv[i + 1]
                              : "BENCH_FAULTS.json";
       return leases::WriteJson(path, leases::FailoverExperiment(),
-                               leases::DriftSweepExperiment());
+                               leases::DriftSweepExperiment(),
+                               leases::StandbyReadExperiment());
     }
   }
   leases::Run();

@@ -261,7 +261,8 @@ void CacheClient::ArmFetchTimer(RequestId req) {
   auto it = fetches_.find(req);
   LEASES_CHECK(it != fetches_.end());
   it->second.timer = timers_->ScheduleAfter(
-      params_.request_timeout, [this, req]() { ResendFetch(req); });
+      ResendDelay(it->second.retries, req.value()),
+      [this, req]() { ResendFetch(req); });
 }
 
 void CacheClient::ResendFetch(RequestId req) {
@@ -553,7 +554,8 @@ void CacheClient::ArmWriteTimer(RequestId req) {
   auto it = writes_.find(req);
   LEASES_CHECK(it != writes_.end());
   it->second.timer = timers_->ScheduleAfter(
-      params_.request_timeout, [this, req]() { ResendWrite(req); });
+      ResendDelay(it->second.retries, req.value()),
+      [this, req]() { ResendWrite(req); });
 }
 
 void CacheClient::ResendWrite(RequestId req) {
@@ -586,6 +588,16 @@ Duration CacheClient::UnavailableBackoff(int retries, uint64_t salt) const {
   // concurrent clients (distinct request ids) decorrelate.
   return JitteredBackoff(params_.unavailable_backoff_base,
                          params_.unavailable_backoff_max, retries, salt);
+}
+
+Duration CacheClient::ResendDelay(int retries, uint64_t salt) const {
+  // Resend pacing for silent losses (dead server, failover window): the
+  // same deterministic jitter machinery, seeded at request_timeout. A
+  // fleet probing a restarting server therefore spreads its resends
+  // instead of re-synchronizing every timeout. A cap at or below the
+  // timeout keeps the wait flat (jitter only).
+  Duration cap = std::max(params_.resend_backoff_max, params_.request_timeout);
+  return JitteredBackoff(params_.request_timeout, cap, retries, salt);
 }
 
 void CacheClient::OnWriteReply(const WriteReply& m) {

@@ -42,11 +42,6 @@ Status EngineConfig::Validate() const {
           "data_dir is incompatible with num_shards > 1: sharded recovery "
           "metadata lives in per-shard memory backends");
     }
-    if (replica.num_replicas > 0) {
-      return Invalid(
-          "the replicated authority plane wraps the plain engine only; "
-          "combine it with num_shards == 1");
-    }
   }
   if (replica.num_replicas > 0) {
     if (server.persist_lease_records) {

@@ -49,6 +49,19 @@ struct ReplicaParams {
   // Base retry pacing for an acquiring proposer (deterministically
   // jittered per replica index so contenders de-synchronize).
   Duration acquire_retry = Duration::Millis(200);
+
+  // Persist acceptor promises/accepts (and the membership config) through
+  // the engine's DurableMeta before replying, so a crash-restarted
+  // acceptor rejoins immediately instead of sitting out the one-term+2eps
+  // warm-up silence. Off by default: the volatile path stays
+  // digest-identical to the PR 8 diskless protocol.
+  bool durable_acceptors = false;
+
+  // Let non-holder replicas answer ReadRequests for files with no write in
+  // flight, under a bound delegated from the holder's quorum-confirmed
+  // authority expiry minus epsilon. Grants ride as zero-term (no caching
+  // rights), so standbys never create leaseholders the holder cannot see.
+  bool standby_reads = false;
 };
 
 struct EngineConfig {
@@ -81,10 +94,13 @@ struct EngineConfig {
   // Rejects unsupported combinations with a descriptive status:
   //   * installed_optimization with num_shards > 1 (directory cover keys
   //     break the key==file shard routing invariant);
-  //   * num_shards > 1 with data_dir or with replication;
+  //   * num_shards > 1 with data_dir;
   //   * replication with persist_lease_records / installed_optimization /
   //     data_dir (the quorum replaces single-node durable recovery);
   //   * nonsensical shard/replica counts and replica timing knobs.
+  // num_shards > 1 with replica.num_replicas > 1 is supported: the
+  // authority plane elects one holder which serves a ShardedLeaseServer
+  // behind the virtual NodeId, grant-capped on every shard.
   Status Validate() const;
 };
 

@@ -111,6 +111,12 @@ std::string FaultPlan::ToLine() const {
                " rate=" + FormatRate(ev.rate) +
                " span=" + FormatSeconds(ev.span);
         break;
+      case FaultOp::kAddReplica:
+        out += "add-replica";
+        break;
+      case FaultOp::kRemoveReplica:
+        out += "remove-replica " + std::to_string(ev.target);
+        break;
     }
   }
   return out;
@@ -185,6 +191,13 @@ std::optional<FaultPlan> FaultPlan::Parse(const std::string& line) {
       }
       ev.rate = *rate;
       ev.span = SecondsFromText(*span);
+    } else if (op == "add-replica") {
+      ev.op = FaultOp::kAddReplica;
+    } else if (op == "remove-replica") {
+      ev.op = FaultOp::kRemoveReplica;
+      if (!(in >> ev.target)) {
+        return std::nullopt;
+      }
     } else if (op == "storage-crash") {
       ev.op = FaultOp::kStorage;
       std::string token;
@@ -220,6 +233,7 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
     kClock,
     kStorageCut,
     kServerClock,
+    kMembership,
   };
   std::vector<Kind> menu = {kPart, kRateStorm};
   if (options.allow_server_crash) {
@@ -240,6 +254,11 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
     // Also appended behind its off-by-default gate: same seed-stability
     // argument as storage faults.
     menu.push_back(kServerClock);
+  }
+  if (options.allow_membership && options.num_replicas > 1) {
+    // Appended behind its off-by-default gate like the two above, keeping
+    // draws for pre-existing seeds byte-identical.
+    menu.push_back(kMembership);
   }
   size_t disruptions = 1 + rng.NextBounded(options.max_disruptions);
   for (size_t i = 0; i < disruptions; ++i) {
@@ -319,6 +338,20 @@ FaultPlan RandomFaultPlan(Rng& rng, const RandomPlanOptions& options) {
         ev.target = 0;
         ev.rate = 1.0 + options.drift_magnitude * (2.0 * rng.NextDouble() - 1.0);
         ev.span = std::min(options.drift_span_max, span);
+        plan.events.push_back(ev);
+        break;
+      }
+      case kMembership: {
+        // Half the draws grow the cluster, half shrink it. The harness
+        // guards incoherent applications (no holder, target not a member,
+        // member floor) the same way it guards double crashes.
+        if (rng.NextBounded(2) == 0) {
+          ev.op = FaultOp::kAddReplica;
+        } else {
+          ev.op = FaultOp::kRemoveReplica;
+          ev.target =
+              static_cast<uint32_t>(rng.NextBounded(options.num_replicas));
+        }
         plan.events.push_back(ev);
         break;
       }

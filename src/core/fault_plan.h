@@ -41,6 +41,10 @@ enum class FaultOp : uint8_t {
   kDriftServer,    // server clock runs at `rate` for `span`; `target` is the
                    //   replica index when the cluster is replicated, ignored
                    //   (0) for a single authority
+  kAddReplica,     // replicated runs: attach a fresh replica as a learner and
+                   //   commit the expanded member set (no-op mid-election)
+  kRemoveReplica,  // replicated runs: shrink the member set by replica
+                   //   `target` (the node stays attached as a non-member)
 };
 
 struct FaultEvent {
@@ -100,6 +104,12 @@ struct RandomPlanOptions {
   // client drift. Off by default for the same seed-stability reason; the
   // clock-health soak opts in (leases_chaos --clock).
   bool allow_server_drift = false;
+  // Live membership changes (kAddReplica / kRemoveReplica) against the
+  // replicated authority plane. Off by default (seed stability); the
+  // membership soak opts in (leases_chaos --membership). Removal targets
+  // draw from [0, num_replicas).
+  bool allow_membership = false;
+  size_t num_replicas = 3;
 };
 
 // Draws a coherent random plan (every crash gets a restart, every partition

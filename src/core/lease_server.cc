@@ -937,4 +937,24 @@ bool LeaseServer::HasPendingWrite(FileId file) const {
   return active_write_.find(file) != active_write_.end();
 }
 
+void LeaseServer::CollectWriteLocked(size_t cap, std::vector<uint64_t>* out,
+                                     bool* overflow) const {
+  for (const auto& [file, seq] : active_write_) {
+    (void)seq;
+    out->push_back(file.value());
+  }
+  for (const auto& [file, queue] : write_queue_) {
+    if (!queue.empty() &&
+        active_write_.find(file) == active_write_.end()) {
+      out->push_back(file.value());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  if (out->size() > cap) {
+    out->resize(cap);
+    *overflow = true;
+  }
+}
+
 }  // namespace leases

@@ -105,6 +105,12 @@ struct ServerStats {
   uint64_t authority_acquisitions = 0;  // takeovers completed on this node
   uint64_t authority_renewals = 0;      // quorum-confirmed lease renewals
   uint64_t authority_stepdowns = 0;     // confirmation lapsed; stopped serving
+  uint64_t authority_warmup_waits = 0;  // restarts that paid the 1-term+2eps
+                                        // acceptor warm-up silence
+  uint64_t grant_cap_hits = 0;          // grants shortened to fit the
+                                        // holder's confirmed authority lease
+  uint64_t standby_reads_served = 0;    // reads answered by a non-holder
+                                        // under delegated authority
 };
 
 // Durable-metadata keys of the server's recovery record. Exposed so the
@@ -154,6 +160,14 @@ class LeaseServer : public PacketHandler {
     return stats_;
   }
   NodeId id() const { return id_; }
+
+  // Appends the FileIds with a write in flight (active or queued) to `out`,
+  // up to `cap` entries; sets *overflow when the set was truncated. The
+  // replicated authority piggybacks this on holder renewals so read-only
+  // standbys refuse files a write might be racing (sorted for a canonical
+  // wire image).
+  void CollectWriteLocked(size_t cap, std::vector<uint64_t>* out,
+                          bool* overflow) const;
 
   // --- Introspection for tests ---
   size_t ActiveLeaseCount(LeaseKey key) const;

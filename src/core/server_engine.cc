@@ -144,15 +144,8 @@ Result<std::unique_ptr<ServerEngine>> MakeServerEngine(
   if (!valid.ok()) {
     return valid.error();
   }
-  if (config.num_shards > 1) {
-    if (env.shards.size() != config.num_shards) {
-      return InvalidEnv(
-          "EngineEnv.shards must carry exactly num_shards environments")
-          .error();
-    }
-    return std::unique_ptr<ServerEngine>(
-        std::make_unique<ShardedEngine>(config, std::move(env)));
-  }
+  // Replication outranks sharding: a sharded-replicated config builds a
+  // ReplicaNode whose holder serves a ShardedLeaseServer behind the VIP.
   if (config.replica.num_replicas > 0) {
     if (env.peers.size() != config.replica.num_replicas) {
       return InvalidEnv(
@@ -168,8 +161,22 @@ Result<std::unique_ptr<ServerEngine>> MakeServerEngine(
           "address")
           .error();
     }
+    if (config.num_shards > 1 && env.shards.size() != config.num_shards) {
+      return InvalidEnv(
+          "sharded-replicated engines need one ShardEnv per shard")
+          .error();
+    }
     return std::unique_ptr<ServerEngine>(
         std::make_unique<ReplicaNode>(config, std::move(env)));
+  }
+  if (config.num_shards > 1) {
+    if (env.shards.size() != config.num_shards) {
+      return InvalidEnv(
+          "EngineEnv.shards must carry exactly num_shards environments")
+          .error();
+    }
+    return std::unique_ptr<ServerEngine>(
+        std::make_unique<ShardedEngine>(config, std::move(env)));
   }
   if (env.store == nullptr || env.meta == nullptr || env.transport == nullptr ||
       env.clock == nullptr || env.timers == nullptr || env.policy == nullptr) {

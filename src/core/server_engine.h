@@ -80,6 +80,11 @@ struct EngineEnv {
   // contradicted. A replica restarted in-object (Stop/Recover/Start on the
   // same engine) always warms up regardless of this flag.
   bool replica_cold_boot = false;
+  // This replica is joining an existing cluster through a membership
+  // change: it acts as an acceptor from the start but never proposes
+  // (never tries to become holder) until it observes a committed member
+  // set that contains it.
+  bool join_as_learner = false;
 };
 
 class ServerEngine : public PacketHandler {

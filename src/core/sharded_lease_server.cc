@@ -256,6 +256,9 @@ void MergeServerStats(ServerStats* into, const ServerStats& from) {
   into->authority_acquisitions += from.authority_acquisitions;
   into->authority_renewals += from.authority_renewals;
   into->authority_stepdowns += from.authority_stepdowns;
+  into->authority_warmup_waits += from.authority_warmup_waits;
+  into->grant_cap_hits += from.grant_cap_hits;
+  into->standby_reads_served += from.standby_reads_served;
 }
 
 ServerStats ShardedLeaseServer::stats() const {
@@ -274,6 +277,27 @@ size_t ShardedLeaseServer::ActiveLeaseCount(LeaseKey key) const {
 bool ShardedLeaseServer::HasPendingWrite(FileId file) const {
   return shards_[ShardIndexOf(file, shards_.size())]->server->HasPendingWrite(
       file);
+}
+
+TimePoint ShardedLeaseServer::GlobalMaxExpiry(TimePoint now) const {
+  TimePoint max = now;
+  for (const auto& shard : shards_) {
+    max = std::max(max, shard->server->lease_table().GlobalMaxExpiry(now));
+  }
+  return max;
+}
+
+void ShardedLeaseServer::CollectWriteLocked(size_t cap,
+                                            std::vector<uint64_t>* out,
+                                            bool* overflow) const {
+  for (const auto& shard : shards_) {
+    shard->server->CollectWriteLocked(cap, out, overflow);
+  }
+  std::sort(out->begin(), out->end());
+  if (out->size() > cap) {
+    out->resize(cap);
+    *overflow = true;
+  }
 }
 
 void ShardedLeaseServer::RegisterClient(NodeId client) {

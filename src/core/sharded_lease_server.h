@@ -126,6 +126,15 @@ class ShardedLeaseServer : public PacketHandler {
   size_t ActiveLeaseCount(LeaseKey key) const;
   bool HasPendingWrite(FileId file) const;
 
+  // Max outstanding client-grant expiry over every shard (>= now). The
+  // replicated authority piggybacks this on renewals as the grant horizon.
+  TimePoint GlobalMaxExpiry(TimePoint now) const;
+
+  // Union of every shard's write-locked FileIds (see
+  // LeaseServer::CollectWriteLocked), truncated to `cap` with *overflow set.
+  void CollectWriteLocked(size_t cap, std::vector<uint64_t>* out,
+                          bool* overflow) const;
+
   void RegisterClient(NodeId client);
 
  private:

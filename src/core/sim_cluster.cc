@@ -1,5 +1,6 @@
 #include "src/core/sim_cluster.h"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -29,6 +30,12 @@ Status ClusterOptions::Validate() const {
   if (client.transit_allowance < Duration::Zero()) {
     return Status(ErrorCode::kInvalidArgument,
                   "client.transit_allowance must be non-negative");
+  }
+  if (replica.standby_reads && client.write_back) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "standby_reads requires write-through clients: a write-back "
+                  "client stages dirty data the holder has not seen, so the "
+                  "write-locked set piggybacked to standbys cannot cover it");
   }
   return Status::Ok();
 }
@@ -97,49 +104,62 @@ SimCluster::SimCluster(ClusterOptions options)
   }
 }
 
+void SimCluster::BuildShardPlane() {
+  // Sharded grant plane: one FileStore partition plus one recovery-
+  // metadata store per shard, all durable across server incarnations. The
+  // namespace store stays authoritative for ids and directory structure;
+  // its mirror hook replicates every touched record into the owning
+  // partition, where protocol traffic then commits.
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shard_stores_.push_back(std::make_unique<FileStore>());
+    shard_storages_.push_back(std::make_unique<MemoryBackend>());
+    shard_metas_.push_back(
+        std::make_unique<DurableMeta>(shard_storages_.back().get()));
+    LEASES_CHECK(shard_metas_.back()->Reopen().ok());
+  }
+  store_.SetMirror([this](FileId file, const FileRecord* rec) {
+    FileStore& partition =
+        *shard_stores_[ShardIndexOf(file, options_.num_shards)];
+    if (rec != nullptr) {
+      partition.Adopt(*rec);
+    } else {
+      partition.Drop(file);
+    }
+  });
+  // Seed the partitions with whatever the namespace store already holds
+  // (at minimum the root directory).
+  for (FileId file : store_.AllFiles()) {
+    shard_stores_[ShardIndexOf(file, options_.num_shards)]->Adopt(
+        *store_.Find(file));
+  }
+}
+
+std::vector<ShardEnv> SimCluster::MakeShardEnvs(Clock* clock,
+                                                TimerHost* timers,
+                                                Transport* transport) {
+  std::vector<ShardEnv> envs(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    envs[s].store = shard_stores_[s].get();
+    envs[s].meta = shard_metas_[s].get();
+    // One simulated host: shards share the node's clock, timer host,
+    // transport and term policy (single-threaded, so sharing is safe).
+    envs[s].clock = clock;
+    envs[s].timers = timers;
+    envs[s].transport = transport;
+    envs[s].policy = policy_.get();
+  }
+  return envs;
+}
+
 void SimCluster::BuildEngine() {
   EngineEnv env;
   env.id = server_id_;
   env.oracle = &oracle_;
   if (options_.num_shards > 1) {
-    // Sharded grant plane: one FileStore partition plus one recovery-
-    // metadata store per shard, all durable across server incarnations. The
-    // namespace store stays authoritative for ids and directory structure;
-    // its mirror hook replicates every touched record into the owning
-    // partition, where protocol traffic then commits.
-    for (size_t s = 0; s < options_.num_shards; ++s) {
-      shard_stores_.push_back(std::make_unique<FileStore>());
-      shard_storages_.push_back(std::make_unique<MemoryBackend>());
-      shard_metas_.push_back(
-          std::make_unique<DurableMeta>(shard_storages_.back().get()));
-      LEASES_CHECK(shard_metas_.back()->Reopen().ok());
-    }
-    store_.SetMirror([this](FileId file, const FileRecord* rec) {
-      FileStore& partition =
-          *shard_stores_[ShardIndexOf(file, options_.num_shards)];
-      if (rec != nullptr) {
-        partition.Adopt(*rec);
-      } else {
-        partition.Drop(file);
-      }
-    });
-    // Seed the partitions with whatever the namespace store already holds
-    // (at minimum the root directory).
-    for (FileId file : store_.AllFiles()) {
-      shard_stores_[ShardIndexOf(file, options_.num_shards)]->Adopt(
-          *store_.Find(file));
-    }
-    env.shards.resize(options_.num_shards);
-    for (size_t s = 0; s < options_.num_shards; ++s) {
-      env.shards[s].store = shard_stores_[s].get();
-      env.shards[s].meta = shard_metas_[s].get();
-      // One simulated host: shards share the node's clock, timer host,
-      // transport and term policy (single-threaded, so sharing is safe).
-      env.shards[s].clock = server_node_.clock.get();
-      env.shards[s].timers = server_node_.timers.get();
-      env.shards[s].transport = server_node_.transport;
-      env.shards[s].policy = policy_.get();
-    }
+    BuildShardPlane();
+    env.shards = MakeShardEnvs(server_node_.clock.get(),
+                               server_node_.timers.get(),
+                               server_node_.transport);
   } else {
     env.store = &store_;
     env.meta = &meta_;
@@ -156,12 +176,61 @@ void SimCluster::BuildEngine() {
   network_->ReplaceHandler(server_id_, engine_.get());
 }
 
-void SimCluster::BuildReplicas() {
-  const size_t n = options_.replica.num_replicas;
-  std::vector<NodeId> peers;
-  if (n == 1) {
+EngineEnv SimCluster::MakeReplicaEnv(size_t r, std::vector<NodeId> peers) {
+  EngineEnv env;
+  env.id = server_id_;
+  env.store = &store_;
+  env.oracle = &oracle_;
+  env.policy = policy_.get();
+  if (clock_health_ != nullptr) {
+    env.epsilon_bound = [health = clock_health_](Duration horizon) {
+      return health->EpsilonBound(horizon);
+    };
+  }
+  env.serve_transport = server_node_.transport;
+  env.replica_cold_boot = true;  // replicated clusters start fresh
+  env.on_takeover = [this, r](NodeId) {
+    last_holder_ = static_cast<int>(r);
+    network_->ReplaceHandler(server_id_, replicas_[r].get());
+  };
+  if (peers.size() == 1) {
     // Degenerate shell: the one replica *is* the server node -- same rig,
     // same metadata, no authority plane. Digest-identical to plain mode.
+    env.meta = &meta_;
+    env.transport = server_node_.transport;
+    env.clock = server_node_.clock.get();
+    env.timers = server_node_.timers.get();
+  } else {
+    env.meta = r == 0 ? &meta_ : replica_metas_[r].get();
+    env.transport = replica_nodes_[r].transport;
+    env.clock = replica_nodes_[r].clock.get();
+    env.timers = replica_nodes_[r].timers.get();
+  }
+  // This replica's slot in `peers` (a joining replica sits at the end of a
+  // peer list that starts with the committed members).
+  NodeId self = peers.size() == 1 ? server_id_ : replica_id(r);
+  for (size_t i = 0; i < peers.size(); ++i) {
+    if (peers[i] == self) {
+      env.replica_index = i;
+    }
+  }
+  if (options_.num_shards > 1) {
+    // Sharded-replicated: the shard partitions and their recovery metadata
+    // are the shared data plane; clocks and timers are this host's own,
+    // and replies leave through the virtual serving address.
+    env.shards = MakeShardEnvs(env.clock, env.timers, server_node_.transport);
+  }
+  env.peers = std::move(peers);
+  return env;
+}
+
+void SimCluster::BuildReplicas() {
+  const size_t n = options_.replica.num_replicas;
+  if (options_.num_shards > 1) {
+    BuildShardPlane();
+  }
+  std::vector<NodeId> peers;
+  if (n == 1) {
     peers.push_back(server_id_);
   } else {
     for (size_t r = 0; r < n; ++r) {
@@ -185,37 +254,8 @@ void SimCluster::BuildReplicas() {
   }
   replicas_.reserve(n);
   for (size_t r = 0; r < n; ++r) {
-    EngineEnv env;
-    env.id = server_id_;
-    env.store = &store_;
-    env.oracle = &oracle_;
-    env.policy = policy_.get();
-    if (clock_health_ != nullptr) {
-      env.epsilon_bound = [health = clock_health_](Duration horizon) {
-        return health->EpsilonBound(horizon);
-      };
-    }
-    env.serve_transport = server_node_.transport;
-    env.replica_index = r;
-    env.peers = peers;
-    env.replica_cold_boot = true;  // replicated clusters start fresh
-    env.on_takeover = [this, r](NodeId) {
-      last_holder_ = static_cast<int>(r);
-      network_->ReplaceHandler(server_id_, replicas_[r].get());
-    };
-    if (n == 1) {
-      env.meta = &meta_;
-      env.transport = server_node_.transport;
-      env.clock = server_node_.clock.get();
-      env.timers = server_node_.timers.get();
-    } else {
-      env.meta = r == 0 ? &meta_ : replica_metas_[r].get();
-      env.transport = replica_nodes_[r].transport;
-      env.clock = replica_nodes_[r].clock.get();
-      env.timers = replica_nodes_[r].timers.get();
-    }
     Result<std::unique_ptr<ServerEngine>> engine =
-        MakeServerEngine(options_, std::move(env));
+        MakeServerEngine(options_, MakeReplicaEnv(r, peers));
     LEASES_CHECK(engine.ok());
     replicas_.push_back(std::move(*engine));
   }
@@ -225,6 +265,67 @@ void SimCluster::BuildReplicas() {
     }
     LEASES_CHECK(replicas_[r]->Start().ok());
   }
+}
+
+int SimCluster::AddReplica() {
+  LEASES_CHECK(replicas_.size() > 1);
+  int h = holder_index();
+  if (h < 0) {
+    return -1;  // nobody can commit the expanded set right now
+  }
+  ReplicaNode& holder = replica(static_cast<size_t>(h));
+  if (holder.reconfig_pending()) {
+    return -1;
+  }
+  std::vector<NodeId> members = holder.member_addrs();
+  const size_t r = replicas_.size();
+  NodeId addr = replica_id(r);
+  ClockModel model = r < options_.replica_clocks.size()
+                         ? options_.replica_clocks[r]
+                         : ClockModel::Perfect();
+  replica_nodes_.push_back(MakeRig(addr, model, nullptr));
+  replica_storages_.push_back(std::make_unique<MemoryBackend>());
+  replica_metas_.push_back(
+      std::make_unique<DurableMeta>(replica_storages_.back().get()));
+  LEASES_CHECK(replica_metas_.back()->Reopen().ok());
+  std::vector<NodeId> peers = members;
+  peers.push_back(addr);
+  EngineEnv env = MakeReplicaEnv(r, std::move(peers));
+  env.join_as_learner = true;  // an acceptor, never a proposer, until named
+  EngineConfig sub = options_;
+  sub.replica.num_replicas = env.peers.size();
+  Result<std::unique_ptr<ServerEngine>> engine =
+      MakeServerEngine(sub, std::move(env));
+  LEASES_CHECK(engine.ok());
+  replicas_.push_back(std::move(*engine));
+  network_->ReplaceHandler(addr, replicas_.back().get());
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    replicas_.back()->RegisterClient(client_id(i));
+  }
+  LEASES_CHECK(replicas_.back()->Start().ok());
+  members.push_back(addr);
+  LEASES_CHECK(holder.RequestReconfig(std::move(members)).ok());
+  return static_cast<int>(r);
+}
+
+Status SimCluster::RemoveReplica(size_t r) {
+  LEASES_CHECK(replicas_.size() > 1);
+  if (r >= replicas_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "no such replica");
+  }
+  int h = holder_index();
+  if (h < 0) {
+    return Status(ErrorCode::kUnavailable, "no confirmed authority holder");
+  }
+  ReplicaNode& holder = replica(static_cast<size_t>(h));
+  std::vector<NodeId> members = holder.member_addrs();
+  auto it = std::find(members.begin(), members.end(), replica_id(r));
+  if (it == members.end()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "replica is not a committed member");
+  }
+  members.erase(it);
+  return holder.RequestReconfig(std::move(members));
 }
 
 SimCluster::~SimCluster() {
@@ -272,8 +373,17 @@ LeaseServer& SimCluster::server() {
 }
 
 ShardedLeaseServer& SimCluster::sharded_server() {
-  LEASES_CHECK(engine_ != nullptr && engine_->sharded() != nullptr);
-  return *engine_->sharded();
+  ShardedLeaseServer* s = nullptr;
+  if (engine_ != nullptr) {
+    s = engine_->sharded();
+  } else {
+    int h = holder_index();
+    if (h >= 0) {
+      s = replicas_[static_cast<size_t>(h)]->sharded();
+    }
+  }
+  LEASES_CHECK(s != nullptr);
+  return *s;
 }
 
 ServerStats SimCluster::server_stats() const {
@@ -371,6 +481,17 @@ void SimCluster::CrashReplica(size_t r, TailDamage damage) {
       // The virtual address pointed at the dead holder; client traffic
       // drops until a standby takes over and re-points it.
       network_->ReplaceHandler(server_id_, nullptr);
+      if (options_.replica.standby_reads) {
+        // With standby reads on, the VIP fails over to a surviving standby
+        // immediately: it answers reads under the holder's delegated window
+        // while the election runs (writes still wait for the new holder).
+        for (size_t s = 0; s < replicas_.size(); ++s) {
+          if (replicas_[s]->running()) {
+            network_->ReplaceHandler(server_id_, replicas_[s].get());
+            break;
+          }
+        }
+      }
     }
   } else {
     network_->ReplaceHandler(server_id_, nullptr);

@@ -89,7 +89,8 @@ class SimCluster {
   // Plain-server accessor; valid when an (unsharded) server is up -- in
   // replicated mode it resolves to the current holder's serving plane.
   LeaseServer& server();
-  // Sharded-server accessor; only valid when num_shards > 1 and up.
+  // Sharded-server accessor; valid when num_shards > 1 and up -- in
+  // replicated mode it resolves to the current holder's sharded plane.
   ShardedLeaseServer& sharded_server();
   bool sharded() const { return options_.num_shards > 1; }
   bool replicated() const { return options_.replica.num_replicas > 0; }
@@ -128,6 +129,19 @@ class SimCluster {
   // window where an isolated holder keeps serving until it steps down is
   // exactly what this models.
   void PartitionReplica(size_t r, bool partitioned);
+
+  // --- Live membership change (replicas > 1 only) ---
+  // Attaches a brand-new replica host (fresh rig, fresh metadata), starts
+  // it as a joining learner, and asks the current holder to commit the
+  // expanded member set. Returns the new replica's index, or -1 when no
+  // holder is confirmed (or a reconfiguration is already in flight) -- the
+  // caller retries later; nothing was attached.
+  int AddReplica();
+  // Asks the current holder to remove replica r from the committed member
+  // set. The node itself stays attached and running as an inert non-member
+  // acceptor (crashing/restarting it remains legal); removing the holder
+  // commits the shrink first, then steps it down for re-election.
+  Status RemoveReplica(size_t r);
 
   // --- Fault injection ---
   // Kills the server process; `damage` additionally power-cuts the storage
@@ -173,6 +187,16 @@ class SimCluster {
   std::unique_ptr<CacheClient> MakeClient(size_t i);
   void BuildEngine();
   void BuildReplicas();
+  // Builds the durable shard plane (partition stores, per-shard recovery
+  // metadata, the namespace mirror hook) once; shared by the sharded and
+  // the sharded-replicated construction paths.
+  void BuildShardPlane();
+  // Per-shard environments over the shared plane for one host: the shard
+  // stores/metas are the cluster's (data plane shared across replicas),
+  // the clock/timers/transport are the host's own.
+  std::vector<ShardEnv> MakeShardEnvs(Clock* clock, TimerHost* timers,
+                                      Transport* transport);
+  EngineEnv MakeReplicaEnv(size_t r, std::vector<NodeId> peers);
 
   ClusterOptions options_;
   Simulator sim_;
@@ -188,9 +212,12 @@ class SimCluster {
   NodeRig server_node_;  // the (virtual, in replicated mode) serving host
   std::unique_ptr<ServerEngine> engine_;  // plain and sharded modes
 
-  // Sharded mode only. Partition stores and per-shard recovery metadata are
-  // durable: they outlive server incarnations (CrashServer/RestartServer),
-  // exactly like store_/meta_ do for the plain server.
+  // Sharded modes (plain and replicated). Partition stores and per-shard
+  // recovery metadata are durable: they outlive server incarnations
+  // (CrashServer/RestartServer), exactly like store_/meta_ do for the plain
+  // server. In sharded-replicated mode they model the shared data plane
+  // behind the VIP -- replicas replicate the authority to serve, so a
+  // replica crash never power-cuts them.
   std::vector<std::unique_ptr<FileStore>> shard_stores_;
   std::vector<std::unique_ptr<StorageBackend>> shard_storages_;
   std::vector<std::unique_ptr<DurableMeta>> shard_metas_;

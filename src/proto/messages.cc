@@ -108,6 +108,20 @@ void EncodeBody(Writer& w, const AuthorityPrepare& m) {
   w.WriteU64(m.ballot);
 }
 
+void EncodeMembers(Writer& w, uint64_t epoch,
+                   const std::vector<uint32_t>& members,
+                   const std::vector<uint32_t>& next_members) {
+  w.WriteU64(epoch);
+  w.WriteU32(static_cast<uint32_t>(members.size()));
+  for (uint32_t id : members) {
+    w.WriteU32(id);
+  }
+  w.WriteU32(static_cast<uint32_t>(next_members.size()));
+  for (uint32_t id : next_members) {
+    w.WriteU32(id);
+  }
+}
+
 void EncodeBody(Writer& w, const AuthorityPromise& m) {
   w.WriteU64(m.ballot);
   w.WriteBool(m.ok);
@@ -115,6 +129,7 @@ void EncodeBody(Writer& w, const AuthorityPromise& m) {
   w.WriteU32(m.holder);
   w.WriteDuration(m.holder_remaining);
   w.WriteDuration(m.bound_remaining);
+  EncodeMembers(w, m.config_epoch, m.members, m.next_members);
 }
 
 void EncodeBody(Writer& w, const AuthorityPropose& m) {
@@ -122,12 +137,19 @@ void EncodeBody(Writer& w, const AuthorityPropose& m) {
   w.WriteU32(m.owner);
   w.WriteDuration(m.term);
   w.WriteDuration(m.grant_horizon);
+  EncodeMembers(w, m.config_epoch, m.members, m.next_members);
+  w.WriteU32(static_cast<uint32_t>(m.write_locked.size()));
+  for (uint64_t file : m.write_locked) {
+    w.WriteU64(file);
+  }
+  w.WriteBool(m.write_locked_overflow);
 }
 
 void EncodeBody(Writer& w, const AuthorityAccept& m) {
   w.WriteU64(m.ballot);
   w.WriteBool(m.ok);
   w.WriteU64(m.promised);
+  EncodeMembers(w, m.config_epoch, m.members, m.next_members);
 }
 
 MsgType TypeOf(const Packet& packet) {
@@ -170,6 +192,28 @@ ErrorCode DecodeStatus(Reader& r) {
 
 FileClass DecodeClass(Reader& r) {
   return static_cast<FileClass>(r.ReadU8());
+}
+
+bool DecodeMembers(Reader& r, uint64_t* epoch, std::vector<uint32_t>* members,
+                   std::vector<uint32_t>* next_members) {
+  *epoch = r.ReadU64();
+  uint32_t n = r.ReadU32();
+  if (n > r.Remaining()) {
+    return false;
+  }
+  members->reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    members->push_back(r.ReadU32());
+  }
+  uint32_t k = r.ReadU32();
+  if (k > r.Remaining()) {
+    return false;
+  }
+  next_members->reserve(k);
+  for (uint32_t i = 0; i < k && r.ok(); ++i) {
+    next_members->push_back(r.ReadU32());
+  }
+  return true;
 }
 
 std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
@@ -311,7 +355,10 @@ std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
       m.holder = r.ReadU32();
       m.holder_remaining = r.ReadDuration();
       m.bound_remaining = r.ReadDuration();
-      return Packet(m);
+      if (!DecodeMembers(r, &m.config_epoch, &m.members, &m.next_members)) {
+        return std::nullopt;
+      }
+      return Packet(std::move(m));
     }
     case MsgType::kAuthorityPropose: {
       AuthorityPropose m;
@@ -319,14 +366,29 @@ std::optional<Packet> DecodeBody(MsgType type, Reader& r) {
       m.owner = r.ReadU32();
       m.term = r.ReadDuration();
       m.grant_horizon = r.ReadDuration();
-      return Packet(m);
+      if (!DecodeMembers(r, &m.config_epoch, &m.members, &m.next_members)) {
+        return std::nullopt;
+      }
+      uint32_t n = r.ReadU32();
+      if (n > r.Remaining()) {
+        return std::nullopt;
+      }
+      m.write_locked.reserve(n);
+      for (uint32_t i = 0; i < n && r.ok(); ++i) {
+        m.write_locked.push_back(r.ReadU64());
+      }
+      m.write_locked_overflow = r.ReadBool();
+      return Packet(std::move(m));
     }
     case MsgType::kAuthorityAccept: {
       AuthorityAccept m;
       m.ballot = r.ReadU64();
       m.ok = r.ReadBool();
       m.promised = r.ReadU64();
-      return Packet(m);
+      if (!DecodeMembers(r, &m.config_epoch, &m.members, &m.next_members)) {
+        return std::nullopt;
+      }
+      return Packet(std::move(m));
     }
   }
   return std::nullopt;

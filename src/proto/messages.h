@@ -199,7 +199,10 @@ struct AuthorityPrepare {
 // Acceptor -> proposer: phase 1 answer. With ok, reports any unexpired
 // accepted authority lease plus the acceptor's client-grant inheritance
 // bound (how long a new holder must hold writes to outlast every grant the
-// previous holder could have issued).
+// previous holder could have issued). Also carries the acceptor's view of
+// the replica membership (config_epoch/members, plus the pending joint
+// set while a reconfiguration is in flight) so a proposer with a stale
+// member list adopts the newer one before it can win a quorum against it.
 struct AuthorityPromise {
   uint64_t ballot = 0;  // echoed prepare ballot
   bool ok = false;      // false: already promised `promised` >= ballot
@@ -207,24 +210,40 @@ struct AuthorityPromise {
   uint32_t holder = 0;  // accepted authority owner; 0 = none unexpired
   Duration holder_remaining;  // remaining accepted authority lease
   Duration bound_remaining;   // remaining inheritance bound
+  uint64_t config_epoch = 0;
+  std::vector<uint32_t> members;       // committed membership (NodeId values)
+  std::vector<uint32_t> next_members;  // pending joint set; empty = none
 };
 
 // Proposer -> acceptors: phase 2, acquire or renew the authority lease.
 // `grant_horizon` piggybacks the owner's actual outstanding client-grant
 // horizon (max remaining client-lease expiry) so acceptors track the
-// inheritance bound without durable state.
+// inheritance bound without durable state. The membership fields
+// disseminate the holder's committed (and, mid-reconfiguration, pending)
+// member sets; `write_locked` lists files with a write in flight at the
+// holder so read-only standbys refuse to serve them (truncated lists set
+// `write_locked_overflow`, which disables standby reads entirely).
 struct AuthorityPropose {
   uint64_t ballot = 0;
   uint32_t owner = 0;
   Duration term;           // authority lease term, measured from receipt
   Duration grant_horizon;  // outstanding client-grant horizon at the owner
+  uint64_t config_epoch = 0;
+  std::vector<uint32_t> members;
+  std::vector<uint32_t> next_members;
+  std::vector<uint64_t> write_locked;  // FileId values with writes in flight
+  bool write_locked_overflow = false;
 };
 
-// Acceptor -> proposer: phase 2 answer.
+// Acceptor -> proposer: phase 2 answer. Echoes the acceptor's membership
+// view exactly like AuthorityPromise.
 struct AuthorityAccept {
   uint64_t ballot = 0;
   bool ok = false;
   uint64_t promised = 0;  // on !ok: the ballot that outbid this one
+  uint64_t config_epoch = 0;
+  std::vector<uint32_t> members;
+  std::vector<uint32_t> next_members;
 };
 
 using Packet =

@@ -1,6 +1,8 @@
 #include "src/replica/authority.h"
 
 #include <algorithm>
+#include <iterator>
+#include <string>
 #include <utility>
 
 #include "src/common/check.h"
@@ -24,6 +26,54 @@ uint64_t MakeBallot(uint64_t round, size_t replica_index) {
 
 uint64_t RoundOf(uint64_t ballot) { return ballot >> kBallotIndexBits; }
 
+// Durable acceptor state (replica.durable_acceptors): persisted through the
+// replica's DurableMeta *before* any promise/accept reply leaves the node,
+// so a restarted acceptor's word still stands and it can vote immediately
+// instead of sitting out the one-term+2eps warm-up.
+constexpr const char kAuthPromisedKey[] = "auth_promised";
+constexpr const char kAuthAcceptedBallotKey[] = "auth_accepted_ballot";
+constexpr const char kAuthAcceptedOwnerKey[] = "auth_accepted_owner";
+constexpr const char kAuthEpochKey[] = "auth_epoch";
+constexpr const char kAuthMembersKey[] = "auth_members";  // count
+constexpr const char kAuthNextKey[] = "auth_next";        // count
+
+std::string IndexedKey(const char* base, size_t i) {
+  return std::string(base) + "_" + std::to_string(i);
+}
+
+// Write-locked piggyback cap: one propose datagram stays small; a holder
+// with more in-flight writes than this sets the overflow flag, which
+// disables standby serving entirely rather than risk a stale answer.
+constexpr size_t kWriteLockedCap = 64;
+
+std::vector<uint32_t> ToWire(const std::vector<NodeId>& nodes) {
+  std::vector<uint32_t> out;
+  out.reserve(nodes.size());
+  for (NodeId n : nodes) {
+    out.push_back(static_cast<uint32_t>(n.value()));
+  }
+  return out;
+}
+
+std::vector<NodeId> FromWire(const std::vector<uint32_t>& ids) {
+  std::vector<NodeId> out;
+  out.reserve(ids.size());
+  for (uint32_t id : ids) {
+    out.push_back(NodeId(id));
+  }
+  return out;
+}
+
+// Size of the symmetric difference between two member sets.
+size_t MemberDelta(std::vector<NodeId> a, std::vector<NodeId> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<NodeId> diff;
+  std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                std::back_inserter(diff));
+  return diff.size();
+}
+
 }  // namespace
 
 ReplicaNode::ReplicaNode(const EngineConfig& config, EngineEnv env)
@@ -31,11 +81,6 @@ ReplicaNode::ReplicaNode(const EngineConfig& config, EngineEnv env)
   LEASES_CHECK(n_ >= 1);
   LEASES_CHECK(env_.peers.size() == n_);
   LEASES_CHECK(env_.replica_index < n_);
-  for (size_t i = 0; i < env_.peers.size(); ++i) {
-    if (i != env_.replica_index) {
-      others_.push_back(env_.peers[i]);
-    }
-  }
 }
 
 ReplicaNode::~ReplicaNode() {
@@ -72,6 +117,18 @@ Status ReplicaNode::Start() {
   confirmed_expiry_ = TimePoint::Epoch();
   last_holder_seen_ = now;
   block_until_ = TimePoint::Epoch();
+  delegation_expiry_ = TimePoint::Epoch();
+  standby_locked_.clear();
+  standby_locked_overflow_ = false;
+
+  // Membership resets with the acceptor: a volatile restart falls back to
+  // the construction-time view and re-learns any newer config from
+  // promise/accept/propose traffic during the warm-up. A learner starts
+  // with an empty view -- it is nobody until a committed set names it.
+  member_epoch_ = 0;
+  learner_ = env_.join_as_learner;
+  members_ = learner_ ? std::vector<NodeId>{} : env_.peers;
+  next_members_.clear();
 
   if (n_ == 1) {
     // Degenerate shell: the plain server, nothing else. No authority
@@ -90,6 +147,15 @@ Status ReplicaNode::Start() {
                           Epsilon() * 2
                     : now;
   seed_boot_ = !must_warm && env_.replica_index == 0;
+  if (durable()) {
+    // The journal is the acceptor's memory: restore what it promised and
+    // rejoin immediately -- the warm-up silence exists only to cover
+    // forgotten volatile promises.
+    RestoreDurableAcceptor(now);
+    warm_until_ = now;
+  } else if (warm_until_ > now) {
+    ++authority_warmup_waits_;
+  }
   ever_started_ = true;
   ArmTick(Duration::Zero());
   return Status::Ok();
@@ -119,17 +185,34 @@ void ReplicaNode::Stop() {
   phase_ = 0;
 }
 
-Status ReplicaNode::Recover() { return env_.meta->Reopen(); }
+Status ReplicaNode::Recover() {
+  Status s = env_.meta->Reopen();
+  if (!s.ok()) {
+    return s;
+  }
+  for (const ShardEnv& shard : env_.shards) {
+    s = shard.meta->Reopen();
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
 
 ServerStats ReplicaNode::stats() const {
   ServerStats out = accumulated_;
   if (serving_ != nullptr) {
     MergeServerStats(&out, serving_->stats());
   }
+  if (capped_policy_ != nullptr) {
+    out.grant_cap_hits += capped_policy_->cap_hits();
+  }
   out.authority_rounds += authority_rounds_;
   out.authority_acquisitions += authority_acquisitions_;
   out.authority_renewals += authority_renewals_;
   out.authority_stepdowns += authority_stepdowns_;
+  out.authority_warmup_waits += authority_warmup_waits_;
+  out.standby_reads_served += standby_reads_served_;
   return out;
 }
 
@@ -164,6 +247,7 @@ Status ReplicaNode::StartServing() {
   sub_env.clock = env_.clock;
   sub_env.timers = env_.timers;
   sub_env.oracle = env_.oracle;
+  sub_env.shards = env_.shards;
   if (n_ == 1) {
     sub_env.policy = env_.policy;
   } else {
@@ -177,6 +261,11 @@ Status ReplicaNode::StartServing() {
           return limit > now ? limit - now : Duration::Zero();
         });
     sub_env.policy = capped_policy_.get();
+    // A sharded holder folds the authority-lease ceiling into *every*
+    // shard's term policy -- no shard may grant past the confirmed expiry.
+    for (ShardEnv& shard : sub_env.shards) {
+      shard.policy = capped_policy_.get();
+    }
   }
 
   Result<std::unique_ptr<ServerEngine>> engine =
@@ -225,6 +314,23 @@ void ReplicaNode::Takeover() {
     role_ = Role::kFollower;
     return;
   }
+  // A sharded holder seeds every shard's meta the same way: each shard
+  // LeaseServer reads its own recovery window and boot counter at
+  // construction.
+  for (const ShardEnv& shard : env_.shards) {
+    if (!shard.meta->Save(kMaxTermMetaKey, inherited_bound_.ToMicros())
+             .ok()) {
+      role_ = Role::kFollower;
+      return;
+    }
+    int64_t shard_boot = shard.meta->Load(kBootCountMetaKey).value_or(0);
+    if (static_cast<int64_t>(ballot_) > shard_boot &&
+        !shard.meta->Save(kBootCountMetaKey, static_cast<int64_t>(ballot_))
+             .ok()) {
+      role_ = Role::kFollower;
+      return;
+    }
+  }
   role_ = Role::kHolder;
   if (!StartServing().ok()) {
     role_ = Role::kFollower;
@@ -252,6 +358,9 @@ void ReplicaNode::StepDown(bool count) {
 
 void ReplicaNode::AccumulateServingStats() {
   MergeServerStats(&accumulated_, serving_->stats());
+  if (capped_policy_ != nullptr) {
+    accumulated_.grant_cap_hits += capped_policy_->cap_hits();
+  }
 }
 
 // --------------------------------------------------------------------
@@ -308,6 +417,13 @@ void ReplicaNode::Tick() {
         next = warm_until_ - now;
         break;
       }
+      if (learner_ || !IsMember(self_addr())) {
+        // A learner (joining member) or a removed replica keeps its
+        // acceptor alive but never proposes; re-check after a suspect
+        // interval in case a config naming (or re-naming) us arrives.
+        next = config_.replica.suspect_timeout;
+        break;
+      }
       if (seed_boot_) {
         // Replica 0 of a brand-new cluster: no holder can exist, acquire
         // immediately instead of sitting out a suspect timeout.
@@ -342,7 +458,9 @@ void ReplicaNode::StartAcquisition() {
   BroadcastAuth(Packet(prepare));
   if (AcceptorReady()) {
     // Self-vote without a network hop.
-    OnPromise(self_addr(), AcceptPrepare(prepare));
+    if (std::optional<AuthorityPromise> self = AcceptPrepare(prepare)) {
+      OnPromise(self_addr(), *self);
+    }
   }
 }
 
@@ -353,12 +471,31 @@ void ReplicaNode::BeginPropose() {
   // receipt (later than the anchor), so a quorum of accepts proves the
   // lease lives until at least anchor + term on every voter's clock.
   round_anchor_ = Now();
-  AuthorityPropose propose{ballot_, static_cast<uint32_t>(self_addr().value()),
-                           config_.replica.authority_term,
-                           ServingGrantHorizon()};
+  AuthorityPropose propose;
+  propose.ballot = ballot_;
+  propose.owner = static_cast<uint32_t>(self_addr().value());
+  propose.term = config_.replica.authority_term;
+  propose.grant_horizon = ServingGrantHorizon();
+  FillConfig(&propose.config_epoch, &propose.members, &propose.next_members);
+  if (config_.replica.standby_reads && serving_ != nullptr) {
+    // Files a write might be racing: standbys must refuse them for the
+    // whole delegated window this propose opens.
+    if (serving_->plain() != nullptr) {
+      serving_->plain()->CollectWriteLocked(kWriteLockedCap,
+                                            &propose.write_locked,
+                                            &propose.write_locked_overflow);
+    } else if (serving_->sharded() != nullptr) {
+      serving_->sharded()->CollectWriteLocked(kWriteLockedCap,
+                                              &propose.write_locked,
+                                              &propose.write_locked_overflow);
+    }
+  }
   BroadcastAuth(Packet(propose));
   if (AcceptorReady()) {
-    OnAccept(self_addr(), AcceptPropose(self_addr(), propose));
+    if (std::optional<AuthorityAccept> self =
+            AcceptPropose(self_addr(), propose)) {
+      OnAccept(self_addr(), *self);
+    }
   }
 }
 
@@ -366,11 +503,17 @@ Duration ReplicaNode::ServingGrantHorizon() {
   // The outstanding-grant horizon piggybacked on every propose: the latest
   // expiry among grants this holder has outstanding, as a duration from
   // now. Acceptors fold it into the bound they report to a successor.
-  if (serving_ == nullptr || serving_->plain() == nullptr) {
+  if (serving_ == nullptr) {
     return Duration::Zero();
   }
   TimePoint now = Now();
-  return serving_->plain()->lease_table().GlobalMaxExpiry(now) - now;
+  if (serving_->plain() != nullptr) {
+    return serving_->plain()->lease_table().GlobalMaxExpiry(now) - now;
+  }
+  if (serving_->sharded() != nullptr) {
+    return serving_->sharded()->GlobalMaxExpiry(now) - now;
+  }
+  return Duration::Zero();
 }
 
 void ReplicaNode::ObserveBallot(uint64_t ballot) {
@@ -378,6 +521,14 @@ void ReplicaNode::ObserveBallot(uint64_t ballot) {
 }
 
 void ReplicaNode::OnPromise(NodeId from, const AuthorityPromise& m) {
+  if (AdoptConfig(m.config_epoch, m.members, m.next_members) &&
+      role_ == Role::kAcquiring) {
+    // The quorum this round was counting against is stale (e.g. a removed
+    // replica learning the committed set from a survivor): abandon and let
+    // the tick re-evaluate under the adopted config.
+    AbandonRound();
+    return;
+  }
   if (phase_ != 1 || role_ != Role::kAcquiring || m.ballot != ballot_) {
     return;
   }
@@ -391,7 +542,7 @@ void ReplicaNode::OnPromise(NodeId from, const AuthorityPromise& m) {
   }
   round_bound_ = std::max(round_bound_, m.bound_remaining);
   votes_.insert(static_cast<uint32_t>(from.value()));
-  if (votes_.size() < Quorum()) {
+  if (!HaveQuorum()) {
     return;
   }
   if (round_blocked_ > Duration::Zero()) {
@@ -406,6 +557,11 @@ void ReplicaNode::OnPromise(NodeId from, const AuthorityPromise& m) {
 }
 
 void ReplicaNode::OnAccept(NodeId from, const AuthorityAccept& m) {
+  if (AdoptConfig(m.config_epoch, m.members, m.next_members) &&
+      role_ == Role::kAcquiring) {
+    AbandonRound();
+    return;
+  }
   if (phase_ != 2 || m.ballot != ballot_) {
     return;
   }
@@ -414,16 +570,28 @@ void ReplicaNode::OnAccept(NodeId from, const AuthorityAccept& m) {
     return;  // a holder keeps serving until the step-down check fires
   }
   votes_.insert(static_cast<uint32_t>(from.value()));
-  if (votes_.size() < Quorum()) {
+  if (!HaveQuorum()) {
     return;
   }
   phase_ = 0;
   confirmed_expiry_ = round_anchor_ + config_.replica.authority_term;
+  // A quorum-confirmed round is the commit point for a pending joint
+  // config: it carried majorities in both the old and new sets.
+  CommitPendingConfig();
   ArmStepDownCheck();
   if (role_ == Role::kHolder) {
     ++authority_renewals_;
-  } else {
+    if (!IsMember(self_addr())) {
+      // We just committed our own removal: orderly step-down; a surviving
+      // member re-acquires after its suspect timeout.
+      StepDown(/*count=*/true);
+    }
+  } else if (IsMember(self_addr())) {
     Takeover();
+  } else {
+    // Won a round but the set committed in it does not name us (removed
+    // mid-acquisition): do not serve.
+    role_ = Role::kFollower;
   }
 }
 
@@ -457,12 +625,16 @@ void ReplicaNode::ArmStepDownCheck() {
 
 bool ReplicaNode::AcceptorReady() const { return Now() >= warm_until_; }
 
-AuthorityPromise ReplicaNode::AcceptPrepare(const AuthorityPrepare& m) {
+std::optional<AuthorityPromise> ReplicaNode::AcceptPrepare(
+    const AuthorityPrepare& m) {
   TimePoint now = Now();
   AuthorityPromise reply;
   reply.ballot = m.ballot;
   if (m.ballot >= promised_) {
     promised_ = m.ballot;
+    if (!PersistAcceptor()) {
+      return std::nullopt;  // never acknowledge a promise that isn't durable
+    }
     reply.ok = true;
   } else {
     reply.ok = false;
@@ -478,11 +650,13 @@ AuthorityPromise ReplicaNode::AcceptPrepare(const AuthorityPrepare& m) {
   // receiver adds its own epsilon; no clock comparison crosses nodes.
   TimePoint bound = std::max(accepted_expiry_, horizon_expiry_);
   reply.bound_remaining = bound > now ? bound - now : Duration::Zero();
+  FillConfig(&reply.config_epoch, &reply.members, &reply.next_members);
   return reply;
 }
 
-AuthorityAccept ReplicaNode::AcceptPropose(NodeId from,
-                                           const AuthorityPropose& m) {
+std::optional<AuthorityAccept> ReplicaNode::AcceptPropose(
+    NodeId from, const AuthorityPropose& m) {
+  AdoptConfig(m.config_epoch, m.members, m.next_members);
   TimePoint now = Now();
   AuthorityAccept reply;
   reply.ballot = m.ballot;
@@ -497,7 +671,17 @@ AuthorityAccept ReplicaNode::AcceptPropose(NodeId from,
     // grants outstanding at its receipt, and newer is tighter.
     horizon_expiry_ = now + m.grant_horizon;
     last_holder_seen_ = now;
+    if (!PersistAcceptor()) {
+      return std::nullopt;
+    }
     reply.ok = true;
+    // The accepted propose delegates read authority until the holder's
+    // confirmed expiry minus epsilon (m.term from our receipt is an upper
+    // bound on it), along with the files standbys must refuse.
+    delegation_expiry_ = now + m.term - Epsilon();
+    standby_locked_ = m.write_locked;
+    std::sort(standby_locked_.begin(), standby_locked_.end());
+    standby_locked_overflow_ = m.write_locked_overflow;
     if (m.owner != static_cast<uint32_t>(self_addr().value()) &&
         role_ == Role::kAcquiring) {
       // Someone else holds a confirmed-enough lease; abandon this round.
@@ -513,7 +697,221 @@ AuthorityAccept ReplicaNode::AcceptPropose(NodeId from,
     }
   }
   (void)from;
+  FillConfig(&reply.config_epoch, &reply.members, &reply.next_members);
   return reply;
+}
+
+bool ReplicaNode::PersistAcceptor() {
+  if (!durable()) {
+    return true;
+  }
+  return env_.meta
+             ->Save(kAuthPromisedKey, static_cast<int64_t>(promised_))
+             .ok() &&
+         env_.meta
+             ->Save(kAuthAcceptedBallotKey,
+                    static_cast<int64_t>(accepted_ballot_))
+             .ok() &&
+         env_.meta
+             ->Save(kAuthAcceptedOwnerKey,
+                    static_cast<int64_t>(accepted_owner_))
+             .ok();
+}
+
+void ReplicaNode::PersistConfig() {
+  if (!durable()) {
+    return;
+  }
+  // Best-effort: a lost config record degrades to the volatile re-learning
+  // path, it never contradicts a promise.
+  (void)env_.meta->Save(kAuthEpochKey, static_cast<int64_t>(member_epoch_));
+  (void)env_.meta->Save(kAuthMembersKey,
+                        static_cast<int64_t>(members_.size()));
+  for (size_t i = 0; i < members_.size(); ++i) {
+    (void)env_.meta->Save(IndexedKey(kAuthMembersKey, i),
+                          static_cast<int64_t>(members_[i].value()));
+  }
+  (void)env_.meta->Save(kAuthNextKey,
+                        static_cast<int64_t>(next_members_.size()));
+  for (size_t i = 0; i < next_members_.size(); ++i) {
+    (void)env_.meta->Save(IndexedKey(kAuthNextKey, i),
+                          static_cast<int64_t>(next_members_[i].value()));
+  }
+}
+
+void ReplicaNode::RestoreDurableAcceptor(TimePoint now) {
+  std::optional<int64_t> promised = env_.meta->Load(kAuthPromisedKey);
+  if (promised.has_value()) {
+    promised_ = static_cast<uint64_t>(*promised);
+    accepted_ballot_ = static_cast<uint64_t>(
+        env_.meta->Load(kAuthAcceptedBallotKey).value_or(0));
+    accepted_owner_ = static_cast<uint32_t>(
+        env_.meta->Load(kAuthAcceptedOwnerKey).value_or(0));
+    observed_round_ = std::max(observed_round_, RoundOf(promised_));
+    if (accepted_owner_ != 0) {
+      // The journal records *that* we accepted, not when it expires (terms
+      // travel as durations). Over-approximate: assume the lease was
+      // accepted the instant before the crash. A too-long expiry only
+      // lengthens refusals and inherited bounds -- never unsafe.
+      accepted_expiry_ = now + config_.replica.authority_term + Epsilon();
+      horizon_expiry_ = accepted_expiry_;
+    }
+  }
+  std::optional<int64_t> epoch = env_.meta->Load(kAuthEpochKey);
+  if (epoch.has_value()) {
+    int64_t n_members = env_.meta->Load(kAuthMembersKey).value_or(0);
+    std::vector<NodeId> members;
+    for (int64_t i = 0; i < n_members; ++i) {
+      std::optional<int64_t> v =
+          env_.meta->Load(IndexedKey(kAuthMembersKey, static_cast<size_t>(i)));
+      if (v.has_value()) {
+        members.push_back(NodeId(static_cast<uint64_t>(*v)));
+      }
+    }
+    if (!members.empty()) {
+      member_epoch_ = static_cast<uint64_t>(*epoch);
+      members_ = std::move(members);
+      next_members_.clear();
+      int64_t n_next = env_.meta->Load(kAuthNextKey).value_or(0);
+      for (int64_t i = 0; i < n_next; ++i) {
+        std::optional<int64_t> v =
+            env_.meta->Load(IndexedKey(kAuthNextKey, static_cast<size_t>(i)));
+        if (v.has_value()) {
+          next_members_.push_back(NodeId(static_cast<uint64_t>(*v)));
+        }
+      }
+      if (IsMember(self_addr())) {
+        learner_ = false;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// Membership
+// --------------------------------------------------------------------
+
+bool ReplicaNode::IsMember(NodeId node) const {
+  return std::find(members_.begin(), members_.end(), node) != members_.end();
+}
+
+bool ReplicaNode::HaveQuorum() const {
+  auto votes_in = [this](const std::vector<NodeId>& set) {
+    size_t count = 0;
+    for (NodeId node : set) {
+      if (votes_.count(static_cast<uint32_t>(node.value())) != 0) {
+        ++count;
+      }
+    }
+    return count;
+  };
+  if (members_.empty() ||
+      votes_in(members_) < members_.size() / 2 + 1) {
+    return false;
+  }
+  if (!next_members_.empty() &&
+      votes_in(next_members_) < next_members_.size() / 2 + 1) {
+    return false;
+  }
+  return true;
+}
+
+void ReplicaNode::FillConfig(uint64_t* epoch, std::vector<uint32_t>* members,
+                             std::vector<uint32_t>* next_members) const {
+  *epoch = member_epoch_;
+  *members = ToWire(members_);
+  *next_members = ToWire(next_members_);
+}
+
+bool ReplicaNode::AdoptConfig(uint64_t epoch,
+                              const std::vector<uint32_t>& members,
+                              const std::vector<uint32_t>& next_members) {
+  if (members.empty()) {
+    return false;  // malformed or from a node with no view yet
+  }
+  bool changed = false;
+  if (epoch > member_epoch_ || members_.empty()) {
+    member_epoch_ = epoch;
+    members_ = FromWire(members);
+    next_members_ = FromWire(next_members);
+    changed = true;
+  } else if (epoch == member_epoch_ && next_members_.empty() &&
+             !next_members.empty()) {
+    // Same committed set, but the sender knows of a pending joint config
+    // we have not seen (quorum-intersection dissemination).
+    next_members_ = FromWire(next_members);
+    changed = true;
+  }
+  if (changed) {
+    if (learner_ && IsMember(self_addr())) {
+      learner_ = false;  // a committed set names us: full member now
+    }
+    PersistConfig();
+  }
+  return changed;
+}
+
+void ReplicaNode::CommitPendingConfig() {
+  if (next_members_.empty()) {
+    return;
+  }
+  ++member_epoch_;
+  members_ = std::move(next_members_);
+  next_members_.clear();
+  if (learner_ && IsMember(self_addr())) {
+    learner_ = false;
+  }
+  PersistConfig();
+}
+
+void ReplicaNode::AbandonRound() {
+  role_ = Role::kFollower;
+  phase_ = 0;
+  last_holder_seen_ = Now();  // give the (possibly new) holder a full window
+}
+
+Status ReplicaNode::RequestReconfig(std::vector<NodeId> new_members) {
+  if (n_ == 1) {
+    return Status(ErrorCode::kUnavailable,
+                  "the single-replica shell has no membership plane");
+  }
+  if (role_ != Role::kHolder) {
+    return Status(ErrorCode::kUnavailable,
+                  "only the authority holder can change membership");
+  }
+  if (!next_members_.empty()) {
+    return Status(ErrorCode::kUnavailable,
+                  "a reconfiguration is already in flight");
+  }
+  std::sort(new_members.begin(), new_members.end());
+  new_members.erase(std::unique(new_members.begin(), new_members.end()),
+                    new_members.end());
+  if (new_members.empty()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "the member set cannot be empty");
+  }
+  if (new_members.size() > 7) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "at most 7 replicas (3-5 recommended)");
+  }
+  size_t delta = MemberDelta(members_, new_members);
+  if (delta == 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "membership unchanged (replica already a member, or "
+                  "already removed)");
+  }
+  if (delta != 1) {
+    // Single-step changes keep every old-set majority intersecting the
+    // new-set majority, so a proposer on a stale config always reaches an
+    // acceptor holding (or blocking for) the current authority lease.
+    return Status(ErrorCode::kInvalidArgument,
+                  "membership changes one replica at a time");
+  }
+  next_members_ = std::move(new_members);
+  PersistConfig();
+  // The joint config rides on the next renewal (<= renew_interval away)
+  // and commits on its first quorum-confirmed round.
+  return Status::Ok();
 }
 
 // --------------------------------------------------------------------
@@ -525,10 +923,25 @@ void ReplicaNode::SendAuth(NodeId to, Packet packet) {
 }
 
 void ReplicaNode::BroadcastAuth(Packet packet) {
-  if (others_.empty()) {
+  // Committed plus pending members, minus self: joint rounds must reach
+  // both sets, and a joining learner hears the rounds that will name it.
+  std::vector<NodeId> targets;
+  targets.reserve(members_.size() + next_members_.size());
+  for (NodeId node : members_) {
+    if (node != self_addr()) {
+      targets.push_back(node);
+    }
+  }
+  for (NodeId node : next_members_) {
+    if (node != self_addr() &&
+        std::find(targets.begin(), targets.end(), node) == targets.end()) {
+      targets.push_back(node);
+    }
+  }
+  if (targets.empty()) {
     return;
   }
-  env_.transport->Multicast(std::span<const NodeId>(others_),
+  env_.transport->Multicast(std::span<const NodeId>(targets),
                             MessageClass::kControl, std::move(packet));
 }
 
@@ -548,13 +961,18 @@ void ReplicaNode::HandleTyped(NodeId from, MessageClass cls,
   }
   if (const auto* prepare = std::get_if<AuthorityPrepare>(&packet)) {
     if (n_ > 1 && AcceptorReady()) {
-      SendAuth(from, Packet(AcceptPrepare(*prepare)));
+      if (std::optional<AuthorityPromise> reply = AcceptPrepare(*prepare)) {
+        SendAuth(from, Packet(*reply));
+      }
     }
     return;  // warming acceptors stay silent
   }
   if (const auto* propose = std::get_if<AuthorityPropose>(&packet)) {
     if (n_ > 1 && AcceptorReady()) {
-      SendAuth(from, Packet(AcceptPropose(from, *propose)));
+      if (std::optional<AuthorityAccept> reply =
+              AcceptPropose(from, *propose)) {
+        SendAuth(from, Packet(*reply));
+      }
     }
     return;
   }
@@ -570,12 +988,57 @@ void ReplicaNode::HandleTyped(NodeId from, MessageClass cls,
     }
     return;
   }
-  // Client lease traffic: only the holder's serving engine answers;
-  // everyone else drops and the client retransmits until the virtual
-  // address points at the new holder.
+  // Client lease traffic: the holder's serving engine answers; a standby
+  // may answer reads under the holder's delegated window; everything else
+  // is dropped and the client retransmits until the virtual address points
+  // at the new holder.
   if (serving_ != nullptr) {
     serving_->HandleTyped(from, cls, packet);
+    return;
   }
+  if (const auto* read = std::get_if<ReadRequest>(&packet)) {
+    ServeStandbyRead(from, *read);
+  }
+}
+
+void ReplicaNode::ServeStandbyRead(NodeId from, const ReadRequest& m) {
+  if (!config_.replica.standby_reads || n_ == 1) {
+    return;
+  }
+  TimePoint now = Now();
+  if (now >= delegation_expiry_ || standby_locked_overflow_) {
+    return;  // no live delegation (or an unknowably large locked set)
+  }
+  if (std::binary_search(standby_locked_.begin(), standby_locked_.end(),
+                         m.file.value())) {
+    return;  // a write may be racing this file at the holder
+  }
+  // Serve from the shared store with a zero-term grant: no caching rights,
+  // so the standby never creates a leaseholder the holder cannot see. The
+  // data is write-through fresh -- every committed write already applied.
+  ReadReply reply;
+  reply.req = m.req;
+  reply.file = m.file;
+  const FileRecord* rec = env_.store->Find(m.file);
+  if (rec == nullptr) {
+    reply.status = ErrorCode::kNotFound;
+  } else {
+    Result<uint64_t> perm = env_.store->Read(m.file, from);
+    if (!perm.ok()) {
+      reply.status = perm.code();
+    } else {
+      reply.version = rec->version;
+      reply.file_class = rec->file_class;
+      reply.lease = LeaseGrant{rec->cover, Duration::Zero()};
+      if (m.have_version != 0 && m.have_version == rec->version) {
+        reply.not_modified = true;
+      } else {
+        reply.data = rec->data;
+      }
+    }
+  }
+  ++standby_reads_served_;
+  env_.serve_transport->Send(from, MessageClass::kData, Packet(std::move(reply)));
 }
 
 }  // namespace leases

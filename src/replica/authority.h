@@ -48,10 +48,26 @@
 // num_replicas == 1 degenerates to a transparent shell around the plain
 // LeaseServer: no messages, no capping, no meta seeding -- byte-identical
 // behavior to the unreplicated server (pinned by the differential test).
+//
+// Hardening legs layered on the PR 8 protocol (DESIGN.md §7.7):
+//  * Live membership change: joint-quorum (old AND new majority)
+//    reconfiguration, one replica added or removed per step, disseminated
+//    on renewals and re-learned by stale proposers from promise replies.
+//  * Durable acceptors (opt-in, replica.durable_acceptors): promises,
+//    accepts and the member config persist through DurableMeta before any
+//    reply, so a restarted acceptor rejoins without the warm-up silence.
+//  * Standby reads (opt-in, replica.standby_reads): non-holders answer
+//    reads for files with no write in flight, under a bound delegated
+//    from the holder's confirmed authority expiry minus epsilon, with
+//    zero-term grants (no caching rights, so no holder-invisible leases).
+//  * Sharded serving: with num_shards > 1 the elected holder runs a
+//    ShardedLeaseServer behind the virtual address, the grant cap folded
+//    into every shard's term policy.
 #ifndef SRC_REPLICA_AUTHORITY_H_
 #define SRC_REPLICA_AUTHORITY_H_
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -74,8 +90,15 @@ class CappedTermPolicy : public TermPolicy {
   Duration TermFor(FileId file, FileClass file_class, NodeId client) override {
     Duration term = inner_->TermFor(file, file_class, client);
     Duration limit = cap_();
-    return term < limit ? term : limit;
+    if (limit < term) {
+      ++cap_hits_;
+      return limit;
+    }
+    return term;
   }
+
+  // How many grants the authority-lease ceiling actually shortened.
+  uint64_t cap_hits() const { return cap_hits_; }
   void OnRead(FileId file, TimePoint now) override {
     inner_->OnRead(file, now);
   }
@@ -90,6 +113,7 @@ class CappedTermPolicy : public TermPolicy {
  private:
   TermPolicy* inner_;
   std::function<Duration()> cap_;
+  uint64_t cap_hits_ = 0;
 };
 
 // One replica of the replicated lease authority. Every replica embeds a
@@ -126,6 +150,27 @@ class ReplicaNode : public ServerEngine {
   LeaseServer* plain() override {
     return serving_ != nullptr ? serving_->plain() : nullptr;
   }
+  // The embedded sharded server when config.num_shards > 1 and this
+  // replica holds the authority; null otherwise.
+  ShardedLeaseServer* sharded() override {
+    return serving_ != nullptr ? serving_->sharded() : nullptr;
+  }
+
+  // Live membership change (holder only). `new_members` must differ from
+  // the committed member set by exactly one replica -- one add or one
+  // remove per call, so any old-set majority intersects the new-set
+  // majority and a stale proposer always meets an acceptor that blocks it.
+  // The joint (old AND new majority) config rides on the next renewal and
+  // commits on its first quorum-confirmed round; removing the holder
+  // commits first, then steps the holder down for an orderly re-election.
+  Status RequestReconfig(std::vector<NodeId> new_members);
+  // The committed member set (authority-plane addresses).
+  std::vector<NodeId> member_addrs() const { return members_; }
+  uint64_t member_epoch() const { return member_epoch_; }
+  bool reconfig_pending() const { return !next_members_.empty(); }
+  // True while this node may not propose (joined via membership change and
+  // has not yet seen a committed member set containing itself).
+  bool is_learner() const { return learner_; }
 
   // Introspection for harnesses, tests and benches.
   bool is_holder() const { return role_ == Role::kHolder; }
@@ -160,10 +205,38 @@ class ReplicaNode : public ServerEngine {
   Duration SuspectDelay();
   Duration ServingGrantHorizon();
 
+  // --- membership -----------------------------------------------------
+  bool IsMember(NodeId node) const;
+  // Majority of the committed set AND (while a reconfiguration is in
+  // flight) majority of the pending set, evaluated over votes_.
+  bool HaveQuorum() const;
+  // Adopts a newer membership view from a peer's message; returns true on
+  // change (an acquiring proposer then abandons its round, because the
+  // quorum it was counting against is stale).
+  bool AdoptConfig(uint64_t epoch, const std::vector<uint32_t>& members,
+                   const std::vector<uint32_t>& next_members);
+  // Commits the pending joint set after a quorum-confirmed round.
+  void CommitPendingConfig();
+  void AbandonRound();
+  void FillConfig(uint64_t* epoch, std::vector<uint32_t>* members,
+                  std::vector<uint32_t>* next_members) const;
+
   // --- acceptor -------------------------------------------------------
   bool AcceptorReady() const;
-  AuthorityPromise AcceptPrepare(const AuthorityPrepare& m);
-  AuthorityAccept AcceptPropose(NodeId from, const AuthorityPropose& m);
+  // nullopt = durable append failed; send nothing (the proposer treats it
+  // as a lost datagram), never acknowledge state that did not persist.
+  std::optional<AuthorityPromise> AcceptPrepare(const AuthorityPrepare& m);
+  std::optional<AuthorityAccept> AcceptPropose(NodeId from,
+                                               const AuthorityPropose& m);
+  bool PersistAcceptor();
+  void PersistConfig();
+  void RestoreDurableAcceptor(TimePoint now);
+  bool durable() const {
+    return config_.replica.durable_acceptors && n_ > 1;
+  }
+
+  // --- standby reads --------------------------------------------------
+  void ServeStandbyRead(NodeId from, const ReadRequest& m);
 
   // --- plumbing -------------------------------------------------------
   TimePoint Now() const { return env_.clock->Now(); }
@@ -173,17 +246,25 @@ class ReplicaNode : public ServerEngine {
   // worse than the constant. Sync degrading at a replica thus widens every
   // safety margin instead of silently eating into it.
   Duration Epsilon() const;
-  size_t Quorum() const { return n_ / 2 + 1; }
   void SendAuth(NodeId to, Packet packet);
+  // Broadcasts to the union of committed and pending member sets (minus
+  // self), so joint rounds and joining learners both hear every round.
   void BroadcastAuth(Packet packet);
 
   EngineConfig config_;
   EngineEnv env_;
   const size_t n_;
-  std::vector<NodeId> others_;  // peers minus self
 
   bool started_ = false;
   bool ever_started_ = false;  // an in-object restart must warm up
+
+  // Membership: the committed member set plus (mid-reconfiguration) the
+  // pending one. Volatile unless durable_acceptors -- a restarted replica
+  // re-learns the current view from promise/accept/propose traffic.
+  uint64_t member_epoch_ = 0;
+  std::vector<NodeId> members_;
+  std::vector<NodeId> next_members_;
+  bool learner_ = false;
 
   // Acceptor state -- volatile by design (PaxosLease): a crash forgets it
   // and the warm-up window makes that safe.
@@ -211,6 +292,13 @@ class ReplicaNode : public ServerEngine {
   bool seed_boot_ = false;  // replica 0 on a cold cluster acquires at once
   uint64_t jitter_seq_ = 0;
 
+  // Standby-read delegation (replica.standby_reads): the window delegated
+  // by the holder's last accepted propose, and the files it reported as
+  // write-locked (refused at standbys; overflow disables standby serving).
+  TimePoint delegation_expiry_ = TimePoint::Epoch();
+  std::vector<uint64_t> standby_locked_;
+  bool standby_locked_overflow_ = false;
+
   TimerId tick_timer_;
   TimerId stepdown_timer_;
 
@@ -227,6 +315,8 @@ class ReplicaNode : public ServerEngine {
   uint64_t authority_acquisitions_ = 0;
   uint64_t authority_renewals_ = 0;
   uint64_t authority_stepdowns_ = 0;
+  uint64_t authority_warmup_waits_ = 0;
+  uint64_t standby_reads_served_ = 0;
 };
 
 }  // namespace leases

@@ -1,5 +1,6 @@
 #include "src/runtime/replica_node.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/check.h"
@@ -21,7 +22,8 @@ RuntimeReplicaServer::RuntimeReplicaServer(NodeId virtual_id,
 RuntimeReplicaServer::~RuntimeReplicaServer() { Stop(); }
 
 Status RuntimeReplicaServer::Start(bool cold_boot, uint16_t serve_port,
-                                   uint16_t authority_port) {
+                                   uint16_t authority_port,
+                                   bool join_as_learner) {
   loop_ = std::make_unique<EventLoop>();
   authority_transport_ = std::make_unique<UdpTransport>(
       ReplicaAddr(index_), loop_.get(), nullptr);
@@ -50,6 +52,7 @@ Status RuntimeReplicaServer::Start(bool cold_boot, uint16_t serve_port,
   }
   env.serve_transport = serve_transport_.get();
   env.replica_cold_boot = cold_boot;
+  env.join_as_learner = join_as_learner;
   env.on_takeover = [this](NodeId) {
     if (takeover_cb_) {
       takeover_cb_(index_);
@@ -126,6 +129,44 @@ Duration RuntimeReplicaServer::last_inherited_bound() {
     bound = engine_->replica()->last_inherited_bound();
   });
   return bound;
+}
+
+Status RuntimeReplicaServer::AddReplica(size_t index) {
+  LEASES_CHECK(loop_ != nullptr && engine_ != nullptr);
+  Status s;
+  loop_->RunSync([this, index, &s]() {
+    ReplicaNode* node = engine_->replica();
+    std::vector<NodeId> members = node->member_addrs();
+    members.push_back(ReplicaAddr(index));
+    s = node->RequestReconfig(std::move(members));
+  });
+  return s;
+}
+
+Status RuntimeReplicaServer::RemoveReplica(size_t index) {
+  LEASES_CHECK(loop_ != nullptr && engine_ != nullptr);
+  Status s;
+  loop_->RunSync([this, index, &s]() {
+    ReplicaNode* node = engine_->replica();
+    std::vector<NodeId> members = node->member_addrs();
+    auto it = std::find(members.begin(), members.end(), ReplicaAddr(index));
+    if (it == members.end()) {
+      s = Status(ErrorCode::kInvalidArgument,
+                 "replica is not a committed member");
+      return;
+    }
+    members.erase(it);
+    s = node->RequestReconfig(std::move(members));
+  });
+  return s;
+}
+
+std::vector<NodeId> RuntimeReplicaServer::member_addrs() {
+  LEASES_CHECK(loop_ != nullptr && engine_ != nullptr);
+  std::vector<NodeId> members;
+  loop_->RunSync(
+      [this, &members]() { members = engine_->replica()->member_addrs(); });
+  return members;
 }
 
 ServerStats RuntimeReplicaServer::stats() {

@@ -25,6 +25,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/clock/system_clock.h"
 #include "src/core/server_engine.h"
@@ -54,9 +55,12 @@ class RuntimeReplicaServer {
   // Binds both sockets and starts the authority state machine. `cold_boot`
   // is the host's assertion that this replica never participated in an
   // authority round (fresh cluster); when false the replica warms up for
-  // one authority term before voting.
+  // one authority term before voting. `join_as_learner` starts the replica
+  // as a joining member of a live cluster: it acts as an acceptor but
+  // never proposes until it observes a committed member set naming it
+  // (pair with the holder's AddReplica).
   Status Start(bool cold_boot, uint16_t serve_port = 0,
-               uint16_t authority_port = 0);
+               uint16_t authority_port = 0, bool join_as_learner = false);
   void Stop();
 
   uint16_t serve_port() const { return serve_transport_->port(); }
@@ -84,6 +88,17 @@ class RuntimeReplicaServer {
   bool is_holder();
   Duration last_inherited_bound();
   ServerStats stats();
+
+  // --- Live membership change (issued on the current holder) ---
+  // Single-step wrappers around ReplicaNode::RequestReconfig: expand or
+  // shrink the committed member set by ReplicaAddr(index). The joint
+  // config rides on the next renewal; wire the new node's authority port
+  // (AddReplicaPeer, on every member) before AddReplica so the rounds
+  // reach it.
+  Status AddReplica(size_t index);
+  Status RemoveReplica(size_t index);
+  // The committed member set as seen by this replica.
+  std::vector<NodeId> member_addrs();
 
   // Pre-start namespace setup. Replica stores are independent copies (the
   // lease plane replicates authority, not file data); seed them

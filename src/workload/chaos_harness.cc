@@ -37,6 +37,7 @@ class ChaosRun {
       Rng plan_rng = Rng::ForStream(options_.seed, kPlanStream);
       RandomPlanOptions plan_options = options_.plan_options;
       plan_options.num_clients = options_.num_clients;
+      plan_options.num_replicas = options_.num_replicas;
       plan_ = RandomFaultPlan(plan_rng, plan_options);
     }
 
@@ -44,7 +45,10 @@ class ChaosRun {
     cluster_options.num_clients = options_.num_clients;
     cluster_options.term = options_.term;
     cluster_options.client = options_.client;
+    cluster_options.num_shards = std::max<size_t>(options_.num_shards, 1);
     cluster_options.replica.num_replicas = options_.num_replicas;
+    cluster_options.replica.durable_acceptors = options_.durable_acceptors;
+    cluster_options.replica.standby_reads = options_.standby_reads;
     cluster_options.replica_clocks = options_.replica_clocks;
     cluster_options.uncertainty_terms = options_.uncertainty_terms;
     cluster_options.uncertainty = options_.uncertainty;
@@ -118,6 +122,15 @@ class ChaosRun {
       report.authority_stepdowns = s.authority_stepdowns;
       report.recovery_window = s.recovery_window;
       report.clock_samples = s.clock_samples;
+      report.authority_warmup_waits = s.authority_warmup_waits;
+      report.grant_cap_hits = s.grant_cap_hits;
+      report.standby_reads_served = s.standby_reads_served;
+    }
+    for (size_t r = 0; r < cluster_->num_replicas(); ++r) {
+      if (cluster_->num_replicas() > 1) {
+        report.membership_epoch = std::max(
+            report.membership_epoch, cluster_->replica(r).member_epoch());
+      }
     }
     if (cluster_->clock_health() != nullptr) {
       report.uncertainty_capped_grants =
@@ -246,6 +259,32 @@ class ChaosRun {
                                                : TailDamage::kClean);
         }
         break;
+      case FaultOp::kAddReplica:
+        // Returns -1 with no confirmed holder or a reconfig already in
+        // flight -- skipped the same way a double crash is.
+        if (cluster_->num_replicas() > 1 && cluster_->AddReplica() >= 0) {
+          server_drift_gen_.push_back(0);  // keep drift targets in range
+        }
+        break;
+      case FaultOp::kRemoveReplica: {
+        if (cluster_->num_replicas() <= 1 ||
+            ev.target >= cluster_->num_replicas()) {
+          break;
+        }
+        int holder = cluster_->holder_index();
+        // Keep at least two committed members mid-soak so a single later
+        // crash can never strand the run quorumless (shrink-to-one is
+        // unit-tested, not soaked). Rejections from the holder -- target
+        // already removed, reconfig in flight -- are expected and ignored.
+        if (holder < 0 ||
+            cluster_->replica(static_cast<size_t>(holder))
+                    .member_addrs()
+                    .size() <= 2) {
+          break;
+        }
+        (void)cluster_->RemoveReplica(ev.target);
+        break;
+      }
     }
     Note("fault", static_cast<uint64_t>(ev.op), ev.target,
          static_cast<uint64_t>(ev.at.ToMicros()));

@@ -46,12 +46,23 @@ struct ChaosOptions {
   double reorder = 0.01;
   double burst = 0.0;
 
+  // Sharded grant plane: 0/1 keeps the single engine, n > 1 shards the
+  // serving path by FileId (composes with num_replicas: the elected holder
+  // then runs the sharded plane behind the virtual address).
+  size_t num_shards = 0;
   // Replicated authority plane: 0 keeps the historical single server,
   // n > 1 runs the soak against n authority replicas (crash-server plan
   // events then fell the current holder, restart-server revives every
   // downed replica). Optional per-replica clock models ride along.
   size_t num_replicas = 0;
   std::vector<ClockModel> replica_clocks;
+  // Replica-plane hardening knobs, forwarded to EngineConfig::replica.
+  // durable_acceptors persists promises/accepts so a crash-restarted
+  // replica rejoins without the warm-up wait; standby_reads lets
+  // non-holder replicas answer reads under the holder's delegated bound
+  // (requires write-through clients).
+  bool durable_acceptors = false;
+  bool standby_reads = false;
   // Scripted holder isolation (replicated runs only): at `at`, partition
   // whichever replica currently holds the authority lease from its peers
   // for `span` (its grants keep flowing to clients until it steps down --
@@ -106,6 +117,16 @@ struct ChaosReport {
   uint64_t authority_acquisitions = 0;
   uint64_t authority_stepdowns = 0;
   Duration recovery_window = Duration::Zero();
+  // Replica hardening plane: warm-up waits skipped/served by durable
+  // acceptors show up as a LOW authority_warmup_waits; grant_cap_hits
+  // counts grants clamped to the confirmed authority horizon;
+  // standby_reads_served counts reads answered by non-holder replicas;
+  // membership_epoch is the highest committed member-set epoch any
+  // replica reached (0 = no reconfiguration committed).
+  uint64_t authority_warmup_waits = 0;
+  uint64_t grant_cap_hits = 0;
+  uint64_t standby_reads_served = 0;
+  uint64_t membership_epoch = 0;
 
   // Clock-health plane. clock_samples counts stamped requests the server
   // fed to the estimator; the uncertainty_* counters are zero unless

@@ -50,8 +50,9 @@ TEST(EngineConfigTest, ShardIncompatibilities) {
   config.data_dir = "/tmp/x";
   EXPECT_TRUE(RejectedWith(config, "per-shard memory backends"));
   config.data_dir.clear();
+  // Sharded serving composes with the replicated authority plane.
   config.replica.num_replicas = 3;
-  EXPECT_TRUE(RejectedWith(config, "num_shards == 1"));
+  EXPECT_TRUE(config.Validate().ok());
 }
 
 TEST(EngineConfigTest, ReplicaIncompatibilities) {
@@ -111,7 +112,7 @@ TEST(EngineFactoryTest, AllShapesServeThroughTheFactory) {
     size_t shards;
     size_t replicas;
   };
-  for (Case c : {Case{1, 0}, Case{4, 0}, Case{1, 1}, Case{1, 3}}) {
+  for (Case c : {Case{1, 0}, Case{4, 0}, Case{1, 1}, Case{1, 3}, Case{4, 3}}) {
     ClusterOptions options = MakeVClusterOptions(Duration::Seconds(5), 2, 1);
     options.num_shards = c.shards;
     options.replica.num_replicas = c.replicas;

@@ -205,6 +205,14 @@ std::vector<LeaseKey> RandomKeys(Rng& rng, size_t max_n) {
   return keys;
 }
 
+std::vector<uint32_t> RandomMembers(Rng& rng, size_t max_n) {
+  std::vector<uint32_t> members(rng.NextBounded(max_n + 1));
+  for (auto& m : members) {
+    m = static_cast<uint32_t>(rng.NextU64());
+  }
+  return members;
+}
+
 // One random packet of each of the 16 wire types, index-selected so the
 // test provably covers the whole variant.
 Packet RandomPacket(Rng& rng, size_t type_index) {
@@ -291,6 +299,9 @@ Packet RandomPacket(Rng& rng, size_t type_index) {
           Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
       m.bound_remaining =
           Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      m.config_epoch = rng.NextU64();
+      m.members = RandomMembers(rng, 7);
+      m.next_members = RandomMembers(rng, 7);
       return m;
     }
     case 14: {
@@ -300,11 +311,26 @@ Packet RandomPacket(Rng& rng, size_t type_index) {
       m.term = Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
       m.grant_horizon =
           Duration::Micros(static_cast<int64_t>(rng.NextBounded(1 << 30)));
+      m.config_epoch = rng.NextU64();
+      m.members = RandomMembers(rng, 7);
+      m.next_members = RandomMembers(rng, 7);
+      size_t locked = rng.NextBounded(6);
+      for (size_t i = 0; i < locked; ++i) {
+        m.write_locked.push_back(rng.NextU64());
+      }
+      m.write_locked_overflow = rng.NextBernoulli(0.2);
       return m;
     }
-    default:
-      return AuthorityAccept{rng.NextU64(), rng.NextBernoulli(0.5),
-                             rng.NextU64()};
+    default: {
+      AuthorityAccept m;
+      m.ballot = rng.NextU64();
+      m.ok = rng.NextBernoulli(0.5);
+      m.promised = rng.NextU64();
+      m.config_epoch = rng.NextU64();
+      m.members = RandomMembers(rng, 7);
+      m.next_members = RandomMembers(rng, 7);
+      return m;
+    }
   }
 }
 

@@ -52,6 +52,14 @@ ChaosOptions OptionsFromFlags(const Flags& flags) {
   options.num_replicas = static_cast<size_t>(flags.GetInt("replicas", 0));
   options.partition_holder_at =
       Duration::Seconds(flags.GetDouble("isolate-holder-at", 0.0));
+  // Replica hardening plane: --membership lets random plans grow/shrink the
+  // committed member set mid-soak; --durable-acceptors persists acceptor
+  // promises so crash-restarted replicas skip the warm-up wait;
+  // --standby-reads serves reads from non-holder replicas under the
+  // holder's delegated bound.
+  options.plan_options.allow_membership = flags.GetBool("membership", false);
+  options.durable_acceptors = flags.GetBool("durable-acceptors", false);
+  options.standby_reads = flags.GetBool("standby-reads", false);
   // Clock-health plane: --clock lets random plans drift the server's own
   // clock and wraps the term policy in the measured-bound decorator (the
   // combination the clock soak wants: drift happens, terms shrink to match).
@@ -114,11 +122,19 @@ void PrintReport(const ChaosOptions& options, const ChaosReport& report) {
   }
   if (options.num_replicas > 1) {
     std::printf("  authority: acquisitions=%llu stepdowns=%llu "
-                "write_hold=%.3fs (term %.1fs)\n",
+                "warmup_waits=%llu cap_hits=%llu write_hold=%.3fs "
+                "(term %.1fs)\n",
                 static_cast<unsigned long long>(report.authority_acquisitions),
                 static_cast<unsigned long long>(report.authority_stepdowns),
+                static_cast<unsigned long long>(report.authority_warmup_waits),
+                static_cast<unsigned long long>(report.grant_cap_hits),
                 report.recovery_window.ToSeconds(),
                 options.term.ToSeconds());
+    if (report.membership_epoch > 0 || report.standby_reads_served > 0) {
+      std::printf("  hardening: member_epoch=%llu standby_reads=%llu\n",
+                  static_cast<unsigned long long>(report.membership_epoch),
+                  static_cast<unsigned long long>(report.standby_reads_served));
+    }
   }
   if (options.uncertainty_terms) {
     std::printf("  clock: samples=%llu capped=%llu zero=%llu extends=%llu\n",
@@ -273,6 +289,73 @@ int RunSmoke() {
               static_cast<unsigned long long>(e.digest),
               e.recovery_window.ToSeconds(), replicated.term.ToSeconds());
 
+  // Replica-hardening pass: durable acceptors + standby reads + a scripted
+  // membership change sequence (grow to four, shrink away replica 0, then
+  // crash whichever replica holds the authority) under the same drifting
+  // replica clocks. The bar: zero violations, at least two committed
+  // member-set epochs (the add and the remove), standby replicas actually
+  // answering reads through the holder outage, and a stable replay digest.
+  ChaosOptions hardened = replicated;
+  hardened.total_ops = 1600;
+  hardened.ops_per_sec = 25.0;
+  hardened.durable_acceptors = true;
+  hardened.standby_reads = true;
+  hardened.partition_holder_at = Duration::Zero();
+  hardened.plan = FaultPlan::Parse(
+                      "@2.000000 add-replica;@7.000000 remove-replica 0;"
+                      "@11.000000 crash-server;@14.000000 restart-server")
+                      .value();
+  for (uint64_t seed : {13ULL, 29ULL}) {
+    hardened.seed = seed;
+    int rc = RunOne(hardened);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  hardened.seed = 29;
+  ChaosReport m1 = RunChaos(hardened);
+  ChaosReport m2 = RunChaos(hardened);
+  if (m1.digest != m2.digest) {
+    std::printf(
+        "SMOKE FAIL: membership seed diverged (0x%016llx vs 0x%016llx)\n",
+        static_cast<unsigned long long>(m1.digest),
+        static_cast<unsigned long long>(m2.digest));
+    return 1;
+  }
+  if (m1.membership_epoch < 2) {
+    std::printf("SMOKE FAIL: expected >= 2 membership epochs, saw %llu\n",
+                static_cast<unsigned long long>(m1.membership_epoch));
+    return 1;
+  }
+  if (m1.standby_reads_served == 0) {
+    std::printf("SMOKE FAIL: standby replicas never served a read\n");
+    return 1;
+  }
+  std::printf("smoke ok: membership digest stable 0x%016llx "
+              "(epoch=%llu standby_reads=%llu warmup_waits=%llu)\n",
+              static_cast<unsigned long long>(m1.digest),
+              static_cast<unsigned long long>(m1.membership_epoch),
+              static_cast<unsigned long long>(m1.standby_reads_served),
+              static_cast<unsigned long long>(m1.authority_warmup_waits));
+
+  // Random-membership pass: plans may now grow and shrink the member set
+  // on their own (plus the usual crashes and partitions); the oracle bar
+  // stays absolute. Fresh seeds keep earlier pinned digests untouched.
+  ChaosOptions member_chaos = replicated;
+  member_chaos.random_plan = true;
+  member_chaos.plan = FaultPlan{};
+  member_chaos.partition_holder_at = Duration::Zero();
+  member_chaos.plan_options.allow_membership = true;
+  member_chaos.plan_options.horizon = Duration::Seconds(10);
+  for (uint64_t seed : {17ULL, 23ULL}) {
+    member_chaos.seed = seed;
+    int rc = RunOne(member_chaos);
+    if (rc != 0) {
+      return rc;
+    }
+  }
+  std::printf("smoke ok: random membership plans clean\n");
+
   // Clock-health pass: a bounded drift ramp (all clients slow, server
   // fast, short dwell at peak) under the measured-bound term policy. The
   // bar: zero violations, the degradation ladder actually engaged (capped
@@ -332,6 +415,8 @@ int Run(int argc, char** argv) {
         "                    [--reorder p] [--burst p] [--plan \"...\"]\n"
         "                    [--no-plan] [--storage] [--trace] [--smoke]\n"
         "                    [--replicas n] [--isolate-holder-at s]\n"
+        "                    [--membership] [--durable-acceptors]\n"
+        "                    [--standby-reads]\n"
         "                    [--clock] [--uncertainty] [--drift-ramp n]\n");
     return 0;
   }

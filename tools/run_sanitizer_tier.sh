@@ -73,6 +73,15 @@ echo "=== $preset: leases_chaos --smoke ==="
 echo "=== $preset: leases_chaos --drift-ramp ==="
 "build-$preset/tools/leases_chaos" --drift-ramp 6 --clients 6 --ops 4000 \
   --rate 5 --write_fraction 0.1
+# Replica-hardening soak: three replicas with live membership changes
+# drawn into the random plans, durable acceptors persisting promises
+# across the plans' crash/restart cycles, and standby reads serving
+# through holder outages. Exercises the joint-quorum reconfig path, the
+# acceptor journal and the delegated-bound read path under the sanitizer.
+echo "=== $preset: leases_chaos --membership ==="
+"build-$preset/tools/leases_chaos" --replicas 3 --membership \
+  --durable-acceptors --standby-reads --runs 3 --seed 41 --clients 6 \
+  --ops 2000
 # The swarm smoke sweeps 10k simulated clients through the installed-lease
 # multicast plane plus the thundering-herd backpressure scenario -- bounded
 # wall time, and its acceptance checks (flat load, zero violations) double
